@@ -1,0 +1,31 @@
+"""Figure 1 — geographic distribution of VPN business locations.
+
+The paper's map shows most providers based in non-censoring countries
+(US, UK, Germany, Sweden, Canada at the top), exactly two claiming China,
+and a handful in Seychelles/Belize; NordVPN is based in Panama.
+"""
+
+from repro.reporting.figures import ascii_bar_chart
+
+
+def build_fig1(analysis):
+    return analysis.business_location_distribution()
+
+
+def test_fig1(benchmark, eco_analysis, ecosystem):
+    distribution = benchmark(build_fig1, eco_analysis)
+    top = distribution.most_common(12)
+    print("\n" + ascii_bar_chart(
+        [(country, count) for country, count in top],
+        title="Figure 1: business locations (top 12)",
+    ))
+    assert distribution.most_common(1)[0][0] == "US"
+    for country in ("GB", "DE", "SE", "CA"):
+        assert distribution[country] >= 4, country
+    # Exactly two providers claim China.
+    assert distribution["CN"] == 2
+    # The small offshore jurisdictions appear.
+    assert distribution["SC"] >= 1
+    assert distribution["BZ"] >= 1
+    nord = next(p for p in ecosystem if p.name == "NordVPN")
+    assert nord.business_country == "PA"

@@ -1,0 +1,32 @@
+"""Figure 2 — CDF of claimed server counts.
+
+Shape to reproduce: 80 % of services claim 750 servers or fewer, while the
+popular services (NordVPN, PIA, Hotspot Shield...) claim 2,000-4,000.
+"""
+
+from repro.reporting.figures import cdf_points, series_summary
+
+
+def build_fig2(analysis):
+    return analysis.server_count_cdf()
+
+
+def test_fig2(benchmark, eco_analysis, ecosystem):
+    cdf = benchmark(build_fig2, eco_analysis)
+    summary = series_summary([v for v, _ in cdf])
+    print(f"\nFigure 2: server-count CDF over {len(cdf)} providers")
+    for threshold in (100, 250, 750, 2000, 4000):
+        fraction = max(
+            (f for v, f in cdf if v <= threshold), default=0.0
+        )
+        print(f"  <= {threshold:5d} servers: {fraction:5.1%}")
+    print(f"  summary: {summary}")
+
+    at_750 = eco_analysis.fraction_with_servers_at_most(750)
+    assert 0.72 <= at_750 <= 0.90  # the paper's "80% have 750 or less"
+    # The popular head claims thousands.
+    head = sorted(
+        ecosystem, key=lambda p: p.popularity_rank or 10_000
+    )[:6]
+    assert all(1300 <= p.claimed_server_count <= 4100 for p in head)
+    assert summary["max"] <= 6000

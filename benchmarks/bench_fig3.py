@@ -1,0 +1,29 @@
+"""Figure 3 — vantage-point geography of the top-15 popular services.
+
+Shape: uncensored North American / European countries are claimed by most
+of the top providers; HideMyAss (in the top 15) additionally claims
+censored regions like Iran, Saudi Arabia and North Korea.
+"""
+
+from repro.reporting.figures import ascii_bar_chart
+
+
+def build_fig3(analysis):
+    return analysis.vantage_country_heatmap(top_n=15)
+
+
+def test_fig3(benchmark, eco_analysis, catalog):
+    heatmap = benchmark(build_fig3, eco_analysis)
+    print("\n" + ascii_bar_chart(
+        heatmap.most_common(15),
+        title="Figure 3: vantage countries of the top-15 services",
+    ))
+    # Western hubs claimed by most of the top 15.
+    for country in ("US", "GB", "DE", "NL", "FR", "CA"):
+        assert heatmap[country] >= 8, country
+    # HideMyAss claims censored regions (validated in Section 6.4).
+    hma = catalog["HideMyAss"]
+    claimed = {s.claimed_country for s in hma.vantage_points}
+    for sensitive in ("IR", "SA", "KP"):
+        assert sensitive in claimed, sensitive
+    assert heatmap["IR"] >= 1

@@ -1,0 +1,32 @@
+"""Figure 4 — accepted payment methods.
+
+Marginals: 61 % cards, 59 % online, 46 % crypto, and 32 % accepting online
+payments and cryptocurrency but no cards. Per-method: Visa/MC lead cards,
+Paypal leads online, Bitcoin is "by far" the most popular cryptocurrency.
+"""
+
+import pytest
+
+from repro.reporting.figures import ascii_bar_chart
+
+
+def build_fig4(analysis):
+    return analysis.payment_method_counts(), analysis.payment_acceptance()
+
+
+def test_fig4(benchmark, eco_analysis):
+    counts, acceptance = benchmark(build_fig4, eco_analysis)
+    ordered = [
+        (m, counts.get(m, 0))
+        for m in ("Visa", "MC", "Amex", "Paypal", "Alipay", "WM",
+                  "Bitcoin", "ETH", "Lite")
+    ]
+    print("\n" + ascii_bar_chart(ordered, title="Figure 4: payment methods"))
+    assert acceptance["credit-card"] == pytest.approx(0.61, abs=0.01)
+    assert acceptance["online"] == pytest.approx(0.59, abs=0.01)
+    assert acceptance["cryptocurrency"] == pytest.approx(0.46, abs=0.01)
+    assert acceptance["online+crypto-no-card"] == pytest.approx(0.32, abs=0.01)
+    # Per-category leaders.
+    assert counts["Visa"] >= counts["Amex"]
+    assert counts["Paypal"] >= counts["Alipay"]
+    assert counts["Bitcoin"] > counts["ETH"] and counts["Bitcoin"] > counts["Lite"]

@@ -1,0 +1,26 @@
+"""Figure 5 — tunneling technologies used by VPN services.
+
+Shape: OpenVPN and PPTP are supported by the majority of services, with
+IPsec close behind and SSTP/SSL/SSH trailing.
+"""
+
+from repro.reporting.figures import ascii_bar_chart
+
+
+def build_fig5(analysis):
+    return analysis.protocol_counts()
+
+
+def test_fig5(benchmark, eco_analysis):
+    counts = benchmark(build_fig5, eco_analysis)
+    ordered = [
+        (p, counts.get(p, 0))
+        for p in ("OpenVPN", "PPTP", "IPsec", "SSTP", "SSL", "SSH")
+    ]
+    print("\n" + ascii_bar_chart(ordered, title="Figure 5: tunneling technologies"))
+    assert counts["OpenVPN"] >= counts["PPTP"]
+    assert counts["PPTP"] > counts["IPsec"] > counts["SSTP"]
+    assert counts["SSTP"] > counts["SSL"] > counts["SSH"]
+    # Majorities for the top two (out of 200 services).
+    assert counts["OpenVPN"] >= 120
+    assert counts["PPTP"] >= 100

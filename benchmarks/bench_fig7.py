@@ -1,0 +1,54 @@
+"""Figure 7 — advertisement injected by the Seed4.me trial service.
+
+The paper's screenshot shows an overlaid premium-upsell ad; our equivalent
+is the injected DOM delta on the ad honeysite: a JavaScript include hosted
+on a subdomain of the provider's own site plus the overlay element.
+"""
+
+import pytest
+
+from repro.vpn.client import VpnClient
+from repro.web.browser import Browser
+from repro.web.sites import HONEYSITE_AD
+
+
+@pytest.fixture(scope="module")
+def seed4me_world():
+    from repro.world import World
+
+    return World.build(provider_names=["Seed4.me"])
+
+
+def load_honeysite(world):
+    provider = world.provider("Seed4.me")
+    client = VpnClient(world.client, provider)
+    client.connect(provider.vantage_points[0])
+    try:
+        browser = Browser(
+            world.client, world.trust_store, world.chain_registry
+        )
+        return browser.load_page(f"http://{HONEYSITE_AD}/")
+    finally:
+        client.disconnect()
+
+
+def test_fig7(benchmark, seed4me_world):
+    load = benchmark.pedantic(
+        load_honeysite, args=(seed4me_world,), rounds=3, iterations=1
+    )
+    document = load.document
+    injected_scripts = [
+        s for s in document.external_scripts() if "seed4me" in s
+    ]
+    overlays = [
+        e for e in document.elements
+        if e.attr("class") == "vpn-upgrade-overlay"
+    ]
+    print("\nFigure 7: injected elements on the honeysite")
+    for script in injected_scripts:
+        print(f"  script src={script}")
+    for overlay in overlays:
+        print(f"  overlay: {overlay.text!r}")
+    assert injected_scripts == ["http://ads.seed4me.com/overlay.js"]
+    assert len(overlays) == 1
+    assert "premium" in overlays[0].text.lower()

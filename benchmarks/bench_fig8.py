@@ -1,0 +1,55 @@
+"""Figure 8 — advertised vantage networks of Anonine, Boxpn (and the
+Easy-Hide-IP reseller family).
+
+The paper shows near-identical advertised server maps and notes that the
+providers' Argentinian endpoints differ only in the final octet.  We
+regenerate the comparison from the catalogue: country-set similarity,
+shared blocks, and the adjacent AR addresses.
+"""
+
+from repro.reporting.tables import render_table
+
+
+def build_fig8(catalog):
+    boxpn = catalog["Boxpn"]
+    anonine = catalog["Anonine"]
+    countries = {
+        "Boxpn": {s.claimed_country for s in boxpn.vantage_points},
+        "Anonine": {s.claimed_country for s in anonine.vantage_points},
+    }
+    blocks = {
+        "Boxpn": {s.block for s in boxpn.vantage_points},
+        "Anonine": {s.block for s in anonine.vantage_points},
+    }
+    ar = {
+        name: next(
+            s.address for s in catalog[name].vantage_points
+            if s.claimed_country == "AR"
+        )
+        for name in ("Boxpn", "Anonine")
+    }
+    return countries, blocks, ar
+
+
+def test_fig8(benchmark, catalog):
+    countries, blocks, ar = benchmark(build_fig8, catalog)
+    jaccard = len(countries["Boxpn"] & countries["Anonine"]) / len(
+        countries["Boxpn"] | countries["Anonine"]
+    )
+    shared_blocks = blocks["Boxpn"] & blocks["Anonine"]
+    print("\n" + render_table(
+        ["Provider", "Countries", "AR endpoint"],
+        [
+            [name, ", ".join(sorted(countries[name])), ar[name]]
+            for name in ("Boxpn", "Anonine")
+        ],
+        title="Figure 8: advertised networks",
+    ))
+    print(f"country-set Jaccard: {jaccard:.2f}; "
+          f"shared blocks: {len(shared_blocks)}")
+    # The two advertised maps look near-identical.
+    assert jaccard >= 0.7
+    assert len(shared_blocks) == 11
+    # ar.* endpoints differ only in the final octet.
+    assert ar["Boxpn"].rsplit(".", 1)[0] == ar["Anonine"].rsplit(".", 1)[0]
+    assert ar["Boxpn"] != ar["Anonine"]

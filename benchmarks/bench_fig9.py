@@ -1,0 +1,60 @@
+"""Figure 9 — RTT distributions revealing co-located vantage points.
+
+The paper plots per-vantage-point RTT series (ordered lowest to highest)
+for Le VPN, MyIP.io and HideMyAss; co-located endpoints produce strongly
+correlated series despite claiming different countries.  The benchmark
+regenerates the series from the study's ping sweeps and asserts the three
+findings: Le VPN's exotic claims cluster together, MyIP.io splits into the
+US+FR and BE+DE+FI groups, and HideMyAss's ~148 endpoints collapse into a
+handful of facilities.
+"""
+
+from repro.reporting.figures import series_summary
+
+PAPER_LEVPN_VIRTUAL = {"BZ", "CL", "EE", "IR", "SA", "VE"}
+
+
+def build_fig9(study):
+    series = {}
+    clusters = {}
+    for name in ("Le VPN", "MyIP.io", "HideMyAss"):
+        report = study.providers[name]
+        per_vp = {}
+        for results in report.full_results + report.sweep_results:
+            if results.ping_traceroute is None:
+                continue
+            vector = sorted(results.ping_traceroute.rtt_vector().values())
+            per_vp[results.hostname] = vector
+        series[name] = per_vp
+        clusters[name] = report.colocation.clusters
+    return series, clusters
+
+
+def test_fig9(benchmark, full_study):
+    series, clusters = benchmark(build_fig9, full_study)
+
+    print("\nFigure 9: ordered RTT series (summaries)")
+    for provider, per_vp in series.items():
+        print(f"  {provider}: {len(per_vp)} series")
+        for hostname, vector in sorted(per_vp.items())[:4]:
+            print(f"    {hostname}: {series_summary(vector)}")
+
+    # (a) Le VPN: the six exotic claims are co-located (all in one cluster).
+    levpn_clusters = clusters["Le VPN"]
+    virtual_hosts = {
+        f"{country.lower()}.le-vpn.net" for country in PAPER_LEVPN_VIRTUAL
+    }
+    assert any(
+        virtual_hosts <= set(cluster) for cluster in levpn_clusters
+    ), levpn_clusters
+
+    # (b) MyIP.io: exactly the US+FR and BE+DE+FI groupings.
+    myip_clusters = {tuple(c) for c in clusters["MyIP.io"]}
+    assert ("fr.myip.io", "us.myip.io") in myip_clusters
+    assert ("be.myip.io", "de.myip.io", "fi.myip.io") in myip_clusters
+
+    # (c) HideMyAss: ~148 series collapsing into few facilities.
+    assert len(series["HideMyAss"]) >= 140
+    hma_clustered = sum(len(c) for c in clusters["HideMyAss"])
+    assert hma_clustered >= 100  # the vast majority are co-located
+    assert len(clusters["HideMyAss"]) <= 10  # into a handful of sites

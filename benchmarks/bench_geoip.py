@@ -1,0 +1,71 @@
+"""Section 6.4.1 — geo-IP database agreement with claimed locations.
+
+Paper numbers: Google answered for 541/626 endpoints and agreed 70 % of
+the time; IP2Location 612/626 at 90 %; MaxMind 612/626 at 95 %.  About one
+third of each database's mismatches resolve to the US, and every provider
+shows at least one inconsistency.
+"""
+
+from repro.reporting.tables import render_table
+
+PAPER_AGREEMENT = {
+    "google-location": 0.70,
+    "ip2location-lite": 0.90,
+    "maxmind-geolite2": 0.95,
+}
+PAPER_COVERAGE = {
+    "google-location": 541 / 626,
+    "ip2location-lite": 612 / 626,
+    "maxmind-geolite2": 612 / 626,
+}
+
+
+def build_geoip(study):
+    return study.geoip.rows()
+
+
+def test_geoip_agreement(benchmark, full_study):
+    rows = benchmark(build_geoip, full_study)
+    print("\n" + render_table(
+        ["Database", "Compared", "Estimates", "Agree", "Rate", "US-mismatch"],
+        [
+            [r.database, r.compared, r.estimates, r.agreements,
+             f"{r.agreement_rate:.0%}", f"{r.us_mismatch_fraction:.0%}"]
+            for r in rows
+        ],
+        title="Section 6.4.1: geo-IP agreement",
+    ))
+    by_name = {r.database: r for r in rows}
+    for database, target in PAPER_AGREEMENT.items():
+        row = by_name[database]
+        assert abs(row.agreement_rate - target) < 0.05, database
+        coverage = row.estimates / row.compared
+        assert abs(coverage - PAPER_COVERAGE[database]) < 0.05, database
+        # "about one third of the inconsistencies were the database
+        # claiming a vantage point was hosted in the US".
+        assert 0.15 <= row.us_mismatch_fraction <= 0.50, database
+
+    # The ordering the paper emphasises: the highest-fidelity source
+    # disagrees the most with claimed locations.
+    assert (
+        by_name["google-location"].agreement_rate
+        < by_name["ip2location-lite"].agreement_rate
+        < by_name["maxmind-geolite2"].agreement_rate
+    )
+
+
+def test_all_providers_affected(benchmark, full_study):
+    """Paper: 'All VPNs were affected with some form of inconsistency.'
+
+    With independent per-address error draws, a 16-endpoint provider dodges
+    every mismatch with ~2 % probability, so across 62 providers one fully
+    clean provider is expected occasionally; we require near-universal
+    coverage (>= 60 of 62) and record the deviation in EXPERIMENTS.md.
+    """
+
+    def affected(study):
+        return study.geoip.providers_affected, set(study.providers)
+
+    affected_providers, all_providers = benchmark(affected, full_study)
+    assert len(affected_providers) >= len(all_providers) - 2
+    assert affected_providers <= all_providers

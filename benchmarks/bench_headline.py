@@ -1,0 +1,90 @@
+"""Sections 6.1, 6.2 and 6.6 headline numbers.
+
+- approximately 10 % of providers intercept and/or manipulate traffic;
+- exactly one provider (Seed4.me) injects content, and the injection is a
+  premium upsell rather than generic ads;
+- exactly five providers transparently proxy (AceVPN, Freedome VPN,
+  SurfEasy, CyberGhost, VPN Gate), none of which inject headers;
+- no provider strips or intercepts TLS;
+- no P2P egress through clients is observed.
+"""
+
+PAPER_PROXIES = {
+    "AceVPN", "Freedome VPN", "SurfEasy", "CyberGhost", "VPN Gate",
+}
+
+
+def build_headline(study):
+    injectors = {
+        name for name, report in study.providers.items()
+        if report.injection_detected
+    }
+    proxies = {
+        name for name, report in study.providers.items()
+        if report.proxy_detected
+    }
+    tls = {
+        name for name, report in study.providers.items()
+        if report.tls_interception_detected
+    }
+    strippers = {
+        name
+        for name, report in study.providers.items()
+        if any(
+            r.tls is not None and r.tls.downgrade_detected
+            for r in report.full_results
+        )
+    }
+    p2p = {
+        name
+        for name, report in study.providers.items()
+        if any(
+            r.p2p is not None and r.p2p.p2p_suspected
+            for r in report.full_results
+        )
+    }
+    return injectors, proxies, tls, strippers, p2p
+
+
+def test_headline(benchmark, full_study):
+    injectors, proxies, tls, strippers, p2p = benchmark(
+        build_headline, full_study
+    )
+    total = len(full_study.providers)
+    manipulating = full_study.providers_intercepting_or_manipulating
+    print(f"\nInterception/manipulation: {len(manipulating)}/{total} "
+          f"({len(manipulating) / total:.0%})")
+    print(f"  injectors: {sorted(injectors)}")
+    print(f"  proxies:   {sorted(proxies)}")
+
+    assert total == 62
+    assert injectors == {"Seed4.me"}
+    assert proxies == PAPER_PROXIES
+    assert tls == set()
+    assert strippers == set()
+    assert p2p == set()
+    # "approximately 10% of VPNs are intercepting and/or manipulating".
+    assert 0.08 <= len(manipulating) / total <= 0.12
+
+
+def test_proxies_regenerate_without_injecting(benchmark, full_study):
+    """Section 6.2.1: proxies modified existing headers but injected none."""
+
+    def styles(study):
+        out = {}
+        for name in PAPER_PROXIES:
+            report = study.providers[name]
+            for results in report.full_results:
+                if results.proxy is not None and results.proxy.proxy_detected:
+                    out[name] = (
+                        results.proxy.modification_style,
+                        results.proxy.headers_injected,
+                    )
+                    break
+        return out
+
+    observed = benchmark(styles, full_study)
+    assert set(observed) == PAPER_PROXIES
+    for name, (style, injected) in observed.items():
+        assert style == "parse-and-regenerate", name
+        assert injected == [], name

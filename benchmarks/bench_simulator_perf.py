@@ -1,0 +1,121 @@
+"""Performance microbenchmarks for the simulation substrate.
+
+Not a paper experiment — these measure the simulator itself, so regressions
+in the packet path, DNS resolution, page loading or tunnel encapsulation
+show up when the library is extended.  The full 62-provider study performs
+on the order of 10^5 deliveries; each primitive here must stay comfortably
+above 10^3 ops/s for the study to complete in minutes.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def perf_world():
+    from repro.world import World
+
+    return World.build(provider_names=["Mullvad"])
+
+
+def test_ping_direct(benchmark, perf_world):
+    anchor = perf_world.anchors[0]
+
+    def ping():
+        return perf_world.internet.ping(perf_world.client, anchor.address)
+
+    results = benchmark(ping)
+    assert results[0].reachable
+
+
+def test_ping_through_tunnel(benchmark, perf_world):
+    from repro.vpn.client import VpnClient
+
+    provider = perf_world.provider("Mullvad")
+    client = VpnClient(perf_world.client, provider)
+    client.connect(provider.vantage_points[0])
+    anchor = perf_world.anchors[0]
+    try:
+        def ping():
+            return perf_world.internet.ping(
+                perf_world.client, anchor.address
+            )
+
+        results = benchmark(ping)
+        assert results[0].reachable
+    finally:
+        client.disconnect()
+
+
+def test_dns_resolution(benchmark, perf_world):
+    from repro.dns.resolver import resolve_via_server
+    from repro.world import GOOGLE_DNS
+
+    domain = perf_world.sites.dom_test_sites()[0].domain
+
+    def resolve():
+        return resolve_via_server(perf_world.client, GOOGLE_DNS, domain)
+
+    response = benchmark(resolve)
+    assert response.ok
+
+
+def test_page_load(benchmark, perf_world):
+    from repro.web.browser import Browser
+
+    browser = Browser(
+        perf_world.client, perf_world.trust_store, perf_world.chain_registry
+    )
+    url = perf_world.sites.dom_test_sites()[0].http_url
+
+    def load():
+        return browser.load_page(url)
+
+    load_result = benchmark(load)
+    assert load_result.ok
+
+
+def test_packet_encode_decode(benchmark):
+    from repro.net.addresses import parse_address
+    from repro.net.packet import DnsPayload, Packet, TunnelPayload, UdpDatagram
+
+    inner = Packet(
+        src=parse_address("10.8.0.2"),
+        dst=parse_address("8.8.8.8"),
+        payload=UdpDatagram(40000, 53, DnsPayload(qname="www.example.com")),
+    )
+    packet = Packet(
+        src=parse_address("192.168.1.2"),
+        dst=parse_address("104.131.7.9"),
+        payload=TunnelPayload(protocol="OpenVPN", inner=inner),
+    )
+
+    def round_trip():
+        return Packet.decode(packet.encode())
+
+    decoded = benchmark(round_trip)
+    assert decoded == packet
+
+
+def test_routing_lookup(benchmark):
+    from repro.net.routing import RoutingTable
+
+    table = RoutingTable()
+    table.add_prefix("0.0.0.0/0", "en0", metric=10)
+    for i in range(64):
+        table.add_prefix(f"10.{i}.0.0/16", f"if{i % 4}")
+
+    def lookup():
+        return table.lookup("10.42.7.9")
+
+    route = benchmark(lookup)
+    assert route.prefix.prefix_len == 16
+
+
+def test_world_build_single_provider(benchmark):
+    from repro.world import World
+
+    world = benchmark.pedantic(
+        World.build, kwargs={"provider_names": ["Mullvad"]},
+        rounds=3, iterations=1,
+    )
+    assert "Mullvad" in world.providers

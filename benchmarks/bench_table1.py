@@ -1,0 +1,30 @@
+"""Table 1 — review websites used for provider collection.
+
+Regenerates the 20-row table of review sites with their affiliate status
+and checks the paper's headline: all but two (reddit.com and
+thatoneprivacysite.net) are affiliate-based.
+"""
+
+from repro.ecosystem.sources import REVIEW_WEBSITES
+from repro.reporting.tables import render_table
+
+
+def build_table1() -> str:
+    rows = [
+        [site.domain, "yes" if site.affiliate_based else "no"]
+        for site in REVIEW_WEBSITES
+    ]
+    return render_table(
+        ["Website", "Affiliate Based Link"], rows,
+        title="Table 1: review websites",
+    )
+
+
+def test_table1(benchmark):
+    table = benchmark(build_table1)
+    print("\n" + table)
+    assert len(REVIEW_WEBSITES) == 20
+    affiliate = [w for w in REVIEW_WEBSITES if w.affiliate_based]
+    assert len(affiliate) == 18
+    non_affiliate = {w.domain for w in REVIEW_WEBSITES if not w.affiliate_based}
+    assert non_affiliate == {"reddit.com", "thatoneprivacysite.net"}

@@ -1,0 +1,33 @@
+"""Table 2 — VPNs extracted from each selection source.
+
+The sources overlap substantially; their union is the 200-provider list
+the ecosystem synthesiser realises.
+"""
+
+from repro.ecosystem.sources import SELECTION_SOURCES, TOTAL_UNIQUE_PROVIDERS
+from repro.reporting.tables import render_table
+
+
+def build_table2(ecosystem) -> str:
+    rows = [[s.name, s.count] for s in SELECTION_SOURCES]
+    rows.append(["Total Selected (union)", len(ecosystem)])
+    return render_table(
+        ["VPN Selection Category", "# of VPNs"], rows,
+        title="Table 2: selection sources",
+    )
+
+
+def test_table2(benchmark, ecosystem):
+    table = benchmark(build_table2, ecosystem)
+    print("\n" + table)
+    counts = {s.name: s.count for s in SELECTION_SOURCES}
+    assert counts["Popular Services (from review websites)"] == 74
+    assert counts["Reddit Crawl"] == 31
+    assert counts["Personal Recommendations"] == 13
+    assert counts["Cheap & Free VPNs (The One Privacy Site)"] == 78
+    assert counts["Multiple Language Reviews (VPN Mentor)"] == 53
+    assert counts["Large Number of Vantage Points (VPN Mentor)"] == 58
+    assert counts["Others (VPN Mentor)"] == 45
+    # Overlapping sources, union of 200.
+    assert sum(counts.values()) > TOTAL_UNIQUE_PROVIDERS
+    assert len(ecosystem) == TOTAL_UNIQUE_PROVIDERS

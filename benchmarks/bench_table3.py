@@ -1,0 +1,41 @@
+"""Table 3 — monthly subscription costs across subscription models.
+
+Paper values: Monthly 161 services ($0.99/$10.10/$29.95 min/avg/max),
+Quarterly 55 ($2.20/$6.71/$18.33), 6 Months 57 ($2.00/$6.81/$16.33),
+Annual 134 ($0.38/$4.80/$12.83).
+"""
+
+import pytest
+
+from repro.reporting.tables import render_table
+
+PAPER_ROWS = {
+    "Monthly": (161, 0.99, 10.10, 29.95),
+    "Quarterly": (55, 2.20, 6.71, 18.33),
+    "6 Months": (57, 2.00, 6.81, 16.33),
+    "Annual": (134, 0.38, 4.80, 12.83),
+}
+
+
+def build_table3(analysis):
+    return analysis.subscription_table()
+
+
+def test_table3(benchmark, eco_analysis):
+    rows = benchmark(build_table3, eco_analysis)
+    print("\n" + render_table(
+        ["Subscription", "# of VPNs", "Min", "Avg", "Max"],
+        [
+            [r.period, r.provider_count, f"{r.min_monthly:.2f}",
+             f"{r.avg_monthly:.2f}", f"{r.max_monthly:.2f}"]
+            for r in rows
+        ],
+        title="Table 3: monthly subscription costs ($)",
+    ))
+    by_period = {r.period: r for r in rows}
+    for period, (count, lo, avg, hi) in PAPER_ROWS.items():
+        row = by_period[period]
+        assert row.provider_count == count
+        assert row.min_monthly == pytest.approx(lo, abs=0.01)
+        assert row.avg_monthly == pytest.approx(avg, abs=0.15)
+        assert row.max_monthly == pytest.approx(hi, abs=0.01)

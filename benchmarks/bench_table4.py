@@ -1,0 +1,46 @@
+"""Table 4 — destination domains of URL redirections.
+
+Every suspicious redirect the study detects is country-level censorship:
+Turkish endpoints (8 VPNs) land on the Turk Telekom block IP, Korean ones
+(5) on warning.or.kr, Russian ones on the per-ISP block pages (ttk 4,
+zapret 2, rt/mts/dtln/beeline 1 each), Dutch (ziggo + IP literal) and Thai
+endpoints on theirs.
+"""
+
+from repro.reporting.tables import render_table
+
+PAPER_TABLE4 = {
+    "http://195.175.254.2": (8, "TR"),
+    "http://www.warning.or.kr": (5, "KR"),
+    "http://fz139.ttk.ru": (4, "RU"),
+    "http://zapret.hoztnode.net": (2, "RU"),
+    "http://warning.rt.ru": (1, "RU"),
+    "http://blocked.mts.ru": (1, "RU"),
+    "http://block.dtln.ru": (1, "RU"),
+    "http://blackhole.beeline.ru": (1, "RU"),
+    "https://www.ziggo.nl": (1, "NL"),
+    "http://213.46.185.10": (1, "NL"),
+    "http://103.77.116.101": (1, "TH"),
+}
+
+
+def build_table4(study):
+    return study.redirects.table()
+
+
+def test_table4(benchmark, full_study):
+    rows = benchmark(build_table4, full_study)
+    print("\n" + render_table(
+        ["Destination", "VPNs", "Country"],
+        [
+            [r.destination, r.vpn_count, ",".join(sorted(r.countries))]
+            for r in rows
+        ],
+        title="Table 4: URL redirection destinations",
+    ))
+    observed = {r.destination: (r.vpn_count, r.countries) for r in rows}
+    assert set(observed) == set(PAPER_TABLE4)
+    for destination, (count, country) in PAPER_TABLE4.items():
+        got_count, got_countries = observed[destination]
+        assert got_count == count, destination
+        assert got_countries == {country}, destination

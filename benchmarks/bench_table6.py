@@ -1,0 +1,42 @@
+"""Table 6 — services leaking DNS and IPv6 traffic from their clients.
+
+Paper ground truth: DNS — Freedome VPN and WorldVPN; IPv6 — twelve
+services. The benchmark re-derives both lists purely from the study's
+measurements (not from catalogue flags).
+"""
+
+from repro.reporting.tables import render_table
+
+PAPER_DNS_LEAKERS = {"Freedome VPN", "WorldVPN"}
+PAPER_IPV6_LEAKERS = {
+    "Buffered VPN", "BulletVPN", "FlyVPN", "HideIPVPN", "Le VPN",
+    "LiquidVPN", "PrivateVPN", "Zoog VPN", "Private Tunnel", "Seed4.me",
+    "VPN.ht", "WorldVPN",
+}
+
+
+def build_table6(study):
+    dns = {
+        name for name, report in study.providers.items()
+        if report.dns_leak_detected
+    }
+    ipv6 = {
+        name for name, report in study.providers.items()
+        if report.ipv6_leak_detected
+    }
+    return dns, ipv6
+
+
+def test_table6(benchmark, full_study):
+    dns, ipv6 = benchmark(build_table6, full_study)
+    print("\n" + render_table(
+        ["Leakage", "VPN Providers"],
+        [
+            ["DNS", ", ".join(sorted(dns))],
+            ["IPv6", ", ".join(sorted(ipv6))],
+        ],
+        title="Table 6: client leakage",
+    ))
+    assert dns == PAPER_DNS_LEAKERS
+    assert ipv6 == PAPER_IPV6_LEAKERS
+    assert len(ipv6) == 12

@@ -1,0 +1,37 @@
+"""Table 7 (Appendix A) — the complete list of evaluated services.
+
+62 services with their subscription types (paid / trial / free).
+"""
+
+from collections import Counter
+
+from repro.reporting.tables import render_table
+from repro.vpn.provider import SubscriptionType
+
+
+def build_table7(catalog):
+    return [
+        [name, profile.subscription.value]
+        for name, profile in sorted(catalog.items())
+    ]
+
+
+def test_table7(benchmark, catalog):
+    rows = benchmark(build_table7, catalog)
+    print("\n" + render_table(
+        ["VPN Name", "Subscription"], rows,
+        title="Table 7: evaluated services",
+    ))
+    assert len(rows) == 62
+    counts = Counter(subscription for _name, subscription in rows)
+    # Paid services dominate; trials next; a free tail — Table 7's shape.
+    assert counts["Paid"] > counts["Trial"] > counts["Free"]
+    assert counts["Free"] >= 8
+    # Spot-checks against the printed appendix.
+    table = dict(rows)
+    assert table["AceVPN"] == "Paid"
+    assert table["Avast"] == "Trial"
+    assert table["Betternet"] == "Free"
+    assert table["NordVPN"] == "Paid"
+    assert table["VPN Gate"] == "Free"
+    assert table["Windscribe"] == "Trial"

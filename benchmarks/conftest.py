@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefacts — the full 62-provider study and the calibrated
+ecosystem — are built once per session; individual benchmarks time the
+analysis/regeneration step for their table or figure and assert shape
+agreement with the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def ecosystem():
+    from repro.ecosystem.generate import generate_ecosystem
+
+    return generate_ecosystem()
+
+
+@pytest.fixture(scope="session")
+def eco_analysis(ecosystem):
+    from repro.ecosystem.analysis import EcosystemAnalysis
+
+    return EcosystemAnalysis(ecosystem)
+
+
+@pytest.fixture(scope="session")
+def full_study():
+    """The paper's full study: all 62 providers, ~5 full VPs each plus the
+    lightweight sweep over all 1,046 vantage points."""
+    from repro.api import run_full_study
+
+    return run_full_study()
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    from repro.vpn.catalog import build_catalog
+
+    return build_catalog()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Ecosystem survey: regenerate the Section 4 analysis end to end.
+
+Synthesises the calibrated 200-provider ecosystem, prints the Section 4
+aggregate statistics (Tables 1-3 and the data behind Figures 1-5), and
+then performs the Section 5.1 stratified selection down to the 62 services
+the active study evaluates.
+
+Run:
+    python examples/ecosystem_survey.py
+"""
+
+from repro.ecosystem import (
+    EcosystemAnalysis,
+    REVIEW_WEBSITES,
+    generate_ecosystem,
+    select_test_subset,
+)
+from repro.reporting.figures import ascii_bar_chart
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    ecosystem = generate_ecosystem()
+    analysis = EcosystemAnalysis(ecosystem)
+
+    affiliate = sum(1 for w in REVIEW_WEBSITES if w.affiliate_based)
+    print(f"Review websites: {len(REVIEW_WEBSITES)} "
+          f"({affiliate} affiliate-based)")
+
+    print(f"\nEcosystem: {len(ecosystem)} providers")
+    print(f"  founded after 2005 (top 50): "
+          f"{analysis.founded_after_2005_fraction():.0%}")
+    print(f"  claim <= 750 servers: "
+          f"{analysis.fraction_with_servers_at_most(750):.0%}")
+
+    print("\n" + render_table(
+        ["Subscription", "# of VPNs", "Min $", "Avg $", "Max $"],
+        [
+            [r.period, r.provider_count, f"{r.min_monthly:.2f}",
+             f"{r.avg_monthly:.2f}", f"{r.max_monthly:.2f}"]
+            for r in analysis.subscription_table()
+        ],
+        title="Monthly subscription costs",
+    ))
+
+    print("\n" + ascii_bar_chart(
+        analysis.business_location_distribution().most_common(10),
+        title="Business locations (top 10 countries)",
+    ))
+
+    print("\n" + ascii_bar_chart(
+        [
+            (protocol, analysis.protocol_counts().get(protocol, 0))
+            for protocol in ("OpenVPN", "PPTP", "IPsec", "SSTP", "SSL", "SSH")
+        ],
+        title="Tunneling technologies",
+    ))
+
+    acceptance = analysis.payment_acceptance()
+    print("\nPayment acceptance:")
+    for category, fraction in acceptance.items():
+        print(f"  {category:24s} {fraction:.0%}")
+
+    transparency = analysis.transparency_stats()
+    print("\nTransparency:")
+    print(f"  no privacy policy : {transparency['without_privacy_policy']}")
+    print(f"  no terms of service: "
+          f"{transparency['without_terms_of_service']}")
+    print(f"  'no logs' claims  : {transparency['no_logs_claims']}")
+    print(f"  policy length     : {transparency['policy_words_min']}–"
+          f"{transparency['policy_words_max']} words "
+          f"(avg {transparency['policy_words_avg']:.0f})")
+
+    subset = select_test_subset(ecosystem)
+    print(f"\nStratified selection (Section 5.1): {len(subset)} services")
+    print("  " + ", ".join(p.name for p in subset[:15]) + ", ...")
+
+
+if __name__ == "__main__":
+    main()

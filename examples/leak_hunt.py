@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Leak hunt: reproduce Table 6 and the tunnel-failure result (§6.5).
+
+Runs only the leakage battery (DNS, IPv6, tunnel failure) against every
+provider that ships its own client, then prints the leak tables the paper
+reports. This demonstrates driving individual tests through the public
+API rather than the full suite.
+
+Run:
+    python examples/leak_hunt.py [--quick]
+
+``--quick`` limits the run to a representative subset of providers.
+"""
+
+import sys
+
+from repro.api import build_study
+from repro.core.harness import TestContext, TestSuite
+from repro.core.leakage.dns_leakage import DnsLeakageTest
+from repro.core.leakage.ipv6_leakage import Ipv6LeakageTest
+from repro.core.leakage.tunnel_failure import TunnelFailureTest
+from repro.reporting.tables import render_table
+from repro.vpn.client import VpnClient
+from repro.vpn.provider import ClientType
+
+QUICK_SUBSET = [
+    "Seed4.me", "WorldVPN", "Freedome VPN", "Mullvad", "NordVPN",
+    "ExpressVPN", "TunnelBear", "Le VPN", "VPN.ht", "Windscribe",
+]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    world = build_study(providers=QUICK_SUBSET if quick else None)
+    suite = TestSuite(world)
+
+    dns_leakers: list[str] = []
+    ipv6_leakers: list[str] = []
+    fail_open: list[str] = []
+    applicable = 0
+
+    for name, provider in sorted(world.providers.items()):
+        if provider.profile.client_type is not ClientType.CUSTOM:
+            continue  # leakage tests need the provider's own client (§6.5)
+        applicable += 1
+        vantage_point = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vantage_point)
+        context = TestContext(
+            world=world, provider=provider, vantage_point=vantage_point,
+            vpn_client=client, suite=suite,
+        )
+        try:
+            if DnsLeakageTest().run(context).leaked:
+                dns_leakers.append(name)
+            if Ipv6LeakageTest().run(context).leaked:
+                ipv6_leakers.append(name)
+            if TunnelFailureTest().run(context).fails_open:
+                fail_open.append(name)
+        finally:
+            client.disconnect()
+        print(f"  tested {name}")
+
+    print("\n" + render_table(
+        ["Leakage", "VPN Providers"],
+        [
+            ["DNS", ", ".join(dns_leakers) or "(none)"],
+            ["IPv6", ", ".join(ipv6_leakers) or "(none)"],
+        ],
+        title="Table 6 equivalent: client leakage",
+    ))
+    print(f"\nTunnel failure: {len(fail_open)}/{applicable} providers "
+          f"fail open ({len(fail_open) / max(1, applicable):.0%})")
+    for name in fail_open:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

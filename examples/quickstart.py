@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: audit one VPN provider.
+
+Builds the simulated world with a single provider, runs the full
+measurement suite against ~5 of its vantage points (plus the lightweight
+sweep over the rest), and prints the audit report — the same flow the
+paper applies per service (Section 5.2).
+
+Run:
+    python examples/quickstart.py [provider-name]
+"""
+
+import sys
+
+from repro import audit_provider
+
+
+def main() -> None:
+    provider = sys.argv[1] if len(sys.argv) > 1 else "Seed4.me"
+    print(f"Auditing {provider!r} (this builds a simulated internet, "
+          f"connects to its vantage points, and runs every test)...\n")
+    report = audit_provider(provider)
+    print(report.summary())
+
+    print("\nPer-vantage-point detail:")
+    for results in report.full_results:
+        flags = []
+        if results.dom_collection and results.dom_collection.injection_detected:
+            flags.append("INJECTION")
+        if results.proxy and results.proxy.proxy_detected:
+            flags.append("PROXY")
+        if results.dns_leakage and results.dns_leakage.leaked:
+            flags.append("DNS-LEAK")
+        if results.ipv6_leakage and results.ipv6_leakage.leaked:
+            flags.append("IPV6-LEAK")
+        if results.tunnel_failure and results.tunnel_failure.fails_open:
+            flags.append("FAILS-OPEN")
+        marker = ", ".join(flags) if flags else "clean"
+        print(f"  {results.hostname:32s} "
+              f"[{results.claimed_country}]  {marker}")
+
+    if report.colocation and report.colocation.misrepresents_locations:
+        print("\nLocation findings:")
+        for cluster in report.colocation.cross_country_clusters:
+            print(f"  co-located despite different claims: {cluster}")
+        suspects = sorted(report.colocation.suspect_hostnames)
+        if suspects:
+            print(f"  light-speed violations: {suspects[:8]}"
+                  f"{' ...' if len(suspects) > 8 else ''}")
+
+
+if __name__ == "__main__":
+    main()

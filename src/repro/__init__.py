@@ -1,0 +1,33 @@
+"""repro — reproduction of *An Empirical Analysis of the Commercial VPN
+Ecosystem* (IMC 2018).
+
+The package implements, in pure Python:
+
+- ``repro.net`` — a deterministic simulated internet (hosts, routing, latency,
+  packet captures, traceroute semantics);
+- ``repro.dns`` / ``repro.web`` — DNS, HTTP and TLS substrates;
+- ``repro.vpn`` — tunnel protocols, VPN clients/servers and a catalogue of the
+  62 providers evaluated in the paper, with ground-truth behaviours;
+- ``repro.geoip`` — models of the three geo-IP databases the paper compares;
+- ``repro.ecosystem`` — the 200-provider ecosystem metadata study (Section 4);
+- ``repro.core`` — the paper's contribution: the active-measurement test suite
+  (Section 5) and its analyses (Section 6);
+- ``repro.reporting`` — table and figure regeneration for every experiment.
+
+Quickstart::
+
+    from repro import audit_provider
+    report = audit_provider("Seed4.me")
+    print(report.summary())
+"""
+
+from repro.api import audit_provider, build_study, run_full_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "audit_provider",
+    "build_study",
+    "run_full_study",
+    "__version__",
+]

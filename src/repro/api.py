@@ -1,0 +1,55 @@
+"""Top-level convenience API.
+
+These helpers wire the full stack together: build the simulated internet with
+the site catalogue and public resolvers, instantiate a provider from the
+catalogue, run the measurement suite against its vantage points, and return
+an analysis report.  They are what the examples and the quickstart use;
+everything they do can also be done piecemeal through the subpackages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.core.harness import StudyReport, TestSuite
+    from repro.world import World
+
+
+def build_study(
+    seed: int = 2018, providers: Optional[list[str]] = None
+) -> "World":
+    """Build the simulated world: internet, sites, resolvers, providers.
+
+    ``providers`` selects a subset of the 62-provider catalogue by name;
+    ``None`` builds all of them.
+    """
+    from repro.world import World
+
+    return World.build(seed=seed, provider_names=providers)
+
+
+def audit_provider(name: str, seed: int = 2018):
+    """Run the full measurement suite against a single provider.
+
+    Returns a :class:`repro.core.harness.ProviderReport`.
+    """
+    world = build_study(seed=seed, providers=[name])
+    from repro.core.harness import TestSuite
+
+    suite = TestSuite(world)
+    return suite.audit_provider(name)
+
+
+def run_full_study(seed: int = 2018, max_vantage_points: int | None = 5):
+    """Run the paper's full study: all 62 providers.
+
+    ``max_vantage_points`` caps vantage points per manually-evaluated
+    provider (the paper used ~5); ``None`` tests every vantage point.
+    Returns a :class:`repro.core.harness.StudyReport`.
+    """
+    world = build_study(seed=seed)
+    from repro.core.harness import TestSuite
+
+    suite = TestSuite(world, max_vantage_points=max_vantage_points)
+    return suite.run_study()

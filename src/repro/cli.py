@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+The paper ships its test suite as a tool others can run against arbitrary
+VPN services; this CLI is the reproduction's equivalent front door:
+
+    python -m repro list                       # the 62-provider catalogue
+    python -m repro audit Seed4.me             # full audit of one provider
+    python -m repro study [--max-vps N] [--archive DIR]
+    python -m repro ecosystem                  # Section 4 statistics
+    python -m repro experiments                # table/figure registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Active-measurement audit of (simulated) commercial VPN "
+            "services — reproduction of the IMC 2018 VPN ecosystem study."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 62 catalogued providers")
+
+    audit = sub.add_parser("audit", help="audit one provider")
+    audit.add_argument("provider", help="provider name (see 'list')")
+    audit.add_argument(
+        "--max-vps", type=int, default=5,
+        help="vantage points to test fully (default 5)",
+    )
+    audit.add_argument("--seed", type=int, default=2018)
+
+    study = sub.add_parser("study", help="run the full 62-provider study")
+    study.add_argument("--max-vps", type=int, default=5)
+    study.add_argument("--seed", type=int, default=2018)
+    study.add_argument(
+        "--archive", metavar="DIR",
+        help="write per-provider JSON results to this directory",
+    )
+
+    sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
+    sub.add_parser("experiments", help="list the table/figure registry")
+
+    guide = sub.add_parser(
+        "guide",
+        help="run audits and print the measured vpnselection.guide ranking",
+    )
+    guide.add_argument(
+        "providers", nargs="*",
+        help="providers to rank (default: a representative subset)",
+    )
+    guide.add_argument("--seed", type=int, default=2018)
+    return parser
+
+
+def cmd_list() -> int:
+    from repro.reporting.tables import render_table
+    from repro.vpn.catalog import build_catalog
+
+    catalog = build_catalog()
+    rows = [
+        [
+            name,
+            profile.subscription.value,
+            profile.client_type.value,
+            len(profile.vantage_points),
+            len(profile.virtual_vantage_points()),
+        ]
+        for name, profile in sorted(catalog.items())
+    ]
+    print(render_table(
+        ["Provider", "Subscription", "Client", "VPs", "Virtual"],
+        rows,
+        title="Catalogued providers",
+    ))
+    return 0
+
+
+def cmd_audit(provider: str, max_vps: int, seed: int) -> int:
+    from repro.api import build_study
+    from repro.core.harness import TestSuite
+
+    try:
+        world = build_study(seed=seed, providers=[provider])
+    except KeyError:
+        print(f"unknown provider {provider!r}; see 'repro list'",
+              file=sys.stderr)
+        return 2
+    suite = TestSuite(world, max_vantage_points=max_vps)
+    report = suite.audit_provider(provider)
+    print(report.summary())
+    return 0
+
+
+def cmd_study(max_vps: int, seed: int, archive: Optional[str]) -> int:
+    from repro.api import build_study
+    from repro.core.harness import TestSuite
+
+    started = time.time()
+    world = build_study(seed=seed)
+    suite = TestSuite(world, max_vantage_points=max_vps)
+    study = suite.run_study()
+    print(study.summary())
+    print(f"\ncompleted in {time.time() - started:.0f}s")
+    if archive:
+        from repro.core.archive import write_study_archive
+
+        path = write_study_archive(study, archive)
+        print(f"archived to {path}")
+    return 0
+
+
+def cmd_ecosystem() -> int:
+    from repro.ecosystem import EcosystemAnalysis, generate_ecosystem
+    from repro.reporting.tables import render_table
+
+    analysis = EcosystemAnalysis(generate_ecosystem())
+    print(render_table(
+        ["Subscription", "# of VPNs", "Min $", "Avg $", "Max $"],
+        [
+            [r.period, r.provider_count, f"{r.min_monthly:.2f}",
+             f"{r.avg_monthly:.2f}", f"{r.max_monthly:.2f}"]
+            for r in analysis.subscription_table()
+        ],
+        title="Subscription costs (Table 3)",
+    ))
+    marketing = analysis.marketing_stats()
+    transparency = analysis.transparency_stats()
+    print(f"\naffiliate programmes : {marketing['affiliate_programs']}")
+    print(f"no privacy policy    : {transparency['without_privacy_policy']}")
+    print(f"no terms of service  : "
+          f"{transparency['without_terms_of_service']}")
+    print(f"'no logs' claims     : {transparency['no_logs_claims']}")
+    return 0
+
+
+def cmd_experiments() -> int:
+    from repro.reporting.experiments import EXPERIMENTS
+    from repro.reporting.tables import render_table
+
+    print(render_table(
+        ["Id", "Paper", "Bench", "Description"],
+        [
+            [e.exp_id, e.paper_ref, e.bench, e.description[:60]]
+            for e in EXPERIMENTS
+        ],
+        title="Experiment registry",
+    ))
+    return 0
+
+
+_GUIDE_DEFAULTS = [
+    "Mullvad", "ProtonVPN", "Windscribe", "NordVPN", "ExpressVPN",
+    "CyberGhost", "Freedome VPN", "HideMyAss", "Seed4.me",
+]
+
+
+def cmd_guide(providers: list[str], seed: int) -> int:
+    from repro.api import build_study
+    from repro.core.harness import StudyReport, TestSuite
+    from repro.core.scoring import build_selection_guide
+
+    names = providers or _GUIDE_DEFAULTS
+    try:
+        world = build_study(seed=seed, providers=names)
+    except KeyError as exc:
+        print(f"unknown provider(s): {exc}", file=sys.stderr)
+        return 2
+    suite = TestSuite(world)
+    study = StudyReport()
+    for name in names:
+        study.providers[name] = suite.audit_provider(name)
+    guide = build_selection_guide(study)
+    print(guide.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "audit":
+        return cmd_audit(args.provider, args.max_vps, args.seed)
+    if args.command == "study":
+        return cmd_study(args.max_vps, args.seed, args.archive)
+    if args.command == "ecosystem":
+        return cmd_ecosystem()
+    if args.command == "experiments":
+        return cmd_experiments()
+    if args.command == "guide":
+        return cmd_guide(args.providers, args.seed)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

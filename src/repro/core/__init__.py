@@ -1,0 +1,22 @@
+"""The measurement suite — the paper's primary contribution.
+
+``repro.core`` implements every test of Section 5.3 and every analysis of
+Section 6:
+
+- manipulation tests: DNS manipulation, DOM & request collection (with the
+  honeysites), TLS interception & downgrade detection, header-based
+  transparent-proxy detection;
+- infrastructure tests: recursive-DNS origin, ping/traceroute sweeps,
+  geolocation via the location API;
+- leakage tests: DNS leakage, IPv6 leakage, tunnel-failure recovery;
+- metadata & capture collection, P2P egress detection;
+- analyses: redirect classification, co-location from RTT vectors, geo-IP
+  comparison, shared-infrastructure detection.
+
+The :class:`~repro.core.harness.TestSuite` orchestrates everything per
+vantage point, exactly as the paper's suite did from inside a macOS VM.
+"""
+
+from repro.core.harness import ProviderReport, StudyReport, TestContext, TestSuite
+
+__all__ = ["ProviderReport", "StudyReport", "TestContext", "TestSuite"]

@@ -1,0 +1,22 @@
+"""Study-level analyses (paper Section 6)."""
+
+from repro.core.analysis.colocation import (
+    ColocationAnalysis,
+    ColocationReport,
+    VantagePointEvidence,
+)
+from repro.core.analysis.geoip_compare import GeoIpComparison, GeoIpComparisonRow
+from repro.core.analysis.redirects import RedirectAnalysis, RedirectRow
+from repro.core.analysis.shared_infra import SharedInfraAnalysis, SharedBlockRow
+
+__all__ = [
+    "ColocationAnalysis",
+    "ColocationReport",
+    "VantagePointEvidence",
+    "GeoIpComparison",
+    "GeoIpComparisonRow",
+    "RedirectAnalysis",
+    "RedirectRow",
+    "SharedInfraAnalysis",
+    "SharedBlockRow",
+]

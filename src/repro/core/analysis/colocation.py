@@ -1,0 +1,204 @@
+"""Virtual-location and co-location inference (Section 6.4.2, Figure 9).
+
+Two complementary detectors operate on the per-vantage-point RTT vectors
+collected by the ping/traceroute test:
+
+1. **Light-speed violation** — every probe traverses client→VP→anchor, so
+   the observed RTT can never be below the pure propagation time from the
+   VP's *claimed* location to the anchor.  An endpoint whose observed RTT to
+   some well-located anchor undercuts that physical bound cannot be where it
+   claims (this is how the paper outs Avira's 'US' endpoint answering
+   German anchors in under 9 ms).
+
+2. **RTT-vector correlation** — two endpoints of the same provider whose
+   per-anchor RTTs differ by a near-constant offset (tiny spread) sit in the
+   same facility regardless of what they claim; clustering by this
+   similarity reproduces Figure 9's overlapping series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.geo import GeoPoint
+from repro.net.latency import LatencyModel
+
+# Conservative physical floor: straight-line great-circle at full fibre
+# speed, no stretch, no processing — anything faster is impossible.
+_FIBRE_KM_PER_MS = 299.79 * 0.66
+
+
+@dataclass
+class VantagePointEvidence:
+    """The analysis inputs for one vantage point."""
+
+    provider: str
+    hostname: str
+    claimed_country: str
+    claimed_location: GeoPoint
+    rtt_vector: dict[str, float]  # anchor address -> RTT ms (through tunnel)
+    anchor_locations: dict[str, GeoPoint]
+    # The client->VP leg over the physical path; subtracting it from the
+    # through-tunnel RTTs isolates the VP->anchor leg.
+    tunnel_base_rtt_ms: Optional[float] = None
+
+    def adjusted_rtt(self, anchor: str) -> Optional[float]:
+        rtt = self.rtt_vector.get(anchor)
+        if rtt is None:
+            return None
+        if self.tunnel_base_rtt_ms is None:
+            return rtt
+        return max(0.0, rtt - self.tunnel_base_rtt_ms)
+
+
+@dataclass
+class LightSpeedViolation:
+    hostname: str
+    anchor: str
+    observed_rtt_ms: float
+    physical_floor_ms: float
+
+
+@dataclass
+class ColocationReport:
+    """Per-provider verdicts."""
+
+    provider: str
+    violations: list[LightSpeedViolation] = field(default_factory=list)
+    clusters: list[list[str]] = field(default_factory=list)  # hostnames
+    claimed_country_of: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def suspect_hostnames(self) -> set[str]:
+        """Vantage points with direct light-speed evidence."""
+        return {v.hostname for v in self.violations}
+
+    @property
+    def cross_country_clusters(self) -> list[list[str]]:
+        """Clusters that merge endpoints claiming different countries."""
+        suspicious = []
+        for cluster in self.clusters:
+            countries = {
+                self.claimed_country_of.get(hostname, "?")
+                for hostname in cluster
+            }
+            if len(cluster) >= 2 and len(countries) >= 2:
+                suspicious.append(cluster)
+        return suspicious
+
+    @property
+    def misrepresents_locations(self) -> bool:
+        return bool(self.violations) or bool(self.cross_country_clusters)
+
+
+class ColocationAnalysis:
+    """Run both detectors over a provider's vantage points."""
+
+    def __init__(
+        self,
+        violation_margin_ms: float = 0.5,
+        cluster_spread_ms: float = 1.5,
+        min_violation_anchors: int = 1,
+    ) -> None:
+        self.violation_margin_ms = violation_margin_ms
+        self.cluster_spread_ms = cluster_spread_ms
+        self.min_violation_anchors = min_violation_anchors
+
+    # ------------------------------------------------------------------
+    def analyse_provider(
+        self, evidence: list[VantagePointEvidence]
+    ) -> ColocationReport:
+        if not evidence:
+            return ColocationReport(provider="")
+        report = ColocationReport(
+            provider=evidence[0].provider,
+            claimed_country_of={
+                vp.hostname: vp.claimed_country for vp in evidence
+            },
+        )
+        for vp in evidence:
+            report.violations.extend(self._light_speed_check(vp))
+        report.clusters = self._cluster(evidence)
+        return report
+
+    # ------------------------------------------------------------------
+    def _light_speed_check(
+        self, vp: VantagePointEvidence
+    ) -> list[LightSpeedViolation]:
+        """Flag endpoints whose VP->anchor RTTs undercut the physical bound.
+
+        The raw through-tunnel RTT includes the client->VP leg, which can
+        mask a virtual endpoint (a 'US' machine in Frankfurt still takes
+        ~100 ms from a Chicago client). Subtracting the measured tunnel
+        base RTT isolates the VP->anchor leg, which a machine at the
+        *claimed* location could never produce below the great-circle
+        propagation floor.
+        """
+        violations = []
+        for anchor in vp.rtt_vector:
+            location = vp.anchor_locations.get(anchor)
+            if location is None:
+                continue
+            adjusted = vp.adjusted_rtt(anchor)
+            if adjusted is None:
+                continue
+            distance = vp.claimed_location.distance_km(location)
+            floor = 2.0 * distance / _FIBRE_KM_PER_MS
+            if adjusted + self.violation_margin_ms < floor:
+                violations.append(
+                    LightSpeedViolation(
+                        hostname=vp.hostname,
+                        anchor=anchor,
+                        observed_rtt_ms=adjusted,
+                        physical_floor_ms=floor,
+                    )
+                )
+        if len(violations) < self.min_violation_anchors:
+            return []
+        return violations
+
+    # ------------------------------------------------------------------
+    def _cluster(self, evidence: list[VantagePointEvidence]) -> list[list[str]]:
+        """Single-linkage clustering on RTT-vector spread."""
+        clusters: list[list[VantagePointEvidence]] = []
+        for vp in evidence:
+            placed = False
+            for cluster in clusters:
+                if any(self._co_located(vp, member) for member in cluster):
+                    cluster.append(vp)
+                    placed = True
+                    break
+            if not placed:
+                clusters.append([vp])
+        return [
+            sorted(member.hostname for member in cluster)
+            for cluster in clusters
+            if len(cluster) >= 2
+        ]
+
+    def _co_located(
+        self, a: VantagePointEvidence, b: VantagePointEvidence
+    ) -> bool:
+        common = sorted(set(a.rtt_vector) & set(b.rtt_vector))
+        if len(common) < 5:
+            return False
+        deltas = [a.rtt_vector[t] - b.rtt_vector[t] for t in common]
+        spread = max(deltas) - min(deltas)
+        return spread <= self.cluster_spread_ms
+
+
+def expected_rtt_profile(
+    location: GeoPoint,
+    anchors: dict[str, GeoPoint],
+    model: Optional[LatencyModel] = None,
+) -> dict[str, float]:
+    """The RTT vector a host at *location* would plausibly produce.
+
+    Used by tests and ablation benches as a reference series.
+    """
+    model = model or LatencyModel()
+    return {
+        address: model.rtt_ms(location, anchor_location)
+        for address, anchor_location in anchors.items()
+    }

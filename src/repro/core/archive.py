@@ -1,0 +1,134 @@
+"""Study archival.
+
+The paper's suite "logs results for each experiment as well as traffic
+traces for passive analysis"; this module persists a study the same way:
+one JSON file per vantage point under ``<root>/<provider>/``, a per-provider
+verdict summary, and a study-level manifest.  Archives round-trip enough
+structure to re-derive every aggregate table without re-running tests.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.core.harness import ProviderReport, StudyReport
+
+_MANIFEST = "manifest.json"
+_VERDICTS = "verdicts.json"
+
+
+def _slug(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in name.lower()
+    )
+
+
+def write_study_archive(
+    study: "StudyReport", root: str | pathlib.Path
+) -> pathlib.Path:
+    """Persist a study to *root*; returns the archive directory."""
+    root = pathlib.Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "providers": sorted(study.providers),
+        "intercepting": sorted(study.providers_intercepting_or_manipulating),
+        "failing_open": sorted(study.providers_failing_open),
+        "misrepresenting": sorted(study.providers_misrepresenting_locations),
+        "geoip": [
+            {
+                "database": row.database,
+                "compared": row.compared,
+                "estimates": row.estimates,
+                "agreements": row.agreements,
+            }
+            for row in study.geoip.rows()
+        ],
+        "redirects": [
+            {
+                "destination": row.destination,
+                "providers": sorted(row.providers),
+                "countries": sorted(row.countries),
+            }
+            for row in study.redirects.table()
+        ],
+    }
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    for name, report in study.providers.items():
+        write_provider_archive(report, root / _slug(name))
+    return root
+
+
+def write_provider_archive(
+    report: "ProviderReport", directory: str | pathlib.Path
+) -> pathlib.Path:
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    verdicts = {
+        "provider": report.provider,
+        "subscription": report.subscription,
+        "client_type": report.client_type,
+        "injection": report.injection_detected,
+        "proxy": report.proxy_detected,
+        "tls_interception": report.tls_interception_detected,
+        "dns_leak": report.dns_leak_detected,
+        "ipv6_leak": report.ipv6_leak_detected,
+        "webrtc_leak": report.webrtc_leak_detected,
+        "fails_open": report.fails_open,
+        "misrepresents_locations": report.misrepresents_locations,
+        "full_vantage_points": [r.hostname for r in report.full_results],
+        "swept_vantage_points": [r.hostname for r in report.sweep_results],
+    }
+    (directory / _VERDICTS).write_text(json.dumps(verdicts, indent=2))
+    for results in report.full_results + report.sweep_results:
+        filename = _slug(results.hostname) + ".json"
+        (directory / filename).write_text(results.to_json())
+    return directory
+
+
+@dataclass
+class ArchivedVerdicts:
+    """Per-provider verdicts loaded back from disk."""
+
+    provider: str
+    subscription: str
+    client_type: str
+    injection: bool
+    proxy: bool
+    tls_interception: bool
+    dns_leak: bool
+    ipv6_leak: bool
+    webrtc_leak: bool
+    fails_open: Optional[bool]
+    misrepresents_locations: bool
+    full_vantage_points: list[str] = field(default_factory=list)
+    swept_vantage_points: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ArchivedStudy:
+    """A study read back from an archive directory."""
+
+    manifest: dict
+    verdicts: dict[str, ArchivedVerdicts] = field(default_factory=dict)
+
+    @property
+    def providers(self) -> list[str]:
+        return list(self.manifest["providers"])
+
+
+def read_study_archive(root: str | pathlib.Path) -> ArchivedStudy:
+    root = pathlib.Path(root)
+    manifest = json.loads((root / _MANIFEST).read_text())
+    study = ArchivedStudy(manifest=manifest)
+    for name in manifest["providers"]:
+        directory = root / _slug(name)
+        verdict_file = directory / _VERDICTS
+        if not verdict_file.exists():
+            continue
+        raw = json.loads(verdict_file.read_text())
+        study.verdicts[name] = ArchivedVerdicts(**raw)
+    return study

@@ -1,0 +1,7 @@
+"""Infrastructure inference tests (paper Section 5.3.2)."""
+
+from repro.core.infrastructure.dns_origin import DnsOriginTest
+from repro.core.infrastructure.geolocation import GeolocationTest
+from repro.core.infrastructure.ping_traceroute import PingTracerouteTest
+
+__all__ = ["DnsOriginTest", "GeolocationTest", "PingTracerouteTest"]

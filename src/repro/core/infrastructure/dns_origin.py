@@ -1,0 +1,47 @@
+"""Recursive DNS origins test (Section 5.3.2).
+
+Resolves a unique timestamped-and-tagged hostname under the probe domain
+whose authoritative nameserver logs request sources.  The source addresses
+that appear in the log reveal which resolver actually performed the
+recursion for the VPN session — provider-run, an upstream public resolver,
+or (alarmingly) the client's own ISP resolver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.core.results import DnsOriginResult
+from repro.dns.resolver import StubResolver
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+_tag_counter = itertools.count(1)
+
+
+class DnsOriginTest:
+    """Tagged-hostname resolution through the logging nameserver."""
+
+    name = "dns-origin"
+
+    def run(self, context: "TestContext") -> DnsOriginResult:
+        from repro.world import PROBE_DOMAIN
+
+        nameserver = context.world.probe_nameserver
+        assert nameserver is not None, "world has no probe nameserver"
+        tag = (
+            f"t{next(_tag_counter):06d}-"
+            f"{context.provider_slug}-{context.vantage_point_slug}"
+        )
+        probe_hostname = f"{tag}.{PROBE_DOMAIN}"
+        resolver = StubResolver(context.client)
+        response = resolver.resolve(probe_hostname)
+        sources = nameserver.sources_for_tag(tag)
+        return DnsOriginResult(
+            tag=tag,
+            probe_hostname=probe_hostname,
+            resolver_sources=sources,
+            resolved=response.ok,
+        )

@@ -1,0 +1,41 @@
+"""Geolocation via the location API (Section 5.3.2).
+
+The paper calls Google's Maps API from inside the tunnel, so Google
+geolocates the *egress* address; it then compares that (plus the two free
+databases, offline) against the provider's claimed location.  Here the
+three database models are queried with the vantage point's egress address,
+its true physical country, and the registration country the provider games
+for virtual endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import GeolocationResult
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class GeolocationTest:
+    """Query all three geo-IP database models for the egress address."""
+
+    name = "geolocation"
+
+    def run(self, context: "TestContext") -> GeolocationResult:
+        vantage_point = context.vantage_point
+        spec = vantage_point.spec
+        result = GeolocationResult(
+            egress_address=spec.address,
+            claimed_country=spec.claimed_country,
+        )
+        true_country = vantage_point.physical_location.country
+        for database in context.world.geoip_databases:
+            estimate = database.locate(
+                spec.address,
+                true_country=true_country,
+                registered_country=spec.registered_country,
+            )
+            result.estimates[database.name] = estimate.country
+        return result

@@ -1,0 +1,98 @@
+"""Ping and traceroute collection (Section 5.3.2).
+
+Pings the anycast public resolvers (Google, Quad9) and the five DNS roots,
+traceroutes the same, and pings the 50 RIPE-anchor references with known
+locations.  The resulting RTT vector is the raw material of the
+co-location/virtual-location analysis (Section 6.4.2, Figure 9): because
+probes traverse the tunnel, every RTT is (client→VP) + (VP→target), and the
+per-target profile fingerprints the vantage point's physical position.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import (
+    PingMeasurement,
+    PingTracerouteResult,
+    TracerouteMeasurement,
+)
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class PingTracerouteTest:
+    """RTT sweep over anchors + resolver/root traceroutes."""
+
+    name = "ping-traceroute"
+
+    def __init__(self, traceroute_targets: int = 3, pings_per_target: int = 1):
+        self.traceroute_targets = traceroute_targets
+        self.pings_per_target = pings_per_target
+
+    def run(self, context: "TestContext") -> PingTracerouteResult:
+        from repro.world import GOOGLE_DNS, QUAD9_DNS, ROOT_SERVERS
+
+        result = PingTracerouteResult()
+        internet = context.world.internet
+        client = context.client
+
+        # The client->VP leg over the physical path (the VPN client pins a
+        # /32 to the server through the hardware interface).
+        base_pings = internet.ping(
+            client, context.vantage_point.address, count=3
+        )
+        base_rtts = [p.rtt_ms for p in base_pings if p.rtt_ms is not None]
+        result.tunnel_base_rtt_ms = min(base_rtts) if base_rtts else None
+
+        well_known = [
+            ("google-dns", GOOGLE_DNS),
+            ("quad9", QUAD9_DNS),
+        ] + [(name, addr) for name, addr in ROOT_SERVERS.items()]
+        for name, address in well_known:
+            pings = internet.ping(client, address, count=self.pings_per_target)
+            best = min(
+                (p.rtt_ms for p in pings if p.rtt_ms is not None),
+                default=None,
+            )
+            result.pings.append(
+                PingMeasurement(
+                    target=address,
+                    target_name=name,
+                    rtt_ms=best,
+                    target_location_known=False,  # anycast: location is fuzzy
+                )
+            )
+
+        for anchor in context.world.anchors:
+            pings = internet.ping(
+                client, anchor.address, count=self.pings_per_target
+            )
+            best = min(
+                (p.rtt_ms for p in pings if p.rtt_ms is not None),
+                default=None,
+            )
+            result.pings.append(
+                PingMeasurement(
+                    target=anchor.address,
+                    target_name=anchor.name,
+                    rtt_ms=best,
+                )
+            )
+
+        for name, address in well_known[: self.traceroute_targets]:
+            hops = internet.traceroute(client, address)
+            result.traceroutes.append(
+                TracerouteMeasurement(
+                    target=address,
+                    hops=[
+                        (h.ttl, str(h.address) if h.address else None, h.rtt_ms)
+                        for h in hops
+                    ],
+                    reached=bool(hops)
+                    and hops[-1].address is not None
+                    and str(hops[-1].address) == address,
+                )
+            )
+        return result

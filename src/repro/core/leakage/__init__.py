@@ -1,0 +1,7 @@
+"""Leakage-based tests (paper Section 5.3.3)."""
+
+from repro.core.leakage.dns_leakage import DnsLeakageTest
+from repro.core.leakage.ipv6_leakage import Ipv6LeakageTest
+from repro.core.leakage.tunnel_failure import TunnelFailureTest
+
+__all__ = ["DnsLeakageTest", "Ipv6LeakageTest", "TunnelFailureTest"]

@@ -1,0 +1,66 @@
+"""DNS leakage test (Section 5.3.3).
+
+Issues a series of predetermined DNS queries to the system's configured
+resolver and to public resolvers while the VPN is connected, then scans the
+capture on the primary (non-VPN) interface for plaintext DNS packets.  A
+properly configured client tunnels everything; a client that never
+repointed the system resolver lets queries to the on-link LAN resolver
+escape in cleartext — the Table 6 failure for Freedome VPN and WorldVPN.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import DnsLeakageResult
+from repro.dns.resolver import StubResolver, resolve_via_server
+from repro.net.packet import innermost_payload
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+PROBE_QUERIES = (
+    "leakprobe-alpha.daily-herald-news.com",
+    "leakprobe-bravo.globe-wire.com",
+    "leakprobe-charlie.wiki-mirror-project.org",
+    "leakprobe-delta.micro-blog-central.com",
+)
+
+
+class DnsLeakageTest:
+    """Query system + public resolvers, then scan the hardware interface."""
+
+    name = "dns-leakage"
+
+    def run(self, context: "TestContext") -> DnsLeakageResult:
+        from repro.world import GOOGLE_DNS, QUAD9_DNS
+
+        client = context.client
+        physical = client.primary_interface()
+        assert physical is not None
+        capture = physical.capture
+        marker = len(capture.entries)
+
+        system = StubResolver(client)
+        issued = 0
+        for qname in PROBE_QUERIES:
+            system.resolve(qname)
+            issued += 1
+        for server in (GOOGLE_DNS, QUAD9_DNS):
+            for qname in PROBE_QUERIES[:2]:
+                resolve_via_server(client, server, qname)
+                issued += 1
+
+        result = DnsLeakageResult(queries_issued=issued)
+        new_entries = capture.entries[marker:]
+        for entry in new_entries:
+            if entry.direction != "tx":
+                continue
+            if entry.packet.payload.kind == "tunnel":
+                continue  # encrypted inside the VPN: not a leak
+            payload = innermost_payload(entry.packet)
+            if payload is not None and payload.kind == "dns" and not payload.is_response:  # type: ignore[union-attr]
+                result.leaked_queries.append(payload.qname)  # type: ignore[union-attr]
+                result.leaked_servers.append(str(entry.packet.dst))
+        result.leaked_servers = sorted(set(result.leaked_servers))
+        return result

@@ -1,0 +1,71 @@
+"""IPv6 leakage test (Section 5.3.3).
+
+Most VPNs are IPv4-only, so a careful client must block IPv6 on the
+physical interface while connected.  The test contacts the dual-stack test
+sites directly over IPv6 while capturing on the non-VPN interface; any IPv6
+request that reaches the wire outside the tunnel is a leak (Table 6's
+twelve offenders).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import Ipv6LeakageResult
+from repro.net.packet import Packet, RawPayload, TcpSegment
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class Ipv6LeakageTest:
+    """Direct-to-AAAA connections with hardware-interface capture."""
+
+    name = "ipv6-leakage"
+
+    def run(self, context: "TestContext") -> Ipv6LeakageResult:
+        client = context.client
+        physical = client.primary_interface()
+        assert physical is not None
+        capture = physical.capture
+        marker = len(capture.entries)
+
+        # Gather the dual-stack sites' AAAA records from ground truth (the
+        # paper hard-codes "several popular websites with IPv6 addresses").
+        targets = context.world_ipv6_targets()
+        result = Ipv6LeakageResult(attempts=len(targets))
+        if physical.ipv6 is None:
+            return result  # no v6 connectivity at all: nothing to leak
+
+        for domain, address in targets:
+            socket = client.open_socket("tcp")
+            try:
+                probe = Packet(
+                    src=physical.ipv6,
+                    dst=_parse(address),
+                    payload=TcpSegment(
+                        src_port=socket.port,
+                        dst_port=80,
+                        flags="S",
+                        payload=RawPayload(label=f"syn:{domain}", size=0),
+                    ),
+                )
+                client.send(probe)
+            finally:
+                socket.close()
+
+        for entry in capture.entries[marker:]:
+            if entry.direction != "tx":
+                continue
+            if entry.packet.payload.kind == "tunnel":
+                continue
+            if entry.packet.version == 6:
+                result.leaked_destinations.append(str(entry.packet.dst))
+        result.leaked_destinations = sorted(set(result.leaked_destinations))
+        return result
+
+
+def _parse(address: str):
+    from repro.net.addresses import parse_address
+
+    return parse_address(address)

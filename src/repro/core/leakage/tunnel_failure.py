@@ -1,0 +1,100 @@
+"""Tunnel-failure recovery test (Section 5.3.3, results Section 6.5).
+
+Artificially severs the tunnel by firewalling all outbound traffic to the
+VPN server (everything *except* a fixed set of probe hosts), then repeatedly
+attempts to contact those probe hosts over a bounded window.  A safe client
+'fails closed': nothing gets through.  A client without an (enabled) kill
+switch eventually reverts to the physical route and the probes succeed in
+plaintext — the failing behaviour.
+
+As in the paper, the test must guess how long to wait for the client to
+react, so it is a *conservative* detector: the attempt budget plays the
+role of the paper's three-minute blocking window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import TunnelFailureResult
+from repro.net.packet import Packet, RawPayload, TcpSegment
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+_BLOCK_COMMENT = "tunnel-failure-test"
+
+
+class TunnelFailureTest:
+    """Firewall the VPN server, then probe through the outage window."""
+
+    name = "tunnel-failure"
+
+    def __init__(self, attempts: int = 12):
+        # 12 probes ~ one every 15s of the paper's 3-minute window.
+        self.attempts = attempts
+
+    def run(self, context: "TestContext") -> TunnelFailureResult:
+        client = context.client
+        vpn_client = context.vpn_client
+        assert vpn_client is not None and vpn_client.endpoint is not None
+        server_address = vpn_client.endpoint.server_address
+
+        # Probe targets: two anchor hosts with plain reachability.
+        probes = [a.address for a in context.world.anchors[:2]]
+
+        # Sever the tunnel *upstream* of the client: the simulated ISP drops
+        # everything toward the VPN server, beyond the reach of the client's
+        # own firewall (a privileged attacker's selective blocking, §6.5).
+        internet = context.world.internet
+        internet.block_path(client, server_address)
+
+        result = TunnelFailureResult()
+        try:
+            for attempt in range(1, self.attempts + 1):
+                result.attempts = attempt
+                reachable = any(
+                    self._probe(context, target) for target in probes
+                )
+                if reachable:
+                    result.reachable_during_failure += 1
+                    if result.first_leak_attempt is None:
+                        result.first_leak_attempt = attempt
+        finally:
+            internet.unblock_path(client, server_address)
+        return result
+
+    def _probe(self, context: "TestContext", target: str) -> bool:
+        client = context.client
+        socket = client.open_socket("tcp")
+        try:
+            route = client.routing.lookup(target)
+            if route is None:
+                return False
+            interface = client.interfaces.get(route.interface)
+            if interface is None or not interface.up:
+                return False
+            src = interface.address_for_version(4)
+            if src is None:
+                return False
+            probe = Packet(
+                src=src,
+                dst=_addr(target),
+                payload=TcpSegment(
+                    src_port=socket.port,
+                    dst_port=443,
+                    flags="S",
+                    payload=RawPayload(label="tunnel-failure-probe", size=0),
+                ),
+            )
+            outcome = client.send(probe)
+            return outcome.ok
+        finally:
+            socket.close()
+
+
+def _addr(text: str):
+    from repro.net.addresses import parse_address
+
+    return parse_address(text)
+

@@ -1,0 +1,76 @@
+"""WebRTC address leakage test.
+
+The paper cites Al-Fannah's finding that the WebRTC API leaks a range of
+client addresses to visited websites even when a VPN is in use, and states
+that the study systematically audits this vulnerability in commercial
+services.
+
+Two leak channels, both checked:
+
+- *host-candidate exposure*: local interface addresses (including the
+  client's real LAN/IPv6 addresses) handed to page JavaScript — present
+  unless the client blocks WebRTC or restricts candidate gathering;
+- *server-reflexive mismatch*: the STUN-discovered public address differs
+  from the VPN egress, i.e. the binding request escaped the tunnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.web.stun import gather_ice_candidates
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+@dataclass
+class WebRtcLeakageResult:
+    """Outcome of the WebRTC candidate audit at one vantage point."""
+
+    candidates: list[tuple[str, str]] = field(default_factory=list)
+    exposed_local_addresses: list[str] = field(default_factory=list)
+    reflexive_address: str = ""
+    reflexive_is_vpn_egress: bool = False
+
+    @property
+    def leaked(self) -> bool:
+        return bool(self.exposed_local_addresses) or (
+            bool(self.reflexive_address) and not self.reflexive_is_vpn_egress
+        )
+
+
+class WebRtcLeakageTest:
+    """Gather ICE candidates through the tunnel and classify exposure."""
+
+    name = "webrtc-leakage"
+
+    def run(self, context: "TestContext") -> WebRtcLeakageResult:
+        from repro.world import STUN_SERVER_ADDRESS
+
+        client = context.client
+        result = WebRtcLeakageResult()
+        candidates = gather_ice_candidates(client, STUN_SERVER_ADDRESS)
+        result.candidates = [
+            (candidate.candidate_type, candidate.address)
+            for candidate in candidates
+        ]
+
+        physical = client.primary_interface()
+        real_addresses = set()
+        if physical is not None:
+            if physical.ipv4 is not None:
+                real_addresses.add(str(physical.ipv4))
+            if physical.ipv6 is not None:
+                real_addresses.add(str(physical.ipv6))
+
+        egress = str(context.vantage_point.address)
+        for candidate in candidates:
+            if candidate.candidate_type == "host":
+                if candidate.address in real_addresses:
+                    result.exposed_local_addresses.append(candidate.address)
+            elif candidate.candidate_type == "srflx":
+                result.reflexive_address = candidate.address
+                result.reflexive_is_vpn_egress = candidate.address == egress
+        return result

@@ -1,0 +1,13 @@
+"""Traffic interception and manipulation tests (paper Section 5.3.1)."""
+
+from repro.core.manipulation.dns_manipulation import DnsManipulationTest
+from repro.core.manipulation.dom_collection import DomCollectionTest
+from repro.core.manipulation.proxy_detection import ProxyDetectionTest
+from repro.core.manipulation.tls_interception import TlsInterceptionTest
+
+__all__ = [
+    "DnsManipulationTest",
+    "DomCollectionTest",
+    "ProxyDetectionTest",
+    "TlsInterceptionTest",
+]

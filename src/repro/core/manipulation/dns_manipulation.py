@@ -1,0 +1,91 @@
+"""DNS manipulation test (Section 5.3.1).
+
+Resolves a fixed set of popular hostnames through the VPN-provided resolver
+(the host's configured DNS while connected) and through Google Public DNS,
+then flags answers that differ.  Differences are triaged with a WHOIS-style
+ownership check: an answer pointing into the VPN provider's own address
+space is the smoking gun; an answer that merely differs (CDN churn in the
+real world) is noted but not flagged.
+
+Assumptions inherited from the paper: manipulation happens only via the
+VPN-provided resolver, and the VPN does not spoof Google's responses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import DnsComparisonEntry, DnsManipulationResult
+from repro.dns.resolver import StubResolver, resolve_via_server
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+# "several popular hosts" — drawn from the catalogue's biggest categories.
+DEFAULT_PROBE_HOSTS = (
+    "daily-herald-news.com",
+    "globe-wire.com",
+    "micro-blog-central.com",
+    "discount-megastore.com",
+    "wiki-mirror-project.org",
+    "stream-flix-video.com",
+    "clinic-finder-online.com",
+    "open-encyclopedia.net",
+)
+
+
+class DnsManipulationTest:
+    """Compare VPN-resolver answers against Google Public DNS."""
+
+    name = "dns-manipulation"
+
+    def __init__(self, probe_hosts: tuple[str, ...] = DEFAULT_PROBE_HOSTS):
+        self.probe_hosts = probe_hosts
+
+    def run(self, context: "TestContext") -> DnsManipulationResult:
+        from repro.world import GOOGLE_DNS
+
+        result = DnsManipulationResult()
+        system = StubResolver(context.client)
+        for hostname in self.probe_hosts:
+            vpn_response = system.resolve(hostname)
+            reference = resolve_via_server(
+                context.client, GOOGLE_DNS, hostname
+            )
+            vpn_answers = vpn_response.addresses
+            ref_answers = reference.addresses
+            suspicious = False
+            note = ""
+            if set(vpn_answers) != set(ref_answers):
+                # Triage via WHOIS (Section 5.3.1: "investigating the
+                # WHOIS records of the IPs returned by the non-Google
+                # server, looking for owner information"): a divergent
+                # answer registered to a VPN operator is the smoking gun.
+                divergent = set(vpn_answers) - set(ref_answers)
+                owned = []
+                for answer in divergent:
+                    record = context.world.whois.lookup(answer)
+                    owner = record.organisation if record else "unregistered"
+                    if context.world.is_vpn_address(answer) or (
+                        record is not None
+                        and context.provider.name in record.organisation
+                    ):
+                        owned.append((answer, owner))
+                if owned:
+                    suspicious = True
+                    note = "; ".join(
+                        f"{answer} registered to {owner!r}"
+                        for answer, owner in owned
+                    )
+                else:
+                    note = "divergent but not VPN-owned (CDN churn?)"
+            result.entries.append(
+                DnsComparisonEntry(
+                    hostname=hostname,
+                    vpn_answers=vpn_answers,
+                    reference_answers=ref_answers,
+                    suspicious=suspicious,
+                    whois_note=note,
+                )
+            )
+        return result

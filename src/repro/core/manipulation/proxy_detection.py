@@ -1,0 +1,63 @@
+"""Header-based transparent-proxy detection (Section 6.2.1).
+
+Sends a request with a characteristic header block (mixed casing, fixed
+order) to the header-echo service and compares the headers the origin
+actually received.  A proxy that merely forwards bytes leaves the block
+untouched; one that parses and regenerates requests normalises casing and
+ordering — "consistent with parsing and subsequent regeneration" — even if
+it injects nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.core.results import ProxyDetectionResult
+from repro.web.http import default_request_headers
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class ProxyDetectionTest:
+    """Echo-compare the characteristic request header block."""
+
+    name = "proxy-detection"
+
+    def run(self, context: "TestContext") -> ProxyDetectionResult:
+        from repro.world import HEADER_ECHO_DOMAIN
+
+        browser = context.browser()
+        url = f"http://{HEADER_ECHO_DOMAIN}/echo"
+        sent = default_request_headers(HEADER_ECHO_DOMAIN)
+        fetch = browser.fetch(url, headers=sent)
+        result = ProxyDetectionResult(sent_headers=sent.items())
+        if not fetch.ok or fetch.response is None:
+            return result
+        try:
+            body = json.loads(fetch.response.body)
+            observed = [tuple(h) for h in body["observed_headers"]]
+        except (ValueError, KeyError):
+            return result
+        result.observed_headers = list(observed)
+
+        sent_items = sent.items()
+        sent_names = {name.lower() for name, _ in sent_items}
+        observed_names = {name.lower() for name, _ in observed}
+        result.headers_injected = sorted(observed_names - sent_names)
+        result.headers_dropped = sorted(sent_names - observed_names)
+
+        if observed != sent_items and not result.headers_injected:
+            result.headers_modified = True
+            same_multiset = sorted(
+                (k.lower(), v) for k, v in observed
+            ) == sorted((k.lower(), v) for k, v in sent_items)
+            if same_multiset:
+                result.modification_style = "parse-and-regenerate"
+            else:
+                result.modification_style = "value-rewriting"
+        elif result.headers_injected:
+            result.headers_modified = True
+            result.modification_style = "header-injection"
+        return result

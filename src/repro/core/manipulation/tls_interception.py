@@ -1,0 +1,97 @@
+"""TLS interception and downgrade detection (Section 5.3.1, 6.1.2).
+
+Two steps per hostname, exactly as in the paper:
+
+1. negotiate TLS directly with the host, validate the presented chain, and
+   compare its fingerprint against the ground-truth certificate collected
+   periodically from the university vantage point;
+2. load the hostname via plain HTTP and follow every redirect, recording
+   the final URL and status — a path that reveals both TLS stripping
+   (an expected ``https://`` upgrade that never happens) and the HTTP 403
+   responses of services that blacklist VPN ranges.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.results import TlsInterceptionResult, TlsObservation
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class TlsInterceptionTest:
+    """Certificate comparison plus HTTP-upgrade walking."""
+
+    name = "tls-interception"
+
+    def __init__(self, max_hosts: Optional[int] = None):
+        self.max_hosts = max_hosts
+
+    def run(self, context: "TestContext") -> TlsInterceptionResult:
+        result = TlsInterceptionResult()
+        sites = context.world.sites.tls_test_sites()
+        if self.max_hosts is not None:
+            sites = sites[: self.max_hosts]
+        ground_truth = context.ground_truth_certificates()
+        browser = context.browser()
+
+        for site in sites:
+            probe = browser.tls_probe(site.domain)
+            handshake_ok = probe.ok
+            fingerprint = (
+                probe.handshake.leaf_fingerprint if probe.handshake else ""
+            )
+            expected = ground_truth.get(site.domain)
+            matches: Optional[bool]
+            if not handshake_ok or expected is None:
+                matches = None
+            else:
+                matches = fingerprint == expected
+            chain_valid: Optional[bool] = None
+            reason = probe.error
+            if probe.handshake is not None and probe.handshake.validation:
+                chain_valid = probe.handshake.validation.valid
+                reason = probe.handshake.validation.reason
+
+            # Step 2: plain-HTTP load, following redirects.
+            load = browser.load_page(site.http_url)
+            final_url = load.final_url
+            status = (
+                load.final_response.status if load.final_response else None
+            )
+            # TLS stripping: the expected HTTPS upgrade never happened and
+            # we are still talking to the *same* site over plain HTTP. A
+            # redirect to an unrelated host (national block pages, Section
+            # 6.1.1) is censorship, not stripping — classified separately.
+            from repro.web.url import urls_related
+
+            same_site = True
+            try:
+                same_site = urls_related(site.http_url, final_url)
+            except ValueError:
+                same_site = False
+            downgraded = bool(
+                site.upgrades_https
+                and load.ok
+                and same_site
+                and not final_url.startswith("https://")
+            )
+            blocked = status == 403
+
+            result.observations.append(
+                TlsObservation(
+                    hostname=site.domain,
+                    handshake_ok=handshake_ok,
+                    certificate_fingerprint=fingerprint,
+                    matches_ground_truth=matches,
+                    chain_valid=chain_valid,
+                    validation_reason=reason,
+                    http_final_url=final_url,
+                    http_status=status,
+                    downgraded=downgraded,
+                    blocked_403=blocked,
+                )
+            )
+        return result

@@ -1,0 +1,35 @@
+"""Metadata and capture collection (Section 5.3.4).
+
+Collects routing and ARP tables, interface lists, configured resolvers and
+the firewall state, and pings every pinned /32 route — the general
+configuration snapshot the paper stored to support anomaly investigation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import MetadataSnapshot
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class MetadataTest:
+    """Snapshot host configuration and probe pinned host routes."""
+
+    name = "metadata"
+
+    def run(self, context: "TestContext") -> MetadataSnapshot:
+        client = context.client
+        snapshot = MetadataSnapshot(
+            interfaces=[i.snapshot() for i in client.interfaces.values()],
+            routes=client.routing.snapshot(),
+            dns_servers=[str(s) for s in client.dns_servers],
+            firewall=client.firewall.snapshot(),
+        )
+        for route in client.routing.host_routes():
+            target = str(route.prefix.network)
+            pings = context.world.internet.ping(client, target, count=1)
+            snapshot.host_route_pings[target] = pings[0].rtt_ms
+        return snapshot

@@ -1,0 +1,67 @@
+"""Peer-to-peer egress detection (Section 6.6).
+
+If a VPN routed *other customers'* traffic out through our connection
+(Hola-style), the hardware interface would show traffic — most tellingly
+DNS queries — that our own test activity never generated.  The analysis
+scans the client capture for plaintext DNS queries that are not attributable
+to the suite's own probes or to silent tunnel-failure fallback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.results import P2pResult
+from repro.net.capture import Capture
+from repro.net.packet import innermost_payload
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestContext
+
+
+class P2pDetection:
+    """Scan for unexpected plaintext DNS on the hardware interface."""
+
+    name = "p2p-detection"
+
+    def analyse(
+        self,
+        capture: Capture,
+        own_query_names: Iterable[str],
+        tunnel_failed_open: bool,
+    ) -> P2pResult:
+        own = {name.lower().rstrip(".") for name in own_query_names}
+        result = P2pResult()
+        for entry in capture.entries:
+            if entry.packet.payload.kind == "tunnel":
+                continue
+            payload = innermost_payload(entry.packet)
+            if payload is None or payload.kind != "dns":
+                continue
+            if payload.is_response:  # type: ignore[union-attr]
+                continue
+            qname = payload.qname.lower().rstrip(".")  # type: ignore[union-attr]
+            if qname in own:
+                continue
+            if tunnel_failed_open:
+                # Attributable to silent tunnel failure, not P2P relaying.
+                continue
+            result.unexpected_plaintext_queries.append(qname)
+        return result
+
+    def run(self, context: "TestContext") -> P2pResult:
+        client = context.client
+        physical = client.primary_interface()
+        assert physical is not None
+        failed_open = False
+        if context.vpn_client is not None and context.vpn_client.endpoint:
+            from repro.vpn.tunnel import TunnelState
+
+            failed_open = (
+                context.vpn_client.endpoint.state is TunnelState.FAILED_OPEN
+            )
+        return self.analyse(
+            physical.capture,
+            own_query_names=context.issued_query_names,
+            tunnel_failed_open=failed_open,
+        )

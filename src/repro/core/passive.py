@@ -1,0 +1,120 @@
+"""Passive capture analysis (paper Section 5.3.4).
+
+The suite "collects packet captures on the hardware interface" and
+"subsequently analyze[s] this traffic to detect non-VPN-traversing leakage,
+and to detect whether the VPN service is providing our IP address as an
+additional vantage point".  This module is that post-processing step: a
+capture summary with tunnel/plaintext accounting, per-protocol breakdowns,
+plaintext DNS extraction and per-destination tallies — the raw material
+both for the leakage verdicts and for manual anomaly investigation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.capture import Capture
+from repro.net.packet import innermost_payload
+
+
+@dataclass
+class CaptureSummary:
+    """Aggregate view of one interface capture."""
+
+    interface: str
+    total_packets: int = 0
+    tunnel_packets: int = 0
+    plaintext_packets: int = 0
+    tunnel_bytes: int = 0
+    plaintext_bytes: int = 0
+    protocols: Counter = field(default_factory=Counter)
+    plaintext_protocols: Counter = field(default_factory=Counter)
+    plaintext_dns_queries: list[str] = field(default_factory=list)
+    plaintext_destinations: Counter = field(default_factory=Counter)
+    ipv6_plaintext_packets: int = 0
+    first_timestamp_ms: float = 0.0
+    last_timestamp_ms: float = 0.0
+
+    @property
+    def tunnel_fraction(self) -> float:
+        if self.total_packets == 0:
+            return 0.0
+        return self.tunnel_packets / self.total_packets
+
+    @property
+    def duration_ms(self) -> float:
+        return max(0.0, self.last_timestamp_ms - self.first_timestamp_ms)
+
+    def describe(self) -> str:
+        lines = [
+            f"capture on {self.interface}: {self.total_packets} packets "
+            f"over {self.duration_ms:.0f} ms",
+            f"  tunnelled : {self.tunnel_packets} "
+            f"({self.tunnel_fraction:.0%}), {self.tunnel_bytes} bytes",
+            f"  plaintext : {self.plaintext_packets}, "
+            f"{self.plaintext_bytes} bytes "
+            f"({self.ipv6_plaintext_packets} IPv6)",
+        ]
+        if self.plaintext_dns_queries:
+            lines.append(
+                f"  plaintext DNS: {len(self.plaintext_dns_queries)} queries "
+                f"({sorted(set(self.plaintext_dns_queries))[:4]}...)"
+            )
+        return "\n".join(lines)
+
+
+def summarise_capture(capture: Capture) -> CaptureSummary:
+    """Post-process one capture into a :class:`CaptureSummary`."""
+    summary = CaptureSummary(interface=capture.interface)
+    for index, entry in enumerate(capture.entries):
+        packet = entry.packet
+        if index == 0:
+            summary.first_timestamp_ms = entry.timestamp_ms
+        summary.last_timestamp_ms = entry.timestamp_ms
+        summary.total_packets += 1
+        kind = packet.payload.kind
+        summary.protocols[kind] += 1
+        if kind == "tunnel":
+            summary.tunnel_packets += 1
+            summary.tunnel_bytes += packet.size
+            continue
+        summary.plaintext_packets += 1
+        summary.plaintext_bytes += packet.size
+        summary.plaintext_protocols[kind] += 1
+        if entry.direction == "tx":
+            summary.plaintext_destinations[str(packet.dst)] += 1
+        if packet.version == 6:
+            summary.ipv6_plaintext_packets += 1
+        payload = innermost_payload(packet)
+        if (
+            payload is not None
+            and payload.kind == "dns"
+            and not payload.is_response  # type: ignore[union-attr]
+            and entry.direction == "tx"
+        ):
+            summary.plaintext_dns_queries.append(payload.qname)  # type: ignore[union-attr]
+    return summary
+
+
+def compare_sessions(
+    connected: CaptureSummary, baseline: CaptureSummary
+) -> dict[str, object]:
+    """Contrast a VPN-connected capture with a no-VPN baseline.
+
+    Used in investigations: a healthy session moves (nearly) all traffic
+    into the tunnel; plaintext traffic that persists while connected is
+    leak material.
+    """
+    return {
+        "tunnel_fraction_connected": connected.tunnel_fraction,
+        "tunnel_fraction_baseline": baseline.tunnel_fraction,
+        "plaintext_while_connected": connected.plaintext_packets,
+        "plaintext_dns_while_connected": len(
+            connected.plaintext_dns_queries
+        ),
+        "suspicious": (
+            connected.plaintext_dns_queries != []
+            or connected.ipv6_plaintext_packets > 0
+        ),
+    }

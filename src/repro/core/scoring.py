@@ -1,0 +1,151 @@
+"""Provider scorecards — the `vpnselection.guide` deliverable.
+
+The paper closes by announcing a public website with per-provider insights.
+This module derives that artefact from a study: a privacy/operations
+scorecard per provider, computed purely from *measured* results (never the
+catalogue's ground truth), and a ranked guide.
+
+Scoring model (0–100, higher is safer):
+
+- start at 100;
+- traffic manipulation is disqualifying territory: content injection −40,
+  TLS interception −50, transparent proxying −15;
+- leakage: tunnel fail-open −20, DNS leak −15, IPv6 leak −10
+  (WebRTC host-candidate exposure is universal and therefore informational,
+  not scored — a browser problem, not a provider differentiator);
+- honesty: misrepresented locations −10;
+- services whose clients could not be leak-tested (third-party OpenVPN
+  configs) carry an "unaudited leakage" caveat instead of a deduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.core.harness import ProviderReport, StudyReport
+
+
+@dataclass
+class Scorecard:
+    """One provider's measured safety profile."""
+
+    provider: str
+    subscription: str
+    score: int
+    deductions: list[tuple[str, int]] = field(default_factory=list)
+    caveats: list[str] = field(default_factory=list)
+
+    @property
+    def grade(self) -> str:
+        if self.score >= 90:
+            return "A"
+        if self.score >= 75:
+            return "B"
+        if self.score >= 60:
+            return "C"
+        if self.score >= 40:
+            return "D"
+        return "F"
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.provider} ({self.subscription}): "
+            f"{self.score}/100 — grade {self.grade}"
+        ]
+        for reason, points in self.deductions:
+            lines.append(f"  -{points:2d}  {reason}")
+        for caveat in self.caveats:
+            lines.append(f"   !   {caveat}")
+        return "\n".join(lines)
+
+
+_DEDUCTIONS: tuple[tuple[str, str, int], ...] = (
+    # (ProviderReport attribute, human reason, points)
+    ("tls_interception_detected", "intercepts TLS connections", 50),
+    ("injection_detected", "injects content into pages", 40),
+    ("fails_open", "leaks traffic when the tunnel fails", 20),
+    ("dns_leak_detected", "leaks DNS queries outside the tunnel", 15),
+    ("proxy_detected", "transparently proxies (rewrites) HTTP traffic", 15),
+    ("ipv6_leak_detected", "leaks IPv6 traffic outside the tunnel", 10),
+    ("misrepresents_locations", "misrepresents vantage-point locations", 10),
+)
+
+
+def score_provider(report: "ProviderReport") -> Scorecard:
+    """Compute one provider's scorecard from its measured report."""
+    card = Scorecard(
+        provider=report.provider,
+        subscription=report.subscription,
+        score=100,
+    )
+    for attribute, reason, points in _DEDUCTIONS:
+        value = getattr(report, attribute)
+        if value:  # fails_open may be None (not applicable)
+            card.score -= points
+            card.deductions.append((reason, points))
+    if report.fails_open is None:
+        card.caveats.append(
+            "client leakage untested (third-party OpenVPN software)"
+        )
+    if report.webrtc_leak_detected:
+        card.caveats.append(
+            "browser WebRTC exposes local addresses (universal; use a "
+            "browser-level mitigation)"
+        )
+    card.score = max(0, card.score)
+    return card
+
+
+@dataclass
+class SelectionGuide:
+    """The ranked guide built from a full study."""
+
+    scorecards: list[Scorecard] = field(default_factory=list)
+
+    def ranked(self) -> list[Scorecard]:
+        return sorted(
+            self.scorecards, key=lambda c: (-c.score, c.provider)
+        )
+
+    def safest(self, count: int = 10) -> list[Scorecard]:
+        return self.ranked()[:count]
+
+    def worst(self, count: int = 10) -> list[Scorecard]:
+        return self.ranked()[-count:]
+
+    def score_of(self, provider: str) -> Optional[int]:
+        for card in self.scorecards:
+            if card.provider == provider:
+                return card.score
+        return None
+
+    def render(self, count: Optional[int] = None) -> str:
+        from repro.reporting.tables import render_table
+
+        rows = [
+            [
+                card.provider,
+                card.subscription,
+                card.score,
+                card.grade,
+                "; ".join(reason for reason, _ in card.deductions) or "—",
+            ]
+            for card in (
+                self.ranked() if count is None else self.ranked()[:count]
+            )
+        ]
+        return render_table(
+            ["Provider", "Type", "Score", "Grade", "Findings"],
+            rows,
+            title="vpnselection.guide — measured provider safety",
+        )
+
+
+def build_selection_guide(study: "StudyReport") -> SelectionGuide:
+    """Score every provider in a study."""
+    guide = SelectionGuide()
+    for report in study.providers.values():
+        guide.scorecards.append(score_provider(report))
+    return guide

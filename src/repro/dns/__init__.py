@@ -1,0 +1,33 @@
+"""DNS substrate.
+
+A small but faithful DNS layer: query/answer messages, authoritative zones,
+recursive and logging nameservers, public anycast resolvers (Google Public
+DNS and Quad9 equivalents), and a stub resolver bound to a host's configured
+servers.  The measurement suite's DNS-manipulation, DNS-leakage and
+recursive-origin tests run on top of it.
+"""
+
+from repro.dns.message import DnsQuestion, DnsRecord, DnsResponse, RCode
+from repro.dns.resolver import StubResolver, resolve_via_server
+from repro.dns.server import (
+    AuthoritativeServer,
+    LoggingNameserver,
+    RecursiveResolverServer,
+    install_dns_service,
+)
+from repro.dns.zone import Zone, ZoneRegistry
+
+__all__ = [
+    "DnsQuestion",
+    "DnsRecord",
+    "DnsResponse",
+    "RCode",
+    "StubResolver",
+    "resolve_via_server",
+    "AuthoritativeServer",
+    "LoggingNameserver",
+    "RecursiveResolverServer",
+    "install_dns_service",
+    "Zone",
+    "ZoneRegistry",
+]

@@ -1,0 +1,92 @@
+"""DNS message model.
+
+Questions, resource records and responses as simple frozen dataclasses.  The
+wire format is not reproduced byte-for-byte; what matters to the measurement
+suite is the (qname, qtype) -> answers mapping, the rcode, and which resolver
+produced the answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RCode(enum.Enum):
+    NOERROR = "NOERROR"
+    NXDOMAIN = "NXDOMAIN"
+    SERVFAIL = "SERVFAIL"
+    REFUSED = "REFUSED"
+
+
+SUPPORTED_RTYPES = ("A", "AAAA", "CNAME", "NS", "TXT", "PTR")
+
+
+@dataclass(frozen=True)
+class DnsQuestion:
+    """A DNS question: lower-cased name + record type."""
+
+    qname: str
+    qtype: str = "A"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", normalise_name(self.qname))
+        if self.qtype not in SUPPORTED_RTYPES:
+            raise ValueError(f"unsupported qtype {self.qtype!r}")
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """A resource record."""
+
+    name: str
+    rtype: str
+    value: str
+    ttl: int = 300
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalise_name(self.name))
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """A resolver's answer to one question."""
+
+    question: DnsQuestion
+    rcode: RCode = RCode.NOERROR
+    records: tuple[DnsRecord, ...] = ()
+    resolver: str = ""  # which server answered, for provenance
+    authoritative: bool = False
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        """The address-record values in the answer (A or AAAA)."""
+        return tuple(
+            r.value for r in self.records if r.rtype in ("A", "AAAA")
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode is RCode.NOERROR and bool(self.records)
+
+    def describe(self) -> str:
+        answers = ", ".join(self.addresses) or self.rcode.value
+        return f"{self.question.qname}/{self.question.qtype} -> {answers}"
+
+
+def normalise_name(name: str) -> str:
+    """Lower-case and strip the trailing dot from a domain name."""
+    return name.strip().rstrip(".").lower()
+
+
+def parent_domains(name: str) -> list[str]:
+    """All ancestor domains of *name*, from itself up to the TLD.
+
+    >>> parent_domains("a.b.example.com")
+    ['a.b.example.com', 'b.example.com', 'example.com', 'com']
+    """
+    name = normalise_name(name)
+    if not name:
+        return []
+    labels = name.split(".")
+    return [".".join(labels[i:]) for i in range(len(labels))]

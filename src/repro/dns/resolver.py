@@ -1,0 +1,118 @@
+"""Stub resolution from a host.
+
+:class:`StubResolver` is what applications on a host use: it sends UDP/53
+queries to the host's configured DNS servers (or an explicit server) through
+the host's routing table, so queries are subject to tunnel routing, firewall
+rules and packet capture exactly like any other traffic — which is what the
+DNS-leakage test depends on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.message import DnsQuestion, DnsRecord, DnsResponse, RCode
+from repro.net.addresses import Address, parse_address
+from repro.net.host import Host
+from repro.net.packet import DnsPayload, Packet, UdpDatagram
+
+_txid_counter = itertools.count(1)
+
+
+def resolve_via_server(
+    host: Host,
+    server: str | Address,
+    qname: str,
+    qtype: str = "A",
+) -> DnsResponse:
+    """Send one DNS query from *host* to *server* and parse the reply."""
+    if isinstance(server, str):
+        server = parse_address(server)
+    question = DnsQuestion(qname=qname, qtype=qtype)
+    socket = host.open_socket("udp")
+    try:
+        route = host.routing.lookup(server)
+        if route is None:
+            return DnsResponse(
+                question=question, rcode=RCode.SERVFAIL, resolver=str(server)
+            )
+        interface = host.interfaces.get(route.interface)
+        if interface is None or not interface.up:
+            return DnsResponse(
+                question=question, rcode=RCode.SERVFAIL, resolver=str(server)
+            )
+        src = interface.address_for_version(server.version)
+        if src is None:
+            return DnsResponse(
+                question=question, rcode=RCode.SERVFAIL, resolver=str(server)
+            )
+        query = Packet(
+            src=src,
+            dst=server,
+            payload=UdpDatagram(
+                src_port=socket.port,
+                dst_port=53,
+                payload=DnsPayload(
+                    qname=question.qname,
+                    qtype=question.qtype,
+                    txid=next(_txid_counter),
+                ),
+            ),
+        )
+        outcome = host.send(query)
+        if not outcome.ok:
+            return DnsResponse(
+                question=question, rcode=RCode.SERVFAIL, resolver=str(server)
+            )
+        for response in outcome.responses:
+            payload = response.payload
+            if not isinstance(payload, UdpDatagram):
+                continue
+            dns = payload.payload
+            if not isinstance(dns, DnsPayload) or not dns.is_response:
+                continue
+            records = tuple(
+                DnsRecord(
+                    name=question.qname,
+                    rtype="AAAA" if ":" in addr else "A",
+                    value=addr,
+                )
+                for addr in dns.answers
+            )
+            return DnsResponse(
+                question=question,
+                rcode=RCode(dns.rcode),
+                records=records,
+                resolver=str(server),
+            )
+        return DnsResponse(
+            question=question, rcode=RCode.SERVFAIL, resolver=str(server)
+        )
+    finally:
+        socket.close()
+
+
+@dataclass
+class StubResolver:
+    """The host's system resolver: tries configured servers in order."""
+
+    host: Host
+
+    def resolve(self, qname: str, qtype: str = "A") -> DnsResponse:
+        question = DnsQuestion(qname=qname, qtype=qtype)
+        last: Optional[DnsResponse] = None
+        for server in self.host.dns_servers:
+            response = resolve_via_server(self.host, server, qname, qtype)
+            if response.rcode is not RCode.SERVFAIL:
+                return response
+            last = response
+        return last or DnsResponse(
+            question=question, rcode=RCode.SERVFAIL, resolver="none-configured"
+        )
+
+    def resolve_address(self, qname: str) -> Optional[str]:
+        """First A-record value, or None."""
+        response = self.resolve(qname, "A")
+        return response.addresses[0] if response.addresses else None

@@ -1,0 +1,154 @@
+"""Authoritative zone data.
+
+A :class:`Zone` holds the records for one apex domain; a
+:class:`ZoneRegistry` is the global collection of zones the recursive
+resolvers consult.  The registry plays the role of "the authoritative DNS of
+the internet" in the simulation: web servers register their A/AAAA records
+here when the world is built.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.message import (
+    DnsQuestion,
+    DnsRecord,
+    DnsResponse,
+    RCode,
+    normalise_name,
+    parent_domains,
+)
+
+
+class Zone:
+    """Records for one apex domain (and all names under it)."""
+
+    def __init__(self, apex: str) -> None:
+        self.apex = normalise_name(apex)
+        self._records: dict[tuple[str, str], list[DnsRecord]] = {}
+
+    def add(self, name: str, rtype: str, value: str, ttl: int = 300) -> DnsRecord:
+        record = DnsRecord(name=name, rtype=rtype, value=value, ttl=ttl)
+        if not self.contains_name(record.name):
+            raise ValueError(f"{record.name!r} is not under zone {self.apex!r}")
+        self._records.setdefault((record.name, rtype), []).append(record)
+        return record
+
+    def contains_name(self, name: str) -> bool:
+        name = normalise_name(name)
+        return name == self.apex or name.endswith("." + self.apex)
+
+    def lookup(self, question: DnsQuestion) -> Optional[list[DnsRecord]]:
+        """Records for a question, following CNAMEs within the zone."""
+        direct = self._records.get((question.qname, question.qtype))
+        if direct:
+            return list(direct)
+        cname = self._records.get((question.qname, "CNAME"))
+        if cname:
+            target = cname[0].value
+            chased = self._records.get((normalise_name(target), question.qtype))
+            if chased:
+                return list(cname) + list(chased)
+            return list(cname)
+        return None
+
+    def has_name(self, name: str) -> bool:
+        name = normalise_name(name)
+        return any(rec_name == name for (rec_name, _) in self._records)
+
+    def records(self) -> list[DnsRecord]:
+        out: list[DnsRecord] = []
+        for records in self._records.values():
+            out.extend(records)
+        return out
+
+
+class ZoneRegistry:
+    """All authoritative zones in the simulated internet.
+
+    A zone may be *delegated*: recursive resolvers forward questions under
+    it to the delegated server (passing their own identity as the query
+    source), instead of answering from registry data.  This is how the
+    tagged-hostname logging nameserver observes which resolver actually
+    performs recursion (paper Section 5.3.2).
+    """
+
+    def __init__(self) -> None:
+        self._zones: dict[str, Zone] = {}
+        self._delegations: dict[str, object] = {}
+
+    def zone(self, apex: str) -> Zone:
+        """Get or create the zone for *apex*."""
+        apex = normalise_name(apex)
+        if apex not in self._zones:
+            self._zones[apex] = Zone(apex)
+        return self._zones[apex]
+
+    def delegate(self, apex: str, server: object) -> None:
+        """Delegate *apex* (and everything under it) to *server*.
+
+        ``server`` must expose ``answer(question, source) -> DnsResponse``.
+        """
+        self._delegations[normalise_name(apex)] = server
+
+    def delegation_for(self, name: str) -> Optional[object]:
+        for candidate in parent_domains(name):
+            server = self._delegations.get(candidate)
+            if server is not None:
+                return server
+        return None
+
+    def find_zone(self, name: str) -> Optional[Zone]:
+        """The most specific zone responsible for *name*."""
+        for candidate in parent_domains(name):
+            zone = self._zones.get(candidate)
+            if zone is not None:
+                return zone
+        return None
+
+    def register_host_record(
+        self, name: str, address: str, ttl: int = 300
+    ) -> DnsRecord:
+        """Convenience: add an A or AAAA record under the right apex zone.
+
+        The apex is taken to be the last two labels of the name (good enough
+        for the simulation's flat namespace).
+        """
+        name = normalise_name(name)
+        labels = name.split(".")
+        apex = ".".join(labels[-2:]) if len(labels) >= 2 else name
+        rtype = "AAAA" if ":" in address else "A"
+        return self.zone(apex).add(name, rtype, address, ttl)
+
+    def resolve(self, question: DnsQuestion) -> DnsResponse:
+        """Authoritative resolution against the registry."""
+        zone = self.find_zone(question.qname)
+        if zone is None:
+            return DnsResponse(
+                question=question, rcode=RCode.NXDOMAIN, resolver="registry"
+            )
+        records = zone.lookup(question)
+        if records is None:
+            if zone.has_name(question.qname):
+                # Name exists but not this type: NOERROR with empty answer.
+                return DnsResponse(
+                    question=question,
+                    rcode=RCode.NOERROR,
+                    records=(),
+                    resolver="registry",
+                    authoritative=True,
+                )
+            return DnsResponse(
+                question=question, rcode=RCode.NXDOMAIN, resolver="registry"
+            )
+        return DnsResponse(
+            question=question,
+            rcode=RCode.NOERROR,
+            records=tuple(records),
+            resolver="registry",
+            authoritative=True,
+        )
+
+    def zones(self) -> list[Zone]:
+        return list(self._zones.values())

@@ -1,0 +1,38 @@
+"""The ecosystem analysis (paper Sections 3 and 4).
+
+The paper mined the websites of 200 commercial VPN services (collected from
+review sites, a Reddit crawl and personal recommendations) for pricing,
+payments, protocols, platforms, policies and marketing structure.  That
+mining cannot be re-run offline, so this package *synthesises* a
+200-provider ecosystem calibrated to every aggregate statistic Section 4
+reports, with the 62 actively-tested providers of Appendix A embedded in it.
+
+- :mod:`repro.ecosystem.sources` — Table 1 (review sites + affiliate status)
+  and Table 2 (selection-source counts);
+- :mod:`repro.ecosystem.generate` — the calibrated synthesiser;
+- :mod:`repro.ecosystem.selection` — the stratified 62-service sample
+  (Section 5.1);
+- :mod:`repro.ecosystem.analysis` — the Section 4 aggregate computations.
+"""
+
+from repro.ecosystem.analysis import EcosystemAnalysis
+from repro.ecosystem.generate import generate_ecosystem
+from repro.ecosystem.model import EcosystemProvider, PaymentMethod, Platform
+from repro.ecosystem.selection import select_test_subset
+from repro.ecosystem.sources import (
+    REVIEW_WEBSITES,
+    SELECTION_SOURCES,
+    ReviewWebsite,
+)
+
+__all__ = [
+    "EcosystemAnalysis",
+    "generate_ecosystem",
+    "EcosystemProvider",
+    "PaymentMethod",
+    "Platform",
+    "select_test_subset",
+    "REVIEW_WEBSITES",
+    "SELECTION_SOURCES",
+    "ReviewWebsite",
+]

@@ -1,0 +1,244 @@
+"""Section 4 aggregate computations.
+
+Every statistic and figure in the paper's ecosystem analysis is a method on
+:class:`EcosystemAnalysis`; the benchmarks call these to regenerate
+Tables 1–3 and Figures 1–5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ecosystem.model import EcosystemProvider, Platform
+
+
+@dataclass
+class SubscriptionRow:
+    """A Table 3 row."""
+
+    period: str
+    provider_count: int
+    min_monthly: float
+    avg_monthly: float
+    max_monthly: float
+
+
+class EcosystemAnalysis:
+    """Aggregate statistics over an ecosystem provider list."""
+
+    def __init__(self, providers: list[EcosystemProvider]) -> None:
+        self.providers = providers
+
+    # ------------------------------------------------------------------
+    # Founding and location (Figure 1, 'Emergence of VPN Services')
+    # ------------------------------------------------------------------
+    def founding_years(self, top_n: Optional[int] = None) -> list[int]:
+        pool = self._top(top_n)
+        return sorted(p.founded for p in pool)
+
+    def founded_after_2005_fraction(self, top_n: int = 50) -> float:
+        pool = self._top(top_n)
+        after = sum(1 for p in pool if p.founded > 2005)
+        return after / len(pool) if pool else 0.0
+
+    def business_location_distribution(self) -> Counter:
+        """Figure 1: providers per business country."""
+        return Counter(p.business_country for p in self.providers)
+
+    # ------------------------------------------------------------------
+    # Server counts (Figure 2)
+    # ------------------------------------------------------------------
+    def server_count_cdf(self) -> list[tuple[int, float]]:
+        """Figure 2: (claimed server count, cumulative fraction) points."""
+        counts = sorted(p.claimed_server_count for p in self.providers)
+        n = len(counts)
+        return [(count, (i + 1) / n) for i, count in enumerate(counts)]
+
+    def fraction_with_servers_at_most(self, threshold: int) -> float:
+        n = len(self.providers)
+        if n == 0:
+            return 0.0
+        return sum(
+            1 for p in self.providers if p.claimed_server_count <= threshold
+        ) / n
+
+    # ------------------------------------------------------------------
+    # Vantage-point geography (Figure 3)
+    # ------------------------------------------------------------------
+    def vantage_country_heatmap(self, top_n: int = 15) -> Counter:
+        """Figure 3: how many of the top-N providers claim each country."""
+        heat: Counter = Counter()
+        for provider in self._top(top_n):
+            for country in provider.vantage_countries:
+                heat[country] += 1
+        return heat
+
+    # ------------------------------------------------------------------
+    # Subscriptions (Table 3)
+    # ------------------------------------------------------------------
+    def subscription_table(self) -> list[SubscriptionRow]:
+        rows = []
+        for period, label in (
+            ("monthly", "Monthly"),
+            ("quarterly", "Quarterly"),
+            ("semiannual", "6 Months"),
+            ("annual", "Annual"),
+        ):
+            costs = [
+                plan.monthly_cost
+                for provider in self.providers
+                for plan in provider.plans
+                if plan.period == period
+            ]
+            if not costs:
+                continue
+            rows.append(
+                SubscriptionRow(
+                    period=label,
+                    provider_count=len(costs),
+                    min_monthly=min(costs),
+                    avg_monthly=sum(costs) / len(costs),
+                    max_monthly=max(costs),
+                )
+            )
+        return rows
+
+    def beyond_annual_count(self) -> int:
+        periods = {"2-year", "3-year", "5-year", "lifetime"}
+        return sum(
+            1
+            for provider in self.providers
+            if any(plan.period in periods for plan in provider.plans)
+        )
+
+    def free_or_trial_fraction(self) -> float:
+        n = len(self.providers)
+        return sum(
+            1 for p in self.providers if p.has_free_tier or p.has_trial
+        ) / n if n else 0.0
+
+    def seven_day_refund_fraction(self) -> float:
+        """Fraction of all services offering the 7-day refund (paper: 40 %)."""
+        n = len(self.providers)
+        if n == 0:
+            return 0.0
+        return sum(1 for p in self.providers if p.refund_days == 7) / n
+
+    def refund_day_range(self) -> tuple[int, int]:
+        days = [p.refund_days for p in self.providers if p.refund_days]
+        return (min(days), max(days)) if days else (0, 0)
+
+    # ------------------------------------------------------------------
+    # Payments (Figure 4)
+    # ------------------------------------------------------------------
+    def payment_acceptance(self) -> dict[str, float]:
+        n = len(self.providers)
+        return {
+            "credit-card": sum(
+                1 for p in self.providers if p.accepts_credit_cards
+            ) / n,
+            "online": sum(
+                1 for p in self.providers if p.accepts_online_payments
+            ) / n,
+            "cryptocurrency": sum(
+                1 for p in self.providers if p.accepts_cryptocurrency
+            ) / n,
+            "online+crypto-no-card": sum(
+                1
+                for p in self.providers
+                if not p.accepts_credit_cards
+                and p.accepts_online_payments
+                and p.accepts_cryptocurrency
+            ) / n,
+        }
+
+    def payment_method_counts(self) -> Counter:
+        """Figure 4: providers accepting each concrete method."""
+        counts: Counter = Counter()
+        for provider in self.providers:
+            for method in set(provider.payment_methods):
+                counts[method.value] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Protocols and platforms (Figure 5, 'Platform Support')
+    # ------------------------------------------------------------------
+    def protocol_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for provider in self.providers:
+            for protocol in set(provider.protocols):
+                counts[protocol] += 1
+        return counts
+
+    def platform_support(self) -> dict[str, float]:
+        n = len(self.providers)
+        both_desktop = sum(
+            1
+            for p in self.providers
+            if Platform.WINDOWS in p.platforms and Platform.MACOS in p.platforms
+        )
+        linux = sum(1 for p in self.providers if Platform.LINUX in p.platforms)
+        both_mobile = sum(
+            1
+            for p in self.providers
+            if Platform.ANDROID in p.platforms and Platform.IOS in p.platforms
+        )
+        return {
+            "windows+macos": both_desktop / n,
+            "linux": linux / n,
+            "android+ios": both_mobile / n,
+        }
+
+    # ------------------------------------------------------------------
+    # Transparency and marketing
+    # ------------------------------------------------------------------
+    def transparency_stats(self) -> dict[str, object]:
+        lengths = [
+            p.privacy_policy_words
+            for p in self.providers
+            if p.privacy_policy_words is not None
+        ]
+        return {
+            "without_privacy_policy": sum(
+                1 for p in self.providers if not p.has_privacy_policy
+            ),
+            "without_terms_of_service": sum(
+                1 for p in self.providers if not p.has_terms_of_service
+            ),
+            "no_logs_claims": sum(
+                1 for p in self.providers if p.claims_no_logs
+            ),
+            "policy_words_min": min(lengths) if lengths else 0,
+            "policy_words_avg": (
+                sum(lengths) / len(lengths) if lengths else 0.0
+            ),
+            "policy_words_max": max(lengths) if lengths else 0,
+        }
+
+    def marketing_stats(self) -> dict[str, int]:
+        return {
+            "facebook": sum(1 for p in self.providers if p.has_facebook),
+            "twitter": sum(1 for p in self.providers if p.has_twitter),
+            "affiliate_programs": sum(
+                1 for p in self.providers if p.has_affiliate_program
+            ),
+            "kill_switch_mentions": sum(
+                1 for p in self.providers if p.mentions_kill_switch
+            ),
+            "vpn_over_tor": sum(
+                1 for p in self.providers if p.offers_vpn_over_tor
+            ),
+            "p2p_allowed": sum(1 for p in self.providers if p.allows_p2p),
+        }
+
+    # ------------------------------------------------------------------
+    def _top(self, top_n: Optional[int]) -> list[EcosystemProvider]:
+        ranked = sorted(
+            self.providers,
+            key=lambda p: p.popularity_rank
+            if p.popularity_rank is not None
+            else 10_000,
+        )
+        return ranked if top_n is None else ranked[:top_n]

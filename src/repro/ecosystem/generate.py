@@ -1,0 +1,522 @@
+"""Calibrated synthesis of the 200-provider ecosystem.
+
+Every marginal statistic Section 4 reports is reproduced by construction:
+
+- founding years (90 % of the top-50 popular services founded after 2005;
+  the oldest — HideMyAss, IPVanish, StrongVPN, Ironsocket — in 2005);
+- business locations (US/GB/DE/SE/CA heavy; two providers in China; a
+  handful in Seychelles/Belize; NordVPN in Panama);
+- claimed server counts (80 % at 750 or fewer; the popular services in the
+  2,000–4,000 band — Figure 2);
+- subscription plans (Table 3: 161 monthly / 55 quarterly / 57 semiannual /
+  134 annual, with the reported min/avg/max monthly-equivalent costs, plus
+  19 services with multi-year or lifetime deals);
+- payment methods (61 % cards, 59 % online, 46 % crypto, 32 % crypto+online
+  without cards — Figure 4);
+- tunneling protocols (OpenVPN and PPTP majorities — Figure 5);
+- platforms (87 % Windows+macOS, 61 % Linux, 56 % Android+iOS);
+- transparency (50 without a privacy policy, 85 without ToS, policy lengths
+  70–10,965 words averaging 1,340, 45 claiming "no logs");
+- marketing (126 Facebook, 131 Twitter, 88 affiliate programmes);
+- features (18 kill-switch mentions, 10 VPN-over-Tor, 64 P2P-friendly);
+- 45 % with a free tier or trial; 7-day refunds the most common (40 %).
+
+The 62 actively-tested providers of Appendix A occupy the head of the
+popularity ranking, with their catalogue metadata carried over.
+"""
+
+from __future__ import annotations
+
+import random
+from repro.ecosystem.model import (
+    EcosystemProvider,
+    PaymentMethod,
+    Platform,
+    SubscriptionPlan,
+)
+from repro.vpn.catalog import POPULAR_SERVICES, provider_profiles
+from repro.vpn.provider import SubscriptionType
+
+TOTAL_PROVIDERS = 200
+
+# Figure 1's business-location weighting (country -> expected providers).
+_BUSINESS_COUNTRIES: list[tuple[str, int]] = [
+    ("US", 46), ("GB", 22), ("DE", 12), ("SE", 10), ("CA", 10),
+    ("NL", 8), ("RO", 7), ("CH", 7), ("HK", 8), ("SG", 6),
+    ("AU", 5), ("FR", 5), ("CY", 4), ("IL", 3), ("RU", 3),
+    ("SC", 4), ("BZ", 3), ("PA", 3), ("CN", 2), ("VG", 3),
+    ("MY", 3), ("CZ", 2), ("IT", 2), ("ES", 2), ("BG", 2),
+    ("EE", 2), ("GI", 2), ("UA", 2), ("IN", 2), ("JP", 2),
+    ("FI", 2), ("NO", 2), ("GR", 2), ("PL", 2), ("IE", 2),
+    ("AT", 1), ("BE", 1), ("DK", 1), ("HU", 1), ("KR", 1),
+    ("LU", 1), ("LV", 1), ("MD", 1), ("MT", 1), ("MU", 1),
+    ("NZ", 1), ("PT", 1), ("SK", 1), ("TR", 1), ("ZA", 1),
+]
+
+_SYNTH_NAME_STEMS = [
+    "Shield", "Ghost", "Falcon", "Aurora", "Titan", "Nimbus", "Vertex",
+    "Sentry", "Cipher", "Raven", "Comet", "Zephyr", "Atlas", "Nova",
+    "Harbor", "Summit", "Drift", "Ember", "Quartz", "Onyx", "Delta",
+    "Mirage", "Pioneer", "Beacon", "Orbit", "Glacier", "Krypt", "Vault",
+    "Stealth", "Horizon", "Pulse", "Rocket", "Breeze", "Fortress", "Lynx",
+]
+_SYNTH_NAME_SUFFIXES = ["VPN", "Net", "Proxy", "Tunnel", "Secure", "Privacy"]
+
+
+def _solve_price_exponent(
+    minimum: float, maximum: float, mean: float, count: int
+) -> float:
+    """Exponent k such that min + (max-min) * u^k has the target mean.
+
+    Prices are laid out on deterministic quantiles u in (0, 1); bisection
+    on k shapes the distribution so the sample mean matches the paper's.
+    """
+    quantiles = [(i + 0.5) / count for i in range(count)]
+
+    def mean_for(k: float) -> float:
+        return sum(minimum + (maximum - minimum) * u ** k for u in quantiles) / count
+
+    low, high = 0.05, 20.0
+    for _ in range(80):
+        mid = (low + high) / 2.0
+        if mean_for(mid) > mean:
+            low = mid  # larger k pushes mass toward the minimum
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def _price_series(
+    minimum: float, maximum: float, mean: float, count: int,
+    rng: random.Random,
+) -> list[float]:
+    """*count* prices with exact min/max and calibrated mean."""
+    if count == 1:
+        return [round(mean, 2)]
+    k = _solve_price_exponent(minimum, maximum, mean, count)
+    prices = [
+        round(minimum + (maximum - minimum) * ((i + 0.5) / count) ** k, 2)
+        for i in range(count)
+    ]
+    prices[0] = minimum
+    prices[-1] = maximum
+    rng.shuffle(prices)
+    return prices
+
+
+def _founding_year(rank: int, rng: random.Random) -> int:
+    if rank in (0, 1, 2, 3):
+        return 2005  # HideMyAss, IPVanish, StrongVPN, Ironsocket vintage
+    if rank < 50:
+        # 90 % of the top-50 founded after 2005.
+        return 2006 + rng.randrange(0, 11) if rng.random() < 0.9 else 2003
+    return 2006 + rng.randrange(0, 11)
+
+
+def _business_country_sequence() -> list[str]:
+    sequence: list[str] = []
+    for country, weight in _BUSINESS_COUNTRIES:
+        sequence.extend([country] * weight)
+    return sequence[:TOTAL_PROVIDERS]
+
+
+def _claimed_servers(rank: int, rng: random.Random) -> int:
+    # Figure 2: 80 % of providers claim <= 750 servers; the popular ones
+    # claim 2,000-4,000.
+    if rank < 8:
+        return rng.randrange(2000, 4001, 50)
+    if rank < 40:
+        return rng.randrange(300, 1500, 10)
+    if rng.random() < 0.85:
+        return rng.randrange(5, 751, 5)
+    return rng.randrange(751, 1800, 10)
+
+
+_PROTOCOL_TARGETS = [
+    # Figure 5 shape: OpenVPN ~140, PPTP ~120, IPsec ~100, SSTP ~45,
+    # SSL ~30, SSH ~25.
+    ("OpenVPN", 140),
+    ("PPTP", 120),
+    ("IPsec", 100),
+    ("SSTP", 45),
+    ("SSL", 30),
+    ("SSH", 25),
+]
+
+
+def generate_ecosystem(seed: int = 2018) -> list[EcosystemProvider]:
+    """The calibrated 200-provider list, deterministic in *seed*."""
+    rng = random.Random(seed)
+    tested = provider_profiles()
+    providers: list[EcosystemProvider] = []
+
+    # Names: the review-site popularity head first (the paper's top-15),
+    # then the rest of the 62 tested services, then synthetic tails.
+    names = list(POPULAR_SERVICES)
+    names += [p.name for p in tested if p.name not in POPULAR_SERVICES]
+    stem_pairs = [
+        f"{stem}{suffix}"
+        for stem in _SYNTH_NAME_STEMS
+        for suffix in _SYNTH_NAME_SUFFIXES
+    ]
+    rng.shuffle(stem_pairs)
+    for name in stem_pairs:
+        if len(names) >= TOTAL_PROVIDERS:
+            break
+        if name not in names:
+            names.append(name)
+
+    countries = _business_country_sequence()
+    rng.shuffle(countries)
+
+    tested_by_name = {p.name: p for p in tested}
+    for rank, name in enumerate(names):
+        profile = tested_by_name.get(name)
+        if profile is not None:
+            business = profile.business_country
+            founded = profile.founded
+            servers = profile.claimed_server_count
+            claimed_countries = profile.claimed_country_count
+            vantage_countries = tuple(
+                sorted({s.claimed_country for s in profile.vantage_points})
+            )
+        else:
+            business = countries[rank % len(countries)]
+            founded = _founding_year(rank, rng)
+            servers = _claimed_servers(rank, rng)
+            claimed_countries = max(
+                1, min(100, int(servers ** 0.55) + rng.randrange(0, 12))
+            )
+            vantage_countries = ()
+        # NordVPN's Panama headquarters is called out in the paper.
+        if name == "NordVPN":
+            business = "PA"
+        providers.append(
+            EcosystemProvider(
+                name=name,
+                founded=founded,
+                business_country=business,
+                claimed_server_count=servers,
+                claimed_country_count=claimed_countries,
+                vantage_countries=vantage_countries,
+                popularity_rank=rank + 1,
+            )
+        )
+
+    _enforce_location_facts(providers)
+    _assign_plans(providers, rng, tested_by_name)
+    _assign_payments(providers, rng)
+    _assign_protocols(providers, rng, tested_by_name)
+    _assign_platforms(providers, rng, tested_by_name)
+    _assign_transparency(providers, rng)
+    _assign_marketing(providers, rng)
+    return providers
+
+
+# ---------------------------------------------------------------------------
+# Attribute assignment passes (each calibrated to a Section 4 statistic).
+# ---------------------------------------------------------------------------
+def _enforce_location_facts(providers: list[EcosystemProvider]) -> None:
+    """Pin the exact location facts Section 4 calls out.
+
+    Exactly two providers claim a Chinese business location (the paper
+    names FreeVPN Ninja and Seed4.me; Seed4.me is in our tested set), and
+    Seychelles/Belize each host at least a couple of services.
+    """
+    chinese = [p for p in providers if p.business_country == "CN"]
+    keep: list[EcosystemProvider] = [
+        p for p in chinese if p.name == "Seed4.me"
+    ]
+    for provider in chinese:
+        if provider.name != "Seed4.me" and len(keep) < 2:
+            keep.append(provider)
+    for provider in chinese:
+        if provider not in keep:
+            provider.business_country = "HK"
+    if len(keep) < 2:
+        for provider in providers:
+            if provider.business_country == "HK" and provider not in keep:
+                provider.business_country = "CN"
+                keep.append(provider)
+                if len(keep) == 2:
+                    break
+    for country in ("SC", "BZ"):
+        have = sum(1 for p in providers if p.business_country == country)
+        for provider in reversed(providers):
+            if have >= 2:
+                break
+            if (
+                provider.business_country == "US"
+                and provider.popularity_rank is not None
+                and provider.popularity_rank > 62
+            ):
+                provider.business_country = country
+                have += 1
+
+
+
+def _assign_plans(
+    providers: list[EcosystemProvider],
+    rng: random.Random,
+    tested_by_name: dict,
+) -> None:
+    indices = list(range(len(providers)))
+
+    monthly_idx = rng.sample(indices, 161)
+    monthly_prices = _price_series(0.99, 29.95, 10.10, 161, rng)
+    for index, price in zip(monthly_idx, monthly_prices):
+        providers[index].plans.append(
+            SubscriptionPlan("monthly", price, price)
+        )
+
+    quarterly_idx = rng.sample(indices, 55)
+    quarterly_prices = _price_series(2.20, 18.33, 6.71, 55, rng)
+    for index, price in zip(quarterly_idx, quarterly_prices):
+        providers[index].plans.append(
+            SubscriptionPlan("quarterly", price, round(price * 3, 2))
+        )
+
+    semi_idx = rng.sample(indices, 57)
+    semi_prices = _price_series(2.00, 16.33, 6.81, 57, rng)
+    for index, price in zip(semi_idx, semi_prices):
+        providers[index].plans.append(
+            SubscriptionPlan("semiannual", price, round(price * 6, 2))
+        )
+
+    annual_idx = rng.sample(indices, 134)
+    annual_prices = _price_series(0.38, 12.83, 4.80, 134, rng)
+    for index, price in zip(annual_idx, annual_prices):
+        providers[index].plans.append(
+            SubscriptionPlan("annual", price, round(price * 12, 2))
+        )
+
+    # 19 services with beyond-annual deals; CrypticVPN and HideMyIP offer
+    # lifetime access at $25 and $35.
+    beyond = rng.sample(indices, 19)
+    for position, index in enumerate(beyond):
+        provider = providers[index]
+        if position == 0:
+            provider.plans.append(SubscriptionPlan("lifetime", 0.0, 25.0))
+        elif position == 1:
+            provider.plans.append(SubscriptionPlan("lifetime", 0.0, 35.0))
+        else:
+            years = rng.choice([2, 2, 3, 5])
+            monthly = round(rng.uniform(1.0, 4.0), 2)
+            provider.plans.append(
+                SubscriptionPlan(
+                    f"{years}-year", monthly, round(monthly * 12 * years, 2)
+                )
+            )
+
+    # 45 % free or trial; tested providers keep their catalogue type.
+    free_trial_target = int(0.45 * len(providers))
+    flagged = 0
+    for provider in providers:
+        profile = tested_by_name.get(provider.name)
+        if profile is not None:
+            if profile.subscription is SubscriptionType.FREE:
+                provider.has_free_tier = True
+                flagged += 1
+            elif profile.subscription is SubscriptionType.TRIAL:
+                provider.has_trial = True
+                flagged += 1
+    for provider in providers:
+        if flagged >= free_trial_target:
+            break
+        if provider.name in tested_by_name:
+            continue
+        if provider.has_free_tier or provider.has_trial:
+            continue
+        if rng.random() < 0.5:
+            provider.has_free_tier = True
+        else:
+            provider.has_trial = True
+        flagged += 1
+
+    # Refunds range from 24 hours to 60 days; the 7-day refund is the most
+    # common, offered by exactly 40 % of the services.
+    refund_choices = [1, 2, 3, 14, 30, 45, 60]
+    refund_idx = rng.sample(indices, 136)  # 80 seven-day + 56 other
+    for position, index in enumerate(refund_idx):
+        if position < 80:
+            providers[index].refund_days = 7
+        else:
+            providers[index].refund_days = rng.choice(refund_choices)
+
+
+def _assign_payments(
+    providers: list[EcosystemProvider], rng: random.Random
+) -> None:
+    """Card/online/crypto acceptance with Figure 4's joint structure."""
+    n = len(providers)
+    # Targets: 61 % cards, 59 % online, 46 % crypto, 32 % online+crypto
+    # without cards. With OC fixed at 64 (=32 %), the joint solution is:
+    #   cards    = C_only + CO + CC + CO_CC          = 122 (61 %)
+    #   online   = CO + CO_CC + OC                   = 118 (59 %)
+    #   crypto   = CC + CO_CC + OC                   =  92 (46 %)
+    cells = (
+        [("C_only", 54)]     # cards only
+        + [("CO", 40)]       # cards + online
+        + [("CC", 14)]       # cards + crypto
+        + [("CO_CC", 14)]    # cards + online + crypto
+        + [("OC", 64)]       # online + crypto, no cards (32 %)
+        + [("none", 14)]     # niche/opaque services
+    )
+    assignments: list[str] = []
+    for label, count in cells:
+        assignments.extend([label] * count)
+    assignments = assignments[:n]
+    rng.shuffle(assignments)
+
+    for provider, label in zip(providers, assignments):
+        methods: list[PaymentMethod] = []
+        has_cards = label in ("C_only", "CO", "CC", "CO_CC")
+        has_online = label in ("CO", "CO_CC", "OC")
+        has_crypto = label in ("CC", "CO_CC", "OC")
+        if has_cards:
+            methods.append(PaymentMethod.VISA)
+            methods.append(PaymentMethod.MASTERCARD)
+            if rng.random() < 0.6:
+                methods.append(PaymentMethod.AMEX)
+        if has_online:
+            methods.append(PaymentMethod.PAYPAL)
+            if rng.random() < 0.35:
+                methods.append(PaymentMethod.ALIPAY)
+            if rng.random() < 0.25:
+                methods.append(PaymentMethod.WEBMONEY)
+        if has_crypto:
+            methods.append(PaymentMethod.BITCOIN)
+            if rng.random() < 0.40:
+                methods.append(PaymentMethod.ETHEREUM)
+            if rng.random() < 0.30:
+                methods.append(PaymentMethod.LITECOIN)
+        provider.payment_methods = tuple(methods)
+
+
+def _assign_protocols(
+    providers: list[EcosystemProvider],
+    rng: random.Random,
+    tested_by_name: dict,
+) -> None:
+    n = len(providers)
+    for protocol, target in _PROTOCOL_TARGETS:
+        # Tested providers contribute their catalogue protocols first.
+        have = [
+            p for p in providers
+            if protocol in _normalised_protocols(p, tested_by_name)
+        ]
+        need = target - len(have)
+        candidates = [
+            p for p in providers
+            if protocol not in _normalised_protocols(p, tested_by_name)
+            and p.name not in tested_by_name
+        ]
+        rng.shuffle(candidates)
+        for provider in candidates[: max(0, need)]:
+            provider.protocols = provider.protocols + (protocol,)
+    # Fold the tested providers' catalogue protocols into the record.
+    for provider in providers:
+        profile = tested_by_name.get(provider.name)
+        if profile is not None:
+            merged = set(provider.protocols)
+            merged.update(_map_protocols(profile.protocols))
+            provider.protocols = tuple(sorted(merged))
+        elif not provider.protocols:
+            provider.protocols = ("OpenVPN",)
+
+
+def _map_protocols(protocols: tuple[str, ...]) -> list[str]:
+    """Catalogue protocol names -> Figure 5 categories."""
+    out = []
+    for protocol in protocols:
+        if protocol in ("L2TP/IPsec", "IPsec/IKEv2"):
+            out.append("IPsec")
+        elif protocol in ("OpenVPN", "PPTP", "SSTP", "SSL", "SSH"):
+            out.append(protocol)
+    return out
+
+
+def _normalised_protocols(
+    provider: EcosystemProvider, tested_by_name: dict
+) -> set[str]:
+    profile = tested_by_name.get(provider.name)
+    merged = set(provider.protocols)
+    if profile is not None:
+        merged.update(_map_protocols(profile.protocols))
+    return merged
+
+
+def _assign_platforms(
+    providers: list[EcosystemProvider],
+    rng: random.Random,
+    tested_by_name: dict,
+) -> None:
+    n = len(providers)
+    desktop_both = set(rng.sample(range(n), int(0.87 * n)))
+    linux = set(rng.sample(sorted(desktop_both), int(0.61 * n)))
+    mobile_both = set(rng.sample(range(n), int(0.56 * n)))
+    extension_only = set(
+        rng.sample([i for i in range(n) if i not in desktop_both], 5)
+    )
+    for index, provider in enumerate(providers):
+        platforms: list[Platform] = []
+        if index in extension_only:
+            provider.browser_extension_only = True
+            provider.platforms = (Platform.BROWSER_EXTENSION,)
+            continue
+        if index in desktop_both:
+            platforms += [Platform.WINDOWS, Platform.MACOS]
+        else:
+            platforms.append(Platform.WINDOWS)
+        if index in linux:
+            platforms.append(Platform.LINUX)
+        if index in mobile_both:
+            platforms += [Platform.ANDROID, Platform.IOS]
+        provider.platforms = tuple(platforms)
+
+
+def _assign_transparency(
+    providers: list[EcosystemProvider], rng: random.Random
+) -> None:
+    n = len(providers)
+    no_policy = set(rng.sample(range(n), 50))
+    no_tos = set(rng.sample(range(n), 85))
+    no_logs = set(rng.sample(range(n), 45))
+
+    # Policy lengths: 70..10,965 words, mean 1,340 (same calibration trick
+    # as prices). Only providers *with* a policy have a length.
+    with_policy = [i for i in range(n) if i not in no_policy]
+    lengths = _price_series(70, 10965, 1340, len(with_policy), rng)
+    for index, length in zip(with_policy, lengths):
+        providers[index].privacy_policy_words = int(length)
+
+    for index, provider in enumerate(providers):
+        provider.has_privacy_policy = index not in no_policy
+        if not provider.has_privacy_policy:
+            provider.privacy_policy_words = None
+        provider.has_terms_of_service = index not in no_tos
+        provider.claims_no_logs = index in no_logs
+
+
+def _assign_marketing(
+    providers: list[EcosystemProvider], rng: random.Random
+) -> None:
+    n = len(providers)
+    facebook = set(rng.sample(range(n), 126))
+    twitter = set(rng.sample(range(n), 131))
+    affiliates = set(rng.sample(range(n), 88))
+    kill_switch = set(rng.sample(range(n), 18))
+    vpn_over_tor = set(rng.sample(range(n), 10))
+    p2p = set(rng.sample(range(n), 64))
+    # Multi-language reviews (Table 2 category, 53 providers).
+    multilang = set(rng.sample(range(n), 53))
+    for index, provider in enumerate(providers):
+        provider.has_facebook = index in facebook
+        provider.has_twitter = index in twitter
+        provider.has_affiliate_program = index in affiliates
+        provider.mentions_kill_switch = index in kill_switch
+        provider.offers_vpn_over_tor = index in vpn_over_tor
+        provider.allows_p2p = index in p2p
+        provider.review_languages = (
+            rng.randrange(2, 7) if index in multilang else 1
+        )

@@ -1,0 +1,114 @@
+"""The ecosystem provider record (the mined-metadata schema of Section 4)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class PaymentMethod(enum.Enum):
+    # Credit cards
+    VISA = "Visa"
+    MASTERCARD = "MC"
+    AMEX = "Amex"
+    # Online payments
+    PAYPAL = "Paypal"
+    ALIPAY = "Alipay"
+    WEBMONEY = "WM"
+    # Cryptocurrencies
+    BITCOIN = "Bitcoin"
+    ETHEREUM = "ETH"
+    LITECOIN = "Lite"
+
+    @property
+    def category(self) -> str:
+        if self in (PaymentMethod.VISA, PaymentMethod.MASTERCARD,
+                    PaymentMethod.AMEX):
+            return "credit-card"
+        if self in (PaymentMethod.PAYPAL, PaymentMethod.ALIPAY,
+                    PaymentMethod.WEBMONEY):
+            return "online"
+        return "cryptocurrency"
+
+
+class Platform(enum.Enum):
+    WINDOWS = "Windows"
+    MACOS = "macOS"
+    LINUX = "Linux"
+    ANDROID = "Android"
+    IOS = "iOS"
+    BROWSER_EXTENSION = "Browser"
+
+
+@dataclass
+class SubscriptionPlan:
+    """A plan with its effective monthly cost in USD."""
+
+    period: str         # monthly | quarterly | semiannual | annual | lifetime
+    monthly_cost: float
+    total_cost: float
+
+
+@dataclass
+class EcosystemProvider:
+    """Everything Section 4 mines from one provider's website."""
+
+    name: str
+    founded: int
+    business_country: str
+    claimed_server_count: int
+    claimed_country_count: int
+    vantage_countries: tuple[str, ...] = ()
+    plans: list[SubscriptionPlan] = field(default_factory=list)
+    has_free_tier: bool = False
+    has_trial: bool = False
+    refund_days: Optional[int] = None
+    payment_methods: tuple[PaymentMethod, ...] = ()
+    protocols: tuple[str, ...] = ()
+    platforms: tuple[Platform, ...] = ()
+    has_privacy_policy: bool = True
+    privacy_policy_words: Optional[int] = None
+    has_terms_of_service: bool = True
+    claims_no_logs: bool = False
+    has_affiliate_program: bool = False
+    has_facebook: bool = False
+    has_twitter: bool = False
+    mentions_kill_switch: bool = False
+    offers_vpn_over_tor: bool = False
+    allows_p2p: bool = False
+    browser_extension_only: bool = False
+    popularity_rank: Optional[int] = None  # 1 = most popular
+    review_languages: int = 1
+
+    # ------------------------------------------------------------------
+    def plan(self, period: str) -> Optional[SubscriptionPlan]:
+        for plan in self.plans:
+            if plan.period == period:
+                return plan
+        return None
+
+    @property
+    def monthly_price(self) -> Optional[float]:
+        plan = self.plan("monthly")
+        return plan.monthly_cost if plan else None
+
+    @property
+    def is_cheap(self) -> bool:
+        """Monthly cost under the paper's $3.99 'cheap' threshold."""
+        price = self.monthly_price
+        return price is not None and price < 3.99
+
+    @property
+    def accepts_credit_cards(self) -> bool:
+        return any(m.category == "credit-card" for m in self.payment_methods)
+
+    @property
+    def accepts_online_payments(self) -> bool:
+        return any(m.category == "online" for m in self.payment_methods)
+
+    @property
+    def accepts_cryptocurrency(self) -> bool:
+        return any(
+            m.category == "cryptocurrency" for m in self.payment_methods
+        )

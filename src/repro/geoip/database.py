@@ -1,0 +1,101 @@
+"""The generic geo-IP database model.
+
+A database's answer for an address is driven by three questions:
+
+1. Does it have coverage for this address at all?  (``coverage`` probability,
+   hashed deterministically per address.)
+2. Is it fooled by registration-level location spoofing?  Providers that
+   virtualise vantage points register their IP space to the advertised
+   country; databases differ in how often they take the bait
+   (``spoof_susceptibility``).
+3. Otherwise, does its measurement process make an honest mistake?
+   (``error_rate``; errors resolve to the US about a third of the time,
+   matching Section 6.4.1, otherwise to a pseudo-random country.)
+
+All randomness is a stable hash of (database name, address), so results are
+reproducible and per-address consistent across calls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class GeoIpResult:
+    """A database's verdict for one address."""
+
+    address: str
+    country: Optional[str]  # None = no estimate for this address
+    database: str
+
+    @property
+    def has_estimate(self) -> bool:
+        return self.country is not None
+
+
+# Countries honest errors land in (besides the US bias), roughly the
+# geography of large hosting markets.
+_ERROR_COUNTRIES = (
+    "DE", "NL", "GB", "FR", "CA", "SG", "JP", "SE", "PL", "RO", "AU", "BR",
+)
+
+
+@dataclass(frozen=True)
+class GeoIpDatabase:
+    """One geo-IP database with its error model."""
+
+    name: str
+    coverage: float              # P(has an estimate at all)
+    error_rate: float            # P(honest mistake | not spoofed)
+    spoof_susceptibility: float  # P(believes the registered country | spoofed)
+    us_bias: float = 0.33        # P(error lands on 'US')
+
+    def locate(
+        self,
+        address: str,
+        true_country: str,
+        registered_country: Optional[str] = None,
+    ) -> GeoIpResult:
+        """The database's country estimate for *address*.
+
+        ``true_country`` is where the server physically is;
+        ``registered_country`` is the country its WHOIS/registration data
+        claims (set by providers running 'virtual' vantage points).
+        """
+        u_cover, u_spoof, u_err, u_us, u_pick = self._draws(address)
+
+        if u_cover >= self.coverage:
+            return GeoIpResult(address=address, country=None, database=self.name)
+
+        spoofed = (
+            registered_country is not None and registered_country != true_country
+        )
+        if spoofed and u_spoof < self.spoof_susceptibility:
+            return GeoIpResult(
+                address=address, country=registered_country, database=self.name
+            )
+
+        if u_err < self.error_rate:
+            if u_us < self.us_bias and true_country != "US":
+                wrong = "US"
+            else:
+                candidates = [
+                    c for c in _ERROR_COUNTRIES if c != true_country
+                ]
+                wrong = candidates[int(u_pick * len(candidates)) % len(candidates)]
+            return GeoIpResult(address=address, country=wrong, database=self.name)
+
+        return GeoIpResult(
+            address=address, country=true_country, database=self.name
+        )
+
+    def _draws(self, address: str) -> tuple[float, float, float, float, float]:
+        """Five independent uniform draws, stable per (db, address)."""
+        digest = hashlib.sha256(f"{self.name}|{address}".encode()).digest()
+        return tuple(
+            int.from_bytes(digest[i * 4 : i * 4 + 4], "big") / 0xFFFFFFFF
+            for i in range(5)
+        )  # type: ignore[return-value]

@@ -1,0 +1,87 @@
+"""Simulated internet substrate.
+
+This subpackage provides the network layer every other component is built on:
+IP addressing, a layered packet model, interfaces with packet capture,
+longest-prefix-match routing, a geographic latency model, firewalls, hosts,
+and the :class:`~repro.net.internet.Internet` topology that delivers packets
+between hosts with realistic RTTs and TTL (traceroute) semantics.
+
+Nothing in here touches a real socket: the substrate is deterministic and
+fully in-process so the measurement suite above it can be tested exactly.
+"""
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    aggregate_cidrs,
+    ip_in_network,
+    parse_address,
+    parse_network,
+)
+from repro.net.capture import Capture, CaptureEntry
+from repro.net.firewall import Firewall, FirewallAction, FirewallRule
+from repro.net.geo import (
+    CITY_COORDINATES,
+    GeoPoint,
+    city_location,
+    country_centroid,
+    great_circle_km,
+)
+from repro.net.host import Host, Socket
+from repro.net.interface import Interface
+from repro.net.internet import DeliveryResult, Internet, PingResult, TracerouteHop
+from repro.net.latency import LatencyModel
+from repro.net.packet import (
+    DnsPayload,
+    HttpPayload,
+    IcmpPayload,
+    Packet,
+    RawPayload,
+    TcpSegment,
+    TlsPayload,
+    TunnelPayload,
+    UdpDatagram,
+)
+from repro.net.routing import Route, RoutingTable
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Network",
+    "IPv6Address",
+    "IPv6Network",
+    "aggregate_cidrs",
+    "ip_in_network",
+    "parse_address",
+    "parse_network",
+    "Capture",
+    "CaptureEntry",
+    "Firewall",
+    "FirewallAction",
+    "FirewallRule",
+    "CITY_COORDINATES",
+    "GeoPoint",
+    "city_location",
+    "country_centroid",
+    "great_circle_km",
+    "Host",
+    "Socket",
+    "Interface",
+    "DeliveryResult",
+    "Internet",
+    "PingResult",
+    "TracerouteHop",
+    "LatencyModel",
+    "DnsPayload",
+    "HttpPayload",
+    "IcmpPayload",
+    "Packet",
+    "RawPayload",
+    "TcpSegment",
+    "TlsPayload",
+    "TunnelPayload",
+    "UdpDatagram",
+    "Route",
+    "RoutingTable",
+]

@@ -1,0 +1,392 @@
+"""IP addressing primitives.
+
+Thin, hashable wrappers around integer address values plus network (CIDR)
+arithmetic.  We implement the arithmetic directly rather than delegating to
+:mod:`ipaddress` because the simulator needs a few operations the standard
+library does not expose cleanly (prefix aggregation, deterministic subnet
+carving, shared-prefix queries) and because keeping the representation an
+``int`` makes longest-prefix matching in :mod:`repro.net.routing` fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+_V4_BITS = 32
+_V6_BITS = 128
+_V4_MAX = (1 << _V4_BITS) - 1
+_V6_MAX = (1 << _V6_BITS) - 1
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or networks."""
+
+
+def _check_int(value: int, bits: int, what: str) -> None:
+    if not 0 <= value <= (1 << bits) - 1:
+        raise AddressError(f"{what} out of range: {value!r}")
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as an unsigned 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_int(self.value, _V4_BITS, "IPv4 address")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"invalid IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"invalid IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255 or (len(part) > 1 and part[0] == "0"):
+                raise AddressError(f"invalid IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def version(self) -> int:
+        return 4
+
+    @property
+    def bits(self) -> int:
+        return _V4_BITS
+
+    def octets(self) -> tuple[int, int, int, int]:
+        v = self.value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets())
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+
+@dataclass(frozen=True, order=True)
+class IPv6Address:
+    """An IPv6 address stored as an unsigned 128-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_int(self.value, _V6_BITS, "IPv6 address")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        text = text.strip().lower()
+        if text.count("::") > 1:
+            raise AddressError(f"invalid IPv6 address: {text!r}")
+        if "::" in text:
+            head, _, tail = text.partition("::")
+            head_groups = head.split(":") if head else []
+            tail_groups = tail.split(":") if tail else []
+            missing = 8 - len(head_groups) - len(tail_groups)
+            if missing < 1:
+                raise AddressError(f"invalid IPv6 address: {text!r}")
+            groups = head_groups + ["0"] * missing + tail_groups
+        else:
+            groups = text.split(":")
+        if len(groups) != 8:
+            raise AddressError(f"invalid IPv6 address: {text!r}")
+        value = 0
+        for group in groups:
+            if not group or len(group) > 4:
+                raise AddressError(f"invalid IPv6 address: {text!r}")
+            try:
+                chunk = int(group, 16)
+            except ValueError as exc:
+                raise AddressError(f"invalid IPv6 address: {text!r}") from exc
+            value = (value << 16) | chunk
+        return cls(value)
+
+    @property
+    def version(self) -> int:
+        return 6
+
+    @property
+    def bits(self) -> int:
+        return _V6_BITS
+
+    def groups(self) -> tuple[int, ...]:
+        return tuple((self.value >> (16 * (7 - i))) & 0xFFFF for i in range(8))
+
+    def __str__(self) -> str:
+        groups = self.groups()
+        # Find the longest run of zero groups (length >= 2) to compress.
+        best_start, best_len = -1, 0
+        run_start, run_len = -1, 0
+        for i, g in enumerate(groups):
+            if g == 0:
+                if run_start < 0:
+                    run_start, run_len = i, 0
+                run_len += 1
+                if run_len > best_len:
+                    best_start, best_len = run_start, run_len
+            else:
+                run_start, run_len = -1, 0
+        if best_len >= 2:
+            head = ":".join(f"{g:x}" for g in groups[:best_start])
+            tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+            return f"{head}::{tail}"
+        return ":".join(f"{g:x}" for g in groups)
+
+    def __repr__(self) -> str:
+        return f"IPv6Address({str(self)!r})"
+
+    def __add__(self, offset: int) -> "IPv6Address":
+        return IPv6Address(self.value + offset)
+
+
+Address = Union[IPv4Address, IPv6Address]
+
+
+def parse_address(text: str) -> Address:
+    """Parse an IPv4 or IPv6 address from its textual form."""
+    if ":" in text:
+        return IPv6Address.parse(text)
+    return IPv4Address.parse(text)
+
+
+class _BaseNetwork:
+    """Shared CIDR arithmetic for IPv4/IPv6 networks."""
+
+    __slots__ = ("network", "prefix_len")
+
+    _address_cls: type
+    _bits: int
+
+    def __init__(self, network: Address, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= self._bits:
+            raise AddressError(f"invalid prefix length: {prefix_len}")
+        mask = self._mask(prefix_len)
+        if network.value & ~mask & ((1 << self._bits) - 1):
+            # Normalise to the true network address.
+            network = self._address_cls(network.value & mask)
+        object.__setattr__(self, "network", network)
+        object.__setattr__(self, "prefix_len", prefix_len)
+
+    # Networks are conceptually immutable.
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @classmethod
+    def _mask(cls, prefix_len: int) -> int:
+        if prefix_len == 0:
+            return 0
+        return ((1 << prefix_len) - 1) << (cls._bits - prefix_len)
+
+    @classmethod
+    def parse(cls, text: str):
+        addr_text, _, plen_text = text.strip().partition("/")
+        if not plen_text:
+            plen = cls._bits
+        else:
+            if not plen_text.isdigit():
+                raise AddressError(f"invalid network: {text!r}")
+            plen = int(plen_text)
+        return cls(cls._address_cls.parse(addr_text), plen)
+
+    @property
+    def version(self) -> int:
+        return 4 if self._bits == _V4_BITS else 6
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (self._bits - self.prefix_len)
+
+    @property
+    def first(self) -> Address:
+        return self.network
+
+    @property
+    def last(self) -> Address:
+        return self._address_cls(self.network.value + self.num_addresses - 1)
+
+    def __contains__(self, address: object) -> bool:
+        if not isinstance(address, self._address_cls):
+            return False
+        mask = self._mask(self.prefix_len)
+        return (address.value & mask) == self.network.value
+
+    def contains_network(self, other: "_BaseNetwork") -> bool:
+        """True if *other* is a subnet of (or equal to) this network."""
+        if type(other) is not type(self):
+            return False
+        if other.prefix_len < self.prefix_len:
+            return False
+        mask = self._mask(self.prefix_len)
+        return (other.network.value & mask) == self.network.value
+
+    def overlaps(self, other: "_BaseNetwork") -> bool:
+        return self.contains_network(other) or other.contains_network(self)
+
+    def subnets(self, new_prefix: int) -> Iterator["_BaseNetwork"]:
+        """Yield the subnets of this network at *new_prefix* length."""
+        if new_prefix < self.prefix_len or new_prefix > self._bits:
+            raise AddressError(
+                f"cannot subnet /{self.prefix_len} into /{new_prefix}"
+            )
+        step = 1 << (self._bits - new_prefix)
+        for base in range(
+            self.network.value, self.network.value + self.num_addresses, step
+        ):
+            yield type(self)(self._address_cls(base), new_prefix)
+
+    def address_at(self, index: int) -> Address:
+        """The *index*-th address inside this network (0 = network address)."""
+        if not 0 <= index < self.num_addresses:
+            raise AddressError(
+                f"index {index} out of range for {self} "
+                f"({self.num_addresses} addresses)"
+            )
+        return self._address_cls(self.network.value + index)
+
+    def supernet(self, new_prefix: int) -> "_BaseNetwork":
+        if new_prefix > self.prefix_len or new_prefix < 0:
+            raise AddressError(
+                f"cannot supernet /{self.prefix_len} to /{new_prefix}"
+            )
+        return type(self)(self.network, new_prefix)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.network == self.network  # type: ignore[attr-defined]
+            and other.prefix_len == self.prefix_len  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.network, self.prefix_len))
+
+    def __lt__(self, other: "_BaseNetwork") -> bool:
+        return (self.network.value, self.prefix_len) < (
+            other.network.value,
+            other.prefix_len,
+        )
+
+
+class IPv4Network(_BaseNetwork):
+    """An IPv4 CIDR block."""
+
+    _address_cls = IPv4Address
+    _bits = _V4_BITS
+
+
+class IPv6Network(_BaseNetwork):
+    """An IPv6 CIDR block."""
+
+    _address_cls = IPv6Address
+    _bits = _V6_BITS
+
+
+Network = Union[IPv4Network, IPv6Network]
+
+
+def parse_network(text: str) -> Network:
+    """Parse an IPv4 or IPv6 CIDR block from its textual form."""
+    if ":" in text:
+        return IPv6Network.parse(text)
+    return IPv4Network.parse(text)
+
+
+def ip_in_network(address: Union[str, Address], network: Union[str, Network]) -> bool:
+    """Convenience membership check accepting strings or parsed objects."""
+    if isinstance(address, str):
+        address = parse_address(address)
+    if isinstance(network, str):
+        network = parse_network(network)
+    return address in network
+
+
+def aggregate_cidrs(networks: Iterable[Network]) -> list[Network]:
+    """Collapse a set of CIDR blocks into the minimal covering set.
+
+    Removes blocks contained in others and merges adjacent sibling blocks,
+    mirroring ``ipaddress.collapse_addresses``.  v4 and v6 blocks are
+    aggregated independently and returned sorted (v4 first).
+    """
+    by_version: dict[int, list[Network]] = {4: [], 6: []}
+    for net in networks:
+        by_version[net.version].append(net)
+
+    result: list[Network] = []
+    for version in (4, 6):
+        blocks = sorted(set(by_version[version]))
+        # Drop blocks contained in an earlier (wider or equal) block.
+        pruned: list[Network] = []
+        for block in blocks:
+            if pruned and pruned[-1].contains_network(block):
+                continue
+            pruned.append(block)
+        # Iteratively merge sibling pairs.
+        merged = True
+        while merged:
+            merged = False
+            out: list[Network] = []
+            i = 0
+            while i < len(pruned):
+                cur = pruned[i]
+                if i + 1 < len(pruned):
+                    nxt = pruned[i + 1]
+                    if cur.prefix_len == nxt.prefix_len and cur.prefix_len > 0:
+                        parent = cur.supernet(cur.prefix_len - 1)
+                        if (
+                            parent.network == cur.network
+                            and nxt.network.value
+                            == cur.network.value + cur.num_addresses
+                        ):
+                            out.append(parent)
+                            i += 2
+                            merged = True
+                            continue
+                out.append(cur)
+                i += 1
+            pruned = out
+        result.extend(pruned)
+    return result
+
+
+def shared_prefix_len(a: Address, b: Address) -> int:
+    """Number of leading bits shared by two addresses of the same family."""
+    if a.version != b.version:
+        raise AddressError("cannot compare addresses of different families")
+    bits = a.bits
+    diff = a.value ^ b.value
+    if diff == 0:
+        return bits
+    return bits - diff.bit_length()
+
+
+def carve_subnets(
+    pool: Network, prefix_len: int, count: int
+) -> list[Network]:
+    """Deterministically carve *count* subnets of *prefix_len* out of *pool*.
+
+    Used by the provider catalogue to allocate vantage-point IP blocks.
+    """
+    subnets: list[Network] = []
+    for net in pool.subnets(prefix_len):
+        subnets.append(net)
+        if len(subnets) == count:
+            return subnets
+    raise AddressError(
+        f"pool {pool} cannot hold {count} /{prefix_len} subnets"
+    )

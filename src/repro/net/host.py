@@ -1,0 +1,259 @@
+"""Hosts.
+
+A :class:`Host` models one machine: interfaces, a routing table, a firewall,
+resolver configuration, and bound services.  Sending a packet performs a
+route lookup, consults the firewall, records the packet on the egress
+interface's capture, and hands it to the :class:`~repro.net.internet.Internet`
+for delivery.  Incoming packets traverse the firewall and capture, then are
+dispatched to the service bound to their protocol/port.
+
+The VPN client (``repro.vpn.client``) manipulates a host exactly like real
+client software manipulates an OS: it adds a tunnel interface, rewrites the
+routing table and resolver configuration, and optionally installs kill-switch
+firewall rules.  Every test in the measurement suite runs *on* a host.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.addresses import Address, parse_address
+from repro.net.firewall import Firewall
+from repro.net.geo import GeoPoint
+from repro.net.interface import Interface
+from repro.net.packet import (
+    IcmpPayload,
+    Packet,
+    TcpSegment,
+    TunnelPayload,
+    UdpDatagram,
+)
+from repro.net.routing import RoutingTable
+
+if TYPE_CHECKING:
+    from repro.net.internet import DeliveryResult, Internet
+
+# handler(incoming_packet, host) -> response packets (or None)
+ServiceHandler = Callable[[Packet, "Host"], Optional[list[Packet]]]
+
+
+@dataclass
+class Socket:
+    """A bound local port; mostly a source-port allocator for clients."""
+
+    host: "Host"
+    protocol: str
+    port: int
+
+    def close(self) -> None:
+        self.host.release_port(self.protocol, self.port)
+
+
+class Host:
+    """A simulated machine attached to the internet."""
+
+    def __init__(
+        self,
+        name: str,
+        location: GeoPoint,
+        internet: "Internet | None" = None,
+    ) -> None:
+        self.name = name
+        self.location = location
+        self.internet = internet
+        self.interfaces: dict[str, Interface] = {}
+        self.routing = RoutingTable()
+        self.firewall = Firewall()
+        self.dns_servers: list[Address] = []
+        self._services: dict[tuple[str, int], ServiceHandler] = {}
+        self._ports_in_use: set[tuple[str, int]] = set()
+        self._ephemeral = itertools.count(49152)
+        # Hook invoked on every packet successfully delivered to this host,
+        # before service dispatch. VPN servers use it for egress behaviours.
+        self.packet_tap: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    # Interfaces
+    # ------------------------------------------------------------------
+    def add_interface(self, interface: Interface) -> Interface:
+        if interface.name in self.interfaces:
+            raise ValueError(f"duplicate interface {interface.name!r}")
+        self.interfaces[interface.name] = interface
+        return interface
+
+    def remove_interface(self, name: str) -> None:
+        self.interfaces.pop(name, None)
+        self.routing.remove_where(interface=name)
+
+    def interface_for_address(self, address: Address) -> Optional[Interface]:
+        for interface in self.interfaces.values():
+            if interface.has_address(address):
+                return interface
+        return None
+
+    def addresses(self) -> list[Address]:
+        out: list[Address] = []
+        for interface in self.interfaces.values():
+            if interface.ipv4 is not None:
+                out.append(interface.ipv4)
+            if interface.ipv6 is not None:
+                out.append(interface.ipv6)
+        return out
+
+    def primary_interface(self) -> Optional[Interface]:
+        """The first non-tunnel interface (the 'hardware' NIC)."""
+        for interface in self.interfaces.values():
+            if not interface.is_tunnel:
+                return interface
+        return None
+
+    def tunnel_interfaces(self) -> list[Interface]:
+        return [i for i in self.interfaces.values() if i.is_tunnel]
+
+    # ------------------------------------------------------------------
+    # Services and ports
+    # ------------------------------------------------------------------
+    def bind(self, protocol: str, port: int, handler: ServiceHandler) -> None:
+        key = (protocol, port)
+        if key in self._services:
+            raise ValueError(f"{protocol}/{port} already bound on {self.name}")
+        self._services[key] = handler
+        self._ports_in_use.add(key)
+
+    def unbind(self, protocol: str, port: int) -> None:
+        self._services.pop((protocol, port), None)
+        self._ports_in_use.discard((protocol, port))
+
+    def open_socket(self, protocol: str) -> Socket:
+        while True:
+            port = next(self._ephemeral)
+            if port > 65535:
+                self._ephemeral = itertools.count(49152)
+                continue
+            if (protocol, port) not in self._ports_in_use:
+                self._ports_in_use.add((protocol, port))
+                return Socket(host=self, protocol=protocol, port=port)
+
+    def release_port(self, protocol: str, port: int) -> None:
+        self._ports_in_use.discard((protocol, port))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> "DeliveryResult":
+        """Route, filter, capture, and deliver one packet.
+
+        Returns the :class:`DeliveryResult`, which carries the fate of the
+        packet, the RTT, and any response packets the remote service issued.
+        """
+        from repro.net.internet import DeliveryResult  # circular at import time
+
+        if self.internet is None:
+            raise RuntimeError(f"host {self.name} is not attached to an internet")
+
+        route = self.routing.lookup(packet.dst)
+        if route is None:
+            return DeliveryResult.no_route(packet)
+        interface = self.interfaces.get(route.interface)
+        if interface is None or not interface.up:
+            return DeliveryResult.interface_down(packet, route.interface)
+
+        if not self.firewall.permits(packet, "out", interface.name):
+            return DeliveryResult.filtered(packet, "egress firewall")
+
+        interface.capture.record(self.internet.clock_ms, "tx", packet)
+        if interface.is_tunnel and interface.endpoint is not None:
+            # VPN tunnel: the endpoint encapsulates and re-sends via the
+            # physical interface (and may fail open/closed on tunnel loss).
+            result = interface.endpoint.transmit(packet)  # type: ignore[attr-defined]
+        else:
+            result = self.internet.deliver(packet, self)
+        for response in result.responses:
+            if self.firewall.permits(response, "in", interface.name):
+                interface.capture.record(self.internet.clock_ms, "rx", response)
+        return result
+
+    # ------------------------------------------------------------------
+    # Receiving (called by the Internet)
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> Optional[list[Packet]]:
+        """Handle a delivered packet; returns response packets if any."""
+        interface = self.interface_for_address(packet.dst)
+        iface_name = interface.name if interface else "?"
+        if not self.firewall.permits(packet, "in", iface_name):
+            return None
+        if interface is not None:
+            assert self.internet is not None
+            interface.capture.record(self.internet.clock_ms, "rx", packet)
+        if self.packet_tap is not None:
+            self.packet_tap(packet)
+
+        payload = packet.payload
+        if isinstance(payload, IcmpPayload):
+            if payload.icmp_type == "echo_request":
+                reply = Packet(
+                    src=packet.dst,
+                    dst=packet.src,
+                    payload=IcmpPayload(
+                        icmp_type="echo_reply",
+                        identifier=payload.identifier,
+                        sequence=payload.sequence,
+                    ),
+                )
+                self._record_tx(interface, reply)
+                return [reply]
+            return None
+
+        if isinstance(payload, (UdpDatagram, TcpSegment)):
+            handler = self._services.get((payload.kind, payload.dst_port))
+            if handler is None:
+                # Port closed: a real stack answers TCP with RST and UDP with
+                # ICMP port-unreachable; we model both as an ICMP unreachable.
+                reply = Packet(
+                    src=packet.dst,
+                    dst=packet.src,
+                    payload=IcmpPayload(icmp_type="port_unreachable"),
+                )
+                self._record_tx(interface, reply)
+                return [reply]
+            responses = handler(packet, self) or []
+            for response in responses:
+                self._record_tx(self.interface_for_address(response.src), response)
+            return responses
+
+        if isinstance(payload, TunnelPayload):
+            handler = self._services.get(("tunnel", 0))
+            if handler is None:
+                return None
+            responses = handler(packet, self) or []
+            for response in responses:
+                self._record_tx(self.interface_for_address(response.src), response)
+            return responses
+
+        return None
+
+    def _record_tx(self, interface: Optional[Interface], packet: Packet) -> None:
+        if interface is not None and self.internet is not None:
+            interface.capture.record(self.internet.clock_ms, "tx", packet)
+
+    # ------------------------------------------------------------------
+    # Configuration snapshots (metadata test, Section 5.3.4)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "interfaces": [i.snapshot() for i in self.interfaces.values()],
+            "routes": self.routing.snapshot(),
+            "dns_servers": [str(s) for s in self.dns_servers],
+            "firewall": self.firewall.snapshot(),
+        }
+
+    def set_dns_servers(self, servers: list[str | Address]) -> None:
+        self.dns_servers = [
+            parse_address(s) if isinstance(s, str) else s for s in servers
+        ]
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r} @ {self.location.city or self.location.country})"

@@ -1,0 +1,101 @@
+"""Network interfaces.
+
+An :class:`Interface` is a named attachment point on a host: it carries IPv4
+and/or IPv6 addresses, an up/down flag, an ARP table (recorded for metadata
+snapshots), and a packet :class:`~repro.net.capture.Capture`.  Physical
+interfaces (``en0``) attach to the simulated internet directly; tunnel
+interfaces (``utun0``) are created and torn down by VPN clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addresses import (
+    Address,
+    IPv4Address,
+    IPv6Address,
+    Network,
+    parse_address,
+    parse_network,
+)
+from repro.net.capture import Capture
+
+
+@dataclass
+class Interface:
+    """A network interface on a host."""
+
+    name: str
+    ipv4: Optional[IPv4Address] = None
+    ipv6: Optional[IPv6Address] = None
+    ipv4_network: Optional[Network] = None
+    ipv6_network: Optional[Network] = None
+    is_tunnel: bool = False
+    up: bool = True
+    mtu: int = 1500
+    capture: Capture = None  # type: ignore[assignment]
+    arp_table: dict[str, str] = field(default_factory=dict)
+    # For tunnel interfaces: the endpoint object that encapsulates traffic
+    # (set by the VPN client; duck-typed to avoid an import cycle).
+    endpoint: object = None
+
+    def __post_init__(self) -> None:
+        if self.capture is None:
+            self.capture = Capture(interface=self.name)
+
+    # ------------------------------------------------------------------
+    # Address management
+    # ------------------------------------------------------------------
+    def assign_ipv4(self, address: str | IPv4Address, network: str | Network | None = None) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)  # type: ignore[assignment]
+        if not isinstance(address, IPv4Address):
+            raise TypeError(f"not an IPv4 address: {address!r}")
+        self.ipv4 = address
+        if network is not None:
+            self.ipv4_network = (
+                parse_network(network) if isinstance(network, str) else network
+            )
+
+    def assign_ipv6(self, address: str | IPv6Address, network: str | Network | None = None) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)  # type: ignore[assignment]
+        if not isinstance(address, IPv6Address):
+            raise TypeError(f"not an IPv6 address: {address!r}")
+        self.ipv6 = address
+        if network is not None:
+            self.ipv6_network = (
+                parse_network(network) if isinstance(network, str) else network
+            )
+
+    def address_for_version(self, version: int) -> Optional[Address]:
+        return self.ipv4 if version == 4 else self.ipv6
+
+    def has_address(self, address: Address) -> bool:
+        return address in (self.ipv4, self.ipv6)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def bring_up(self) -> None:
+        self.up = True
+
+    def bring_down(self) -> None:
+        self.up = False
+
+    def record_arp(self, ip: str, mac: str) -> None:
+        self.arp_table[ip] = mac
+
+    def snapshot(self) -> dict[str, object]:
+        """Interface state for the metadata test (Section 5.3.4)."""
+        return {
+            "name": self.name,
+            "ipv4": str(self.ipv4) if self.ipv4 else None,
+            "ipv6": str(self.ipv6) if self.ipv6 else None,
+            "is_tunnel": self.is_tunnel,
+            "up": self.up,
+            "mtu": self.mtu,
+            "arp_entries": dict(self.arp_table),
+        }

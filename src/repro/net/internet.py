@@ -1,0 +1,333 @@
+"""The simulated internet.
+
+The :class:`Internet` is the global topology: a registry of hosts keyed by IP
+address, a simulation clock, and the latency model.  Delivery is synchronous:
+``deliver`` carries a packet from its source host to the host owning the
+destination address, advances the clock by the one-way latency, dispatches to
+the destination, and carries any responses back.
+
+TTL semantics are modelled so that traceroute works: the path between two
+hosts is populated with synthetic routers placed along the great-circle path,
+each with a deterministic IP drawn from a reserved prefix.  A packet whose
+TTL expires at hop *k* yields an ICMP time-exceeded from router *k*, with an
+RTT proportional to the distance covered — exactly the observable the paper's
+infrastructure-inference tests consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addresses import Address, IPv4Address, parse_address
+from repro.net.geo import GeoPoint
+from repro.net.host import Host
+from repro.net.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.net.packet import IcmpPayload, Packet
+
+# Synthetic transit routers live in this (reserved, never host-assigned)
+# space: 100.64.0.0/10 is carrier-grade NAT space in the real world.
+_ROUTER_PREFIX = 100 << 24 | 64 << 16
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One hop of a traceroute: address (or None on timeout) and RTT."""
+
+    ttl: int
+    address: Optional[Address]
+    rtt_ms: Optional[float]
+    location: Optional[GeoPoint] = None
+
+    def describe(self) -> str:
+        if self.address is None:
+            return f"{self.ttl:2d}  *"
+        return f"{self.ttl:2d}  {self.address}  {self.rtt_ms:.3f} ms"
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """Outcome of one echo probe."""
+
+    target: Address
+    rtt_ms: Optional[float]
+
+    @property
+    def reachable(self) -> bool:
+        return self.rtt_ms is not None
+
+
+@dataclass
+class DeliveryResult:
+    """The fate of a sent packet."""
+
+    packet: Packet
+    status: str  # delivered | no_route | unreachable | filtered | ttl_exceeded | interface_down
+    rtt_ms: Optional[float] = None
+    responses: list[Packet] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "delivered"
+
+    @classmethod
+    def no_route(cls, packet: Packet) -> "DeliveryResult":
+        return cls(packet=packet, status="no_route")
+
+    @classmethod
+    def filtered(cls, packet: Packet, detail: str) -> "DeliveryResult":
+        return cls(packet=packet, status="filtered", detail=detail)
+
+    @classmethod
+    def interface_down(cls, packet: Packet, interface: str) -> "DeliveryResult":
+        return cls(packet=packet, status="interface_down", detail=interface)
+
+
+class Internet:
+    """The global simulated topology."""
+
+    def __init__(self, latency_model: LatencyModel | None = None) -> None:
+        self.latency = latency_model or DEFAULT_LATENCY_MODEL
+        self.clock_ms: float = 0.0
+        self._hosts_by_address: dict[Address, Host] = {}
+        self._hosts_by_name: dict[str, Host] = {}
+        self._probe_counter = 0
+        # Upstream path blackholes: (source host name, destination address)
+        # pairs an in-path censor/ISP silently drops. Used by the
+        # tunnel-failure test to sever a VPN outside the client's control.
+        self._blackholes: set[tuple[str, Address]] = set()
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def attach(self, host: Host) -> Host:
+        """Attach a host; indexes all its current interface addresses."""
+        host.internet = self
+        if host.name in self._hosts_by_name:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self._hosts_by_name[host.name] = host
+        for address in host.addresses():
+            self.register_address(address, host)
+        return host
+
+    def register_address(self, address: Address, host: Host) -> None:
+        existing = self._hosts_by_address.get(address)
+        if existing is not None and existing is not host:
+            raise ValueError(
+                f"address {address} already owned by {existing.name}"
+            )
+        self._hosts_by_address[address] = host
+
+    def release_address(self, address: Address) -> None:
+        self._hosts_by_address.pop(address, None)
+
+    def host_for(self, address: str | Address) -> Optional[Host]:
+        if isinstance(address, str):
+            address = parse_address(address)
+        return self._hosts_by_address.get(address)
+
+    def host_named(self, name: str) -> Optional[Host]:
+        return self._hosts_by_name.get(name)
+
+    def hosts(self) -> list[Host]:
+        return list(self._hosts_by_name.values())
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def block_path(self, source: Host, destination: str | Address) -> None:
+        """Silently drop all traffic from *source* to *destination*."""
+        if isinstance(destination, str):
+            destination = parse_address(destination)
+        self._blackholes.add((source.name, destination))
+
+    def unblock_path(self, source: Host, destination: str | Address) -> None:
+        if isinstance(destination, str):
+            destination = parse_address(destination)
+        self._blackholes.discard((source.name, destination))
+
+    def deliver(self, packet: Packet, source: Host) -> DeliveryResult:
+        """Deliver a packet from *source* to the owner of ``packet.dst``."""
+        self._probe_counter += 1
+        if (source.name, packet.dst) in self._blackholes:
+            self.clock_ms += 2.0
+            return DeliveryResult(
+                packet=packet, status="unreachable", detail="path blackholed"
+            )
+        destination = self._hosts_by_address.get(packet.dst)
+        if destination is None:
+            # No such host: the packet dies in transit after a plausible delay.
+            self.clock_ms += 3.0
+            return DeliveryResult(packet=packet, status="unreachable")
+
+        hops = self.latency.hops_between(source.location, destination.location)
+        if packet.ttl <= hops:
+            # Expired at an intermediate router.
+            hop_index = packet.ttl
+            router_addr, router_loc = self._router_at(
+                source, destination, hop_index, hops
+            )
+            fraction = hop_index / max(1, hops)
+            rtt = (
+                self.latency.rtt_ms(
+                    source.location, destination.location, self._probe_counter
+                )
+                * fraction
+            )
+            self.clock_ms += rtt
+            reply = Packet(
+                src=router_addr,
+                dst=packet.src,
+                payload=IcmpPayload(
+                    icmp_type="time_exceeded", original_dst=str(packet.dst)
+                ),
+            )
+            return DeliveryResult(
+                packet=packet,
+                status="ttl_exceeded",
+                rtt_ms=rtt,
+                responses=[reply],
+                detail=str(router_addr),
+            )
+
+        rtt = self.latency.rtt_ms(
+            source.location, destination.location, self._probe_counter
+        )
+        self.clock_ms += rtt / 2.0
+        responses = destination.receive(packet.decrement_ttl()) or []
+        self.clock_ms += rtt / 2.0
+        return DeliveryResult(
+            packet=packet, status="delivered", rtt_ms=rtt, responses=responses
+        )
+
+    # ------------------------------------------------------------------
+    # Probing primitives used by the measurement suite
+    # ------------------------------------------------------------------
+    def ping(
+        self, source: Host, target: str | Address, count: int = 1
+    ) -> list[PingResult]:
+        """Send *count* echo requests from *source* to *target*."""
+        if isinstance(target, str):
+            target = parse_address(target)
+        results: list[PingResult] = []
+        src_addr = _source_address_for(source, target)
+        if src_addr is None:
+            return [PingResult(target=target, rtt_ms=None)] * count
+        for sequence in range(count):
+            probe = Packet(
+                src=src_addr,
+                dst=target,
+                payload=IcmpPayload(
+                    icmp_type="echo_request", identifier=1, sequence=sequence
+                ),
+            )
+            # RTT is measured on the simulation clock so that multi-leg
+            # paths (e.g. through a VPN tunnel) accumulate correctly.
+            started = self.clock_ms
+            outcome = source.send(probe)
+            elapsed = self.clock_ms - started
+            got_reply = outcome.ok and any(
+                isinstance(r.payload, IcmpPayload)
+                and r.payload.icmp_type == "echo_reply"
+                for r in outcome.responses
+            )
+            results.append(
+                PingResult(target=target, rtt_ms=elapsed if got_reply else None)
+            )
+        return results
+
+    def traceroute(
+        self, source: Host, target: str | Address, max_ttl: int = 30
+    ) -> list[TracerouteHop]:
+        """Standard increasing-TTL traceroute from *source* to *target*."""
+        if isinstance(target, str):
+            target = parse_address(target)
+        src_addr = _source_address_for(source, target)
+        if src_addr is None:
+            return []
+        hops: list[TracerouteHop] = []
+        for ttl in range(1, max_ttl + 1):
+            probe = Packet(
+                src=src_addr,
+                dst=target,
+                ttl=ttl,
+                payload=IcmpPayload(
+                    icmp_type="echo_request", identifier=2, sequence=ttl
+                ),
+            )
+            started = self.clock_ms
+            outcome = source.send(probe)
+            elapsed = self.clock_ms - started
+            if outcome.status == "ttl_exceeded":
+                router = outcome.responses[0].src if outcome.responses else None
+                hops.append(
+                    TracerouteHop(ttl=ttl, address=router, rtt_ms=elapsed)
+                )
+                continue
+            if outcome.ok:
+                # Through a tunnel the expiry happens on the inner path and
+                # comes back as an encapsulated time-exceeded response.
+                exceeded = [
+                    r
+                    for r in outcome.responses
+                    if isinstance(r.payload, IcmpPayload)
+                    and r.payload.icmp_type == "time_exceeded"
+                ]
+                if exceeded:
+                    hops.append(
+                        TracerouteHop(
+                            ttl=ttl, address=exceeded[0].src, rtt_ms=elapsed
+                        )
+                    )
+                    continue
+                reached = any(
+                    isinstance(r.payload, IcmpPayload)
+                    and r.payload.icmp_type == "echo_reply"
+                    for r in outcome.responses
+                )
+                if reached:
+                    hops.append(
+                        TracerouteHop(ttl=ttl, address=target, rtt_ms=elapsed)
+                    )
+                    break
+                hops.append(TracerouteHop(ttl=ttl, address=None, rtt_ms=None))
+                continue
+            hops.append(TracerouteHop(ttl=ttl, address=None, rtt_ms=None))
+            if outcome.status in ("no_route", "filtered", "interface_down"):
+                break
+        return hops
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _router_at(
+        self, source: Host, destination: Host, hop: int, total_hops: int
+    ) -> tuple[Address, GeoPoint]:
+        """Deterministic synthetic router for hop *hop* on a path."""
+        key = f"{source.location.lat},{source.location.lon}->" \
+              f"{destination.location.lat},{destination.location.lon}#{hop}"
+        digest = hashlib.sha256(key.encode("ascii")).digest()
+        suffix = int.from_bytes(digest[:3], "big") & 0x3FFFFF
+        address = IPv4Address(_ROUTER_PREFIX | suffix)
+        fraction = hop / max(1, total_hops)
+        location = GeoPoint(
+            lat=source.location.lat
+            + (destination.location.lat - source.location.lat) * fraction,
+            lon=source.location.lon
+            + (destination.location.lon - source.location.lon) * fraction,
+            country="",
+        )
+        return address, location
+
+
+def _source_address_for(source: Host, target: Address) -> Optional[Address]:
+    """Pick the source address matching the route's egress interface."""
+    route = source.routing.lookup(target)
+    if route is None:
+        return None
+    interface = source.interfaces.get(route.interface)
+    if interface is None:
+        return None
+    return interface.address_for_version(target.version)

@@ -1,0 +1,147 @@
+"""Routing tables with longest-prefix matching.
+
+A :class:`RoutingTable` maps destination prefixes to either a named interface
+(for directly-connected networks and tunnel devices) or a gateway address.
+The VPN client reroutes traffic by installing/removing routes exactly the way
+real clients manipulate the OS routing table, so the metadata test (paper
+Section 5.3.4) can snapshot it, and the leakage tests observe its effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import (
+    Address,
+    IPv4Network,
+    IPv6Network,
+    Network,
+    parse_address,
+    parse_network,
+)
+
+DEFAULT_V4 = IPv4Network.parse("0.0.0.0/0")
+DEFAULT_V6 = IPv6Network.parse("::/0")
+
+
+@dataclass(frozen=True)
+class Route:
+    """A single routing-table entry.
+
+    ``interface`` names the egress device.  ``gateway`` is informational in
+    the simulator (delivery is topological), but it is recorded because the
+    metadata snapshot includes it and tests assert on it.  Lower ``metric``
+    wins among equal-length prefixes.
+    """
+
+    prefix: Network
+    interface: str
+    gateway: Optional[Address] = None
+    metric: int = 0
+    source: str = "static"  # static | dhcp | vpn
+
+    def describe(self) -> str:
+        gw = str(self.gateway) if self.gateway else "link"
+        return (
+            f"{self.prefix} via {gw} dev {self.interface} "
+            f"metric {self.metric} ({self.source})"
+        )
+
+
+class RoutingTable:
+    """An ordered collection of routes with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, route: Route) -> None:
+        self._routes.append(route)
+
+    def add_prefix(
+        self,
+        prefix: str | Network,
+        interface: str,
+        gateway: str | Address | None = None,
+        metric: int = 0,
+        source: str = "static",
+    ) -> Route:
+        if isinstance(prefix, str):
+            prefix = parse_network(prefix)
+        if isinstance(gateway, str):
+            gateway = parse_address(gateway)
+        route = Route(
+            prefix=prefix,
+            interface=interface,
+            gateway=gateway,
+            metric=metric,
+            source=source,
+        )
+        self.add(route)
+        return route
+
+    def remove_where(self, **attrs: object) -> int:
+        """Remove all routes whose attributes match; returns count removed."""
+        def matches(route: Route) -> bool:
+            return all(getattr(route, k) == v for k, v in attrs.items())
+
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if not matches(r)]
+        return before - len(self._routes)
+
+    def routes(self) -> list[Route]:
+        return list(self._routes)
+
+    def lookup(self, destination: str | Address) -> Optional[Route]:
+        """Longest-prefix match; ties broken by lowest metric, then recency."""
+        if isinstance(destination, str):
+            destination = parse_address(destination)
+        best: Optional[Route] = None
+        best_index = -1
+        for index, route in enumerate(self._routes):
+            if route.prefix.version != destination.version:
+                continue
+            if destination not in route.prefix:
+                continue
+            if best is None:
+                best, best_index = route, index
+                continue
+            if route.prefix.prefix_len > best.prefix.prefix_len:
+                best, best_index = route, index
+            elif route.prefix.prefix_len == best.prefix.prefix_len:
+                if route.metric < best.metric or (
+                    route.metric == best.metric and index > best_index
+                ):
+                    best, best_index = route, index
+        return best
+
+    def default_route(self, version: int = 4) -> Optional[Route]:
+        """The current default route for the given IP version, if any."""
+        default = DEFAULT_V4 if version == 4 else DEFAULT_V6
+        candidates = [r for r in self._routes if r.prefix == default]
+        if not candidates:
+            return None
+        return min(
+            enumerate(candidates), key=lambda pair: (pair[1].metric, -pair[0])
+        )[1]
+
+    def host_routes(self) -> list[Route]:
+        """All /32 (v4) and /128 (v6) routes — pinned-host routes.
+
+        VPN clients typically pin the VPN server's address through the
+        physical interface before moving the default route onto the tunnel;
+        the metadata test pings every such route (Section 5.3.4).
+        """
+        return [
+            r
+            for r in self._routes
+            if (r.prefix.version == 4 and r.prefix.prefix_len == 32)
+            or (r.prefix.version == 6 and r.prefix.prefix_len == 128)
+        ]
+
+    def snapshot(self) -> list[str]:
+        """Human-readable dump, used in metadata collection."""
+        return [route.describe() for route in self._routes]
+
+    def __len__(self) -> int:
+        return len(self._routes)

@@ -1,0 +1,99 @@
+"""A WHOIS/ASN registry.
+
+The measurement suite consults WHOIS-style ownership data in two places:
+
+- the DNS-manipulation test "investigates the WHOIS records of the IPs
+  returned by the non-Google server, looking for owner information"
+  (Section 5.3.1);
+- the shared-infrastructure analysis reasons about ASNs and well-known
+  hosting providers (Section 6.3, Table 5).
+
+:class:`WhoisRegistry` maps prefixes to :class:`WhoisRecord` entries
+(organisation, country, ASN) with longest-prefix semantics.  The world
+populates it from the hosting pools and provider allocations of the
+catalogue plus the origin/infrastructure blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import (
+    Address,
+    Network,
+    parse_address,
+    parse_network,
+)
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """Ownership data for one allocated prefix."""
+
+    prefix: str
+    organisation: str
+    country: str
+    asn: int
+    abuse_contact: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"{self.prefix}  AS{self.asn}  {self.organisation} "
+            f"({self.country})"
+        )
+
+
+class WhoisRegistry:
+    """Longest-prefix WHOIS lookups over registered allocations."""
+
+    def __init__(self) -> None:
+        self._records: list[tuple[Network, WhoisRecord]] = []
+
+    def register(
+        self,
+        prefix: str | Network,
+        organisation: str,
+        country: str,
+        asn: int,
+        abuse_contact: str = "",
+    ) -> WhoisRecord:
+        if isinstance(prefix, str):
+            prefix = parse_network(prefix)
+        record = WhoisRecord(
+            prefix=str(prefix),
+            organisation=organisation,
+            country=country,
+            asn=asn,
+            abuse_contact=abuse_contact,
+        )
+        self._records.append((prefix, record))
+        return record
+
+    def lookup(self, address: str | Address) -> Optional[WhoisRecord]:
+        """The most specific registration covering *address*."""
+        if isinstance(address, str):
+            try:
+                address = parse_address(address)
+            except ValueError:
+                return None
+        best: Optional[tuple[int, WhoisRecord]] = None
+        for prefix, record in self._records:
+            if prefix.version != address.version:
+                continue
+            if address not in prefix:
+                continue
+            if best is None or prefix.prefix_len > best[0]:
+                best = (prefix.prefix_len, record)
+        return best[1] if best else None
+
+    def organisation_for(self, address: str | Address) -> str:
+        record = self.lookup(address)
+        return record.organisation if record else "unregistered"
+
+    def asn_for(self, address: str | Address) -> Optional[int]:
+        record = self.lookup(address)
+        return record.asn if record else None
+
+    def __len__(self) -> int:
+        return len(self._records)

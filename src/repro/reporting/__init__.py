@@ -1,0 +1,20 @@
+"""Report rendering: text tables and figure series.
+
+The benchmarks regenerate every table and figure of the paper; this package
+holds the shared rendering (fixed-width text tables, simple CDF/series
+extraction, ASCII bar charts) and the experiment registry mapping each
+table/figure to the code that reproduces it.
+"""
+
+from repro.reporting.experiments import EXPERIMENTS, Experiment
+from repro.reporting.figures import ascii_bar_chart, cdf_points, series_summary
+from repro.reporting.tables import render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ascii_bar_chart",
+    "cdf_points",
+    "series_summary",
+    "render_table",
+]

@@ -1,0 +1,156 @@
+"""The experiment registry.
+
+Maps every table and figure of the paper to the modules that implement it
+and the benchmark that regenerates it.  ``EXPERIMENTS`` is the programmatic
+counterpart of DESIGN.md's per-experiment index; the documentation tests
+assert the registry and the benchmark directory stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table or figure of the paper."""
+
+    exp_id: str           # e.g. "table4", "fig9"
+    paper_ref: str        # human-readable reference
+    description: str
+    modules: tuple[str, ...]
+    bench: str            # benchmark file that regenerates it
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        "table1", "Table 1",
+        "Review websites used for provider collection, with affiliate status",
+        ("repro.ecosystem.sources",),
+        "benchmarks/bench_table1.py",
+    ),
+    Experiment(
+        "table2", "Table 2",
+        "Number of VPNs drawn from each selection source (union = 200)",
+        ("repro.ecosystem.sources", "repro.ecosystem.generate"),
+        "benchmarks/bench_table2.py",
+    ),
+    Experiment(
+        "table3", "Table 3",
+        "Monthly subscription costs across subscription models",
+        ("repro.ecosystem.generate", "repro.ecosystem.analysis"),
+        "benchmarks/bench_table3.py",
+    ),
+    Experiment(
+        "table4", "Table 4",
+        "Destination domains of URL redirections (national censorship)",
+        ("repro.core.manipulation.dom_collection",
+         "repro.core.analysis.redirects", "repro.vpn.behaviors"),
+        "benchmarks/bench_table4.py",
+    ),
+    Experiment(
+        "table5", "Table 5",
+        "IP blocks shared by the vantage points of >= 3 providers",
+        ("repro.core.analysis.shared_infra", "repro.vpn.catalog"),
+        "benchmarks/bench_table5.py",
+    ),
+    Experiment(
+        "table6", "Table 6",
+        "VPN services leaking DNS and IPv6 traffic from their clients",
+        ("repro.core.leakage.dns_leakage", "repro.core.leakage.ipv6_leakage"),
+        "benchmarks/bench_table6.py",
+    ),
+    Experiment(
+        "table7", "Table 7 (Appendix A)",
+        "The complete list of 62 evaluated services with subscription types",
+        ("repro.vpn.catalog",),
+        "benchmarks/bench_table7.py",
+    ),
+    Experiment(
+        "fig1", "Figure 1",
+        "Geographic distribution of VPN business locations",
+        ("repro.ecosystem.analysis",),
+        "benchmarks/bench_fig1.py",
+    ),
+    Experiment(
+        "fig2", "Figure 2",
+        "CDF of claimed server counts (80% at <= 750 servers)",
+        ("repro.ecosystem.analysis",),
+        "benchmarks/bench_fig2.py",
+    ),
+    Experiment(
+        "fig3", "Figure 3",
+        "Vantage-point country heat map for the top-15 popular services",
+        ("repro.ecosystem.analysis", "repro.vpn.catalog"),
+        "benchmarks/bench_fig3.py",
+    ),
+    Experiment(
+        "fig4", "Figure 4",
+        "Accepted payment methods by category",
+        ("repro.ecosystem.analysis",),
+        "benchmarks/bench_fig4.py",
+    ),
+    Experiment(
+        "fig5", "Figure 5",
+        "Tunneling technologies supported by VPN services",
+        ("repro.ecosystem.analysis",),
+        "benchmarks/bench_fig5.py",
+    ),
+    Experiment(
+        "fig6", "Figure 6",
+        "TTK (Russia) censorship redirection when visiting blocked content",
+        ("repro.vpn.behaviors", "repro.core.manipulation.dom_collection"),
+        "benchmarks/bench_fig6.py",
+    ),
+    Experiment(
+        "fig7", "Figure 7",
+        "Premium-service advertisement injected by the Seed4.me trial",
+        ("repro.vpn.behaviors", "repro.core.manipulation.dom_collection"),
+        "benchmarks/bench_fig7.py",
+    ),
+    Experiment(
+        "fig8", "Figure 8",
+        "Advertised vantage networks of Anonine, Boxpn and Easy-Hide-IP",
+        ("repro.core.analysis.shared_infra", "repro.vpn.catalog"),
+        "benchmarks/bench_fig8.py",
+    ),
+    Experiment(
+        "fig9", "Figure 9",
+        "RTT distributions revealing co-located 'virtual' vantage points",
+        ("repro.core.infrastructure.ping_traceroute",
+         "repro.core.analysis.colocation"),
+        "benchmarks/bench_fig9.py",
+    ),
+    Experiment(
+        "headline", "Sections 6.1-6.2, 6.6",
+        "Interception/manipulation headline numbers: 1 injector, 5 proxies, "
+        "no TLS stripping, no P2P egress",
+        ("repro.core.harness",),
+        "benchmarks/bench_headline.py",
+    ),
+    Experiment(
+        "geoip", "Section 6.4.1",
+        "Geo-IP database agreement: Google 70%, IP2Location 90%, MaxMind 95%",
+        ("repro.core.analysis.geoip_compare", "repro.geoip"),
+        "benchmarks/bench_geoip.py",
+    ),
+    Experiment(
+        "virtual", "Section 6.4.2",
+        "Six providers with 'virtual' vantage points",
+        ("repro.core.analysis.colocation",),
+        "benchmarks/bench_virtual.py",
+    ),
+    Experiment(
+        "tunnel-failure", "Section 6.5",
+        "25 of 43 custom-client services (58%) leak on tunnel failure",
+        ("repro.core.leakage.tunnel_failure",),
+        "benchmarks/bench_tunnel_failure.py",
+    ),
+)
+
+
+def experiment(exp_id: str) -> Experiment:
+    for entry in EXPERIMENTS:
+        if entry.exp_id == exp_id:
+            return entry
+    raise KeyError(exp_id)

@@ -1,0 +1,52 @@
+"""Figure-series helpers: CDFs, bars, and summaries of numeric series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) points for a CDF plot."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return []
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def series_summary(values: Sequence[float]) -> dict[str, float]:
+    """Min/median/mean/max summary of a numeric series."""
+    if not values:
+        return {"min": 0.0, "median": 0.0, "mean": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+    median = (
+        ordered[n // 2]
+        if n % 2 == 1
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    )
+    return {
+        "min": ordered[0],
+        "median": median,
+        "mean": sum(ordered) / n,
+        "max": ordered[-1],
+    }
+
+
+def ascii_bar_chart(
+    data: Sequence[tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (the figures' text rendering)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not data:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(value for _, value in data) or 1.0
+    label_width = max(len(label) for label, _ in data)
+    for label, value in data:
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:g}")
+    return "\n".join(lines)

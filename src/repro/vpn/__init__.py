@@ -1,0 +1,55 @@
+"""VPN substrate.
+
+Tunnel protocols, the client/server machinery, provider-side egress
+behaviours (benign and otherwise), and the catalogue of the 62 commercial
+services the paper evaluated (Appendix A) with ground-truth behaviours
+calibrated to the paper's findings (see DESIGN.md §5).
+"""
+
+from repro.vpn.behaviors import (
+    AdInjectionBehavior,
+    CountryCensorshipBehavior,
+    EgressBehavior,
+    EgressContext,
+    TlsInterceptionBehavior,
+    TlsStrippingBehavior,
+    TransparentProxyBehavior,
+)
+from repro.vpn.catalog import build_catalog, provider_profiles
+from repro.vpn.client import ConnectionState, VpnClient
+from repro.vpn.protocols import PROTOCOLS, TunnelProtocol
+from repro.vpn.provider import (
+    FailureMode,
+    ProviderProfile,
+    SubscriptionType,
+    VantagePoint,
+    VantagePointSpec,
+    VpnProvider,
+)
+from repro.vpn.server import VantagePointServer
+from repro.vpn.tunnel import TunnelEndpoint, TunnelState
+
+__all__ = [
+    "AdInjectionBehavior",
+    "CountryCensorshipBehavior",
+    "EgressBehavior",
+    "EgressContext",
+    "TlsInterceptionBehavior",
+    "TlsStrippingBehavior",
+    "TransparentProxyBehavior",
+    "build_catalog",
+    "provider_profiles",
+    "ConnectionState",
+    "VpnClient",
+    "PROTOCOLS",
+    "TunnelProtocol",
+    "FailureMode",
+    "ProviderProfile",
+    "SubscriptionType",
+    "VantagePoint",
+    "VantagePointSpec",
+    "VpnProvider",
+    "VantagePointServer",
+    "TunnelEndpoint",
+    "TunnelState",
+]

@@ -1,0 +1,247 @@
+"""Server-side egress behaviours.
+
+A vantage point runs an ordered chain of :class:`EgressBehavior` objects.
+For every decapsulated client request the chain may rewrite the outbound
+packet, synthesise a response without contacting the origin (censorship
+redirects), or rewrite the origin's response on the way back (ad injection,
+TLS games).  The measurement suite never sees this machinery — only its
+network-visible effects, which is the point.
+
+Implemented behaviours and their paper anchors:
+
+- :class:`TransparentProxyBehavior` — parses and regenerates HTTP headers
+  without injecting any (Section 6.2.1's five detected proxies);
+- :class:`AdInjectionBehavior` — injects a JavaScript overlay ad hosted on a
+  subdomain of the provider's site into HTTP pages (Seed4.me, Section 6.1.3);
+- :class:`CountryCensorshipBehavior` — upstream national blocking: 302s
+  sensitive domains to the country's block page (Table 4);
+- :class:`TlsInterceptionBehavior` — substitutes certificates signed by the
+  provider's own CA (none found in the paper; exists so the detector is
+  testable and for ablations);
+- :class:`TlsStrippingBehavior` — rewrites HTTPS upgrade redirects to HTTP
+  (none found in the paper; same rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.net.packet import HttpPayload, Packet, TcpSegment, TlsPayload
+from repro.web.dom import Document, DomElement
+from repro.web.http import HeaderSet, HttpRequest, HttpResponse
+from repro.web.tls import CertificateAuthority, CertificateChain, ChainRegistry
+from repro.web.url import Url
+
+
+@dataclass
+class EgressContext:
+    """What a behaviour may inspect/alter for one forwarded exchange."""
+
+    provider_name: str
+    vantage_country: str          # the country the endpoint claims to be in
+    outbound: Packet              # NATed packet about to leave the VP
+    synthetic_response: Optional[Packet] = None  # set to short-circuit
+
+    def http_request(self) -> Optional[HttpRequest]:
+        segment = self.outbound.payload
+        if isinstance(segment, TcpSegment) and isinstance(
+            segment.payload, HttpPayload
+        ) and not segment.payload.is_response:
+            return HttpRequest.from_payload(segment.payload)
+        return None
+
+    def replace_http_request(self, request: HttpRequest) -> None:
+        segment = self.outbound.payload
+        assert isinstance(segment, TcpSegment)
+        self.outbound = replace(
+            self.outbound,
+            payload=replace(segment, payload=request.to_payload()),
+        )
+
+    def synthesise_http_response(self, response: HttpResponse) -> None:
+        """Answer the client directly, never contacting the origin."""
+        segment = self.outbound.payload
+        assert isinstance(segment, TcpSegment)
+        self.synthetic_response = Packet(
+            src=self.outbound.dst,
+            dst=self.outbound.src,
+            payload=TcpSegment(
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                payload=response.to_payload(),
+            ),
+        )
+
+
+class EgressBehavior:
+    """Base class: default passes everything through unchanged."""
+
+    name = "noop"
+
+    def on_request(self, context: EgressContext) -> None:
+        """Inspect/rewrite an outbound request (or synthesise a response)."""
+
+    def on_response(self, context: EgressContext, response: Packet) -> Packet:
+        """Inspect/rewrite a response on its way back to the client."""
+        return response
+
+
+class TransparentProxyBehavior(EgressBehavior):
+    """Parses and regenerates HTTP requests, as proxy software does.
+
+    No headers are added or removed — but casing is canonicalised and order
+    is normalised, which is exactly the signal the paper's header-comparison
+    test keys on ("proxies did not inject additional headers, but
+    consistently modified our existing headers in ways consistent with
+    parsing and subsequent regeneration").
+    """
+
+    name = "transparent-proxy"
+
+    def on_request(self, context: EgressContext) -> None:
+        request = context.http_request()
+        if request is None:
+            return
+        regenerated = request.with_headers(request.header_set.normalised())
+        context.replace_http_request(regenerated)
+
+
+class AdInjectionBehavior(EgressBehavior):
+    """Injects an overlaid advertisement into HTTP pages (Seed4.me-style)."""
+
+    name = "ad-injection"
+
+    def __init__(self, provider_domain: str) -> None:
+        self.provider_domain = provider_domain
+        self.script_url = f"http://ads.{provider_domain}/overlay.js"
+
+    def on_response(self, context: EgressContext, response: Packet) -> Packet:
+        segment = response.payload
+        if not isinstance(segment, TcpSegment):
+            return response
+        payload = segment.payload
+        if not isinstance(payload, HttpPayload) or payload.status != 200:
+            return response
+        if not payload.body:
+            return response
+        # Only plaintext HTTP is injectable; HTTPS bodies ride inside TLS.
+        if payload.url.startswith("https://"):
+            return response
+        try:
+            document = Document.deserialise(payload.body)
+        except (ValueError, KeyError):
+            return response
+        injected = document.with_injected(
+            DomElement(
+                tag="script",
+                attrs=(
+                    ("src", self.script_url),
+                    ("data-injected-by", self.provider_domain),
+                ),
+            )
+        ).with_injected(
+            DomElement(
+                tag="div",
+                attrs=(("class", "vpn-upgrade-overlay"),),
+                text="Upgrade to premium for unlimited bandwidth!",
+            )
+        )
+        body = injected.serialise()
+        new_payload = replace(
+            payload, body=body, body_size=len(body),
+            body_label=payload.body_label + "+injected",
+        )
+        return replace(response, payload=replace(segment, payload=new_payload))
+
+
+class CountryCensorshipBehavior(EgressBehavior):
+    """Upstream national censorship at the vantage point's country.
+
+    Requests for censored domains receive an HTTP 302 to the national block
+    page before ever leaving the country (Table 4 semantics).  HTTPS
+    traffic to censored domains would be RST in reality; the paper could not
+    reliably distinguish that from flaky connectivity, and neither do we —
+    only plaintext HTTP is redirected.
+    """
+
+    name = "country-censorship"
+
+    def __init__(self, block_page_url: str, censored_domains: set[str]) -> None:
+        self.block_page_url = block_page_url
+        self.censored_domains = {d.lower() for d in censored_domains}
+
+    def on_request(self, context: EgressContext) -> None:
+        request = context.http_request()
+        if request is None:
+            return
+        url = Url.parse(request.url)
+        if url.scheme != "http":
+            return
+        if url.host in self.censored_domains:
+            context.synthesise_http_response(
+                HttpResponse.redirect(request.url, self.block_page_url, status=302)
+            )
+
+
+class TlsInterceptionBehavior(EgressBehavior):
+    """A MITM middlebox substituting its own certificates.
+
+    Not observed among the paper's 62 providers, but the detector must be
+    exercised; enabling this on a synthetic provider makes every TLS probe
+    return a chain anchored in the provider's CA.
+    """
+
+    name = "tls-interception"
+
+    def __init__(self, ca_name: str, chain_registry: ChainRegistry) -> None:
+        self.ca = CertificateAuthority(ca_name)
+        self.chain_registry = chain_registry
+        self._chains: dict[str, CertificateChain] = {}
+
+    def chain_for(self, hostname: str) -> CertificateChain:
+        if hostname not in self._chains:
+            chain = self.ca.issue(hostname)
+            self.chain_registry.register(chain)
+            self._chains[hostname] = chain
+        return self._chains[hostname]
+
+    def on_response(self, context: EgressContext, response: Packet) -> Packet:
+        segment = response.payload
+        if not isinstance(segment, TcpSegment):
+            return response
+        payload = segment.payload
+        if not isinstance(payload, TlsPayload) or payload.record != "server_hello":
+            return response
+        substituted = self.chain_for(payload.sni or "unknown-host")
+        new_payload = replace(
+            payload, certificate_fingerprint=substituted.leaf.fingerprint
+        )
+        return replace(response, payload=replace(segment, payload=new_payload))
+
+
+class TlsStrippingBehavior(EgressBehavior):
+    """Rewrites HTTPS upgrade redirects back to plain HTTP.
+
+    Also not observed in the paper's population; exists so the TLS-downgrade
+    detector has a positive control.
+    """
+
+    name = "tls-stripping"
+
+    def on_response(self, context: EgressContext, response: Packet) -> Packet:
+        segment = response.payload
+        if not isinstance(segment, TcpSegment):
+            return response
+        payload = segment.payload
+        if not isinstance(payload, HttpPayload):
+            return response
+        if payload.status not in (301, 302, 307, 308):
+            return response
+        headers = HeaderSet(payload.headers)
+        location = headers.get("Location")
+        if location is None or not location.startswith("https://"):
+            return response
+        headers.set("Location", "http://" + location[len("https://"):])
+        new_payload = replace(payload, headers=headers.as_tuple())
+        return replace(response, payload=replace(segment, payload=new_payload))

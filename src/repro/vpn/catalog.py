@@ -1,0 +1,833 @@
+"""The 62-provider catalogue (paper Appendix A, Table 7).
+
+Each provider gets a :class:`~repro.vpn.provider.ProviderProfile` whose
+ground-truth behaviours reproduce the paper's findings (DESIGN.md §5):
+
+- Seed4.me injects ads (Section 6.1.3);
+- AceVPN, Freedome VPN, SurfEasy, CyberGhost and VPN Gate transparently
+  proxy (Section 6.2.1);
+- Freedome VPN and WorldVPN leak DNS; twelve providers leak IPv6 (Table 6);
+- 25 of the 43 custom-client services fail open on tunnel failure,
+  including NordVPN, ExpressVPN, TunnelBear, Hotspot Shield and IPVanish,
+  whose kill switches ship disabled (Section 6.5);
+- HideMyAss, Avira, Le VPN, Freedom IP, MyIP.io and VPNUK run 'virtual'
+  vantage points (Section 6.4.2);
+- endpoint addressing reproduces the shared blocks of Table 5 and the
+  Boxpn/Anonine shared servers of Section 6.3;
+- vantage points physically in TR/KR/RU/NL/TH sit behind national
+  censorship (Table 4).
+
+Vantage-point counts sum to the paper's 1,046 tested endpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.geo import cities_in_country, country_centroid
+from repro.vpn.provider import (
+    BehaviorFlags,
+    ClientType,
+    FailureMode,
+    LeakFlags,
+    ProviderProfile,
+    SubscriptionType,
+    VantagePointSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Country pools used to lay out provider networks.
+# ---------------------------------------------------------------------------
+EU_CORE = ["GB", "DE", "NL", "FR", "SE", "CH", "ES", "IT", "PL", "CZ",
+           "RO", "AT", "BE", "DK", "NO", "FI", "IE", "PT", "HU", "BG"]
+AMERICAS = ["US", "CA", "BR", "MX", "AR", "CL", "CO", "PA"]
+APAC = ["JP", "SG", "HK", "AU", "KR", "IN", "MY", "TH", "VN", "ID", "TW", "NZ"]
+MEA = ["AE", "IL", "TR", "ZA", "EG", "SA", "KE", "NG"]
+
+STANDARD = AMERICAS[:4] + EU_CORE[:10] + APAC[:4]
+
+# Countries whose plaintext HTTP is censored upstream (Table 4), mapped to
+# the block page each country/ISP redirects to. For Russia the ISP differs
+# per provider (see _RU_BLOCKPAGE below); NL blocking is ISP-specific and
+# only applies to providers hosted on blocking ISPs.
+_RU_BLOCKPAGE: dict[str, str] = {
+    # provider -> Russian ISP block page id (Table 4 counts: ttk 4,
+    # zapret 2, rt 1, mts 1, dtln 1, beeline 1)
+    "NordVPN": "ru-ttk",
+    "CyberGhost": "ru-ttk",
+    "PureVPN": "ru-ttk",
+    "HideMyAss": "ru-ttk",
+    "Windscribe": "ru-zapret",
+    "Trust.zone": "ru-zapret",
+    "IPVanish": "ru-rt",
+    "ExpressVPN": "ru-mts",
+    "VPNLand": "ru-dtln",
+    "Boxpn": "ru-beeline",
+}
+_NL_BLOCKPAGE: dict[str, str] = {
+    "Goose VPN": "nl-ziggo",
+    "Shellfire": "nl-ip",
+}
+
+# Providers with honest (physical) endpoints in censoring countries.
+# Exactly 8 providers see Turkish redirects, 5 Korean, 1 Thai (Table 4).
+_TR_PROVIDERS = {"PureVPN", "VPN Gate", "FlyVPN", "IB VPN", "VPNLand",
+                 "WorldVPN", "ZenVPN", "SaferVPN"}
+
+# The popularity head (Section 3's review-site ranking): these are the
+# paper's "top 15 VPN services" selected for evaluation, most popular
+# first. The ecosystem synthesiser ranks them at the head of the
+# 200-provider list.
+POPULAR_SERVICES: tuple[str, ...] = (
+    "NordVPN", "ExpressVPN", "Hotspot Shield", "CyberGhost",
+    "Private Internet Access", "IPVanish", "PureVPN", "HideMyAss",
+    "TunnelBear", "Windscribe", "ProtonVPN", "VPN Gate", "Betternet",
+    "SurfEasy", "Avast",
+)
+_KR_PROVIDERS = {"VPN Gate", "FlyVPN", "PureVPN", "VPN Monster", "SwitchVPN"}
+_TH_PROVIDERS = {"FlyVPN"}
+
+# ---------------------------------------------------------------------------
+# Address space.
+# ---------------------------------------------------------------------------
+# Table 5: blocks shared by >= 3 providers, with their ASN and the country
+# the vantage points there are advertised in.
+TABLE5_BLOCKS: dict[str, tuple[int, str, tuple[str, ...]]] = {
+    "82.102.27.0/24": (9009, "NO", ("IPVanish", "AirVPN", "CyberGhost")),
+    "94.242.192.0/18": (5577, "LU", ("AceVPN", "CyberGhost", "Anonine")),
+    "139.59.0.0/18": (14061, "IN", ("RA4W VPN", "LimeVPN", "Ironsocket")),
+    "169.57.0.0/17": (36351, "MX", ("AceVPN", "TunnelBear", "Freedome VPN")),
+    "179.43.128.0/18": (51852, "CH", ("IPVanish", "AceVPN", "Anonine",
+                                      "HideMyAss")),
+    "185.108.128.0/22": (30900, "IE", ("AceVPN", "TunnelBear", "CyberGhost")),
+    "202.176.4.0/24": (55720, "MY", ("IPVanish", "Boxpn", "Anonine")),
+    "209.58.176.0/21": (59253, "SG", ("HideIPVPN", "VPNLand", "CyberGhost")),
+}
+
+# Generic hosting pools (Digital Ocean / LeaseWeb / SoftLayer analogues —
+# Section 6.3 notes many shared blocks belong to well-known hosters).
+HOSTING_POOLS: list[tuple[str, int]] = [
+    ("104.131.0.0/16", 14061),   # digital-ocean-like
+    ("178.62.0.0/16", 14061),
+    ("5.79.64.0/18", 60781),     # leaseweb-like
+    ("185.17.144.0/22", 60781),
+    ("158.85.0.0/16", 36351),    # softlayer-like
+    ("45.32.0.0/16", 20473),     # choopa-like
+    ("108.61.0.0/16", 20473),
+    ("51.38.0.0/16", 16276),     # ovh-like
+    ("145.239.0.0/16", 16276),
+    ("104.149.0.0/16", 8100),    # quadranet-like
+    ("46.166.160.0/19", 43350),
+    ("91.207.56.0/22", 50867),
+    ("193.37.252.0/22", 9009),
+    ("80.94.64.0/20", 39351),
+]
+
+# Boxpn and Anonine resell the same infrastructure (Section 6.3): they share
+# four exact endpoint addresses, their Argentinian endpoints differ only in
+# the last octet, and their remaining endpoints draw from the same /24s —
+# 11 shared blocks in total, matching the paper (9 below + 202.176.4.0/24
+# + the Argentinian block).
+_SHARED_GENERIC_24S = [
+    "185.189.112.0/24", "185.189.113.0/24", "185.189.114.0/24",
+    "146.185.240.0/24", "146.185.241.0/24", "146.185.242.0/24",
+    "93.115.92.0/24", "37.235.48.0/24", "196.52.21.0/24",
+]
+_RESELLER_OVERFLOW_POOLS = {
+    "Boxpn": "31.24.200.0/22",
+    "Anonine": "31.24.204.0/22",
+}
+_SHARED_EXACT_IPS = ["202.176.4.11", "202.176.4.12",
+                     "202.176.4.13", "202.176.4.14"]
+_AR_SHARED_BLOCK = "200.110.156.0/24"
+
+
+def _stable_hash(*parts: object) -> int:
+    text = "|".join(str(p) for p in parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class _Allocator:
+    """Deterministic vantage-point address allocation."""
+
+    def __init__(self) -> None:
+        self._used: set[str] = set()
+
+    def allocate(self, provider: str, index: int, block: str) -> str:
+        """A free address inside *block*, stable per (provider, index)."""
+        network = IPv4Network.parse(block)
+        size = network.num_addresses
+        start = _stable_hash(provider, index, block) % size
+        for probe in range(size):
+            offset = (start + probe) % size
+            candidate = str(network.address_at(offset))
+            if candidate.endswith(".0") or candidate.endswith(".255"):
+                continue
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+        raise RuntimeError(f"block {block} exhausted")
+
+    def pin(self, address: str) -> str:
+        """Force a specific address (shared servers may pin twice)."""
+        self._used.add(address)
+        return address
+
+
+def _enclosing_24(address: str) -> str:
+    octets = address.split(".")
+    return ".".join(octets[:3]) + ".0/24"
+
+
+def _city_for_country(country: str, salt: int = 0) -> str:
+    """A deterministic real city in *country*, or '' if none known."""
+    cities = cities_in_country(country)
+    if not cities:
+        return ""
+    return cities[_stable_hash(country, salt) % len(cities)]
+
+
+def _asn_for_block(block: str) -> int:
+    for cidr, (asn, _cc, _providers) in TABLE5_BLOCKS.items():
+        if cidr == block:
+            return asn
+    for cidr, asn in HOSTING_POOLS:
+        if IPv4Network.parse(cidr).contains_network(IPv4Network.parse(block)):
+            return asn
+    return 64512 + _stable_hash(block) % 1000  # private-range fallback
+
+
+# ---------------------------------------------------------------------------
+# The provider table. Fields: subscription, client type, protocols,
+# business country, founded, vantage-point layout, flags.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Entry:
+    name: str
+    subscription: SubscriptionType
+    client: ClientType
+    protocols: tuple[str, ...]
+    business_country: str
+    founded: int
+    countries: tuple[str, ...]   # claimed countries, round-robin layout
+    vp_count: int
+    failure: FailureMode
+    dns_leak: bool = False
+    ipv6_leak: bool = False
+    proxy: bool = False
+    inject: bool = False
+    claimed_servers: int = 100
+    claimed_countries_hint: int = 0  # 0 = len(countries)
+
+
+_P, _T, _F = SubscriptionType.PAID, SubscriptionType.TRIAL, SubscriptionType.FREE
+_CU, _OC = ClientType.CUSTOM, ClientType.OPENVPN_CONFIG
+_FO = FailureMode.FAIL_OPEN
+_KS_OFF = FailureMode.KILL_SWITCH_DEFAULT_OFF
+_KS_APP = FailureMode.KILL_SWITCH_APP_ONLY
+_FC = FailureMode.FAIL_CLOSED
+
+_OVPN = ("OpenVPN",)
+_FULL = ("OpenVPN", "PPTP", "L2TP/IPsec", "IPsec/IKEv2")
+_BASIC = ("OpenVPN", "PPTP")
+
+# 62 services; vp_count values sum to 1,046 (asserted in tests).
+_TABLE: tuple[_Entry, ...] = (
+    _Entry("AceVPN", _P, _OC, _BASIC + ("SSTP",), "US", 2009,
+           tuple(STANDARD + ["LU", "MX", "CH", "IE", "NO"]), 16, _FO,
+           proxy=True, claimed_servers=50),
+    _Entry("AirVPN", _P, _CU, _OVPN, "IT", 2010,
+           tuple(EU_CORE[:12] + ["US", "CA", "NO"]), 18, _FC,
+           claimed_servers=220),
+    _Entry("Anonine", _P, _OC, _FULL, "SE", 2009,
+           tuple(EU_CORE[:10] + ["US", "CA", "AR", "MY", "LU", "RU"]), 31,
+           _FO, claimed_servers=150),
+    _Entry("Avast", _T, _CU, ("OpenVPN", "IPsec/IKEv2"), "CZ", 2014,
+           tuple(STANDARD), 16, _FC, claimed_servers=55),
+    _Entry("Avira", _T, _CU, _OVPN, "DE", 2014,
+           ("DE", "US", "FR", "NL", "GB", "IT"), 6, _FC, claimed_servers=36),
+    _Entry("Betternet", _F, _CU, ("OpenVPN", "IPsec/IKEv2"), "US", 2015,
+           ("US", "CA", "GB", "DE", "FR", "NL", "SG", "JP", "AU"), 10,
+           _FC, claimed_servers=30),
+    _Entry("Boxpn", _P, _OC, _FULL, "TR", 2010,
+           ("MY", "MY", "MY", "MY", "MY", "AR", "GB", "DE", "NL", "FR",
+            "SE", "CH", "US", "CA", "RU", "CZ"), 16, _FO,
+           claimed_servers=170),
+    _Entry("Buffered VPN", _P, _CU, _OVPN, "GI", 2014,
+           tuple(EU_CORE[:12] + ["US", "CA", "AU", "SG"]), 16, _FO,
+           ipv6_leak=True, claimed_servers=46),
+    _Entry("BulletVPN", _P, _CU, _FULL, "EE", 2015,
+           tuple(STANDARD[:12]), 12, _FO, ipv6_leak=True,
+           claimed_servers=51),
+    _Entry("Celo.net", _T, _OC, _OVPN, "AU", 2012, ("AU", "US", "GB", "NZ",
+           "SG", "NL", "DE"), 8, _FC, claimed_servers=20),
+    _Entry("CrypticVPN", _P, _OC, _BASIC, "US", 2014,
+           ("US", "GB", "NL", "DE", "CA"), 6, _FO, claimed_servers=15),
+    _Entry("CyberGhost", _P, _CU, _FULL, "RO", 2011,
+           tuple(EU_CORE + ["US", "CA", "BR", "MX", "SG", "HK", "AU",
+                            "RU", "NO", "IE", "LU", "SG"]), 35, _KS_APP,
+           proxy=True, claimed_servers=2700, claimed_countries_hint=60),
+    _Entry("Encrypt.me", _T, _CU, ("IPsec/IKEv2",), "US", 2011,
+           tuple(STANDARD[:10]), 10, _FC, claimed_servers=80),
+    _Entry("ExpressVPN", _P, _CU, _FULL, "VG", 2009,
+           tuple(STANDARD + APAC[4:10] + ["RU", "NO", "IE", "DK", "FI",
+                                          "PT", "GR", "TR"][:6]), 33,
+           _KS_OFF, claimed_servers=2000, claimed_countries_hint=94),
+    _Entry("FinchVPN", _P, _OC, _OVPN, "MY", 2013,
+           ("MY", "SG", "US", "GB", "NL", "DE", "FR", "JP"), 9, _FO,
+           claimed_servers=25),
+    _Entry("FlowVPN", _T, _CU, _FULL, "GB", 2012,
+           tuple(EU_CORE[:8] + ["US", "CA", "SG", "JP", "AU", "HK"]), 14,
+           _FC, claimed_servers=100),
+    _Entry("FlyVPN", _P, _CU, _BASIC, "HK", 2008,
+           tuple(APAC + ["US", "GB", "DE", "TR", "TH"]), 28, _FO,
+           ipv6_leak=True, claimed_servers=300, claimed_countries_hint=40),
+    _Entry("Freedome VPN", _P, _CU, ("OpenVPN", "IPsec/IKEv2"), "FI", 2013,
+           ("FI", "SE", "NO", "DK", "DE", "GB", "NL", "FR", "US", "CA",
+            "JP", "SG", "MX", "IE"), 16, _KS_APP, dns_leak=True,
+           proxy=True, claimed_servers=28),
+    _Entry("Freedom IP", _P, _CU, _BASIC, "FR", 2012,
+           ("FR", "BE", "CH", "ES", "IT", "DE", "GB", "US", "CA", "MA"),
+           10, _FC, claimed_servers=25),
+    _Entry("Goose VPN", _P, _CU, _FULL, "NL", 2016,
+           ("NL", "DE", "GB", "FR", "BE", "US", "CA", "SG"), 9, _FC,
+           claimed_servers=64),
+    _Entry("GoTrusted VPN", _P, _OC, _OVPN, "US", 2005,
+           ("US", "GB", "DE", "JP", "SG"), 6, _FO, claimed_servers=12),
+    _Entry("HideIPVPN", _T, _CU, _FULL + ("SSTP",), "US", 2009,
+           ("US", "GB", "NL", "DE", "CA", "PL", "SG"), 8, _FO,
+           ipv6_leak=True, claimed_servers=29),
+    _Entry("HideMyAss", _P, _CU, _FULL, "GB", 2005,
+           (), 148, _FO, claimed_servers=940, claimed_countries_hint=190),
+    _Entry("Hotspot Shield", _P, _CU, ("OpenVPN", "IPsec/IKEv2"), "US", 2008,
+           tuple(STANDARD[:14]), 25, _KS_OFF, claimed_servers=2500,
+           claimed_countries_hint=25),
+    _Entry("IB VPN", _T, _CU, _FULL, "RO", 2010,
+           tuple(EU_CORE[:10] + ["US", "CA", "TR", "SG"]), 15, _FC,
+           claimed_servers=180),
+    _Entry("IPVanish", _P, _CU, _FULL, "US", 2005,
+           tuple(STANDARD + ["NO", "CH", "MY", "RU", "IE"]), 33, _KS_OFF,
+           claimed_servers=1300, claimed_countries_hint=60),
+    _Entry("Ironsocket", _P, _OC, _FULL + ("SSH",), "HK", 2005,
+           tuple(APAC[:8] + ["US", "GB", "NL", "IN"]), 14, _FO,
+           claimed_servers=70),
+    _Entry("Le VPN", _P, _CU, _FULL, "HK", 2010,
+           (), 21, _FO, ipv6_leak=True, claimed_servers=800,
+           claimed_countries_hint=114),
+    _Entry("LimeVPN", _P, _OC, _FULL, "HK", 2014,
+           ("US", "GB", "NL", "DE", "SG", "IN", "CA", "FR"), 10, _FO,
+           claimed_servers=45),
+    _Entry("LiquidVPN", _P, _CU, _OVPN, "US", 2013,
+           ("US", "CA", "GB", "NL", "DE", "CH", "SG"), 8, _FO,
+           ipv6_leak=True, claimed_servers=40),
+    _Entry("Mullvad", _P, _CU, _OVPN, "SE", 2009,
+           ("SE", "NO", "DK", "DE", "NL", "GB", "US", "CA", "SG", "AU"),
+           18, _FC, claimed_servers=200),
+    _Entry("MyIP.io", _P, _CU, _OVPN, "US", 2016,
+           ("US", "FR", "BE", "DE", "FI"), 5, _FO, claimed_servers=15),
+    _Entry("NordVPN", _P, _CU, _FULL, "PA", 2012,
+           tuple(STANDARD + ["RU", "NO", "IE", "IS", "LU"][:4]), 38,
+           _KS_OFF, claimed_servers=4000, claimed_countries_hint=62),
+    _Entry("NVPN", _P, _OC, _BASIC + ("SSH",), "US", 2012,
+           ("US", "GB", "DE", "NL", "FR", "RO"), 7, _FO,
+           claimed_servers=20),
+    _Entry("PrivateVPN", _T, _CU, _FULL, "SE", 2009,
+           tuple(EU_CORE[:10] + ["US", "CA", "SG", "AU"]), 14, _FO,
+           ipv6_leak=True, claimed_servers=100),
+    _Entry("Private Tunnel", _T, _CU, _OVPN, "US", 2010,
+           ("US", "CA", "GB", "NL", "DE", "SE", "CH", "JP", "HK"), 10,
+           _FO, ipv6_leak=True, claimed_servers=50),
+    _Entry("Private Internet Access", _P, _CU, _FULL, "US", 2010,
+           tuple(STANDARD[:14] + ["CH", "RO", "NO"]), 30, _FC,
+           claimed_servers=3300, claimed_countries_hint=33),
+    _Entry("ProtonVPN", _F, _CU, ("OpenVPN", "IPsec/IKEv2"), "CH", 2017,
+           ("CH", "NL", "US", "SE", "IS", "DE", "FR", "GB", "CA", "JP",
+            "SG", "AU", "ES", "IT"), 20, _FC, claimed_servers=300),
+    _Entry("ProxVPN", _F, _OC, _BASIC, "PA", 2015,
+           ("US", "NL", "DE", "FR"), 5, _FO, claimed_servers=8),
+    _Entry("PureVPN", _P, _CU, _FULL + ("SSTP",), "HK", 2007,
+           tuple(STANDARD + MEA[:4] + ["TR", "KR", "RU", "BR", "AR"][:5]),
+           38, _FO, claimed_servers=2000, claimed_countries_hint=140),
+    _Entry("RA4W VPN", _P, _OC, _BASIC, "US", 2014,
+           ("US", "GB", "NL", "DE", "CA", "FR", "IN", "RO"), 9, _FO,
+           claimed_servers=23),
+    _Entry("SaferVPN", _T, _CU, _FULL, "IL", 2013,
+           tuple(EU_CORE[:8] + ["US", "CA", "IL", "SG", "AU", "BR", "TR"]),
+           16, _FC, claimed_servers=700, claimed_countries_hint=34),
+    _Entry("SecureVPN", _T, _OC, _BASIC, "US", 2014,
+           ("US", "GB", "NL", "FR", "SG"), 6, _FO, claimed_servers=12),
+    _Entry("Seed4.me", _T, _CU, ("OpenVPN", "L2TP/IPsec"), "CN", 2012,
+           ("US", "GB", "DE", "NL", "FR", "SE", "SG", "JP", "HK", "RU"),
+           11, _FO, ipv6_leak=True, inject=True, claimed_servers=30),
+    _Entry("ShadeYouVPN", _T, _OC, _OVPN, "UA", 2014,
+           ("UA", "US", "GB", "NL", "DE", "FR", "PL"), 8, _FO,
+           claimed_servers=18),
+    _Entry("Shellfire", _F, _OC, _OVPN, "DE", 2002,
+           ("DE", "NL", "US", "GB", "FR"), 6, _FO, claimed_servers=15),
+    _Entry("Steganos Online Shield", _T, _OC, _OVPN, "DE", 2013,
+           ("DE", "CH", "US", "GB", "FR", "JP"), 7, _FO,
+           claimed_servers=22),
+    _Entry("SurfEasy", _T, _CU, _OVPN, "CA", 2011,
+           tuple(STANDARD[:13]), 14, _KS_APP, proxy=True,
+           claimed_servers=500, claimed_countries_hint=28),
+    _Entry("SwitchVPN", _T, _CU, _FULL, "US", 2010,
+           ("US", "CA", "GB", "NL", "DE", "FR", "SG", "IN", "KR"), 10,
+           _FC, claimed_servers=145),
+    _Entry("TorVPN", _T, _OC, ("OpenVPN", "SSH"), "HU", 2010,
+           ("HU", "GB", "US", "NL"), 5, _FO, claimed_servers=9),
+    _Entry("Trust.zone", _T, _CU, _OVPN, "SC", 2014,
+           tuple(EU_CORE[:8] + ["US", "CA", "AU", "RU", "BR"]), 14, _FC,
+           claimed_servers=130),
+    _Entry("TunnelBear", _F, _CU, ("OpenVPN", "IPsec/IKEv2"), "CA", 2011,
+           tuple(STANDARD[:14] + ["MX", "IE", "NO"]), 22, _KS_OFF,
+           claimed_servers=350, claimed_countries_hint=20),
+    _Entry("VPNBook", _F, _OC, _BASIC, "CH", 2012,
+           ("US", "GB", "DE", "FR", "CA", "PL"), 7, _FO,
+           claimed_servers=10),
+    _Entry("VPNUK", _T, _CU, _FULL, "GB", 2007,
+           (), 12, _FO, claimed_servers=60),
+    _Entry("VPNLand", _T, _CU, _FULL, "CA", 2007,
+           tuple(EU_CORE[:6] + ["US", "CA", "TR", "RU", "SG"]), 12, _FC,
+           claimed_servers=70),
+    _Entry("VPN Gate", _F, _CU, ("OpenVPN", "L2TP/IPsec", "SSTP"), "JP",
+           2013, ("JP", "KR", "TW", "TH", "VN", "US", "GB", "DE", "FR",
+                  "RU", "TR", "ID", "IN"), 28, _FO, proxy=True,
+           claimed_servers=6000, claimed_countries_hint=80),
+    _Entry("VPN Monster", _T, _OC, _BASIC, "HK", 2016,
+           ("US", "JP", "SG", "KR", "HK", "TW"), 7, _FO,
+           claimed_servers=25),
+    _Entry("VPN.ht", _P, _CU, _OVPN, "HK", 2014,
+           ("US", "CA", "GB", "NL", "DE", "FR", "ES", "IT", "SE", "SG"),
+           11, _FO, ipv6_leak=True, claimed_servers=140),
+    _Entry("WorldVPN", _T, _CU, _FULL, "GB", 2012,
+           ("GB", "US", "NL", "DE", "FR", "TR", "SG", "IN"), 9, _FO,
+           dns_leak=True, ipv6_leak=True, claimed_servers=90),
+    _Entry("Windscribe", _T, _CU, ("OpenVPN", "IPsec/IKEv2"), "CA", 2016,
+           tuple(STANDARD[:12] + ["RU", "NO", "CH"]), 23, _FC,
+           claimed_servers=480, claimed_countries_hint=50),
+    _Entry("ZenVPN", _T, _CU, _OVPN, "CY", 2014,
+           ("CY", "GR", "US", "GB", "NL", "DE", "FR", "TR", "RU"), 9,
+           _FC, claimed_servers=30),
+    _Entry("Zoog VPN", _F, _CU, _FULL, "GR", 2013,
+           ("GR", "GB", "US", "NL", "DE", "FR", "SG"), 8, _FO,
+           ipv6_leak=True, claimed_servers=18),
+)
+
+
+# ---------------------------------------------------------------------------
+# Virtual-location layouts (Section 6.4.2).
+# ---------------------------------------------------------------------------
+def _hidemyass_specs(allocator: _Allocator) -> tuple[VantagePointSpec, ...]:
+    """148 endpoints claiming ~148 countries out of ~6 physical sites.
+
+    Americas are served from Seattle and Miami, Europe/Africa from London
+    and Prague, Asia/Oceania from Berlin and Prague (the paper names
+    Seattle, Miami, Prague, London and 'possibly Berlin').  A handful of
+    flagship locations are honest.
+    """
+    from repro.net.geo import known_countries
+
+    # The handful of honest endpoints sit in the same facilities that host
+    # the virtual fleet, so the provider's physical footprint stays under
+    # ten distinct data centres (the paper's observation).
+    honest = {"US": "Seattle", "GB": "London", "DE": "Berlin",
+              "CZ": "Prague", "RU": "Moscow"}
+    claimed: list[str] = []
+    claimed.extend(honest)
+    for country in known_countries():
+        if country not in honest:
+            claimed.append(country)
+    # Pad with synthetic 2-letter codes to reach 148 claimed countries
+    # (HideMyAss claims 190+; our geo table holds ~75 real ones).
+    synthetic = [
+        prefix + chr(ord("A") + i)
+        for prefix in ("K", "Q", "X", "Z")
+        for i in range(26)
+    ]
+    for code in synthetic:
+        if len(claimed) >= 148:
+            break
+        if code not in claimed:
+            claimed.append(code)
+    claimed = claimed[:148]
+
+    def physical_site(country: str) -> str:
+        point = country_centroid(country)
+        if point.lon < -30.0:  # Americas
+            return "Seattle" if point.lat > 33.0 else "Miami"
+        if -30.0 <= point.lon < 45.0:  # Europe / Africa
+            return "London" if point.lat > 46.0 else "Prague"
+        return "Berlin" if point.lat > 30.0 else "Prague"  # Asia / Oceania
+
+    specs: list[VantagePointSpec] = []
+    for index, country in enumerate(claimed):
+        if country in honest:
+            city = honest[country]
+            physical = city
+        else:
+            city = _city_for_country(country, index) or country_centroid(
+                country
+            ).city or f"{country}-pop"
+            physical = physical_site(country)
+        block_pool = ("179.43.128.0/18" if index % 12 == 0
+                      else HOSTING_POOLS[index % 5][0])
+        address = allocator.allocate("HideMyAss", index, block_pool)
+        censorship = _censorship_for("HideMyAss", country, city, physical)
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}{index:03d}.hmavpn.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=physical,
+                censorship=censorship,
+                address=address,
+                block=_enclosing_24(address),
+                asn=_asn_for_block(block_pool),
+            )
+        )
+    return tuple(specs)
+
+
+def _levpn_specs(allocator: _Allocator) -> tuple[VantagePointSpec, ...]:
+    """Le VPN: 15 honest European/US endpoints + 6 exotic virtual ones.
+
+    The six virtual claims are exactly Figure 9a's series (Belize, Chile,
+    Estonia, Iran, Saudi Arabia, Venezuela), all physically in Paris.
+    """
+    honest_countries = ["FR", "GB", "DE", "NL", "CH", "ES", "IT", "SE",
+                        "CZ", "PL", "US", "CA", "SG", "JP", "AU"]
+    virtual_countries = ["BZ", "CL", "EE", "IR", "SA", "VE"]
+    specs: list[VantagePointSpec] = []
+    for index, country in enumerate(honest_countries):
+        city = _city_for_country(country, index)
+        address = allocator.allocate("Le VPN", index,
+                                     HOSTING_POOLS[index % 4][0])
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}.le-vpn.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=city,
+                address=address,
+                block=_enclosing_24(address),
+                asn=_asn_for_block(HOSTING_POOLS[index % 4][0]),
+            )
+        )
+    for offset, country in enumerate(virtual_countries):
+        index = len(honest_countries) + offset
+        city = _city_for_country(country, index) or country_centroid(
+            country
+        ).city or f"{country}-pop"
+        address = allocator.allocate("Le VPN", index, "51.38.0.0/16")
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}.le-vpn.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city="Paris",
+                address=address,
+                block=_enclosing_24(address),
+                asn=_asn_for_block("51.38.0.0/16"),
+            )
+        )
+    return tuple(specs)
+
+
+def _myip_specs(allocator: _Allocator) -> tuple[VantagePointSpec, ...]:
+    """MyIP.io: five endpoints, all virtual (Section 6.4.2).
+
+    US and FR reside together (likely Montreal); BE, DE and FI reside
+    together (likely the UK).  The US/FR pair shares a /24, as does the
+    European trio.
+    """
+    montreal_block = "192.99.38.0/24"
+    london_block = "192.99.39.0/24"
+    layout = [
+        ("US", "New York", "Montreal", montreal_block),
+        ("FR", "Paris", "Montreal", montreal_block),
+        ("BE", "Brussels", "London", london_block),
+        ("DE", "Frankfurt", "London", london_block),
+        ("FI", "Helsinki", "London", london_block),
+    ]
+    specs = []
+    for index, (country, city, physical, block) in enumerate(layout):
+        address = allocator.allocate("MyIP.io", index, block)
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}.myip.io",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=physical,
+                address=address,
+                block=block,
+                asn=16276,
+            )
+        )
+    return tuple(specs)
+
+
+def _vpnuk_specs(allocator: _Allocator) -> tuple[VantagePointSpec, ...]:
+    """VPNUK: mostly honest, two virtual exotic claims hosted in London."""
+    layout = [
+        ("GB", "London", "London"), ("GB", "Manchester", "Manchester"),
+        ("US", "New York", "New York"), ("DE", "Frankfurt", "Frankfurt"),
+        ("NL", "Amsterdam", "Amsterdam"), ("FR", "Paris", "Paris"),
+        ("ES", "Madrid", "Madrid"), ("IT", "Milan", "Milan"),
+        ("CA", "Toronto", "Toronto"), ("SG", "Singapore", "Singapore"),
+        ("AE", "Dubai", "London"),   # virtual
+        ("IN", "Mumbai", "London"),  # virtual
+    ]
+    specs = []
+    for index, (country, city, physical) in enumerate(layout):
+        pool = HOSTING_POOLS[(index + 3) % 6][0]
+        address = allocator.allocate("VPNUK", index, pool)
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}{index}.vpnuk.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=physical,
+                address=address,
+                block=_enclosing_24(address),
+                asn=_asn_for_block(pool),
+            )
+        )
+    return tuple(specs)
+
+
+def _censorship_for(
+    provider: str, country: str, claimed_city: str, physical_city: str
+) -> Optional[str]:
+    """Block-page id for an endpoint physically inside a censoring country."""
+    if claimed_city != physical_city:
+        return None  # virtual endpoints transit elsewhere
+    if country == "TR" and provider in _TR_PROVIDERS:
+        return "tr-telecom"
+    if country == "KR" and provider in _KR_PROVIDERS:
+        return "kr-warning"
+    if country == "TH" and provider in _TH_PROVIDERS:
+        return "th-ip"
+    if country == "RU" and provider in _RU_BLOCKPAGE:
+        return _RU_BLOCKPAGE[provider]
+    if country == "NL" and provider in _NL_BLOCKPAGE:
+        return _NL_BLOCKPAGE[provider]
+    return None
+
+
+def _generic_specs(
+    entry: _Entry, allocator: _Allocator
+) -> tuple[VantagePointSpec, ...]:
+    """Round-robin layout of an honest provider's vantage points."""
+    slug = entry.name.lower().replace(" ", "").replace(".", "")
+    countries = list(entry.countries)
+    if not countries:
+        raise ValueError(f"{entry.name} needs an explicit layout")
+
+    # Providers named in Table 5 draw some endpoints from those blocks.
+    table5_assignments: list[tuple[str, str]] = []  # (block, country)
+    for block, (asn, country, names) in TABLE5_BLOCKS.items():
+        if entry.name in names:
+            table5_assignments.append((block, country))
+
+    # Boxpn/Anonine draw from the shared reseller pools; index-keyed
+    # allocation makes their /24s coincide.
+    shared_reseller = entry.name in ("Boxpn", "Anonine")
+
+    specs: list[VantagePointSpec] = []
+    ar_pinned = False
+    generic_slot = 0  # shared-reseller generic endpoints, aligned across both
+    for index in range(entry.vp_count):
+        if index < len(table5_assignments):
+            block, country = table5_assignments[index]
+            address = allocator.allocate(entry.name, index, block)
+            asn = _asn_for_block(block)
+            record_block = (_enclosing_24(address)
+                            if IPv4Network.parse(block).prefix_len < 24
+                            else block)
+        elif shared_reseller and index < len(table5_assignments) + 4:
+            # The four exact shared endpoints (Section 6.3).
+            shared_index = index - len(table5_assignments)
+            address = allocator.pin(_SHARED_EXACT_IPS[shared_index])
+            country = "MY"
+            record_block = _enclosing_24(address)
+            asn = 55720
+        elif (shared_reseller and not ar_pinned
+              and countries[index % len(countries)] == "AR"):
+            # ar.boxpnservers.net / ar.anonine.net: same /24, adjacent IPs.
+            ar_pinned = True
+            last_octet = 183 if entry.name == "Boxpn" else 184
+            address = allocator.pin(f"200.110.156.{last_octet}")
+            country = "AR"
+            record_block = _AR_SHARED_BLOCK
+            asn = 52361
+        else:
+            country = countries[index % len(countries)]
+            if shared_reseller:
+                # The first slots march through the shared /24 list in the
+                # same order for both resellers; overflow is reseller-local.
+                if generic_slot < len(_SHARED_GENERIC_24S):
+                    sub24 = _SHARED_GENERIC_24S[generic_slot]
+                else:
+                    sub24 = _carve_24(
+                        _RESELLER_OVERFLOW_POOLS[entry.name],
+                        _stable_hash(entry.name, generic_slot),
+                    )
+                generic_slot += 1
+                address = allocator.allocate(entry.name, index, sub24)
+                record_block = sub24
+                asn = 55720
+            else:
+                pool = HOSTING_POOLS[
+                    _stable_hash(entry.name, index) % len(HOSTING_POOLS)
+                ][0]
+                sub24 = _carve_24(pool, _stable_hash(entry.name, index))
+                address = allocator.allocate(entry.name, index, sub24)
+                record_block = sub24
+                asn = _asn_for_block(pool)
+
+        city = _city_for_country(country, index)
+        if not city:
+            city = country_centroid(country).city or f"{country}-pop"
+        censorship = _censorship_for(entry.name, country, city, city)
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}{index:02d}.{slug}.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=city,
+                censorship=censorship,
+                address=address,
+                block=record_block,
+                asn=asn,
+            )
+        )
+    return tuple(specs)
+
+
+def _carve_24(pool: str, key: int) -> str:
+    """A deterministic /24 inside *pool*."""
+    network = IPv4Network.parse(pool)
+    subnets = max(1, network.num_addresses // 256)
+    index = key % subnets
+    base = network.network.value + index * 256
+    return f"{IPv4Address(base)}/24"
+
+
+def _avira_specs(allocator: _Allocator) -> tuple[VantagePointSpec, ...]:
+    """Avira: honest European endpoints plus the 'US' one that pings like
+    Frankfurt (Section 6.4.2's worked example)."""
+    layout = [
+        ("DE", "Frankfurt", "Frankfurt"),
+        ("US", "New York", "Frankfurt"),  # the virtual one
+        ("FR", "Paris", "Paris"),
+        ("NL", "Amsterdam", "Amsterdam"),
+        ("GB", "London", "London"),
+        ("IT", "Milan", "Milan"),
+    ]
+    specs = []
+    for index, (country, city, physical) in enumerate(layout):
+        pool = HOSTING_POOLS[(index + 7) % len(HOSTING_POOLS)][0]
+        sub24 = _carve_24(pool, _stable_hash("Avira", index))
+        address = allocator.allocate("Avira", index, sub24)
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}.avira-vpn.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=physical,
+                address=address,
+                block=sub24,
+                asn=_asn_for_block(pool),
+            )
+        )
+    return tuple(specs)
+
+
+def _freedomip_specs(allocator: _Allocator) -> tuple[VantagePointSpec, ...]:
+    """Freedom IP: six honest endpoints + four virtual ones co-located in
+    Paris (identified by the paper's RTT-vector correlation)."""
+    honest = [("FR", "Paris"), ("BE", "Brussels"), ("CH", "Geneva"),
+              ("ES", "Madrid"), ("DE", "Frankfurt"), ("GB", "London")]
+    virtual = [("US", "New York"), ("CA", "Montreal"),
+               ("MA", "Casablanca"), ("IT", "Rome")]
+    specs = []
+    for index, (country, city) in enumerate(honest + virtual):
+        physical = city if index < len(honest) else "Paris"
+        pool = HOSTING_POOLS[(index + 2) % len(HOSTING_POOLS)][0]
+        sub24 = _carve_24(pool, _stable_hash("Freedom IP", index // 2))
+        address = allocator.allocate("Freedom IP", index, sub24)
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}.freedom-ip.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=physical,
+                address=address,
+                block=sub24,
+                asn=_asn_for_block(pool),
+            )
+        )
+    return tuple(specs)
+
+
+_SPECIAL_LAYOUTS = {
+    "HideMyAss": _hidemyass_specs,
+    "Le VPN": _levpn_specs,
+    "MyIP.io": _myip_specs,
+    "VPNUK": _vpnuk_specs,
+    "Avira": _avira_specs,
+    "Freedom IP": _freedomip_specs,
+}
+
+
+def provider_profiles() -> list[ProviderProfile]:
+    """Build all 62 ground-truth profiles."""
+    allocator = _Allocator()
+    profiles: list[ProviderProfile] = []
+    for entry in _TABLE:
+        layout = _SPECIAL_LAYOUTS.get(entry.name)
+        if layout is not None:
+            specs = layout(allocator)
+        else:
+            specs = _generic_specs(entry, allocator)
+        slug = entry.name.lower().replace(" ", "").replace(".", "")
+        profiles.append(
+            ProviderProfile(
+                name=entry.name,
+                subscription=entry.subscription,
+                client_type=entry.client,
+                protocols=entry.protocols,
+                website_domain=f"{slug}.com",
+                business_country=entry.business_country,
+                founded=entry.founded,
+                vantage_points=specs,
+                behaviors=BehaviorFlags(
+                    transparent_proxy=entry.proxy,
+                    ad_injection=entry.inject,
+                ),
+                leaks=LeakFlags(
+                    dns_leak=entry.dns_leak,
+                    ipv6_leak=entry.ipv6_leak,
+                    failure_mode=entry.failure,
+                ),
+                address_blocks=tuple(sorted({s.block for s in specs})),
+                claimed_server_count=entry.claimed_servers,
+                claimed_country_count=(
+                    entry.claimed_countries_hint
+                    or len({s.claimed_country for s in specs})
+                ),
+            )
+        )
+    return profiles
+
+
+def build_catalog() -> dict[str, ProviderProfile]:
+    """Profiles keyed by provider name."""
+    return {profile.name: profile for profile in provider_profiles()}
+
+
+def total_vantage_points() -> int:
+    return sum(entry.vp_count for entry in _TABLE)

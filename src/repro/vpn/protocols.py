@@ -1,0 +1,101 @@
+"""Tunnel protocols.
+
+Descriptors for the tunnelling technologies the ecosystem analysis counts
+(paper Figure 5) and the clients negotiate.  The protocol determines the
+outer transport/port of encapsulated traffic and whether the protocol itself
+is considered secure (PPTP famously is not, though the paper's leakage
+findings concern *configuration*, not protocol cryptanalysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TunnelProtocol:
+    """One tunnelling technology."""
+
+    name: str
+    transport: str           # udp | tcp
+    port: int
+    default_cipher: str
+    considered_secure: bool
+    supports_ipv6: bool
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.transport}/{self.port}, {self.default_cipher})"
+
+
+OPENVPN = TunnelProtocol(
+    name="OpenVPN",
+    transport="udp",
+    port=1194,
+    default_cipher="AES-256-GCM",
+    considered_secure=True,
+    supports_ipv6=True,
+)
+
+PPTP = TunnelProtocol(
+    name="PPTP",
+    transport="tcp",
+    port=1723,
+    default_cipher="MPPE-128",
+    considered_secure=False,
+    supports_ipv6=False,
+)
+
+L2TP_IPSEC = TunnelProtocol(
+    name="L2TP/IPsec",
+    transport="udp",
+    port=1701,
+    default_cipher="AES-256-CBC",
+    considered_secure=True,
+    supports_ipv6=False,
+)
+
+IPSEC_IKEV2 = TunnelProtocol(
+    name="IPsec/IKEv2",
+    transport="udp",
+    port=500,
+    default_cipher="AES-256-GCM",
+    considered_secure=True,
+    supports_ipv6=True,
+)
+
+SSTP = TunnelProtocol(
+    name="SSTP",
+    transport="tcp",
+    port=443,
+    default_cipher="AES-256-CBC",
+    considered_secure=True,
+    supports_ipv6=False,
+)
+
+SSL_PROXY = TunnelProtocol(
+    name="SSL",
+    transport="tcp",
+    port=443,
+    default_cipher="TLS1.2",
+    considered_secure=True,
+    supports_ipv6=False,
+)
+
+SSH_TUNNEL = TunnelProtocol(
+    name="SSH",
+    transport="tcp",
+    port=22,
+    default_cipher="chacha20-poly1305",
+    considered_secure=True,
+    supports_ipv6=False,
+)
+
+PROTOCOLS: dict[str, TunnelProtocol] = {
+    p.name: p
+    for p in (OPENVPN, PPTP, L2TP_IPSEC, IPSEC_IKEV2, SSTP, SSL_PROXY, SSH_TUNNEL)
+}
+
+
+def protocol(name: str) -> TunnelProtocol:
+    """Look up a protocol by name; raises ``KeyError`` for unknown names."""
+    return PROTOCOLS[name]

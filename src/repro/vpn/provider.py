@@ -1,0 +1,231 @@
+"""Provider and vantage-point data model.
+
+A :class:`ProviderProfile` is the *ground truth* for one commercial VPN
+service: its catalogue metadata (subscription type, client software,
+protocols) plus the behaviours the measurement suite is supposed to detect —
+which of its endpoints are virtual, whether its client leaks, how it handles
+tunnel failure, and any egress misbehaviour.  ``repro.vpn.catalog`` holds the
+62 concrete profiles; ``repro.world`` realises profiles into live
+:class:`VpnProvider` instances with hosts on the simulated internet.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.geo import GeoPoint
+
+if TYPE_CHECKING:
+    from repro.net.host import Host
+    from repro.vpn.server import VantagePointServer
+
+
+class SubscriptionType(enum.Enum):
+    PAID = "Paid"
+    TRIAL = "Trial"
+    FREE = "Free"
+
+
+class FailureMode(enum.Enum):
+    """How the client behaves when the tunnel path dies (Section 6.5)."""
+
+    FAIL_OPEN = "fail-open"                  # leaks; no kill switch
+    KILL_SWITCH_DEFAULT_OFF = "ks-default-off"  # has one, ships disabled → leaks
+    KILL_SWITCH_APP_ONLY = "ks-app-only"     # only kills chosen apps → leaks
+    FAIL_CLOSED = "fail-closed"              # blocks traffic on failure
+
+    @property
+    def leaks(self) -> bool:
+        return self is not FailureMode.FAIL_CLOSED
+
+
+class ClientType(enum.Enum):
+    CUSTOM = "custom"          # provider ships its own client app
+    OPENVPN_CONFIG = "openvpn"  # configs for Tunnelblick/OpenVPN et al.
+    BROWSER_EXTENSION = "browser"  # excluded from active testing (§4)
+
+
+@dataclass(frozen=True)
+class VantagePointSpec:
+    """One advertised vantage point, before realisation.
+
+    ``claimed_country``/``claimed_city`` is what the provider's server list
+    advertises.  ``physical_city`` is where the machine actually is; for an
+    honest endpoint it is the claimed city, for a 'virtual' endpoint it is a
+    data centre elsewhere (paper Section 6.4.2).  ``censorship`` optionally
+    names the block-page id of national filtering upstream of this endpoint
+    (Table 4).
+    """
+
+    hostname: str
+    claimed_country: str
+    claimed_city: str
+    physical_city: str
+    censorship: Optional[str] = None
+    # Concrete allocation, filled in by the catalogue: the endpoint address
+    # and its enclosing /24 (the granularity of the shared-infrastructure
+    # analysis, Section 6.3).
+    address: str = ""
+    block: str = ""
+    asn: int = 0
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.physical_city != self.claimed_city
+
+    @property
+    def flaky(self) -> bool:
+        """Connection reliability (paper Section 5.2).
+
+        "While we were typically able to connect to VPN vantage points in
+        North America and Europe, there was far lower reliability when
+        connecting through vantage points in the Middle East, Africa and
+        South America."  Flaky endpoints fail their first connection
+        attempt and need a retry (the paper's partial re-collection).
+        """
+        unreliable_regions = {
+            # Middle East
+            "AE", "IL", "SA", "IR", "IQ", "JO", "LB", "QA", "KW", "TR",
+            # Africa
+            "EG", "ZA", "NG", "KE", "MA", "TN", "SC", "MU",
+            # South America
+            "BR", "AR", "CL", "PE", "CO", "VE", "EC", "UY",
+        }
+        return self.claimed_country in unreliable_regions
+
+    @property
+    def registered_country(self) -> Optional[str]:
+        """The country the address is registered to (geo-IP bait).
+
+        Providers running virtual endpoints register their space to the
+        advertised country; honest endpoints need no games.
+        """
+        return self.claimed_country if self.is_virtual else None
+
+
+@dataclass(frozen=True)
+class BehaviorFlags:
+    """Which egress/DNS behaviours a provider's endpoints exhibit."""
+
+    transparent_proxy: bool = False
+    ad_injection: bool = False
+    dns_manipulation: bool = False
+    tls_interception: bool = False
+    tls_stripping: bool = False
+
+
+@dataclass(frozen=True)
+class LeakFlags:
+    """Client-side misconfigurations (Table 6 and Section 6.5)."""
+
+    dns_leak: bool = False      # client does not repoint the system resolver
+    ipv6_leak: bool = False     # client neither tunnels nor blocks IPv6
+    failure_mode: FailureMode = FailureMode.FAIL_CLOSED
+
+
+@dataclass(frozen=True)
+class CapabilityFlags:
+    """Forward-looking provider capabilities (the paper's future work).
+
+    ``tunnels_ipv6``: the tunnel carries IPv6 end-to-end (dual-stack
+    vantage points), removing the need to block v6 — none of the paper's
+    62 services did this in 2018.
+    ``p2p_relay``: the provider routes other customers' traffic out
+    through its clients (Hola-style); Section 6.6 found none among the 62
+    and left the investigation as future work.
+    """
+
+    tunnels_ipv6: bool = False
+    p2p_relay: bool = False
+
+
+@dataclass(frozen=True)
+class ProviderProfile:
+    """Ground truth for one commercial VPN service."""
+
+    name: str
+    subscription: SubscriptionType
+    client_type: ClientType
+    protocols: tuple[str, ...]
+    website_domain: str
+    business_country: str
+    founded: int
+    vantage_points: tuple[VantagePointSpec, ...]
+    behaviors: BehaviorFlags = BehaviorFlags()
+    leaks: LeakFlags = LeakFlags()
+    capabilities: CapabilityFlags = CapabilityFlags()
+    # CIDR blocks (as strings) this provider draws vantage-point addresses
+    # from; overlapping blocks across providers reproduce Table 5.
+    address_blocks: tuple[str, ...] = ()
+    claimed_server_count: int = 100
+    claimed_country_count: int = 0
+
+    def virtual_vantage_points(self) -> list[VantagePointSpec]:
+        return [vp for vp in self.vantage_points if vp.is_virtual]
+
+    @property
+    def has_custom_client(self) -> bool:
+        return self.client_type is ClientType.CUSTOM
+
+
+@dataclass
+class VantagePoint:
+    """A realised vantage point: a live server host on the internet."""
+
+    spec: VantagePointSpec
+    provider_name: str
+    address: IPv4Address
+    block: IPv4Network
+    host: "Host"
+    server: "VantagePointServer"
+    physical_location: GeoPoint
+    claimed_location: GeoPoint
+
+    @property
+    def hostname(self) -> str:
+        return self.spec.hostname
+
+    @property
+    def claimed_country(self) -> str:
+        return self.spec.claimed_country
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.spec.is_virtual
+
+    def describe(self) -> str:
+        marker = " (virtual)" if self.is_virtual else ""
+        return (
+            f"{self.hostname} [{self.address}] claims "
+            f"{self.spec.claimed_city},{self.claimed_country}"
+            f"{marker}, physically {self.spec.physical_city}"
+        )
+
+
+@dataclass
+class VpnProvider:
+    """A realised provider: profile + live vantage points + resolver."""
+
+    profile: ProviderProfile
+    vantage_points: list[VantagePoint] = field(default_factory=list)
+    # The address of the provider's in-tunnel DNS resolver.
+    dns_resolver_address: str = "10.8.0.1"
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def vantage_point(self, hostname: str) -> VantagePoint:
+        for vp in self.vantage_points:
+            if vp.hostname == hostname:
+                return vp
+        raise KeyError(f"{self.name} has no vantage point {hostname!r}")
+
+    def addresses(self) -> list[IPv4Address]:
+        return [vp.address for vp in self.vantage_points]
+
+    def blocks(self) -> list[IPv4Network]:
+        return [vp.block for vp in self.vantage_points]

@@ -1,0 +1,63 @@
+"""HTTP / TLS / browser substrate.
+
+Everything the manipulation tests need: a URL model with registered-domain
+logic (public-suffix style), HTTP messages, a certificate/TLS model with
+chain validation, a minimal DOM, a catalogue of test sites (including the two
+honeysites), origin web servers, censorship block pages, and a headless
+browser that loads pages through a host's network stack.
+"""
+
+from repro.web.browser import Browser, PageLoad, ResourceLoad, TlsProbe
+from repro.web.dom import Document, DomElement
+from repro.web.http import HeaderSet, HttpRequest, HttpResponse
+from repro.web.server import (
+    BlockPageServer,
+    HeaderEchoServer,
+    OriginWebServer,
+    install_web_service,
+)
+from repro.web.sites import (
+    HONEYSITE_AD,
+    HONEYSITE_STATIC,
+    Site,
+    SiteCatalog,
+    default_catalog,
+)
+from repro.web.tls import (
+    Certificate,
+    CertificateAuthority,
+    CertificateStore,
+    TlsHandshake,
+    TrustStore,
+)
+from repro.web.url import Url, registered_domain, same_registered_domain, urls_related
+
+__all__ = [
+    "Browser",
+    "PageLoad",
+    "ResourceLoad",
+    "TlsProbe",
+    "Document",
+    "DomElement",
+    "HeaderSet",
+    "HttpRequest",
+    "HttpResponse",
+    "BlockPageServer",
+    "HeaderEchoServer",
+    "OriginWebServer",
+    "install_web_service",
+    "HONEYSITE_AD",
+    "HONEYSITE_STATIC",
+    "Site",
+    "SiteCatalog",
+    "default_catalog",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateStore",
+    "TlsHandshake",
+    "TrustStore",
+    "Url",
+    "registered_domain",
+    "same_registered_domain",
+    "urls_related",
+]

@@ -1,0 +1,121 @@
+"""A minimal DOM.
+
+Pages in the simulation are flat lists of elements — enough structure for the
+DOM-collection test to diff a page loaded through a VPN against the
+known-unmodified ground truth and spot injected scripts/overlays, which is
+exactly how the paper caught Seed4.me's ad injection (Section 6.1.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DomElement:
+    """One element: tag, attributes, text content."""
+
+    tag: str
+    attrs: tuple[tuple[str, str], ...] = ()
+    text: str = ""
+
+    def attr(self, name: str) -> str | None:
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return None
+
+    def describe(self) -> str:
+        attrs = " ".join(f'{k}="{v}"' for k, v in self.attrs)
+        inner = self.text[:40]
+        return f"<{self.tag}{' ' + attrs if attrs else ''}>{inner}"
+
+
+@dataclass(frozen=True)
+class Document:
+    """A loaded page: URL, title, elements."""
+
+    url: str
+    title: str
+    elements: tuple[DomElement, ...] = ()
+
+    def scripts(self) -> list[DomElement]:
+        return [e for e in self.elements if e.tag == "script"]
+
+    def external_scripts(self) -> list[str]:
+        return [
+            src
+            for e in self.scripts()
+            if (src := e.attr("src")) is not None
+        ]
+
+    def resource_urls(self) -> list[str]:
+        """All externally loaded resources (script src, img src, iframes)."""
+        urls: list[str] = []
+        for element in self.elements:
+            if element.tag in ("script", "img", "iframe", "link"):
+                src = element.attr("src") or element.attr("href")
+                if src:
+                    urls.append(src)
+        return urls
+
+    def content_hash(self) -> str:
+        return hashlib.sha256(self.serialise().encode()).hexdigest()[:32]
+
+    def serialise(self) -> str:
+        return json.dumps(
+            {
+                "url": self.url,
+                "title": self.title,
+                "elements": [
+                    {"tag": e.tag, "attrs": list(e.attrs), "text": e.text}
+                    for e in self.elements
+                ],
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def deserialise(cls, data: str) -> "Document":
+        raw = json.loads(data)
+        return cls(
+            url=raw["url"],
+            title=raw["title"],
+            elements=tuple(
+                DomElement(
+                    tag=e["tag"],
+                    attrs=tuple((k, v) for k, v in e["attrs"]),
+                    text=e["text"],
+                )
+                for e in raw["elements"]
+            ),
+        )
+
+    def with_injected(self, element: DomElement) -> "Document":
+        """A copy with one extra element appended (injection primitive)."""
+        return Document(
+            url=self.url,
+            title=self.title,
+            elements=self.elements + (element,),
+        )
+
+
+def diff_documents(expected: Document, observed: Document) -> list[str]:
+    """Human-readable differences between two versions of a page.
+
+    Returns descriptions of elements added/removed relative to *expected*.
+    The comparison is set-based: ordering changes alone are not manipulation.
+    """
+    expected_set = set(expected.elements)
+    observed_set = set(observed.elements)
+    differences: list[str] = []
+    for element in observed.elements:
+        if element not in expected_set:
+            differences.append(f"added: {element.describe()}")
+    for element in expected.elements:
+        if element not in observed_set:
+            differences.append(f"removed: {element.describe()}")
+    return differences

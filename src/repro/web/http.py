@@ -1,0 +1,216 @@
+"""HTTP message model.
+
+Requests and responses with ordered, case-preserving headers.  Header
+*identity* (exact name casing and ordering) matters: the header-based proxy
+detection test (paper Section 6.2.1) works by comparing the headers a client
+sent against the headers the origin actually received — transparent proxies
+that parse and regenerate requests normalise casing/ordering and so betray
+themselves without injecting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Optional
+
+from repro.net.packet import HttpPayload
+
+REDIRECT_STATUSES = frozenset({301, 302, 303, 307, 308})
+
+
+class HeaderSet:
+    """An ordered, case-preserving multimap of HTTP headers."""
+
+    def __init__(self, items: Iterable[tuple[str, str]] = ()) -> None:
+        self._items: list[tuple[str, str]] = list(items)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, value))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        lowered = name.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all instances of *name* (first position kept)."""
+        lowered = name.lower()
+        replaced = False
+        out: list[tuple[str, str]] = []
+        for key, val in self._items:
+            if key.lower() == lowered:
+                if not replaced:
+                    out.append((name, value))
+                    replaced = True
+            else:
+                out.append((key, val))
+        if not replaced:
+            out.append((name, value))
+        self._items = out
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._items)
+
+    def as_tuple(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, HeaderSet):
+            return self._items == other._items
+        return NotImplemented
+
+    def copy(self) -> "HeaderSet":
+        return HeaderSet(self._items)
+
+    def normalised(self) -> "HeaderSet":
+        """The form a parsing-and-regenerating proxy would emit.
+
+        Title-Case names, sorted order — a typical proxy library's output.
+        This is used by the transparent-proxy *behaviour*; the detection test
+        never calls it, it just observes the result.
+        """
+        canonical = [
+            ("-".join(part.capitalize() for part in k.split("-")), v)
+            for k, v in self._items
+        ]
+        canonical.sort(key=lambda kv: kv[0])
+        return HeaderSet(canonical)
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request as issued by a client."""
+
+    method: str
+    url: str
+    headers: tuple[tuple[str, str], ...] = ()
+    body: str = ""
+
+    @property
+    def header_set(self) -> HeaderSet:
+        return HeaderSet(self.headers)
+
+    def with_headers(self, headers: HeaderSet) -> "HttpRequest":
+        return replace(self, headers=headers.as_tuple())
+
+    def to_payload(self) -> HttpPayload:
+        return HttpPayload(
+            method=self.method,
+            url=self.url,
+            status=0,
+            headers=self.headers,
+            body=self.body,
+            body_size=len(self.body),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: HttpPayload) -> "HttpRequest":
+        return cls(
+            method=payload.method,
+            url=payload.url,
+            headers=payload.headers,
+            body=payload.body,
+        )
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An HTTP response."""
+
+    status: int
+    url: str
+    headers: tuple[tuple[str, str], ...] = ()
+    body: str = ""
+    body_label: str = ""
+
+    @property
+    def header_set(self) -> HeaderSet:
+        return HeaderSet(self.headers)
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_STATUSES and self.location is not None
+
+    @property
+    def location(self) -> Optional[str]:
+        return self.header_set.get("Location")
+
+    def to_payload(self) -> HttpPayload:
+        return HttpPayload(
+            method="",
+            url=self.url,
+            status=self.status,
+            headers=self.headers,
+            body=self.body,
+            body_label=self.body_label,
+            body_size=len(self.body),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: HttpPayload) -> "HttpResponse":
+        return cls(
+            status=payload.status,
+            url=payload.url,
+            headers=payload.headers,
+            body=payload.body,
+            body_label=payload.body_label,
+        )
+
+    @classmethod
+    def redirect(cls, url: str, location: str, status: int = 302) -> "HttpResponse":
+        return cls(
+            status=status,
+            url=url,
+            headers=(("Location", location),),
+            body="",
+            body_label=f"redirect:{location}",
+        )
+
+    @classmethod
+    def not_found(cls, url: str) -> "HttpResponse":
+        return cls(status=404, url=url, body="not found", body_label="404")
+
+    @classmethod
+    def forbidden(cls, url: str, body: str = "") -> "HttpResponse":
+        return cls(status=403, url=url, body=body, body_label="403")
+
+
+def default_request_headers(host: str) -> HeaderSet:
+    """The browser's characteristic header block.
+
+    Deliberately mixed casing ('sec-ch-ua' style lowercase next to
+    Title-Case) so that regenerating proxies produce a detectable diff.
+    """
+    return HeaderSet(
+        [
+            ("Host", host),
+            ("User-Agent", "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13) "
+                           "AppleWebKit/537.36 Chrome/65.0 Safari/537.36"),
+            ("Accept", "text/html,application/xhtml+xml,*/*;q=0.8"),
+            ("accept-language", "en-US,en;q=0.9"),
+            ("ACCEPT-ENCODING", "gzip, deflate"),
+            ("x-measurement-nonce", "vpn-test-suite"),
+            ("Connection", "keep-alive"),
+        ]
+    )

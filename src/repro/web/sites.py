@@ -1,0 +1,282 @@
+"""The test-site catalogue.
+
+The paper's DOM-collection test loads 55 HTTP-only sites chosen across
+sensitive categories, two of which are 'honeysites' serving fully static
+content (one carrying ad-inclusion markup with invalid publisher IDs); the
+TLS test covers those plus 150+ additional hosts (Section 5.3.1).
+
+This module synthesises that catalogue deterministically: each
+:class:`Site` has a domain, a category, whether it upgrades HTTP→HTTPS, a
+generated :class:`~repro.web.dom.Document`, and a flag for sites that
+actively block known-VPN source ranges (the paper found dozens of 403s from
+such services, Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.web.dom import Document, DomElement
+
+# Categories mirror Section 5.3.1: "politics, pornography, government
+# websites, defense contracting, etc."
+DOM_SITE_CATEGORIES: dict[str, list[str]] = {
+    "news": [
+        "daily-herald-news.com", "globe-wire.com", "metro-times-online.com",
+        "evening-dispatch.net", "world-report-news.org", "capital-press.com",
+        "sunrise-bulletin.com", "open-newsdesk.org",
+    ],
+    "politics": [
+        "policy-debate-forum.org", "civic-action-now.org",
+        "liberty-voices.net", "electoral-watchdog.org",
+        "parliament-monitor.net", "reform-caucus.org",
+    ],
+    "pornography": [
+        "adult-site-alpha.com", "adult-site-bravo.com", "adult-site-charlie.net",
+        "adult-site-delta.com", "adult-site-echo.net", "adult-site-foxtrot.com",
+    ],
+    "government": [
+        "city-permits.gov", "national-statistics.gov", "tax-filing-portal.gov",
+        "public-records.gov", "customs-declarations.gov",
+    ],
+    "defense": [
+        "aero-defense-systems.com", "maritime-contracting.net",
+        "secure-avionics.com", "ordnance-logistics.com",
+    ],
+    "filesharing": [
+        "torrent-index-one.net", "magnet-links-hub.net", "file-bay-mirror.org",
+        "seedbox-search.net", "p2p-tracker-list.org",
+    ],
+    "health": [
+        "clinic-finder-online.com", "mental-health-answers.org",
+        "std-testing-info.org", "pharma-price-check.com",
+    ],
+    "religion": [
+        "interfaith-dialogue.org", "scripture-study-group.org", "jw-mirror.org",
+    ],
+    "gambling": [
+        "lucky-slots-palace.com", "sports-odds-central.net",
+        "poker-room-live.com",
+    ],
+    "social": [
+        "micro-blog-central.com", "photo-share-stream.net",
+        "forum-underground.net", "encrypted-chat-web.org",
+    ],
+    "shopping": [
+        "discount-megastore.com", "auction-corner.net", "gadget-outlet.com",
+    ],
+    "reference": [
+        "wiki-mirror-project.org", "open-encyclopedia.net",
+        "language-dictionary.net",
+    ],
+    "vpn-blocked-streaming": [
+        "stream-flix-video.com", "sports-live-stream.net", "tv-catchup-now.com",
+    ],
+}
+
+# Two honeysites (Section 5.3.1): static DOM content to give manipulators an
+# easy target; one carries ad slots with invalid publisher identifiers.
+HONEYSITE_STATIC = "static-content-probe.org"
+HONEYSITE_AD = "ad-bait-probe.com"
+
+# Domains that actively 403 known VPN source ranges (Section 6.1.2 found
+# "more than a dozen instances" across "dozens of VPN providers").
+VPN_BLOCKING_SITES = frozenset(
+    {
+        "stream-flix-video.com",
+        "sports-live-stream.net",
+        "tv-catchup-now.com",
+        "auction-corner.net",
+        "poker-room-live.com",
+        "sports-odds-central.net",
+    }
+)
+
+# Sites censored per country (Table 4): category -> censoring countries.
+CENSORED_CATEGORIES: dict[str, tuple[str, ...]] = {
+    "pornography": ("TR", "KR", "TH", "RU"),
+    "filesharing": ("TR", "RU", "NL"),
+    "reference": ("TR",),       # Turkey blocked Wikipedia
+    "religion": ("RU",),        # Russia blocked jw.org
+    "social": ("RU",),          # Russia blocked linkedin.com (social)
+}
+
+
+@dataclass(frozen=True)
+class Site:
+    """One catalogue entry."""
+
+    domain: str
+    category: str
+    upgrades_https: bool
+    in_dom_set: bool           # part of the 55-site DOM collection
+    is_honeysite: bool = False
+    blocks_vpn_ranges: bool = False
+
+    @property
+    def http_url(self) -> str:
+        return f"http://{self.domain}/"
+
+    @property
+    def https_url(self) -> str:
+        return f"https://{self.domain}/"
+
+
+def _page_seed(domain: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(domain.encode("ascii")).digest()[:4], "big"
+    )
+
+
+def generate_document(site: Site) -> Document:
+    """The deterministic ground-truth page for a site."""
+    seed = _page_seed(site.domain)
+    elements: list[DomElement] = [
+        DomElement(tag="h1", text=f"Welcome to {site.domain}"),
+        DomElement(
+            tag="p",
+            text=f"Category: {site.category}. Page token {seed:08x}.",
+        ),
+        DomElement(
+            tag="script",
+            attrs=(("src", f"http://{site.domain}/static/app.js"),),
+        ),
+        DomElement(
+            tag="img",
+            attrs=(("src", f"http://{site.domain}/static/logo.png"),),
+        ),
+        DomElement(
+            tag="link",
+            attrs=(
+                ("rel", "stylesheet"),
+                ("href", f"http://{site.domain}/static/style.css"),
+            ),
+        ),
+    ]
+    for index in range(seed % 3 + 1):
+        elements.append(
+            DomElement(
+                tag="p", text=f"Article paragraph {index} ({(seed >> index) & 0xFF})."
+            )
+        )
+    if site.domain == HONEYSITE_AD:
+        # Ad-inclusion markup with deliberately invalid publisher IDs.
+        elements.append(
+            DomElement(
+                tag="script",
+                attrs=(
+                    ("src", "http://cdn.major-ad-network.com/show_ads.js"),
+                    ("data-publisher-id", "pub-0000000000000000"),
+                ),
+            )
+        )
+        elements.append(
+            DomElement(
+                tag="div",
+                attrs=(("class", "ad-slot"), ("data-slot", "banner-top")),
+            )
+        )
+    return Document(
+        url=site.http_url,
+        title=f"{site.domain} — home",
+        elements=tuple(elements),
+    )
+
+
+class SiteCatalog:
+    """All sites in the simulated web plus lookup helpers."""
+
+    def __init__(self, sites: list[Site]) -> None:
+        self._by_domain = {site.domain: site for site in sites}
+        if len(self._by_domain) != len(sites):
+            raise ValueError("duplicate domains in catalogue")
+
+    def __iter__(self):
+        return iter(self._by_domain.values())
+
+    def __len__(self) -> int:
+        return len(self._by_domain)
+
+    def get(self, domain: str) -> Optional[Site]:
+        return self._by_domain.get(domain.lower())
+
+    def dom_test_sites(self) -> list[Site]:
+        """The 55-site DOM-collection set (incl. the two honeysites)."""
+        return [s for s in self if s.in_dom_set]
+
+    def honeysites(self) -> list[Site]:
+        return [s for s in self if s.is_honeysite]
+
+    def tls_test_sites(self) -> list[Site]:
+        """The DOM set plus the 150+ additional TLS hosts."""
+        return list(self)
+
+    def sites_in_category(self, category: str) -> list[Site]:
+        return [s for s in self if s.category == category]
+
+    def censored_domains_for_country(self, country: str) -> list[str]:
+        """Domains upstream-censored when egressing in *country* (Table 4)."""
+        domains: list[str] = []
+        for category, countries in CENSORED_CATEGORIES.items():
+            if country in countries:
+                domains.extend(
+                    s.domain for s in self.sites_in_category(category)
+                )
+        return sorted(domains)
+
+
+def default_catalog() -> SiteCatalog:
+    """Build the full catalogue: 55 DOM sites + 2 honeysites + TLS extras."""
+    sites: list[Site] = []
+    dom_budget = 53  # + 2 honeysites = 55 in the DOM set
+    dom_count = 0
+    for category, domains in DOM_SITE_CATEGORIES.items():
+        for domain in domains:
+            in_dom = dom_count < dom_budget
+            if in_dom:
+                dom_count += 1
+            # The DOM set deliberately avoids HTTPS-upgrading sites
+            # ("we specifically chose domains which do not upgrade requests
+            # to HTTPS"); the extra TLS hosts mostly do upgrade.
+            sites.append(
+                Site(
+                    domain=domain,
+                    category=category,
+                    upgrades_https=not in_dom,
+                    in_dom_set=in_dom,
+                    blocks_vpn_ranges=domain in VPN_BLOCKING_SITES,
+                )
+            )
+    sites.append(
+        Site(
+            domain=HONEYSITE_STATIC,
+            category="honeysite",
+            upgrades_https=False,
+            in_dom_set=True,
+            is_honeysite=True,
+        )
+    )
+    sites.append(
+        Site(
+            domain=HONEYSITE_AD,
+            category="honeysite",
+            upgrades_https=False,
+            in_dom_set=True,
+            is_honeysite=True,
+        )
+    )
+    # 150+ additional TLS-only hosts (Section 5.3.1's "more than 150
+    # additional hosts").
+    for index in range(155):
+        domain = f"tls-host-{index:03d}.example-services.com"
+        sites.append(
+            Site(
+                domain=domain,
+                category="tls-extra",
+                upgrades_https=True,
+                in_dom_set=False,
+            )
+        )
+    return SiteCatalog(sites)

@@ -1,0 +1,147 @@
+"""STUN and ICE candidate gathering — the WebRTC leak surface.
+
+The paper's related work (Al-Fannah) shows the WebRTC API can reveal a
+range of client addresses to any visited website even when a VPN is in
+use, and the authors state they systematically audit this vulnerability.
+The mechanism:
+
+- *host candidates*: the browser enumerates local interface addresses and
+  exposes them to page JavaScript directly — the VPN never sees this;
+- *server-reflexive candidates*: a STUN binding request discovers the
+  address the outside world sees; routed through the tunnel this is the
+  VPN egress, but a client that fails to force WebRTC through the tunnel
+  (or to block it) exposes the real public address.
+
+:class:`StunServer` is a UDP service answering binding requests with the
+observed source address; :func:`gather_ice_candidates` mimics the
+browser's gathering phase on a host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import parse_address
+from repro.net.host import Host
+from repro.net.packet import Packet, RawPayload, UdpDatagram
+
+STUN_PORT = 3478
+_BINDING_REQUEST = "stun:binding-request"
+_BINDING_PREFIX = "stun:mapped="
+
+
+class StunServer:
+    """Answers binding requests with the source address it observed."""
+
+    def __init__(self, name: str = "stun") -> None:
+        self.name = name
+        self.requests_served = 0
+
+    def handle(self, packet: Packet, host: Host) -> Optional[list[Packet]]:
+        datagram = packet.payload
+        if not isinstance(datagram, UdpDatagram):
+            return None
+        payload = datagram.payload
+        if not isinstance(payload, RawPayload):
+            return None
+        if payload.label != _BINDING_REQUEST:
+            return None
+        self.requests_served += 1
+        mapped = f"{_BINDING_PREFIX}{packet.src}"
+        return [
+            Packet(
+                src=packet.dst,
+                dst=packet.src,
+                payload=UdpDatagram(
+                    src_port=datagram.dst_port,
+                    dst_port=datagram.src_port,
+                    payload=RawPayload(label=mapped, size=len(mapped)),
+                ),
+            )
+        ]
+
+
+def install_stun_service(host: Host, server: StunServer) -> None:
+    host.bind("udp", STUN_PORT, server.handle)
+
+
+@dataclass(frozen=True)
+class IceCandidate:
+    """One ICE candidate as exposed to page JavaScript."""
+
+    candidate_type: str  # "host" | "srflx"
+    address: str
+    interface: str = ""
+
+
+def gather_ice_candidates(
+    host: Host, stun_server_address: str
+) -> list[IceCandidate]:
+    """The browser's gathering phase on *host*.
+
+    Host candidates enumerate every up interface address (including tunnel
+    addresses); the server-reflexive candidate is whatever the STUN server
+    reports back, routed like any other traffic.
+    """
+    candidates: list[IceCandidate] = []
+    for interface in host.interfaces.values():
+        if not interface.up:
+            continue
+        for address in (interface.ipv4, interface.ipv6):
+            if address is not None:
+                candidates.append(
+                    IceCandidate(
+                        candidate_type="host",
+                        address=str(address),
+                        interface=interface.name,
+                    )
+                )
+
+    reflexive = _stun_binding(host, stun_server_address)
+    if reflexive is not None:
+        candidates.append(
+            IceCandidate(candidate_type="srflx", address=reflexive)
+        )
+    return candidates
+
+
+def _stun_binding(host: Host, server_address: str) -> Optional[str]:
+    target = parse_address(server_address)
+    route = host.routing.lookup(target)
+    if route is None:
+        return None
+    interface = host.interfaces.get(route.interface)
+    if interface is None or not interface.up:
+        return None
+    source = interface.address_for_version(target.version)
+    if source is None:
+        return None
+    socket = host.open_socket("udp")
+    try:
+        request = Packet(
+            src=source,
+            dst=target,
+            payload=UdpDatagram(
+                src_port=socket.port,
+                dst_port=STUN_PORT,
+                payload=RawPayload(
+                    label=_BINDING_REQUEST, size=len(_BINDING_REQUEST)
+                ),
+            ),
+        )
+        outcome = host.send(request)
+        if not outcome.ok:
+            return None
+        for response in outcome.responses:
+            datagram = response.payload
+            if not isinstance(datagram, UdpDatagram):
+                continue
+            payload = datagram.payload
+            if isinstance(payload, RawPayload) and payload.label.startswith(
+                _BINDING_PREFIX
+            ):
+                return payload.label[len(_BINDING_PREFIX):]
+        return None
+    finally:
+        socket.close()

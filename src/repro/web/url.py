@@ -1,0 +1,154 @@
+"""URLs and registered domains.
+
+The URL-redirection analysis (paper Section 6.1.1) classifies a redirect as
+suspicious when it crosses *registered domains*: two subdomains are related
+if they share a registered domain under the public suffix list, or if their
+registered domains differ only by public suffix (``a.example.com`` →
+``b.example.org``).  We carry a compact public-suffix table sufficient for
+the simulated namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+# A compact public-suffix set: generic TLDs plus the multi-label suffixes the
+# site catalogue and block pages use. Real PSL semantics (longest match wins).
+PUBLIC_SUFFIXES: frozenset[str] = frozenset(
+    {
+        "com", "org", "net", "edu", "gov", "mil", "int", "info", "biz",
+        "io", "me", "tv", "cc", "ru", "de", "uk", "fr", "nl", "se", "no",
+        "fi", "dk", "pl", "cz", "ch", "at", "be", "it", "es", "pt", "ie",
+        "kr", "jp", "cn", "hk", "tw", "sg", "my", "th", "vn", "in", "pk",
+        "ir", "sa", "ae", "tr", "eg", "za", "ng", "ke", "br", "ar", "cl",
+        "mx", "ca", "au", "nz", "us", "pa", "bz", "sc", "lu",
+        "co.uk", "org.uk", "ac.uk", "gov.uk",
+        "or.kr", "co.kr", "go.kr",
+        "com.tr", "gov.tr", "org.tr",
+        "com.br", "com.cn", "com.au", "co.jp", "co.za",
+        "com.mx", "com.ar", "co.in", "com.sg", "com.my",
+    }
+)
+
+
+def public_suffix(host: str) -> str:
+    """The public suffix of *host* (longest matching suffix rule)."""
+    host = host.lower().rstrip(".")
+    labels = host.split(".")
+    best = labels[-1] if labels else ""
+    for i in range(len(labels) - 1, -1, -1):
+        candidate = ".".join(labels[i:])
+        if candidate in PUBLIC_SUFFIXES:
+            best = candidate
+    return best
+
+
+def registered_domain(host: str) -> str:
+    """The registrable domain: one label below the public suffix.
+
+    For IP-literal hosts the literal itself is returned.
+    """
+    host = host.lower().rstrip(".")
+    if _is_ip_literal(host):
+        return host
+    suffix = public_suffix(host)
+    if host == suffix:
+        return host
+    prefix = host[: -(len(suffix) + 1)]
+    last_label = prefix.split(".")[-1]
+    return f"{last_label}.{suffix}"
+
+
+def same_registered_domain(host_a: str, host_b: str) -> bool:
+    return registered_domain(host_a) == registered_domain(host_b)
+
+
+def domains_related(host_a: str, host_b: str) -> bool:
+    """The paper's relatedness test for redirect classification.
+
+    Related iff same registered domain, or registered domains differ only by
+    public suffix (same registrable label).
+    """
+    reg_a, reg_b = registered_domain(host_a), registered_domain(host_b)
+    if reg_a == reg_b:
+        return True
+    if _is_ip_literal(reg_a) or _is_ip_literal(reg_b):
+        return False
+    label_a = reg_a[: -(len(public_suffix(reg_a)) + 1)]
+    label_b = reg_b[: -(len(public_suffix(reg_b)) + 1)]
+    return bool(label_a) and label_a == label_b
+
+
+def _is_ip_literal(host: str) -> bool:
+    if ":" in host:
+        return True
+    parts = host.split(".")
+    return len(parts) == 4 and all(p.isdigit() for p in parts)
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed absolute URL."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str = "/"
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        text = text.strip()
+        scheme, sep, rest = text.partition("://")
+        if not sep:
+            raise ValueError(f"URL missing scheme: {text!r}")
+        scheme = scheme.lower()
+        if scheme not in ("http", "https"):
+            raise ValueError(f"unsupported scheme in {text!r}")
+        hostport, slash, path = rest.partition("/")
+        path = "/" + path if slash else "/"
+        if hostport.startswith("["):  # IPv6 literal
+            host, _, port_part = hostport[1:].partition("]")
+            port_text = port_part.lstrip(":")
+        else:
+            host, _, port_text = hostport.partition(":")
+        if not host:
+            raise ValueError(f"URL missing host: {text!r}")
+        if port_text:
+            port = int(port_text)
+        else:
+            port = 443 if scheme == "https" else 80
+        return cls(scheme=scheme, host=host.lower(), port=port, path=path)
+
+    @property
+    def origin(self) -> str:
+        default = 443 if self.scheme == "https" else 80
+        if self.port == default:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    @property
+    def is_https(self) -> bool:
+        return self.scheme == "https"
+
+    def join(self, reference: str) -> "Url":
+        """Resolve *reference* (absolute URL or absolute path) against self."""
+        if "://" in reference:
+            return Url.parse(reference)
+        if reference.startswith("/"):
+            return replace(self, path=reference)
+        # Relative path: resolve against the directory of the current path.
+        base_dir = self.path.rsplit("/", 1)[0]
+        return replace(self, path=f"{base_dir}/{reference}")
+
+    def with_scheme(self, scheme: str) -> "Url":
+        port = 443 if scheme == "https" else 80
+        return replace(self, scheme=scheme, port=port)
+
+    def __str__(self) -> str:
+        return f"{self.origin}{self.path}"
+
+
+def urls_related(url_a: str | Url, url_b: str | Url) -> bool:
+    """Relatedness of two URLs by their hosts (paper Section 6.1.1)."""
+    host_a = url_a.host if isinstance(url_a, Url) else Url.parse(url_a).host
+    host_b = url_b.host if isinstance(url_b, Url) else Url.parse(url_b).host
+    return domains_related(host_a, host_b)

@@ -1,0 +1,556 @@
+"""World construction.
+
+:class:`World` assembles the full simulated environment the measurement
+suite runs against:
+
+- the :class:`~repro.net.internet.Internet` with its latency model;
+- origin web servers for the whole site catalogue (plus the header-echo
+  service and the national block pages of Table 4);
+- the DNS fabric: authoritative zone registry, public anycast resolvers
+  (Google / Quad9 analogues), five root servers, and the tagged-hostname
+  logging nameserver the recursive-origin test uses;
+- 50 RIPE-Atlas-style anchors with known locations (ping references);
+- the client and ground-truth ('university') measurement hosts;
+- every requested VPN provider realised into vantage-point hosts at their
+  *physical* locations, with per-provider resolvers and egress behaviours.
+
+The build is deterministic in ``seed``; the default seed regenerates the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.server import (
+    LoggingNameserver,
+    RecursiveResolverServer,
+    install_dns_service,
+)
+from repro.dns.zone import ZoneRegistry
+from repro.geoip import standard_databases
+from repro.geoip.database import GeoIpDatabase
+from repro.net.addresses import IPv4Address, IPv4Network, parse_address
+from repro.net.geo import CITY_COORDINATES, GeoPoint, city_location
+from repro.net.host import Host
+from repro.net.interface import Interface
+from repro.net.internet import Internet
+from repro.vpn.behaviors import (
+    AdInjectionBehavior,
+    CountryCensorshipBehavior,
+    EgressBehavior,
+    TransparentProxyBehavior,
+)
+from repro.vpn.catalog import provider_profiles
+from repro.vpn.provider import (
+    ProviderProfile,
+    VantagePoint,
+    VpnProvider,
+)
+from repro.vpn.server import VantagePointServer
+from repro.web.server import (
+    BLOCK_PAGES,
+    BlockPageServer,
+    HeaderEchoServer,
+    OriginWebServer,
+    install_web_service,
+)
+from repro.web.sites import SiteCatalog, default_catalog
+from repro.web.tls import (
+    CertificateAuthority,
+    CertificateStore,
+    ChainRegistry,
+    TrustStore,
+)
+from repro.web.url import Url
+
+# Well-known addresses in the simulation.
+GOOGLE_DNS = "8.8.8.8"
+GOOGLE_DNS_2 = "8.8.4.4"
+QUAD9_DNS = "9.9.9.9"
+ROOT_SERVERS = {
+    "d.root-servers.net": "199.7.91.13",
+    "e.root-servers.net": "192.203.230.10",
+    "f.root-servers.net": "192.5.5.241",
+    "j.root-servers.net": "192.58.128.30",
+    "l.root-servers.net": "199.7.83.42",
+}
+PROBE_DOMAIN = "vpn-audit-probe.net"
+HEADER_ECHO_DOMAIN = "header-echo-probe.net"
+HEADER_ECHO_ADDRESS = "23.10.0.1"
+STUN_SERVER_ADDRESS = "23.10.0.2"
+STUN_SERVER_DOMAIN = "stun.webrtc-probe.net"
+LAN_RESOLVER = "192.168.1.1"
+CLIENT_ADDRESS = "192.168.1.2"
+CLIENT_V6 = "2001:db8:100::2"
+UNIVERSITY_ADDRESS = "192.168.2.2"
+
+# Cities hosting the origin web servers, round-robin.
+_SITE_CITIES = [
+    "Ashburn", "New York", "Chicago", "Dallas", "Los Angeles", "Seattle",
+    "London", "Frankfurt", "Amsterdam", "Paris", "Stockholm", "Singapore",
+    "Tokyo", "Sydney", "Toronto", "Sao Paulo",
+]
+
+# The 50 RIPE-anchor cities (ping references with known locations).
+_ANCHOR_CITIES = [
+    "New York", "Los Angeles", "Chicago", "Miami", "Seattle", "Dallas",
+    "Denver", "Toronto", "Montreal", "Vancouver", "Mexico City",
+    "Sao Paulo", "Buenos Aires", "Santiago", "Bogota", "London",
+    "Manchester", "Paris", "Frankfurt", "Berlin", "Amsterdam", "Brussels",
+    "Luxembourg", "Zurich", "Vienna", "Prague", "Warsaw", "Bucharest",
+    "Athens", "Rome", "Madrid", "Lisbon", "Dublin", "Stockholm", "Oslo",
+    "Copenhagen", "Helsinki", "Moscow", "Istanbul", "Tel Aviv", "Dubai",
+    "Johannesburg", "Nairobi", "Tokyo", "Seoul", "Hong Kong", "Singapore",
+    "Mumbai", "Sydney", "Auckland",
+]
+
+
+@dataclass
+class Anchor:
+    """A ping reference host with a known location."""
+
+    name: str
+    address: str
+    location: GeoPoint
+    host: Host
+
+
+class World:
+    """The assembled simulation."""
+
+    def __init__(self, seed: int = 2018) -> None:
+        self.seed = seed
+        self.internet = Internet()
+        self.zones = ZoneRegistry()
+        self.ca = CertificateAuthority("GlobalTrust")
+        self.chain_registry = ChainRegistry()
+        self.cert_store = CertificateStore(self.ca, self.chain_registry)
+        self.trust_store = TrustStore([self.ca.root])
+        self.sites: SiteCatalog = default_catalog()
+        self.geoip_databases: list[GeoIpDatabase] = standard_databases()
+        self.providers: dict[str, VpnProvider] = {}
+        self.anchors: list[Anchor] = []
+        self.site_servers: dict[str, OriginWebServer] = {}
+        self.probe_nameserver: Optional[LoggingNameserver] = None
+        self.public_resolvers: dict[str, RecursiveResolverServer] = {}
+        self.client: Host = None  # type: ignore[assignment]
+        self.university: Host = None  # type: ignore[assignment]
+        self.ipv6_sites: list[tuple[str, str]] = []  # (domain, AAAA address)
+        from repro.net.whois import WhoisRegistry
+
+        self.whois = WhoisRegistry()
+        self._vp_by_address: dict[str, VantagePoint] = {}
+        self._vpn_blocks: list[IPv4Network] = []
+        self._host_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, seed: int = 2018, provider_names: Optional[list[str]] = None
+    ) -> "World":
+        world = cls(seed=seed)
+        world._build_whois_baseline()
+        world._build_sites()
+        world._build_dns_fabric()
+        world._build_anchors()
+        world._build_block_pages()
+        world._build_measurement_hosts()
+        world._build_providers(provider_names)
+        return world
+
+    def _build_whois_baseline(self) -> None:
+        """Registrations for infrastructure and hosting space."""
+        self.whois.register("23.32.0.0/16", "Origin Hosting Co", "US", 16625)
+        self.whois.register("23.10.0.0/24", "Probe Services", "US", 64500)
+        self.whois.register("8.8.8.0/24", "Public DNS Operator", "US", 15169)
+        self.whois.register("9.9.9.0/24", "Quad9 Operator", "CH", 19281)
+        self.whois.register(
+            "198.51.100.0/24", "Anchor Measurement Net", "NL", 12654
+        )
+        self.whois.register(
+            "203.0.113.0/24", "Anchor Measurement Net 2", "NL", 12654
+        )
+        from repro.vpn.catalog import HOSTING_POOLS
+
+        hoster_names = {
+            14061: "Digital Ocean-like",
+            60781: "LeaseWeb-like",
+            36351: "SoftLayer-like",
+            20473: "Choopa-like",
+            16276: "OVH-like",
+            8100: "QuadraNet-like",
+        }
+        for prefix, asn in HOSTING_POOLS:
+            self.whois.register(
+                prefix, hoster_names.get(asn, f"Hosting AS{asn}"), "US", asn
+            )
+
+    # ------------------------------------------------------------------
+    # Infrastructure hosts
+    # ------------------------------------------------------------------
+    def _make_host(
+        self,
+        name: str,
+        city: str,
+        address: str,
+        network: str | None = None,
+        capture: bool = False,
+        country: str | None = None,
+    ) -> Host:
+        location = city_location(city)
+        if country is not None:
+            location = GeoPoint(
+                lat=location.lat, lon=location.lon, country=country,
+                city=location.city,
+            )
+        host = Host(name=name, location=location)
+        interface = Interface(name="eth0")
+        if ":" in address:
+            interface.assign_ipv6(address, network)
+        else:
+            interface.assign_ipv4(address, network)
+        interface.capture.enabled = capture
+        host.add_interface(interface)
+        host.routing.add_prefix("0.0.0.0/0", "eth0", metric=10)
+        host.routing.add_prefix("::/0", "eth0", metric=10)
+        self.internet.attach(host)
+        return host
+
+    def _build_sites(self) -> None:
+        """One origin server host per catalogue site; some get IPv6."""
+        v4_pool = IPv4Network.parse("23.32.0.0/16")
+        v6_base = 0x2001_0DB8_2000 << 80
+        for index, site in enumerate(self.sites):
+            address = str(v4_pool.address_at(index + 1))
+            city = _SITE_CITIES[index % len(_SITE_CITIES)]
+            host = self._make_host(f"site:{site.domain}", city, address)
+            server = OriginWebServer(
+                site, self.cert_store, is_vpn_address=self.is_vpn_address
+            )
+            install_web_service(host, server.handle_http, server.handle_https)
+            self.site_servers[site.domain] = server
+            self.zones.register_host_record(site.domain, address)
+            self.zones.register_host_record(f"www.{site.domain}", address)
+            # The first eight DOM-set sites are dual-stack: these are the
+            # "popular websites with IPv6 addresses" the IPv6-leakage test
+            # contacts (Section 5.3.3).
+            if site.in_dom_set and index < 8:
+                v6 = str(
+                    parse_address(
+                        f"2001:db8:2000::{index + 1:x}"
+                    )
+                )
+                iface = host.interfaces["eth0"]
+                iface.assign_ipv6(v6, "2001:db8:2000::/64")
+                self.internet.register_address(parse_address(v6), host)
+                self.zones.register_host_record(site.domain, v6)
+                self.ipv6_sites.append((site.domain, v6))
+
+        # Header-echo service.
+        echo_host = self._make_host(
+            "svc:header-echo", "Ashburn", HEADER_ECHO_ADDRESS
+        )
+        echo = HeaderEchoServer(HEADER_ECHO_DOMAIN)
+        install_web_service(echo_host, echo.handle_http)
+        self.zones.register_host_record(HEADER_ECHO_DOMAIN, HEADER_ECHO_ADDRESS)
+
+        # STUN service (the WebRTC leak test's reflexive-address oracle).
+        from repro.web.stun import StunServer, install_stun_service
+
+        stun_host = self._make_host(
+            "svc:stun", "Ashburn", STUN_SERVER_ADDRESS
+        )
+        self.stun_server = StunServer()
+        install_stun_service(stun_host, self.stun_server)
+        self.zones.register_host_record(
+            STUN_SERVER_DOMAIN, STUN_SERVER_ADDRESS
+        )
+
+    def _build_dns_fabric(self) -> None:
+        # Public anycast resolvers. (Anycast collapses to a single
+        # well-connected instance each; placement at major hubs.)
+        for name, address, city in (
+            ("google-public-dns", GOOGLE_DNS, "Ashburn"),
+            ("google-public-dns-2", GOOGLE_DNS_2, "Frankfurt"),
+            ("quad9", QUAD9_DNS, "Zurich"),
+        ):
+            host = self._make_host(f"dns:{name}", city, address)
+            resolver = RecursiveResolverServer(
+                self.zones, name=name, identity=address
+            )
+            install_dns_service(host, resolver)
+            self.public_resolvers[address] = resolver
+
+        # Root servers: ping/traceroute references only, but they also run
+        # a resolver so probes to udp/53 are answerable.
+        root_cities = ["Ashburn", "Amsterdam", "San Jose", "Ashburn", "London"]
+        for (name, address), city in zip(ROOT_SERVERS.items(), root_cities):
+            host = self._make_host(f"dns:{name}", city, address)
+            resolver = RecursiveResolverServer(self.zones, name=name)
+            install_dns_service(host, resolver)
+
+        # The probe domain's logging authoritative server (Section 5.3.2).
+        probe_host = self._make_host("dns:probe", "Chicago", "192.0.2.10")
+        zone = self.zones.zone(PROBE_DOMAIN)
+        self.probe_nameserver = LoggingNameserver(zone)
+        install_dns_service(probe_host, self.probe_nameserver)
+        # Recursive resolvers walk to the logging server for this domain,
+        # revealing their identity in its query log (Section 5.3.2).
+        self.zones.delegate(PROBE_DOMAIN, self.probe_nameserver)
+        self.zones.register_host_record(
+            f"ns1.{PROBE_DOMAIN}", "192.0.2.10"
+        )
+
+    def _build_anchors(self) -> None:
+        pool = IPv4Network.parse("198.51.100.0/24")
+        extra_pool = IPv4Network.parse("203.0.113.0/24")
+        for index, city in enumerate(_ANCHOR_CITIES):
+            if index < 254:
+                source = pool if index < 127 else extra_pool
+                address = str(source.address_at((index % 127) + 1))
+            host = self._make_host(f"anchor:{city}", city, address)
+            self.anchors.append(
+                Anchor(
+                    name=f"anchor-{index:02d}-{city.lower().replace(' ', '-')}",
+                    address=address,
+                    location=host.location,
+                    host=host,
+                )
+            )
+            self.zones.register_host_record(
+                f"anchor-{index:02d}.{PROBE_DOMAIN}", address
+            )
+
+    def _build_block_pages(self) -> None:
+        block_cities = {
+            "TR": "Ankara", "KR": "Seoul", "RU": "Moscow",
+            "NL": "Amsterdam", "TH": "Bangkok",
+        }
+        allocated = itertools.count(1)
+        for block_id, (url_text, country) in BLOCK_PAGES.items():
+            url = Url.parse(url_text)
+            if _is_ip_literal(url.host):
+                address = url.host
+            else:
+                address = f"203.0.113.{200 + next(allocated)}"
+                self.zones.register_host_record(url.host, address)
+                if url.host.startswith("www."):
+                    self.zones.register_host_record(url.host[4:], address)
+            host = self._make_host(
+                f"blockpage:{block_id}", block_cities[country], address
+            )
+            server = BlockPageServer(block_id)
+            install_web_service(
+                host, server.handle_http, server.handle_https(self.cert_store)
+            )
+
+    def _build_measurement_hosts(self) -> None:
+        # The LAN resolver the client uses before any VPN is connected
+        # (and during a DNS leak: it is on-link, bypassing tunnel routes).
+        lan_dns = self._make_host("lan-resolver", "Chicago", LAN_RESOLVER)
+        resolver = RecursiveResolverServer(
+            self.zones, name="lan-resolver", identity=LAN_RESOLVER
+        )
+        install_dns_service(lan_dns, resolver)
+        self.public_resolvers[LAN_RESOLVER] = resolver
+
+        self.client = self._client_host("client", CLIENT_ADDRESS, CLIENT_V6)
+        self.university = self._client_host(
+            "university", UNIVERSITY_ADDRESS, "2001:db8:101::2"
+        )
+
+    def _client_host(self, name: str, v4: str, v6: str) -> Host:
+        host = Host(name=name, location=city_location("Chicago"))
+        interface = Interface(name="en0")
+        interface.assign_ipv4(v4, "192.168.0.0/16")
+        interface.assign_ipv6(v6, "2001:db8:100::/48")
+        interface.capture.enabled = True
+        host.add_interface(interface)
+        host.routing.add_prefix("192.168.0.0/16", "en0", metric=0)
+        host.routing.add_prefix("0.0.0.0/0", "en0", metric=10)
+        host.routing.add_prefix("::/0", "en0", metric=10)
+        host.set_dns_servers([LAN_RESOLVER])
+        self.internet.attach(host)
+        return host
+
+    # ------------------------------------------------------------------
+    # Providers
+    # ------------------------------------------------------------------
+    def _build_providers(self, names: Optional[list[str]]) -> None:
+        profiles = provider_profiles()
+        if names is not None:
+            wanted = set(names)
+            profiles = [p for p in profiles if p.name in wanted]
+            missing = wanted - {p.name for p in profiles}
+            if missing:
+                raise KeyError(f"unknown providers: {sorted(missing)}")
+        for profile in profiles:
+            self.providers[profile.name] = self._realise_provider(profile)
+
+    def add_provider(self, profile: ProviderProfile) -> VpnProvider:
+        """Realise an extra (e.g. synthetic) provider into this world.
+
+        Used by tests and extensions to study providers beyond the
+        catalogue — dual-stack tunnels, P2P relays, custom behaviours.
+        """
+        if profile.name in self.providers:
+            raise ValueError(f"provider {profile.name!r} already exists")
+        provider = self._realise_provider(profile)
+        self.providers[profile.name] = provider
+        return provider
+
+    def _realise_provider(self, profile: ProviderProfile) -> VpnProvider:
+        provider = VpnProvider(profile=profile)
+        resolver = RecursiveResolverServer(
+            self.zones, name=f"resolver:{profile.name}"
+        )
+        for spec in profile.vantage_points:
+            address = parse_address(spec.address)
+            existing = self.internet.host_for(address)
+            if existing is not None:
+                # Shared physical server (Boxpn/Anonine resell the same
+                # machines): reuse the host and its tunnel service.
+                host = existing
+                server = getattr(host, "_vantage_server")
+            else:
+                host = Host(
+                    name=f"vp{next(self._host_counter)}:{spec.hostname}",
+                    location=self._physical_location(spec),
+                )
+                interface = Interface(name="eth0")
+                interface.assign_ipv4(spec.address, spec.block)
+                interface.capture.enabled = False
+                host.add_interface(interface)
+                host.routing.add_prefix("0.0.0.0/0", "eth0", metric=10)
+                egress_v6 = None
+                if profile.capabilities.tunnels_ipv6:
+                    # Dual-stack vantage point: deterministic v6 egress.
+                    v6_text = (
+                        "2001:db8:3000::" + spec.address.replace(".", ":")
+                    )
+                    interface.assign_ipv6(v6_text, "2001:db8:3000::/48")
+                    host.routing.add_prefix("::/0", "eth0", metric=10)
+                    egress_v6 = parse_address(v6_text)
+                self.internet.attach(host)
+                behaviors = self._behaviors_for(profile, spec)
+                server = VantagePointServer(
+                    host=host,
+                    egress_address=address,
+                    provider_name=profile.name,
+                    claimed_country=spec.claimed_country,
+                    resolver=resolver,
+                    resolver_address=provider.dns_resolver_address,
+                    behaviors=behaviors,
+                    egress_address_v6=egress_v6,
+                )
+                host._vantage_server = server  # type: ignore[attr-defined]
+            self.zones.register_host_record(spec.hostname, spec.address)
+            # WHOIS: the endpoint address is SWIPed to the provider (or,
+            # for virtual endpoints, registered to the advertised country —
+            # part of the geo-spoofing game). The enclosing block stays
+            # registered to the hosting company, so providers sharing a
+            # /24 don't clobber each other's records.
+            self.whois.register(
+                f"{spec.address}/32",
+                organisation=f"{profile.name} Networks",
+                country=(
+                    spec.registered_country or
+                    self._physical_location(spec).country
+                ),
+                asn=spec.asn,
+            )
+            vantage_point = VantagePoint(
+                spec=spec,
+                provider_name=profile.name,
+                address=address,  # type: ignore[arg-type]
+                block=IPv4Network.parse(spec.block),
+                host=host,
+                server=server,
+                physical_location=host.location,
+                claimed_location=self._claimed_location(spec),
+            )
+            provider.vantage_points.append(vantage_point)
+            self._vp_by_address[spec.address] = vantage_point
+            self._vpn_blocks.append(vantage_point.block)
+        return provider
+
+    def _physical_location(self, spec) -> GeoPoint:
+        point = CITY_COORDINATES.get(spec.physical_city)
+        if point is None:
+            from repro.net.geo import country_centroid
+
+            point = country_centroid(spec.claimed_country)
+        return point
+
+    def _claimed_location(self, spec) -> GeoPoint:
+        point = CITY_COORDINATES.get(spec.claimed_city)
+        if point is not None:
+            # The advertised location keeps the advertised country even when
+            # the city name collides across countries.
+            return GeoPoint(
+                lat=point.lat, lon=point.lon,
+                country=spec.claimed_country, city=point.city,
+            )
+        from repro.net.geo import country_centroid
+
+        return country_centroid(spec.claimed_country)
+
+    def _behaviors_for(self, profile: ProviderProfile, spec) -> list[EgressBehavior]:
+        behaviors: list[EgressBehavior] = []
+        if spec.censorship is not None:
+            block_url, _country = BLOCK_PAGES[spec.censorship]
+            censored = set(
+                self.sites.censored_domains_for_country(spec.claimed_country)
+            )
+            behaviors.append(
+                CountryCensorshipBehavior(block_url, censored)
+            )
+        if profile.behaviors.transparent_proxy:
+            behaviors.append(TransparentProxyBehavior())
+        if profile.behaviors.ad_injection:
+            behaviors.append(AdInjectionBehavior(profile.website_domain))
+        if profile.behaviors.tls_interception:
+            from repro.vpn.behaviors import TlsInterceptionBehavior
+
+            behaviors.append(
+                TlsInterceptionBehavior(
+                    f"{profile.name} Root", self.chain_registry
+                )
+            )
+        if profile.behaviors.tls_stripping:
+            from repro.vpn.behaviors import TlsStrippingBehavior
+
+            behaviors.append(TlsStrippingBehavior())
+        return behaviors
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def provider(self, name: str) -> VpnProvider:
+        return self.providers[name]
+
+    def vantage_point_for(self, address: str) -> Optional[VantagePoint]:
+        return self._vp_by_address.get(address)
+
+    def is_vpn_address(self, address: str) -> bool:
+        """Whether an address falls in a known VPN egress block.
+
+        This is the blacklist web services use to discriminate against VPN
+        users (Section 6.1.2: "Such IP blocks are therefore easy to
+        blacklist").
+        """
+        try:
+            parsed = parse_address(address)
+        except ValueError:
+            return False
+        if not isinstance(parsed, IPv4Address):
+            return False
+        return any(parsed in block for block in self._vpn_blocks)
+
+
+def _is_ip_literal(host: str) -> bool:
+    parts = host.split(".")
+    return len(parts) == 4 and all(p.isdigit() for p in parts)

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+World construction is comparatively expensive (hundreds of hosts), so the
+multi-provider worlds are session-scoped; tests must not mutate them beyond
+what connect/disconnect cycles already restore.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.geo import city_location
+from repro.net.host import Host
+from repro.net.interface import Interface
+from repro.net.internet import Internet
+
+
+@pytest.fixture()
+def mini_internet():
+    """Two directly-addressable hosts, London and New York."""
+    internet = Internet()
+
+    def make(name: str, city: str, address: str) -> Host:
+        host = Host(name=name, location=city_location(city))
+        interface = Interface(name="eth0")
+        interface.assign_ipv4(address, "10.0.0.0/8")
+        host.add_interface(interface)
+        host.routing.add_prefix("0.0.0.0/0", "eth0")
+        internet.attach(host)
+        return host
+
+    london = make("london", "London", "10.0.0.1")
+    new_york = make("new-york", "New York", "10.0.1.1")
+    return internet, london, new_york
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A world with a representative provider mix (session-scoped)."""
+    from repro.world import World
+
+    return World.build(
+        provider_names=[
+            "Seed4.me",       # ad injection, IPv6 leak, fail-open
+            "Mullvad",        # clean, fail-closed
+            "Freedome VPN",   # transparent proxy, DNS leak
+            "MyIP.io",        # all-virtual vantage points
+            "AceVPN",         # proxy, OpenVPN-config client
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_suite(small_world):
+    from repro.core.harness import TestSuite
+
+    return TestSuite(small_world)
+
+
+@pytest.fixture(scope="session")
+def catalog_profiles():
+    from repro.vpn.catalog import provider_profiles
+
+    return provider_profiles()

@@ -1,0 +1,178 @@
+"""Unit tests for IP address and CIDR arithmetic."""
+
+import pytest
+
+from repro.net.addresses import (
+    AddressError,
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    aggregate_cidrs,
+    carve_subnets,
+    ip_in_network,
+    parse_address,
+    parse_network,
+    shared_prefix_len,
+)
+
+
+class TestIPv4Address:
+    def test_parse_round_trip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "8.8.8.8"):
+            assert str(IPv4Address.parse(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4",
+                    ""):
+            with pytest.raises(AddressError):
+                IPv4Address.parse(bad)
+
+    def test_value_bounds(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    def test_ordering_and_arithmetic(self):
+        a = IPv4Address.parse("10.0.0.1")
+        assert a + 1 == IPv4Address.parse("10.0.0.2")
+        assert a < a + 1
+        assert a.octets() == (10, 0, 0, 1)
+
+
+class TestIPv6Address:
+    def test_parse_full_form(self):
+        addr = IPv6Address.parse("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert str(addr) == "2001:db8::1"
+
+    def test_parse_compressed(self):
+        assert IPv6Address.parse("::1").value == 1
+        assert IPv6Address.parse("::").value == 0
+        assert str(IPv6Address.parse("2001:db8::2:1")) == "2001:db8::2:1"
+
+    def test_double_compression_rejected(self):
+        with pytest.raises(AddressError):
+            IPv6Address.parse("1::2::3")
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(AddressError):
+            IPv6Address.parse("1:2:3:4:5:6:7:8:9")
+
+    def test_compression_picks_longest_zero_run(self):
+        addr = IPv6Address.parse("1:0:0:2:0:0:0:3")
+        assert str(addr) == "1:0:0:2::3"
+
+
+class TestNetworks:
+    def test_membership(self):
+        net = IPv4Network.parse("192.168.1.0/24")
+        assert IPv4Address.parse("192.168.1.1") in net
+        assert IPv4Address.parse("192.168.2.1") not in net
+        assert net.num_addresses == 256
+
+    def test_normalises_host_bits(self):
+        net = IPv4Network.parse("10.1.2.3/8")
+        assert str(net) == "10.0.0.0/8"
+
+    def test_contains_network(self):
+        outer = IPv4Network.parse("10.0.0.0/8")
+        inner = IPv4Network.parse("10.5.0.0/16")
+        assert outer.contains_network(inner)
+        assert not inner.contains_network(outer)
+        assert outer.contains_network(outer)
+
+    def test_overlaps(self):
+        a = IPv4Network.parse("10.0.0.0/9")
+        b = IPv4Network.parse("10.0.0.0/8")
+        c = IPv4Network.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        subnets = list(IPv4Network.parse("10.0.0.0/30").subnets(32))
+        assert [str(s) for s in subnets] == [
+            "10.0.0.0/32", "10.0.0.1/32", "10.0.0.2/32", "10.0.0.3/32",
+        ]
+
+    def test_subnet_of_wrong_size_rejected(self):
+        with pytest.raises(AddressError):
+            list(IPv4Network.parse("10.0.0.0/24").subnets(23))
+
+    def test_address_at(self):
+        net = IPv4Network.parse("10.0.0.0/24")
+        assert str(net.address_at(0)) == "10.0.0.0"
+        assert str(net.address_at(255)) == "10.0.0.255"
+        with pytest.raises(AddressError):
+            net.address_at(256)
+
+    def test_supernet(self):
+        net = IPv4Network.parse("10.1.0.0/16")
+        assert str(net.supernet(8)) == "10.0.0.0/8"
+
+    def test_ipv6_network(self):
+        net = IPv6Network.parse("2001:db8::/32")
+        assert IPv6Address.parse("2001:db8::1") in net
+        assert IPv6Address.parse("2001:db9::1") not in net
+
+    def test_networks_hashable_and_equal(self):
+        a = IPv4Network.parse("10.0.0.0/24")
+        b = IPv4Network.parse("10.0.0.5/24")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_network_immutable(self):
+        net = IPv4Network.parse("10.0.0.0/24")
+        with pytest.raises(AttributeError):
+            net.prefix_len = 8
+
+
+class TestHelpers:
+    def test_parse_address_dispatch(self):
+        assert parse_address("1.2.3.4").version == 4
+        assert parse_address("::1").version == 6
+
+    def test_ip_in_network_strings(self):
+        assert ip_in_network("10.0.0.1", "10.0.0.0/8")
+        assert not ip_in_network("11.0.0.1", "10.0.0.0/8")
+
+    def test_shared_prefix_len(self):
+        a = parse_address("10.0.0.0")
+        b = parse_address("10.0.0.1")
+        assert shared_prefix_len(a, b) == 31
+        assert shared_prefix_len(a, a) == 32
+        with pytest.raises(AddressError):
+            shared_prefix_len(a, parse_address("::1"))
+
+    def test_carve_subnets(self):
+        subnets = carve_subnets(parse_network("10.0.0.0/22"), 24, 4)
+        assert len(subnets) == 4
+        assert str(subnets[0]) == "10.0.0.0/24"
+        with pytest.raises(AddressError):
+            carve_subnets(parse_network("10.0.0.0/24"), 24, 2)
+
+
+class TestAggregation:
+    def test_merges_adjacent_siblings(self):
+        nets = [parse_network("10.0.0.0/25"), parse_network("10.0.0.128/25")]
+        assert [str(n) for n in aggregate_cidrs(nets)] == ["10.0.0.0/24"]
+
+    def test_drops_contained(self):
+        nets = [parse_network("10.0.0.0/8"), parse_network("10.1.0.0/16")]
+        assert [str(n) for n in aggregate_cidrs(nets)] == ["10.0.0.0/8"]
+
+    def test_non_siblings_not_merged(self):
+        # Same-size adjacent blocks that aren't siblings may not merge.
+        nets = [parse_network("10.0.0.128/25"), parse_network("10.0.1.0/25")]
+        assert len(aggregate_cidrs(nets)) == 2
+
+    def test_cascading_merge(self):
+        nets = [parse_network(f"10.0.{i}.0/24") for i in range(4)]
+        assert [str(n) for n in aggregate_cidrs(nets)] == ["10.0.0.0/22"]
+
+    def test_mixed_families(self):
+        nets = [parse_network("10.0.0.0/24"), parse_network("2001:db8::/32")]
+        out = aggregate_cidrs(nets)
+        assert len(out) == 2
+        assert out[0].version == 4 and out[1].version == 6

@@ -1,0 +1,244 @@
+"""Unit tests for the study-level analyses."""
+
+from repro.core.analysis.colocation import (
+    ColocationAnalysis,
+    VantagePointEvidence,
+    expected_rtt_profile,
+)
+from repro.core.analysis.geoip_compare import GeoIpComparison
+from repro.core.analysis.redirects import RedirectAnalysis
+from repro.core.analysis.shared_infra import SharedInfraAnalysis
+from repro.core.results import (
+    DomCollectionResult,
+    GeolocationResult,
+    PageObservation,
+)
+from repro.net.geo import city_location
+from repro.net.latency import LatencyModel
+
+
+def page(url, chain=None):
+    chain = chain if chain is not None else [url]
+    return PageObservation(
+        url=url, ok=True, status=200, redirect_chain=chain,
+        injected_elements=[], unexpected_resources=[],
+    )
+
+
+class TestRedirectAnalysis:
+    def test_cross_domain_redirect_flagged(self):
+        analysis = RedirectAnalysis()
+        dom = DomCollectionResult(pages=[
+            page("http://adult-site-alpha.com/",
+                 ["http://adult-site-alpha.com/", "http://warning.or.kr/"]),
+        ])
+        analysis.ingest("TestVPN", "KR", dom)
+        rows = analysis.table()
+        assert len(rows) == 1
+        assert rows[0].destination == "http://warning.or.kr"
+        assert rows[0].providers == {"TestVPN"}
+        assert rows[0].countries == {"KR"}
+
+    def test_related_redirect_ignored(self):
+        analysis = RedirectAnalysis()
+        dom = DomCollectionResult(pages=[
+            page("http://site.com/",
+                 ["http://site.com/", "https://www.site.com/"]),
+        ])
+        analysis.ingest("TestVPN", "US", dom)
+        assert analysis.table() == []
+
+    def test_cross_suffix_same_label_ignored(self):
+        analysis = RedirectAnalysis()
+        dom = DomCollectionResult(pages=[
+            page("http://a.example.com/",
+                 ["http://a.example.com/", "http://b.example.org/"]),
+        ])
+        analysis.ingest("TestVPN", "US", dom)
+        assert analysis.table() == []
+
+    def test_counts_distinct_providers(self):
+        analysis = RedirectAnalysis()
+        dom = DomCollectionResult(pages=[
+            page("http://x.com/", ["http://x.com/", "http://block.gov.tr/"]),
+        ])
+        analysis.ingest("VPN-A", "TR", dom)
+        analysis.ingest("VPN-A", "TR", dom)  # same provider twice
+        analysis.ingest("VPN-B", "TR", dom)
+        assert analysis.table()[0].vpn_count == 2
+        assert analysis.providers_with_redirects() == {"VPN-A", "VPN-B"}
+
+
+def evidence(provider, hostname, claimed_city, physical_city,
+             anchors, model, claimed_country="XX"):
+    claimed = city_location(claimed_city)
+    physical = city_location(physical_city)
+    vector = {
+        address: model.rtt_ms(physical, location) + 12.0  # client leg
+        for address, location in anchors.items()
+    }
+    return VantagePointEvidence(
+        provider=provider,
+        hostname=hostname,
+        claimed_country=claimed_country,
+        claimed_location=claimed,
+        rtt_vector=vector,
+        anchor_locations=anchors,
+    )
+
+
+class TestColocation:
+    def setup_method(self):
+        self.model = LatencyModel(jitter_ms=0.05)
+        self.anchors = {
+            f"198.51.100.{i}": city_location(city)
+            for i, city in enumerate(
+                ["New York", "London", "Frankfurt", "Tokyo", "Sydney",
+                 "Sao Paulo", "Moscow", "Singapore", "Seattle", "Prague"]
+            )
+        }
+
+    def test_honest_endpoint_clean(self):
+        analysis = ColocationAnalysis()
+        vp = evidence("P", "de.p.net", "Frankfurt", "Frankfurt",
+                      self.anchors, self.model, "DE")
+        report = analysis.analyse_provider([vp])
+        assert not report.violations
+        assert not report.misrepresents_locations
+
+    def test_virtual_endpoint_violates_light_speed(self):
+        analysis = ColocationAnalysis()
+        # Claims Sydney, physically Frankfurt: European anchors answer far
+        # too fast for an Australian machine.
+        vp = evidence("P", "au.p.net", "Sydney", "Frankfurt",
+                      self.anchors, self.model, "AU")
+        report = analysis.analyse_provider([vp])
+        assert report.violations
+        assert report.misrepresents_locations
+        assert "au.p.net" in report.suspect_hostnames
+
+    def test_co_located_pair_clusters(self):
+        analysis = ColocationAnalysis()
+        a = evidence("P", "us.p.net", "New York", "Montreal",
+                     self.anchors, self.model, "US")
+        b = evidence("P", "fr.p.net", "Paris", "Montreal",
+                     self.anchors, self.model, "FR")
+        report = analysis.analyse_provider([a, b])
+        assert ["fr.p.net", "us.p.net"] in report.clusters
+        assert report.cross_country_clusters
+
+    def test_same_country_cluster_not_suspicious(self):
+        analysis = ColocationAnalysis()
+        a = evidence("P", "us1.p.net", "Seattle", "Seattle",
+                     self.anchors, self.model, "US")
+        b = evidence("P", "us2.p.net", "Seattle", "Seattle",
+                     self.anchors, self.model, "US")
+        report = analysis.analyse_provider([a, b])
+        assert report.clusters  # co-located, yes
+        assert not report.cross_country_clusters  # but same country: fine
+
+    def test_distinct_cities_do_not_cluster(self):
+        analysis = ColocationAnalysis()
+        a = evidence("P", "de.p.net", "Frankfurt", "Frankfurt",
+                     self.anchors, self.model, "DE")
+        b = evidence("P", "jp.p.net", "Tokyo", "Tokyo",
+                     self.anchors, self.model, "JP")
+        report = analysis.analyse_provider([a, b])
+        assert report.clusters == []
+
+    def test_empty_evidence(self):
+        report = ColocationAnalysis().analyse_provider([])
+        assert not report.misrepresents_locations
+
+    def test_expected_profile_orders_by_distance(self):
+        profile = expected_rtt_profile(
+            city_location("London"), self.anchors, self.model
+        )
+        london_anchor = next(
+            a for a, loc in self.anchors.items() if loc.city == "London"
+        )
+        tokyo_anchor = next(
+            a for a, loc in self.anchors.items() if loc.city == "Tokyo"
+        )
+        assert profile[london_anchor] < profile[tokyo_anchor]
+
+
+class TestGeoIpComparison:
+    def result(self, claimed, estimates):
+        return GeolocationResult(
+            egress_address="1.2.3.4", claimed_country=claimed,
+            estimates=estimates,
+        )
+
+    def test_agreement_counting(self):
+        comparison = GeoIpComparison()
+        comparison.ingest("P", self.result("DE", {"db": "DE"}))
+        comparison.ingest("P", self.result("DE", {"db": "US"}))
+        comparison.ingest("P", self.result("DE", {"db": None}))
+        row = comparison.row("db")
+        assert row.compared == 3
+        assert row.estimates == 2
+        assert row.agreements == 1
+        assert row.agreement_rate == 0.5
+        assert row.mismatch_countries["US"] == 1
+
+    def test_providers_affected(self):
+        comparison = GeoIpComparison()
+        comparison.ingest("Clean", self.result("DE", {"db": "DE"}))
+        comparison.ingest("Dirty", self.result("DE", {"db": "FR"}))
+        assert comparison.providers_affected == {"Dirty"}
+        assert not comparison.all_providers_affected
+
+    def test_us_mismatch_fraction(self):
+        comparison = GeoIpComparison()
+        comparison.ingest("P", self.result("DE", {"db": "US"}))
+        comparison.ingest("P", self.result("DE", {"db": "US"}))
+        comparison.ingest("P", self.result("DE", {"db": "FR"}))
+        assert comparison.row("db").us_mismatch_fraction == 2 / 3
+
+
+class TestSharedInfra:
+    def make(self):
+        analysis = SharedInfraAnalysis()
+        analysis.ingest("A", "1.1.1.1", "1.1.1.0/24", 100)
+        analysis.ingest("A", "1.1.2.1", "1.1.2.0/24", 100)
+        analysis.ingest("B", "1.1.1.2", "1.1.1.0/24", 100)
+        analysis.ingest("B", "1.1.1.1", "1.1.1.0/24", 100)  # exact share
+        analysis.ingest("C", "1.1.1.3", "1.1.1.0/24", 100)
+        analysis.ingest("D", "9.9.9.9", "9.9.9.0/24", 200)
+        return analysis
+
+    def test_totals(self):
+        analysis = self.make()
+        assert analysis.vantage_points_analysed == 6
+        assert analysis.distinct_addresses == 5
+        assert analysis.distinct_blocks == 3
+
+    def test_exact_sharing(self):
+        shared = self.make().shared_exact_addresses()
+        assert shared == {"1.1.1.1": {"A", "B"}}
+
+    def test_shared_blocks_thresholds(self):
+        analysis = self.make()
+        table5 = analysis.table5()
+        assert len(table5) == 1
+        assert table5[0].block == "1.1.1.0/24"
+        assert table5[0].providers == ("A", "B", "C")
+        assert len(analysis.shared_blocks(min_providers=2)) == 1
+
+    def test_providers_sharing(self):
+        assert self.make().providers_sharing_blocks() == {"A", "B", "C"}
+
+    def test_blocks_between(self):
+        assert self.make().shared_blocks_between("A", "B") == ["1.1.1.0/24"]
+        assert self.make().shared_blocks_between("A", "D") == []
+
+    def test_membership_in_wider_prefixes(self):
+        analysis = self.make()
+        members = analysis.membership_in(["1.1.0.0/16"])
+        assert members["1.1.0.0/16"] == {"A", "B", "C"}
+
+    def test_asn_counts(self):
+        analysis = self.make()
+        counts = analysis.asn_count_by_provider()
+        assert counts == {"A": 1, "B": 1, "C": 1, "D": 1}

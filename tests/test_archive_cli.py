@@ -1,0 +1,99 @@
+"""Tests for the study archive and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.archive import (
+    read_study_archive,
+    write_provider_archive,
+    write_study_archive,
+)
+from repro.core.harness import TestSuite
+
+
+@pytest.fixture(scope="module")
+def small_study(small_world_module):
+    suite = TestSuite(small_world_module)
+    return suite.run_study()
+
+
+@pytest.fixture(scope="module")
+def small_world_module():
+    from repro.world import World
+
+    return World.build(provider_names=["Seed4.me", "Mullvad"])
+
+
+class TestArchive:
+    def test_round_trip(self, small_study, tmp_path):
+        root = write_study_archive(small_study, tmp_path / "archive")
+        loaded = read_study_archive(root)
+        assert set(loaded.providers) == {"Seed4.me", "Mullvad"}
+        seed = loaded.verdicts["Seed4.me"]
+        assert seed.injection is True
+        assert seed.ipv6_leak is True
+        assert seed.fails_open is True
+        mullvad = loaded.verdicts["Mullvad"]
+        assert mullvad.injection is False
+        assert mullvad.fails_open is False
+
+    def test_manifest_contents(self, small_study, tmp_path):
+        root = write_study_archive(small_study, tmp_path / "archive")
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert "Seed4.me" in manifest["intercepting"]
+        assert any(
+            row["database"] == "maxmind-geolite2"
+            for row in manifest["geoip"]
+        )
+
+    def test_per_vantage_point_files(self, small_study, tmp_path):
+        root = write_study_archive(small_study, tmp_path / "archive")
+        seed_dir = root / "seed4_me"
+        json_files = list(seed_dir.glob("*.json"))
+        # verdicts + one file per vantage point
+        assert len(json_files) == 1 + 11
+        sample = json.loads(
+            next(p for p in json_files if p.name != "verdicts.json")
+            .read_text()
+        )
+        assert sample["provider"] == "Seed4.me"
+
+    def test_provider_archive_alone(self, small_study, tmp_path):
+        report = small_study.providers["Mullvad"]
+        directory = write_provider_archive(report, tmp_path / "mullvad")
+        verdicts = json.loads((directory / "verdicts.json").read_text())
+        assert verdicts["provider"] == "Mullvad"
+        assert verdicts["webrtc_leak"] is True  # universal WebRTC exposure
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "NordVPN" in out
+        assert "Seed4.me" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_table4.py" in out
+        assert "Figure 9" in out
+
+    def test_ecosystem(self, capsys):
+        assert main(["ecosystem"]) == 0
+        out = capsys.readouterr().out
+        assert "Monthly" in out
+        assert "affiliate programmes : 88" in out
+
+    def test_audit_unknown_provider(self, capsys):
+        assert main(["audit", "NotARealVPN"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown provider" in err
+
+    def test_audit_known_provider(self, capsys):
+        assert main(["audit", "MyIP.io", "--max-vps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MyIP.io" in out
+        assert "location misrepresentation" in out

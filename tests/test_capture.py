@@ -1,0 +1,98 @@
+"""Unit tests for packet capture."""
+
+from repro.net.addresses import parse_address
+from repro.net.capture import Capture, merge_captures
+from repro.net.packet import (
+    DnsPayload,
+    Packet,
+    TunnelPayload,
+    UdpDatagram,
+)
+
+
+def packet(dst="10.0.0.2", payload=None, v6=False):
+    src = "2001:db8::1" if v6 else "10.0.0.1"
+    dst = "2001:db8::2" if v6 else dst
+    return Packet(
+        src=parse_address(src),
+        dst=parse_address(dst),
+        payload=payload or UdpDatagram(1, 2),
+    )
+
+
+def dns_query(qname="leak.example.com"):
+    return UdpDatagram(1000, 53, DnsPayload(qname=qname))
+
+
+class TestCapture:
+    def test_records_in_order(self):
+        cap = Capture(interface="en0")
+        cap.record(1.0, "tx", packet())
+        cap.record(2.0, "rx", packet())
+        assert len(cap) == 2
+        assert [e.direction for e in cap] == ["tx", "rx"]
+
+    def test_disabled_capture_drops(self):
+        cap = Capture(interface="en0", enabled=False)
+        cap.record(1.0, "tx", packet())
+        assert len(cap) == 0
+
+    def test_direction_filters(self):
+        cap = Capture(interface="en0")
+        cap.record(1.0, "tx", packet())
+        cap.record(2.0, "rx", packet())
+        assert len(cap.transmitted()) == 1
+        assert len(cap.received()) == 1
+
+    def test_non_tunnel_excludes_tunnel_packets(self):
+        cap = Capture(interface="en0")
+        inner = packet(payload=dns_query())
+        cap.record(1.0, "tx", packet(payload=TunnelPayload("OpenVPN", inner)))
+        cap.record(2.0, "tx", packet(payload=dns_query()))
+        assert len(cap.non_tunnel()) == 1
+
+    def test_dns_queries_plaintext_only(self):
+        cap = Capture(interface="en0")
+        inner = packet(payload=dns_query("hidden.example.com"))
+        cap.record(1.0, "tx", packet(payload=TunnelPayload("OpenVPN", inner)))
+        cap.record(2.0, "tx", packet(payload=dns_query("leaked.example.com")))
+        leaked = cap.dns_queries()
+        assert len(leaked) == 1
+        everything = cap.dns_queries(plaintext_only=False)
+        assert len(everything) == 2
+
+    def test_ipv6_packets(self):
+        cap = Capture(interface="en0")
+        cap.record(1.0, "tx", packet())
+        cap.record(2.0, "tx", packet(v6=True))
+        v6 = cap.ipv6_packets()
+        assert len(v6) == 1
+        assert v6[0].packet.version == 6
+
+    def test_serialisation_round_trip(self):
+        cap = Capture(interface="en0")
+        cap.record(1.5, "tx", packet(payload=dns_query()))
+        cap.record(2.5, "rx", packet())
+        restored = Capture.from_bytes("en0", cap.to_bytes())
+        assert len(restored) == 2
+        assert restored.entries[0].timestamp_ms == 1.5
+        assert restored.entries[0].packet == cap.entries[0].packet
+
+    def test_empty_serialisation(self):
+        cap = Capture(interface="en0")
+        assert Capture.from_bytes("en0", cap.to_bytes()).entries == []
+
+    def test_clear(self):
+        cap = Capture(interface="en0")
+        cap.record(1.0, "tx", packet())
+        cap.clear()
+        assert len(cap) == 0
+
+    def test_merge_orders_by_timestamp(self):
+        a = Capture(interface="a")
+        b = Capture(interface="b")
+        a.record(3.0, "tx", packet())
+        b.record(1.0, "tx", packet())
+        a.record(2.0, "rx", packet())
+        merged = merge_captures([a, b])
+        assert [e.timestamp_ms for e in merged] == [1.0, 2.0, 3.0]

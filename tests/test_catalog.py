@@ -1,0 +1,249 @@
+"""Tests that the 62-provider catalogue matches the paper's ground truth."""
+
+from repro.vpn.catalog import (
+    TABLE5_BLOCKS,
+    build_catalog,
+    provider_profiles,
+    total_vantage_points,
+)
+from repro.vpn.provider import ClientType, FailureMode, SubscriptionType
+
+
+class TestScale:
+    def test_exactly_62_providers(self, catalog_profiles):
+        assert len(catalog_profiles) == 62
+
+    def test_exactly_1046_vantage_points(self, catalog_profiles):
+        assert sum(
+            len(p.vantage_points) for p in catalog_profiles
+        ) == 1046 == total_vantage_points()
+
+    def test_43_custom_clients(self, catalog_profiles):
+        custom = [
+            p for p in catalog_profiles
+            if p.client_type is ClientType.CUSTOM
+        ]
+        assert len(custom) == 43
+
+    def test_names_unique(self, catalog_profiles):
+        names = [p.name for p in catalog_profiles]
+        assert len(set(names)) == 62
+
+    def test_build_catalog_keyed_by_name(self):
+        catalog = build_catalog()
+        assert catalog["NordVPN"].business_country == "PA"
+
+
+class TestGroundTruthBehaviours:
+    def test_seed4me_injects(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        assert by_name["Seed4.me"].behaviors.ad_injection
+        injectors = [
+            p.name for p in catalog_profiles if p.behaviors.ad_injection
+        ]
+        assert injectors == ["Seed4.me"]
+
+    def test_five_transparent_proxies(self, catalog_profiles):
+        proxies = sorted(
+            p.name for p in catalog_profiles
+            if p.behaviors.transparent_proxy
+        )
+        assert proxies == [
+            "AceVPN", "CyberGhost", "Freedome VPN", "SurfEasy", "VPN Gate",
+        ]
+
+    def test_no_tls_games_in_population(self, catalog_profiles):
+        assert not any(
+            p.behaviors.tls_interception or p.behaviors.tls_stripping
+            for p in catalog_profiles
+        )
+
+    def test_table6_dns_leakers(self, catalog_profiles):
+        leakers = sorted(
+            p.name for p in catalog_profiles if p.leaks.dns_leak
+        )
+        assert leakers == ["Freedome VPN", "WorldVPN"]
+
+    def test_table6_ipv6_leakers(self, catalog_profiles):
+        leakers = sorted(
+            p.name for p in catalog_profiles if p.leaks.ipv6_leak
+        )
+        assert leakers == sorted([
+            "Buffered VPN", "BulletVPN", "FlyVPN", "HideIPVPN", "Le VPN",
+            "LiquidVPN", "PrivateVPN", "Zoog VPN", "Private Tunnel",
+            "Seed4.me", "VPN.ht", "WorldVPN",
+        ])
+
+    def test_leakers_all_have_custom_clients(self, catalog_profiles):
+        # Table 6 covers "the 43 VPN services which provided their own
+        # clients" — leakers must be inside that set.
+        for profile in catalog_profiles:
+            if profile.leaks.dns_leak or profile.leaks.ipv6_leak:
+                assert profile.client_type is ClientType.CUSTOM, profile.name
+
+    def test_25_of_43_custom_clients_fail_open(self, catalog_profiles):
+        custom = [
+            p for p in catalog_profiles
+            if p.client_type is ClientType.CUSTOM
+        ]
+        failing = [p for p in custom if p.leaks.failure_mode.leaks]
+        assert len(failing) == 25
+        assert len(failing) / len(custom) == 25 / 43
+
+    def test_named_kill_switch_default_off(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        for name in ("NordVPN", "ExpressVPN", "TunnelBear",
+                     "Hotspot Shield", "IPVanish"):
+            assert by_name[name].leaks.failure_mode is (
+                FailureMode.KILL_SWITCH_DEFAULT_OFF
+            ), name
+
+
+class TestVirtualLocations:
+    EXPECTED = {
+        "HideMyAss", "Avira", "Le VPN", "Freedom IP", "MyIP.io", "VPNUK",
+    }
+
+    def test_exactly_six_providers_virtualise(self, catalog_profiles):
+        virtual = {
+            p.name for p in catalog_profiles if p.virtual_vantage_points()
+        }
+        assert virtual == self.EXPECTED
+
+    def test_virtual_fraction_in_paper_band(self, catalog_profiles):
+        total = sum(len(p.vantage_points) for p in catalog_profiles)
+        virtual = sum(
+            len(p.virtual_vantage_points()) for p in catalog_profiles
+        )
+        assert 0.05 <= virtual / total <= 0.30  # the paper's 5-30 % band
+
+    def test_hidemyass_is_dominant_virtualiser(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        hma = by_name["HideMyAss"]
+        assert len(hma.vantage_points) == 148
+        physical_sites = {
+            vp.physical_city for vp in hma.vantage_points
+        }
+        assert len(physical_sites) < 10  # "fewer than 10 data centers"
+        assert {"Seattle", "Miami", "Prague", "London"} <= physical_sites
+
+    def test_myip_layout_matches_paper(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        specs = by_name["MyIP.io"].vantage_points
+        assert all(s.is_virtual for s in specs)
+        montreal = {s.claimed_country for s in specs
+                    if s.physical_city == "Montreal"}
+        london = {s.claimed_country for s in specs
+                  if s.physical_city == "London"}
+        assert montreal == {"US", "FR"}
+        assert london == {"BE", "DE", "FI"}
+
+    def test_avira_us_endpoint_in_europe(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        us = [s for s in by_name["Avira"].vantage_points
+              if s.claimed_country == "US"]
+        assert len(us) == 1 and us[0].physical_city == "Frankfurt"
+
+    def test_virtual_specs_register_claimed_country(self, catalog_profiles):
+        for profile in catalog_profiles:
+            for spec in profile.vantage_points:
+                if spec.is_virtual:
+                    assert spec.registered_country == spec.claimed_country
+                else:
+                    assert spec.registered_country is None
+
+
+class TestAddressing:
+    def test_boxpn_anonine_share_four_exact_ips(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        boxpn = {s.address for s in by_name["Boxpn"].vantage_points}
+        anonine = {s.address for s in by_name["Anonine"].vantage_points}
+        assert len(boxpn & anonine) == 4
+
+    def test_boxpn_anonine_share_eleven_blocks(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        boxpn = {s.block for s in by_name["Boxpn"].vantage_points}
+        anonine = {s.block for s in by_name["Anonine"].vantage_points}
+        assert len(boxpn & anonine) == 11
+
+    def test_boxpn_anonine_vp_counts(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        assert len(by_name["Boxpn"].vantage_points) == 16
+        assert len(by_name["Anonine"].vantage_points) == 31
+
+    def test_argentinian_endpoints_adjacent(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        boxpn_ar = [s for s in by_name["Boxpn"].vantage_points
+                    if s.claimed_country == "AR"]
+        anonine_ar = [s for s in by_name["Anonine"].vantage_points
+                      if s.claimed_country == "AR"]
+        assert boxpn_ar[0].address == "200.110.156.183"
+        assert anonine_ar[0].address == "200.110.156.184"
+
+    def test_table5_blocks_have_their_providers(self, catalog_profiles):
+        from repro.net.addresses import parse_address, parse_network
+
+        by_name = {p.name: p for p in catalog_profiles}
+        for block, (asn, country, names) in TABLE5_BLOCKS.items():
+            network = parse_network(block)
+            for name in names:
+                addresses = [
+                    parse_address(s.address)
+                    for s in by_name[name].vantage_points
+                ]
+                assert any(a in network for a in addresses), (block, name)
+
+    def test_no_duplicate_addresses_within_provider(self, catalog_profiles):
+        for profile in catalog_profiles:
+            addresses = [s.address for s in profile.vantage_points]
+            assert len(set(addresses)) == len(addresses), profile.name
+
+
+class TestCensorshipLayout:
+    def test_table4_provider_counts(self, catalog_profiles):
+        from collections import Counter
+
+        counts: Counter = Counter()
+        for profile in catalog_profiles:
+            for block_page in {
+                s.censorship for s in profile.vantage_points if s.censorship
+            }:
+                counts[block_page] += 1
+        assert counts["tr-telecom"] == 8
+        assert counts["kr-warning"] == 5
+        assert counts["ru-ttk"] == 4
+        assert counts["ru-zapret"] == 2
+        assert counts["th-ip"] == 1
+        assert counts["nl-ziggo"] == 1
+        assert counts["nl-ip"] == 1
+        for single in ("ru-rt", "ru-mts", "ru-dtln", "ru-beeline"):
+            assert counts[single] == 1
+
+    def test_virtual_endpoints_never_censored(self, catalog_profiles):
+        for profile in catalog_profiles:
+            for spec in profile.vantage_points:
+                if spec.is_virtual:
+                    assert spec.censorship is None
+
+
+class TestTable7:
+    def test_subscription_types_present(self, catalog_profiles):
+        kinds = {p.subscription for p in catalog_profiles}
+        assert kinds == {
+            SubscriptionType.PAID, SubscriptionType.TRIAL,
+            SubscriptionType.FREE,
+        }
+
+    def test_known_rows(self, catalog_profiles):
+        by_name = {p.name: p for p in catalog_profiles}
+        assert by_name["AceVPN"].subscription is SubscriptionType.PAID
+        assert by_name["Betternet"].subscription is SubscriptionType.FREE
+        assert by_name["Avast"].subscription is SubscriptionType.TRIAL
+        assert by_name["VPN Gate"].subscription is SubscriptionType.FREE
+
+    def test_deterministic_rebuild(self):
+        a = provider_profiles()
+        b = provider_profiles()
+        assert [p.name for p in a] == [p.name for p in b]
+        for pa, pb in zip(a, b):
+            assert pa.vantage_points == pb.vantage_points

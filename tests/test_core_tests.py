@@ -1,0 +1,363 @@
+"""Integration tests for the measurement tests themselves.
+
+Each test class exercises one of the suite's tests against providers whose
+ground truth is known from the catalogue, asserting that the detector fires
+when (and only when) it should.
+"""
+
+import pytest
+
+from repro.core.harness import TestContext, TestSuite
+from repro.vpn.client import VpnClient
+
+
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    return World.build(
+        provider_names=["Seed4.me", "Mullvad", "Freedome VPN", "WorldVPN"]
+    )
+
+
+@pytest.fixture()
+def suite(world):
+    return TestSuite(world)
+
+
+def make_context(world, suite, provider_name, vp_index=0):
+    provider = world.provider(provider_name)
+    vantage_point = provider.vantage_points[vp_index]
+    client = VpnClient(world.client, provider)
+    client.connect(vantage_point)
+    context = TestContext(
+        world=world,
+        provider=provider,
+        vantage_point=vantage_point,
+        vpn_client=client,
+        suite=suite,
+    )
+    return context, client
+
+
+class TestDnsManipulationTest:
+    def test_clean_provider_unflagged(self, world, suite):
+        from repro.core.manipulation.dns_manipulation import (
+            DnsManipulationTest,
+        )
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = DnsManipulationTest().run(context)
+            assert not result.manipulated
+            assert all(e.vpn_answers for e in result.entries)
+        finally:
+            client.disconnect()
+
+    def test_manipulating_resolver_flagged(self, world, suite):
+        from repro.core.manipulation.dns_manipulation import (
+            DnsManipulationTest,
+        )
+        from repro.dns.message import DnsRecord, DnsResponse
+
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        vpn_address = str(provider.vantage_points[1].address)
+
+        def hijack(response):
+            return DnsResponse(
+                question=response.question,
+                records=(
+                    DnsRecord(
+                        name=response.question.qname, rtype="A",
+                        value=vpn_address,
+                    ),
+                ),
+                resolver="hijacker",
+            )
+
+        original = vp.server.resolver.manipulation
+        vp.server.resolver.manipulation = hijack
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = DnsManipulationTest().run(context)
+            assert result.manipulated
+            assert result.suspicious_hostnames
+        finally:
+            client.disconnect()
+            vp.server.resolver.manipulation = original
+
+
+class TestDomCollectionTest:
+    def test_detects_seed4me_injection(self, world, suite):
+        from repro.core.manipulation.dom_collection import DomCollectionTest
+
+        context, client = make_context(world, suite, "Seed4.me")
+        try:
+            result = DomCollectionTest(max_sites=10).run(context)
+            assert result.injection_detected
+            injected = result.injected_pages
+            assert all(
+                any("seed4me" in e for e in page.injected_elements)
+                for page in injected
+            )
+            assert all(
+                any("ads.seed4me.com" in r for r in page.unexpected_resources)
+                for page in injected
+            )
+        finally:
+            client.disconnect()
+
+    def test_clean_provider_no_injection(self, world, suite):
+        from repro.core.manipulation.dom_collection import DomCollectionTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = DomCollectionTest(max_sites=10).run(context)
+            assert not result.injection_detected
+        finally:
+            client.disconnect()
+
+
+class TestTlsInterceptionTest:
+    def test_clean_population_no_interception(self, world, suite):
+        from repro.core.manipulation.tls_interception import (
+            TlsInterceptionTest,
+        )
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = TlsInterceptionTest(max_hosts=20).run(context)
+            assert not result.interception_detected
+            assert not result.downgrade_detected
+        finally:
+            client.disconnect()
+
+    def test_vpn_blocking_403s_recorded(self, world, suite):
+        from repro.core.manipulation.tls_interception import (
+            TlsInterceptionTest,
+        )
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            # Run over the full set so the VPN-blocking sites are included.
+            result = TlsInterceptionTest().run(context)
+            assert result.vpn_blocked_hosts  # "dozens of VPN providers" saw 403s
+        finally:
+            client.disconnect()
+
+    def test_interception_behaviour_detected(self, world, suite):
+        from repro.core.manipulation.tls_interception import (
+            TlsInterceptionTest,
+        )
+        from repro.vpn.behaviors import TlsInterceptionBehavior
+
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        behavior = TlsInterceptionBehavior("MITM CA", world.chain_registry)
+        vp.server.behaviors.append(behavior)
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = TlsInterceptionTest(max_hosts=10).run(context)
+            assert result.interception_detected
+            bad = [o for o in result.observations
+                   if o.matches_ground_truth is False]
+            assert all(o.chain_valid is False for o in bad)
+        finally:
+            client.disconnect()
+            vp.server.behaviors.remove(behavior)
+
+
+class TestProxyDetectionTest:
+    def test_freedome_flagged(self, world, suite):
+        from repro.core.manipulation.proxy_detection import ProxyDetectionTest
+
+        context, client = make_context(world, suite, "Freedome VPN")
+        try:
+            result = ProxyDetectionTest().run(context)
+            assert result.proxy_detected
+            assert result.modification_style == "parse-and-regenerate"
+            assert not result.headers_injected
+        finally:
+            client.disconnect()
+
+    def test_mullvad_clean(self, world, suite):
+        from repro.core.manipulation.proxy_detection import ProxyDetectionTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = ProxyDetectionTest().run(context)
+            assert not result.proxy_detected
+        finally:
+            client.disconnect()
+
+
+class TestDnsOriginTest:
+    def test_egress_resolver_identified(self, world, suite):
+        from repro.core.infrastructure.dns_origin import DnsOriginTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = DnsOriginTest().run(context)
+            assert result.resolved
+            # The query must appear to come from the VPN egress, not from
+            # the client's own address.
+            egress = str(context.vantage_point.address)
+            assert result.egress_resolvers == [egress]
+        finally:
+            client.disconnect()
+
+
+class TestGeolocationTest:
+    def test_estimates_from_all_databases(self, world, suite):
+        from repro.core.infrastructure.geolocation import GeolocationTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = GeolocationTest().run(context)
+            assert set(result.estimates) == {
+                "google-location", "ip2location-lite", "maxmind-geolite2",
+            }
+        finally:
+            client.disconnect()
+
+
+class TestPingTracerouteTest:
+    def test_sweeps_all_anchors(self, world, suite):
+        from repro.core.infrastructure.ping_traceroute import (
+            PingTracerouteTest,
+        )
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = PingTracerouteTest().run(context)
+            vector = result.rtt_vector()
+            anchor_addresses = {a.address for a in world.anchors}
+            assert anchor_addresses <= set(vector) | {
+                p.target for p in result.pings if p.rtt_ms is None
+            }
+            assert len(vector) >= 45
+            assert result.traceroutes
+            assert any(t.reached for t in result.traceroutes)
+        finally:
+            client.disconnect()
+
+
+class TestLeakageTests:
+    def test_dns_leak_detected_for_worldvpn(self, world, suite):
+        from repro.core.leakage.dns_leakage import DnsLeakageTest
+
+        context, client = make_context(world, suite, "WorldVPN")
+        try:
+            result = DnsLeakageTest().run(context)
+            assert result.leaked
+            from repro.world import LAN_RESOLVER
+
+            assert LAN_RESOLVER in result.leaked_servers
+        finally:
+            client.disconnect()
+
+    def test_no_dns_leak_for_mullvad(self, world, suite):
+        from repro.core.leakage.dns_leakage import DnsLeakageTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = DnsLeakageTest().run(context)
+            assert not result.leaked
+        finally:
+            client.disconnect()
+
+    def test_ipv6_leak_detected_for_seed4me(self, world, suite):
+        from repro.core.leakage.ipv6_leakage import Ipv6LeakageTest
+
+        context, client = make_context(world, suite, "Seed4.me")
+        try:
+            result = Ipv6LeakageTest().run(context)
+            assert result.leaked
+            assert result.attempts == 8
+        finally:
+            client.disconnect()
+
+    def test_no_ipv6_leak_for_mullvad(self, world, suite):
+        from repro.core.leakage.ipv6_leakage import Ipv6LeakageTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = Ipv6LeakageTest().run(context)
+            assert not result.leaked
+        finally:
+            client.disconnect()
+
+    def test_tunnel_failure_seed4me_fails_open(self, world, suite):
+        from repro.core.leakage.tunnel_failure import TunnelFailureTest
+
+        context, client = make_context(world, suite, "Seed4.me")
+        try:
+            result = TunnelFailureTest().run(context)
+            assert result.fails_open
+            assert result.first_leak_attempt is not None
+            assert result.first_leak_attempt > 1  # detection window first
+        finally:
+            client.disconnect()
+
+    def test_tunnel_failure_mullvad_fails_closed(self, world, suite):
+        from repro.core.leakage.tunnel_failure import TunnelFailureTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = TunnelFailureTest().run(context)
+            assert not result.fails_open
+        finally:
+            client.disconnect()
+
+
+class TestMetadataAndP2p:
+    def test_metadata_snapshot_reflects_vpn_state(self, world, suite):
+        from repro.core.metadata import MetadataTest
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            snapshot = MetadataTest().run(context)
+            names = {i["name"] for i in snapshot.interfaces}
+            assert "utun0" in names
+            assert snapshot.dns_servers == ["10.8.0.1"]
+            assert snapshot.host_route_pings  # the pinned VP /32 was pinged
+        finally:
+            client.disconnect()
+
+    def test_p2p_scan_clean(self, world, suite):
+        from repro.core.p2p import P2pDetection
+
+        context, client = make_context(world, suite, "Mullvad")
+        try:
+            result = P2pDetection().run(context)
+            assert not result.p2p_suspected
+        finally:
+            client.disconnect()
+
+    def test_p2p_scan_flags_foreign_queries(self, world, suite):
+        from repro.core.p2p import P2pDetection
+        from repro.net.capture import Capture
+        from repro.net.packet import DnsPayload, Packet, UdpDatagram
+        from repro.net.addresses import parse_address
+
+        capture = Capture(interface="en0")
+        foreign = Packet(
+            src=parse_address("192.168.1.2"),
+            dst=parse_address("8.8.8.8"),
+            payload=UdpDatagram(
+                5555, 53, DnsPayload(qname="tracker.notmine.example")
+            ),
+        )
+        capture.record(1.0, "tx", foreign)
+        result = P2pDetection().analyse(
+            capture, own_query_names=["mine.example"],
+            tunnel_failed_open=False,
+        )
+        assert result.p2p_suspected
+        # Attribution to tunnel failure suppresses the P2P verdict.
+        excused = P2pDetection().analyse(
+            capture, own_query_names=["mine.example"],
+            tunnel_failed_open=True,
+        )
+        assert not excused.p2p_suspected

@@ -1,0 +1,190 @@
+"""Tests for the calibrated ecosystem synthesis and its analyses."""
+
+import pytest
+
+from repro.ecosystem.analysis import EcosystemAnalysis
+from repro.ecosystem.generate import generate_ecosystem
+from repro.ecosystem.model import PaymentMethod, Platform
+from repro.ecosystem.selection import select_test_subset
+from repro.ecosystem.sources import (
+    REVIEW_WEBSITES,
+    SELECTION_SOURCES,
+    TOTAL_UNIQUE_PROVIDERS,
+)
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    return generate_ecosystem()
+
+
+@pytest.fixture(scope="module")
+def analysis(ecosystem):
+    return EcosystemAnalysis(ecosystem)
+
+
+class TestSources:
+    def test_table1_twenty_sites(self):
+        assert len(REVIEW_WEBSITES) == 20
+
+    def test_table1_affiliate_structure(self):
+        non_affiliate = {
+            w.domain for w in REVIEW_WEBSITES if not w.affiliate_based
+        }
+        assert non_affiliate == {"reddit.com", "thatoneprivacysite.net"}
+
+    def test_table2_counts(self):
+        counts = {s.name: s.count for s in SELECTION_SOURCES}
+        assert counts["Popular Services (from review websites)"] == 74
+        assert counts["Reddit Crawl"] == 31
+        assert counts["Personal Recommendations"] == 13
+        assert counts["Cheap & Free VPNs (The One Privacy Site)"] == 78
+        assert sum(counts.values()) > TOTAL_UNIQUE_PROVIDERS  # overlapping
+
+
+class TestGeneration:
+    def test_two_hundred_providers(self, ecosystem):
+        assert len(ecosystem) == 200
+        assert len({p.name for p in ecosystem}) == 200
+
+    def test_deterministic(self, ecosystem):
+        again = generate_ecosystem()
+        assert [p.name for p in again] == [p.name for p in ecosystem]
+        assert [p.founded for p in again] == [p.founded for p in ecosystem]
+
+    def test_different_seed_differs(self, ecosystem):
+        other = generate_ecosystem(seed=1)
+        assert [p.claimed_server_count for p in other] != [
+            p.claimed_server_count for p in ecosystem
+        ]
+
+    def test_tested_62_at_head_of_ranking(self, ecosystem):
+        from repro.vpn.catalog import build_catalog
+
+        catalogue = set(build_catalog())
+        head = {p.name for p in ecosystem[:62]}
+        assert head == catalogue
+
+    def test_nordvpn_in_panama(self, ecosystem):
+        nord = next(p for p in ecosystem if p.name == "NordVPN")
+        assert nord.business_country == "PA"
+
+
+class TestCalibration:
+    def test_founding_years(self, analysis):
+        assert analysis.founded_after_2005_fraction(top_n=50) >= 0.88
+
+    def test_server_count_shape(self, analysis):
+        # Figure 2: ~80 % of services claim 750 servers or fewer.
+        assert 0.72 <= analysis.fraction_with_servers_at_most(750) <= 0.90
+        cdf = analysis.server_count_cdf()
+        assert cdf[0][1] <= cdf[-1][1] == 1.0
+
+    def test_table3_rows(self, analysis):
+        rows = {r.period: r for r in analysis.subscription_table()}
+        monthly = rows["Monthly"]
+        assert monthly.provider_count == 161
+        assert monthly.min_monthly == pytest.approx(0.99)
+        assert monthly.avg_monthly == pytest.approx(10.10, abs=0.15)
+        assert monthly.max_monthly == pytest.approx(29.95)
+        annual = rows["Annual"]
+        assert annual.provider_count == 134
+        assert annual.avg_monthly == pytest.approx(4.80, abs=0.15)
+        assert rows["Quarterly"].provider_count == 55
+        assert rows["6 Months"].provider_count == 57
+
+    def test_annual_half_of_monthly(self, analysis):
+        rows = {r.period: r for r in analysis.subscription_table()}
+        ratio = rows["Annual"].avg_monthly / rows["Monthly"].avg_monthly
+        assert 0.4 <= ratio <= 0.6  # "approximately half the monthly rate"
+
+    def test_beyond_annual_19(self, analysis):
+        assert analysis.beyond_annual_count() == 19
+
+    def test_payment_marginals(self, analysis):
+        acceptance = analysis.payment_acceptance()
+        assert acceptance["credit-card"] == pytest.approx(0.61, abs=0.01)
+        assert acceptance["online"] == pytest.approx(0.59, abs=0.01)
+        assert acceptance["cryptocurrency"] == pytest.approx(0.46, abs=0.01)
+        assert acceptance["online+crypto-no-card"] == pytest.approx(
+            0.32, abs=0.01
+        )
+
+    def test_bitcoin_most_popular_crypto(self, analysis):
+        counts = analysis.payment_method_counts()
+        assert counts["Bitcoin"] > counts["ETH"]
+        assert counts["Bitcoin"] > counts["Lite"]
+
+    def test_protocol_figure_shape(self, analysis):
+        counts = analysis.protocol_counts()
+        assert counts["OpenVPN"] >= counts["PPTP"] > counts["IPsec"]
+        assert counts["IPsec"] > counts["SSTP"] > counts["SSL"]
+        assert counts["SSL"] > counts["SSH"]
+
+    def test_platform_support(self, analysis):
+        support = analysis.platform_support()
+        assert support["windows+macos"] == pytest.approx(0.87, abs=0.02)
+        assert support["linux"] == pytest.approx(0.61, abs=0.02)
+        assert support["android+ios"] == pytest.approx(0.56, abs=0.04)
+
+    def test_transparency(self, analysis):
+        stats = analysis.transparency_stats()
+        assert stats["without_privacy_policy"] == 50
+        assert stats["without_terms_of_service"] == 85
+        assert stats["no_logs_claims"] == 45
+        assert stats["policy_words_min"] == 70
+        assert stats["policy_words_max"] == 10965
+        assert abs(stats["policy_words_avg"] - 1340) < 60
+
+    def test_marketing(self, analysis):
+        stats = analysis.marketing_stats()
+        assert stats == {
+            "facebook": 126,
+            "twitter": 131,
+            "affiliate_programs": 88,
+            "kill_switch_mentions": 18,
+            "vpn_over_tor": 10,
+            "p2p_allowed": 64,
+        }
+
+    def test_free_trial_and_refunds(self, analysis):
+        assert analysis.free_or_trial_fraction() == pytest.approx(
+            0.45, abs=0.01
+        )
+        assert analysis.seven_day_refund_fraction() == pytest.approx(
+            0.40, abs=0.01
+        )
+        low, high = analysis.refund_day_range()
+        assert low >= 1 and high == 60
+
+
+class TestSelection:
+    def test_recovers_62_catalogue_names(self, ecosystem):
+        from repro.vpn.catalog import build_catalog
+
+        subset = select_test_subset(ecosystem)
+        assert len(subset) == 62
+        assert {p.name for p in subset} == set(build_catalog())
+
+    def test_top15_included(self, ecosystem):
+        subset = {p.name for p in select_test_subset(ecosystem)}
+        for provider in ecosystem[:15]:
+            assert provider.name in subset
+
+    def test_at_least_30_free_or_trial(self, ecosystem):
+        subset = select_test_subset(ecosystem)
+        free_trial = [p for p in subset if p.has_free_tier or p.has_trial]
+        assert len(free_trial) >= 30
+
+
+class TestModelHelpers:
+    def test_payment_categories(self):
+        assert PaymentMethod.VISA.category == "credit-card"
+        assert PaymentMethod.PAYPAL.category == "online"
+        assert PaymentMethod.BITCOIN.category == "cryptocurrency"
+
+    def test_cheap_threshold(self, ecosystem):
+        cheap = [p for p in ecosystem if p.is_cheap]
+        assert cheap  # the ecosystem has a 'cheap' tail
+        for provider in cheap:
+            assert provider.monthly_price < 3.99

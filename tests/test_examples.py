@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "MyIP.io")
+    assert "MyIP.io" in out
+    assert "location misrepresentation" in out
+    assert "DETECTED" in out
+
+
+def test_virtual_location_hunt():
+    out = run_example("virtual_location_hunt.py", "MyIP.io", "Mullvad")
+    assert "MISREPRESENTS LOCATIONS" in out
+    assert "locations check out" in out
+    assert "co-located cluster" in out
+
+
+def test_leak_hunt_quick():
+    out = run_example("leak_hunt.py", "--quick", timeout=420)
+    assert "WorldVPN" in out
+    assert "Tunnel failure" in out
+
+
+def test_ecosystem_survey():
+    out = run_example("ecosystem_survey.py")
+    assert "200 providers" in out
+    assert "Monthly" in out
+    assert "Stratified selection" in out
+
+
+@pytest.mark.slow
+def test_full_study_example():
+    out = run_example("full_study.py", timeout=600)
+    assert "Study over 62 providers" in out
+    assert "URL redirection destinations" in out

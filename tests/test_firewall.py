@@ -1,0 +1,91 @@
+"""Unit tests for the packet filter."""
+
+from repro.net.addresses import parse_address, parse_network
+from repro.net.firewall import Firewall, FirewallAction, FirewallRule
+from repro.net.packet import Packet, TcpSegment, UdpDatagram
+
+
+def packet(dst="10.0.0.2", proto="udp", dst_port=53):
+    if proto == "udp":
+        payload = UdpDatagram(1000, dst_port)
+    else:
+        payload = TcpSegment(1000, dst_port)
+    return Packet(
+        src=parse_address("10.0.0.1"),
+        dst=parse_address(dst),
+        payload=payload,
+    )
+
+
+class TestRuleMatching:
+    def test_wildcard_rule_matches_all(self):
+        rule = FirewallRule(action=FirewallAction.DROP)
+        assert rule.matches(packet(), "out", "en0")
+        assert rule.matches(packet(), "in", "utun0")
+
+    def test_direction_filter(self):
+        rule = FirewallRule(action=FirewallAction.DROP, direction="out")
+        assert rule.matches(packet(), "out", "en0")
+        assert not rule.matches(packet(), "in", "en0")
+
+    def test_destination_filter(self):
+        rule = FirewallRule(
+            action=FirewallAction.DROP, dst=parse_network("10.0.0.0/24")
+        )
+        assert rule.matches(packet("10.0.0.9"), "out", "en0")
+        assert not rule.matches(packet("10.0.1.9"), "out", "en0")
+
+    def test_protocol_and_port(self):
+        rule = FirewallRule(
+            action=FirewallAction.DROP, protocol="udp", dst_port=53
+        )
+        assert rule.matches(packet(proto="udp", dst_port=53), "out", "en0")
+        assert not rule.matches(packet(proto="tcp", dst_port=53), "out", "en0")
+        assert not rule.matches(packet(proto="udp", dst_port=54), "out", "en0")
+
+    def test_interface_filter(self):
+        rule = FirewallRule(action=FirewallAction.DROP, interface="en0")
+        assert rule.matches(packet(), "out", "en0")
+        assert not rule.matches(packet(), "out", "utun0")
+
+    def test_v6_dst_rule_ignores_v4_packets(self):
+        rule = FirewallRule(
+            action=FirewallAction.DROP, dst=parse_network("::/0")
+        )
+        assert not rule.matches(packet(), "out", "en0")
+
+
+class TestFirewall:
+    def test_default_allow(self):
+        firewall = Firewall()
+        assert firewall.permits(packet(), "out", "en0")
+
+    def test_first_match_wins(self):
+        firewall = Firewall()
+        firewall.allow(dst="10.0.0.2/32")
+        firewall.drop()
+        assert firewall.permits(packet("10.0.0.2"), "out", "en0")
+        assert not firewall.permits(packet("10.0.0.3"), "out", "en0")
+
+    def test_insert_reorders(self):
+        firewall = Firewall()
+        firewall.drop()
+        firewall.insert(
+            0, FirewallRule(action=FirewallAction.ALLOW,
+                            dst=parse_network("10.0.0.2/32"))
+        )
+        assert firewall.permits(packet("10.0.0.2"), "out", "en0")
+
+    def test_remove_by_comment(self):
+        firewall = Firewall()
+        firewall.add(FirewallRule(action=FirewallAction.DROP, comment="ks"))
+        firewall.add(FirewallRule(action=FirewallAction.DROP, comment="other"))
+        assert firewall.remove_by_comment("ks") == 1
+        assert len(firewall.rules()) == 1
+
+    def test_snapshot_includes_default(self):
+        firewall = Firewall()
+        firewall.drop(dst="10.0.0.0/8", direction="out")
+        dump = firewall.snapshot()
+        assert any("DROP" in line for line in dump)
+        assert dump[-1] == "DEFAULT ALLOW"

@@ -1,0 +1,193 @@
+"""Tests for the paper's future-work features.
+
+Two forward-looking provider capabilities the 2018 population lacked:
+
+- dual-stack tunnels (every 2018 service was IPv4-only, forcing clients
+  to block or leak IPv6);
+- Hola-style P2P relaying (Section 6.6 found none and left the
+  investigation as future work) — here the P2P detector finally gets a
+  positive end-to-end control.
+"""
+
+import pytest
+
+from repro.vpn.provider import (
+    CapabilityFlags,
+    ClientType,
+    FailureMode,
+    LeakFlags,
+    ProviderProfile,
+    SubscriptionType,
+    VantagePointSpec,
+)
+
+
+def synthetic_profile(
+    name: str, capabilities: CapabilityFlags
+) -> ProviderProfile:
+    spec = VantagePointSpec(
+        hostname=f"us00.{name.lower()}.net",
+        claimed_country="US",
+        claimed_city="Ashburn",
+        physical_city="Ashburn",
+        address="198.18.0.10",
+        block="198.18.0.0/24",
+        asn=64999,
+    )
+    return ProviderProfile(
+        name=name,
+        subscription=SubscriptionType.PAID,
+        client_type=ClientType.CUSTOM,
+        protocols=("OpenVPN",),
+        website_domain=f"{name.lower()}.example",
+        business_country="US",
+        founded=2020,
+        vantage_points=(spec,),
+        leaks=LeakFlags(failure_mode=FailureMode.FAIL_CLOSED),
+        capabilities=capabilities,
+    )
+
+
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    return World.build(provider_names=["Mullvad"])
+
+
+class TestDualStackTunnel:
+    def test_ipv6_rides_the_tunnel(self, world):
+        from repro.vpn.client import VpnClient
+
+        provider = world.add_provider(
+            synthetic_profile("DualStackVPN",
+                              CapabilityFlags(tunnels_ipv6=True))
+        )
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        try:
+            # v6 default route points into the tunnel...
+            route = world.client.routing.lookup("2001:db8:2000::1")
+            assert route.interface == "utun0"
+            # ...and dual-stack sites are reachable over v6 through it.
+            domain, v6 = world.ipv6_sites[0]
+            pings = world.internet.ping(world.client, v6)
+            assert pings[0].reachable
+        finally:
+            client.disconnect()
+
+    def test_no_ipv6_leak_without_blocking(self, world):
+        from repro.core.harness import TestContext, TestSuite
+        from repro.core.leakage.ipv6_leakage import Ipv6LeakageTest
+        from repro.vpn.client import VpnClient
+
+        provider = world.add_provider(
+            synthetic_profile("DualStackVPN2",
+                              CapabilityFlags(tunnels_ipv6=True))
+        )
+        vantage_point = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vantage_point)
+        suite = TestSuite(world)
+        context = TestContext(
+            world=world, provider=provider, vantage_point=vantage_point,
+            vpn_client=client, suite=suite,
+        )
+        try:
+            result = Ipv6LeakageTest().run(context)
+            # The tunnel carries v6, so nothing escapes in plaintext even
+            # though no v6-blocking firewall rule exists.
+            assert not result.leaked
+            rules = world.client.firewall.snapshot()
+            assert not any("vpn-ipv6-block" in rule for rule in rules)
+        finally:
+            client.disconnect()
+
+    def test_v4_only_vantage_point_drops_v6(self, world):
+        from repro.vpn.client import VpnClient
+
+        # A catalogue (v4-only) provider with the firewall block removed
+        # would silently blackhole tunnelled v6 at the vantage point.
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        try:
+            vp = provider.vantage_points[0]
+            assert vp.server.egress_address_v6 is None
+        finally:
+            client.disconnect()
+
+
+class TestP2pRelay:
+    def test_relay_exit_triggers_p2p_detection(self, world):
+        from repro.core.harness import TestContext, TestSuite
+        from repro.core.p2p import P2pDetection
+        from repro.net.addresses import parse_address
+        from repro.net.packet import (
+            DnsPayload,
+            Packet,
+            TunnelPayload,
+            UdpDatagram,
+        )
+        from repro.vpn.client import VpnClient
+
+        provider = world.add_provider(
+            synthetic_profile("HolaLike", CapabilityFlags(p2p_relay=True))
+        )
+        vantage_point = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vantage_point)
+        suite = TestSuite(world)
+        context = TestContext(
+            world=world, provider=provider, vantage_point=vantage_point,
+            vpn_client=client, suite=suite,
+        )
+        try:
+            # Another customer's DNS query arrives, directed by the
+            # provider to exit through OUR machine.
+            foreign_inner = Packet(
+                src=parse_address("10.8.0.99"),
+                dst=parse_address("8.8.8.8"),
+                payload=UdpDatagram(
+                    50000, 53,
+                    DnsPayload(qname="torrent-site-we-never-visited.example"),
+                ),
+            )
+            relay_packet = Packet(
+                src=vantage_point.address,
+                dst=world.client.primary_interface().ipv4,
+                payload=TunnelPayload(protocol="OpenVPN", inner=foreign_inner),
+            )
+            world.client.receive(relay_packet)
+
+            result = P2pDetection().run(context)
+            assert result.p2p_suspected
+            assert (
+                "torrent-site-we-never-visited.example"
+                in result.unexpected_plaintext_queries
+            )
+        finally:
+            client.disconnect()
+
+    def test_catalogue_providers_never_relay(self, world):
+        # Section 6.6's measured result: no catalogue provider routes
+        # client traffic through other clients.
+        from repro.vpn.catalog import provider_profiles
+
+        assert all(
+            not p.capabilities.p2p_relay for p in provider_profiles()
+        )
+
+    def test_relay_unbound_on_disconnect(self, world):
+        from repro.vpn.client import VpnClient
+
+        provider = world.add_provider(
+            synthetic_profile("HolaLike2", CapabilityFlags(p2p_relay=True))
+        )
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        client.disconnect()
+        # The exit service is gone: re-binding must not conflict.
+        client2 = VpnClient(world.client, provider)
+        client2.connect(provider.vantage_points[0])
+        client2.disconnect()

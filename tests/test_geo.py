@@ -1,0 +1,117 @@
+"""Unit tests for geography and the latency model."""
+
+import math
+
+import pytest
+
+from repro.net.geo import (
+    CITY_COORDINATES,
+    GeoPoint,
+    cities_in_country,
+    city_location,
+    country_centroid,
+    great_circle_km,
+    known_countries,
+)
+from repro.net.latency import LatencyModel
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_km(51.5, -0.1, 51.5, -0.1) == 0.0
+
+    def test_symmetry(self):
+        d1 = great_circle_km(51.5, -0.1, 40.7, -74.0)
+        d2 = great_circle_km(40.7, -74.0, 51.5, -0.1)
+        assert d1 == pytest.approx(d2)
+
+    def test_london_new_york_plausible(self):
+        # ~5,570 km in reality.
+        d = city_location("London").distance_km(city_location("New York"))
+        assert 5300 < d < 5800
+
+    def test_antipodal_bounded(self):
+        d = great_circle_km(0, 0, 0, 180)
+        assert d == pytest.approx(math.pi * 6371.0, rel=0.01)
+
+
+class TestCityTable:
+    def test_known_city(self):
+        p = city_location("Frankfurt")
+        assert p.country == "DE"
+        assert p.city == "Frankfurt"
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            city_location("Atlantis")
+
+    def test_countries_nonempty(self):
+        countries = known_countries()
+        assert "US" in countries and "JP" in countries
+        assert len(countries) >= 60
+
+    def test_cities_in_country(self):
+        us_cities = cities_in_country("US")
+        assert "Seattle" in us_cities and "Miami" in us_cities
+        assert cities_in_country("XX") == []
+
+    def test_country_centroid_known(self):
+        p = country_centroid("DE")
+        assert p.city == "Frankfurt"
+
+    def test_country_centroid_fallback_deterministic(self):
+        a = country_centroid("QQ")
+        b = country_centroid("QQ")
+        assert (a.lat, a.lon) == (b.lat, b.lon)
+        assert -60 <= a.lat <= 60
+        assert -180 <= a.lon <= 180
+
+    def test_all_cities_have_valid_coordinates(self):
+        for point in CITY_COORDINATES.values():
+            assert -90 <= point.lat <= 90
+            assert -180 <= point.lon <= 180
+            assert len(point.country) == 2
+
+
+class TestLatencyModel:
+    def setup_method(self):
+        self.model = LatencyModel()
+        self.london = city_location("London")
+        self.new_york = city_location("New York")
+        self.frankfurt = city_location("Frankfurt")
+
+    def test_rtt_positive_and_reasonable(self):
+        rtt = self.model.rtt_ms(self.london, self.new_york)
+        # Transatlantic pings land in the 60-120 ms band.
+        assert 55 < rtt < 130
+
+    def test_intra_europe_fast(self):
+        rtt = self.model.rtt_ms(self.london, self.frankfurt)
+        assert rtt < 15
+
+    def test_rtt_exceeds_physical_floor(self):
+        # The analysis depends on simulated RTTs never violating the
+        # light-speed bound used by the co-location detector.
+        fibre = 299.79 * 0.66
+        for a, b in [(self.london, self.new_york),
+                     (self.london, self.frankfurt)]:
+            floor = 2 * a.distance_km(b) / fibre
+            assert self.model.rtt_ms(a, b) > floor
+
+    def test_jitter_is_deterministic_per_sample(self):
+        r1 = self.model.rtt_ms(self.london, self.new_york, sample=3)
+        r2 = self.model.rtt_ms(self.london, self.new_york, sample=3)
+        assert r1 == r2
+
+    def test_jitter_varies_across_samples(self):
+        values = {
+            round(self.model.rtt_ms(self.london, self.new_york, sample=s), 6)
+            for s in range(10)
+        }
+        assert len(values) > 1
+
+    def test_hops_grow_with_distance(self):
+        near = self.model.hops_between(self.london, self.frankfurt)
+        far = self.model.hops_between(self.london, self.new_york)
+        assert near < far
+        assert near >= 3

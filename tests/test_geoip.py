@@ -1,0 +1,95 @@
+"""Tests for the geo-IP database models."""
+
+from repro.geoip.database import GeoIpDatabase
+from repro.geoip.providers import (
+    GoogleLocationService,
+    IP2LocationLite,
+    MaxMindGeoLite2,
+    standard_databases,
+)
+
+
+def sample_addresses(n: int) -> list[str]:
+    return [f"10.{i // 256}.{i % 256}.7" for i in range(n)]
+
+
+class TestDeterminism:
+    def test_same_address_same_answer(self):
+        db = MaxMindGeoLite2()
+        a = db.locate("1.2.3.4", "DE")
+        b = db.locate("1.2.3.4", "DE")
+        assert a == b
+
+    def test_databases_differ_per_address(self):
+        addr = "5.6.7.8"
+        answers = {
+            db.name: db.locate(addr, "DE").country
+            for db in standard_databases()
+        }
+        assert len(answers) == 3  # three distinct database identities
+
+
+class TestErrorModel:
+    def test_coverage_rate(self):
+        db = GoogleLocationService()
+        results = [db.locate(a, "DE") for a in sample_addresses(3000)]
+        coverage = sum(1 for r in results if r.has_estimate) / len(results)
+        assert abs(coverage - 0.864) < 0.03
+
+    def test_honest_accuracy(self):
+        db = MaxMindGeoLite2()
+        results = [
+            db.locate(a, "DE") for a in sample_addresses(3000)
+        ]
+        with_estimate = [r for r in results if r.has_estimate]
+        correct = sum(1 for r in with_estimate if r.country == "DE")
+        assert abs(correct / len(with_estimate) - (1 - 0.041)) < 0.02
+
+    def test_spoof_susceptibility_ordering(self):
+        """MaxMind is fooled most, Google least (Section 6.4.1)."""
+        addresses = sample_addresses(3000)
+        fooled = {}
+        for db in standard_databases():
+            results = [
+                db.locate(a, true_country="GB", registered_country="KP")
+                for a in addresses
+            ]
+            with_estimate = [r for r in results if r.has_estimate]
+            fooled[db.name] = sum(
+                1 for r in with_estimate if r.country == "KP"
+            ) / len(with_estimate)
+        assert (
+            fooled["maxmind-geolite2"]
+            > fooled["ip2location-lite"]
+            > fooled["google-location"]
+        )
+
+    def test_us_bias_in_errors(self):
+        db = GoogleLocationService()
+        results = [db.locate(a, "DE") for a in sample_addresses(6000)]
+        wrong = [
+            r for r in results if r.has_estimate and r.country != "DE"
+        ]
+        us = sum(1 for r in wrong if r.country == "US")
+        assert abs(us / len(wrong) - 0.33) < 0.06
+
+    def test_errors_never_return_true_country(self):
+        db = GeoIpDatabase(
+            name="always-wrong", coverage=1.0, error_rate=1.0,
+            spoof_susceptibility=0.0,
+        )
+        for address in sample_addresses(200):
+            result = db.locate(address, "DE")
+            assert result.country != "DE"
+
+    def test_perfect_database(self):
+        db = GeoIpDatabase(
+            name="oracle", coverage=1.0, error_rate=0.0,
+            spoof_susceptibility=0.0,
+        )
+        for address in sample_addresses(50):
+            assert db.locate(address, "JP").country == "JP"
+            # Ignores registration games entirely.
+            assert db.locate(
+                address, "JP", registered_country="US"
+            ).country == "JP"

@@ -1,0 +1,166 @@
+"""Unit tests for HTTP messages, the TLS model, and the DOM."""
+
+import pytest
+
+from repro.web.dom import Document, DomElement, diff_documents
+from repro.web.http import (
+    HeaderSet,
+    HttpRequest,
+    HttpResponse,
+    default_request_headers,
+)
+from repro.web.tls import (
+    Certificate,
+    CertificateAuthority,
+    CertificateStore,
+    ChainRegistry,
+    TrustStore,
+)
+
+
+class TestHeaderSet:
+    def test_case_insensitive_get(self):
+        headers = HeaderSet([("Host", "example.com")])
+        assert headers.get("host") == "example.com"
+        assert headers.get("HOST") == "example.com"
+        assert headers.get("missing") is None
+        assert "host" in headers
+
+    def test_set_replaces_all(self):
+        headers = HeaderSet([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get_all("x") == ["3"]
+
+    def test_order_preserved(self):
+        headers = HeaderSet([("B", "1"), ("A", "2")])
+        assert headers.items() == [("B", "1"), ("A", "2")]
+
+    def test_normalised_sorts_and_titlecases(self):
+        headers = HeaderSet([("x-custom-thing", "v"), ("ACCEPT", "a")])
+        normalised = headers.normalised()
+        assert normalised.items() == [
+            ("Accept", "a"), ("X-Custom-Thing", "v"),
+        ]
+
+    def test_normalised_differs_from_characteristic_block(self):
+        # The proxy-detection signal: regeneration changes the block.
+        block = default_request_headers("h.example")
+        assert block.normalised().items() != block.items()
+
+
+class TestMessages:
+    def test_request_payload_round_trip(self):
+        request = HttpRequest(
+            method="GET", url="http://x/", headers=(("Host", "x"),)
+        )
+        assert HttpRequest.from_payload(request.to_payload()) == request
+
+    def test_response_redirect_detection(self):
+        response = HttpResponse.redirect("http://a/", "http://b/")
+        assert response.is_redirect
+        assert response.location == "http://b/"
+
+    def test_non_redirect_statuses(self):
+        assert not HttpResponse(status=200, url="http://a/").is_redirect
+        # 302 without a Location header is not a usable redirect.
+        assert not HttpResponse(status=302, url="http://a/").is_redirect
+
+
+class TestCertificates:
+    def test_issue_and_validate(self):
+        ca = CertificateAuthority("TestCA")
+        chain = ca.issue("example.com")
+        store = TrustStore([ca.root])
+        assert store.validate(chain, "example.com").valid
+        assert store.validate(chain, "www.example.com").valid  # wildcard SAN
+
+    def test_untrusted_root_rejected(self):
+        good = CertificateAuthority("Good")
+        evil = CertificateAuthority("Evil")
+        store = TrustStore([good.root])
+        chain = evil.issue("example.com")
+        result = store.validate(chain, "example.com")
+        assert not result.valid
+        assert "untrusted root" in result.reason
+
+    def test_hostname_mismatch_rejected(self):
+        ca = CertificateAuthority("TestCA")
+        chain = ca.issue("example.com")
+        store = TrustStore([ca.root])
+        result = store.validate(chain, "other.org")
+        assert not result.valid
+
+    def test_wildcard_matching_rules(self):
+        cert = Certificate(
+            subject="CN=x", issuer="CN=ca", san=("*.example.com",)
+        )
+        assert cert.matches_hostname("a.example.com")
+        assert not cert.matches_hostname("example.com")
+        assert not cert.matches_hostname("a.b.example.com")
+
+    def test_fingerprints_distinct(self):
+        ca = CertificateAuthority("TestCA")
+        a = ca.issue("a.com").leaf.fingerprint
+        b = ca.issue("b.com").leaf.fingerprint
+        assert a != b
+
+    def test_non_ca_cannot_anchor(self):
+        leaf = Certificate(subject="CN=x", issuer="CN=x", is_ca=False)
+        with pytest.raises(ValueError):
+            TrustStore([leaf])
+
+    def test_store_registers_chains(self):
+        registry = ChainRegistry()
+        ca = CertificateAuthority("TestCA")
+        store = CertificateStore(ca, registry)
+        chain = store.chain_for("example.com")
+        assert registry.lookup(chain.leaf.fingerprint) is chain
+        # Idempotent per host.
+        assert store.chain_for("example.com") is chain
+
+
+class TestDocument:
+    def make(self):
+        return Document(
+            url="http://x/",
+            title="x",
+            elements=(
+                DomElement(tag="h1", text="hello"),
+                DomElement(tag="script", attrs=(("src", "http://x/a.js"),)),
+                DomElement(tag="img", attrs=(("src", "http://cdn.y/i.png"),)),
+            ),
+        )
+
+    def test_serialise_round_trip(self):
+        doc = self.make()
+        assert Document.deserialise(doc.serialise()) == doc
+
+    def test_resource_urls(self):
+        doc = self.make()
+        assert doc.resource_urls() == [
+            "http://x/a.js", "http://cdn.y/i.png",
+        ]
+        assert doc.external_scripts() == ["http://x/a.js"]
+
+    def test_content_hash_changes_on_injection(self):
+        doc = self.make()
+        injected = doc.with_injected(DomElement(tag="script"))
+        assert doc.content_hash() != injected.content_hash()
+
+    def test_diff_detects_added_and_removed(self):
+        doc = self.make()
+        injected = doc.with_injected(
+            DomElement(tag="script", attrs=(("src", "http://evil/x.js"),))
+        )
+        diffs = diff_documents(doc, injected)
+        assert len(diffs) == 1
+        assert diffs[0].startswith("added:")
+        reverse = diff_documents(injected, doc)
+        assert reverse[0].startswith("removed:")
+
+    def test_diff_ignores_reordering(self):
+        doc = self.make()
+        reordered = Document(
+            url=doc.url, title=doc.title, elements=tuple(reversed(doc.elements))
+        )
+        assert diff_documents(doc, reordered) == []

@@ -1,0 +1,114 @@
+"""Edge-case tests for interfaces, browser error paths, and resolvers."""
+
+import pytest
+
+from repro.net.interface import Interface
+from repro.web.browser import Browser
+
+
+class TestInterface:
+    def test_assign_wrong_family_rejected(self):
+        interface = Interface(name="en0")
+        with pytest.raises(TypeError):
+            interface.assign_ipv4("2001:db8::1")
+        with pytest.raises(TypeError):
+            interface.assign_ipv6("10.0.0.1")
+
+    def test_address_for_version(self):
+        interface = Interface(name="en0")
+        interface.assign_ipv4("10.0.0.1")
+        interface.assign_ipv6("2001:db8::1")
+        assert str(interface.address_for_version(4)) == "10.0.0.1"
+        assert str(interface.address_for_version(6)) == "2001:db8::1"
+
+    def test_up_down_cycle(self):
+        interface = Interface(name="en0")
+        assert interface.up
+        interface.bring_down()
+        assert not interface.up
+        interface.bring_up()
+        assert interface.up
+
+    def test_arp_and_snapshot(self):
+        interface = Interface(name="en0")
+        interface.assign_ipv4("10.0.0.1")
+        interface.record_arp("10.0.0.254", "aa:bb:cc:dd:ee:ff")
+        snapshot = interface.snapshot()
+        assert snapshot["arp_entries"]["10.0.0.254"] == "aa:bb:cc:dd:ee:ff"
+        assert snapshot["ipv4"] == "10.0.0.1"
+        assert snapshot["ipv6"] is None
+
+    def test_duplicate_interface_rejected(self, mini_internet):
+        _, london, _ = mini_internet
+        with pytest.raises(ValueError):
+            london.add_interface(Interface(name="eth0"))
+
+
+class TestBrowserErrorPaths:
+    def test_interface_down(self, small_world):
+        browser = Browser(
+            small_world.university,
+            small_world.trust_store,
+            small_world.chain_registry,
+        )
+        interface = small_world.university.primary_interface()
+        interface.bring_down()
+        try:
+            load = browser.load_page(
+                small_world.sites.dom_test_sites()[0].http_url
+            )
+            assert not load.ok
+        finally:
+            interface.bring_up()
+
+    def test_fetch_closed_port_no_response(self, small_world):
+        browser = Browser(
+            small_world.university,
+            small_world.trust_store,
+            small_world.chain_registry,
+        )
+        anchor = small_world.anchors[0]
+        result = browser.fetch(f"http://{anchor.address}/")
+        # Anchors run no web service; the fetch fails cleanly.
+        assert not result.ok
+        assert result.error == "no-response"
+
+    def test_tls_probe_on_http_only_host(self, small_world):
+        from repro.world import HEADER_ECHO_DOMAIN
+
+        browser = Browser(
+            small_world.university,
+            small_world.trust_store,
+            small_world.chain_registry,
+        )
+        probe = browser.tls_probe(HEADER_ECHO_DOMAIN)
+        assert not probe.ok  # echo service listens on port 80 only
+
+    def test_malformed_body_yields_no_document(self, small_world):
+        # BlockPageServer bodies are plain text, not serialised documents.
+        browser = Browser(
+            small_world.university,
+            small_world.trust_store,
+            small_world.chain_registry,
+        )
+        load = browser.load_page("http://195.175.254.2/")
+        assert load.ok
+        assert load.document is None
+        assert load.resources == []
+
+
+class TestCliGuide:
+    def test_guide_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["guide", "Mullvad", "Seed4.me"]) == 0
+        out = capsys.readouterr().out
+        assert "vpnselection.guide" in out
+        lines = [l for l in out.splitlines() if l.startswith(("Mullvad",
+                                                              "Seed4.me"))]
+        assert lines[0].startswith("Mullvad")  # clean provider ranks first
+
+    def test_guide_unknown_provider(self, capsys):
+        from repro.cli import main
+
+        assert main(["guide", "NotARealVPN"]) == 2

@@ -1,0 +1,108 @@
+"""Unit tests for the packet model and its serialisation."""
+
+import pytest
+
+from repro.net.addresses import parse_address
+from repro.net.packet import (
+    DnsPayload,
+    HttpPayload,
+    IcmpPayload,
+    Packet,
+    RawPayload,
+    TcpSegment,
+    TlsPayload,
+    TunnelPayload,
+    UdpDatagram,
+    innermost_payload,
+)
+
+
+def make_packet(payload) -> Packet:
+    return Packet(
+        src=parse_address("10.0.0.1"),
+        dst=parse_address("10.0.0.2"),
+        payload=payload,
+    )
+
+
+class TestPayloads:
+    def test_dns_describe(self):
+        dns = DnsPayload(qname="example.com", qtype="A")
+        assert "example.com" in dns.describe()
+        assert not dns.is_response
+
+    def test_http_request_vs_response(self):
+        req = HttpPayload(method="GET", url="http://x/", status=0)
+        resp = HttpPayload(url="http://x/", status=200)
+        assert not req.is_response
+        assert resp.is_response
+
+    def test_tunnel_size_includes_overhead(self):
+        inner = make_packet(UdpDatagram(1, 2, RawPayload(size=100)))
+        tunnel = TunnelPayload(protocol="OpenVPN", inner=inner)
+        assert tunnel.size > inner.size
+
+
+class TestTtl:
+    def test_decrement(self):
+        packet = make_packet(IcmpPayload())
+        assert packet.decrement_ttl().ttl == packet.ttl - 1
+
+    def test_default_ttl(self):
+        assert make_packet(IcmpPayload()).ttl == 64
+
+
+class TestSerialisation:
+    CASES = [
+        UdpDatagram(1234, 53, DnsPayload(qname="a.b", qtype="AAAA",
+                                         answers=("::1",), txid=7)),
+        TcpSegment(40000, 80, "PA", 9,
+                   HttpPayload(method="GET", url="http://h/", status=0,
+                               headers=(("Host", "h"),), body="hi",
+                               body_size=2)),
+        TcpSegment(40001, 443, "PA", 0,
+                   TlsPayload(sni="h", record="server_hello",
+                              certificate_fingerprint="ab" * 16, size=5)),
+        IcmpPayload(icmp_type="time_exceeded", original_dst="9.9.9.9"),
+        UdpDatagram(1, 2, RawPayload(label="x", size=3)),
+    ]
+
+    @pytest.mark.parametrize("payload", CASES)
+    def test_round_trip(self, payload):
+        packet = make_packet(payload)
+        assert Packet.decode(packet.encode()) == packet
+
+    def test_tunnel_round_trip(self):
+        inner = make_packet(UdpDatagram(5, 53, DnsPayload(qname="q.x")))
+        outer = make_packet(TunnelPayload(protocol="PPTP", inner=inner))
+        decoded = Packet.decode(outer.encode())
+        assert decoded == outer
+        assert decoded.payload.inner == inner
+
+    def test_decode_rejects_non_packet(self):
+        with pytest.raises(ValueError):
+            Packet.decode(b'{"_": "nope"}')
+
+
+class TestInnermostPayload:
+    def test_plain_udp(self):
+        dns = DnsPayload(qname="x.y")
+        packet = make_packet(UdpDatagram(1, 53, dns))
+        assert innermost_payload(packet) is dns
+
+    def test_through_tunnel(self):
+        dns = DnsPayload(qname="x.y")
+        inner = make_packet(UdpDatagram(1, 53, dns))
+        outer = make_packet(TunnelPayload(protocol="OpenVPN", inner=inner))
+        assert innermost_payload(outer) is dns
+
+    def test_nested_tunnels(self):
+        dns = DnsPayload(qname="deep.q")
+        inner = make_packet(UdpDatagram(1, 53, dns))
+        mid = make_packet(TunnelPayload(protocol="OpenVPN", inner=inner))
+        outer = make_packet(TunnelPayload(protocol="SSH", inner=mid))
+        assert innermost_payload(outer) is dns
+
+    def test_icmp(self):
+        icmp = IcmpPayload()
+        assert innermost_payload(make_packet(icmp)) is icmp

@@ -1,0 +1,100 @@
+"""Tests for the passive capture analysis."""
+
+import pytest
+
+from repro.core.passive import compare_sessions, summarise_capture
+from repro.vpn.client import VpnClient
+from repro.web.browser import Browser
+
+
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    return World.build(provider_names=["Mullvad", "WorldVPN"])
+
+
+def drive_traffic(world):
+    browser = Browser(
+        world.client, world.trust_store, world.chain_registry
+    )
+    browser.load_page(world.sites.dom_test_sites()[0].http_url)
+    world.internet.ping(world.client, world.anchors[0].address)
+
+
+class TestSummaries:
+    def test_baseline_session_all_plaintext(self, world):
+        physical = world.client.primary_interface()
+        physical.capture.clear()
+        drive_traffic(world)
+        summary = summarise_capture(physical.capture)
+        assert summary.total_packets > 0
+        assert summary.tunnel_packets == 0
+        assert summary.tunnel_fraction == 0.0
+        assert summary.plaintext_dns_queries  # the page load resolved names
+
+    def test_clean_vpn_session_fully_tunnelled(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        physical = world.client.primary_interface()
+        physical.capture.clear()
+        try:
+            drive_traffic(world)
+        finally:
+            summary = summarise_capture(physical.capture)
+            client.disconnect()
+        assert summary.tunnel_fraction == 1.0
+        assert summary.plaintext_dns_queries == []
+        assert summary.tunnel_bytes > 0
+
+    def test_leaky_vpn_session_shows_plaintext_dns(self, world):
+        provider = world.provider("WorldVPN")  # DNS leaker (Table 6)
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        physical = world.client.primary_interface()
+        physical.capture.clear()
+        try:
+            drive_traffic(world)
+        finally:
+            summary = summarise_capture(physical.capture)
+            client.disconnect()
+        assert summary.plaintext_dns_queries  # queries escaped the tunnel
+        assert summary.tunnel_fraction < 1.0
+
+    def test_compare_sessions_flags_leaks(self, world):
+        physical = world.client.primary_interface()
+
+        physical.capture.clear()
+        drive_traffic(world)
+        baseline = summarise_capture(physical.capture)
+
+        provider = world.provider("WorldVPN")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        physical.capture.clear()
+        try:
+            drive_traffic(world)
+        finally:
+            connected = summarise_capture(physical.capture)
+            client.disconnect()
+
+        verdict = compare_sessions(connected, baseline)
+        assert verdict["suspicious"] is True
+        assert verdict["plaintext_dns_while_connected"] > 0
+
+    def test_describe_readable(self, world):
+        physical = world.client.primary_interface()
+        physical.capture.clear()
+        drive_traffic(world)
+        text = summarise_capture(physical.capture).describe()
+        assert "capture on en0" in text
+        assert "plaintext" in text
+
+    def test_empty_capture(self):
+        from repro.net.capture import Capture
+
+        summary = summarise_capture(Capture(interface="x"))
+        assert summary.total_packets == 0
+        assert summary.tunnel_fraction == 0.0
+        assert summary.duration_ms == 0.0

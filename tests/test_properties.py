@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    aggregate_cidrs,
+    shared_prefix_len,
+)
+from repro.net.geo import GeoPoint, great_circle_km
+from repro.net.latency import LatencyModel
+from repro.net.packet import (
+    DnsPayload,
+    HttpPayload,
+    Packet,
+    RawPayload,
+    TcpSegment,
+    TunnelPayload,
+    UdpDatagram,
+)
+from repro.net.routing import RoutingTable
+from repro.web.http import HeaderSet
+from repro.web.url import Url, registered_domain
+
+ipv4_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+ipv6_values = st.integers(min_value=0, max_value=(1 << 128) - 1)
+prefix_lens = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressProperties:
+    @given(ipv4_values)
+    def test_ipv4_parse_str_round_trip(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address.parse(str(address)) == address
+
+    @given(ipv6_values)
+    def test_ipv6_parse_str_round_trip(self, value):
+        address = IPv6Address(value)
+        assert IPv6Address.parse(str(address)) == address
+
+    @given(ipv4_values, prefix_lens)
+    def test_network_contains_its_own_addresses(self, value, prefix_len):
+        network = IPv4Network(IPv4Address(value), prefix_len)
+        assert network.first in network
+        assert network.last in network
+
+    @given(ipv4_values, prefix_lens)
+    def test_network_parse_round_trip(self, value, prefix_len):
+        network = IPv4Network(IPv4Address(value), prefix_len)
+        assert IPv4Network.parse(str(network)) == network
+
+    @given(ipv4_values, ipv4_values)
+    def test_shared_prefix_symmetric(self, a, b):
+        x, y = IPv4Address(a), IPv4Address(b)
+        assert shared_prefix_len(x, y) == shared_prefix_len(y, x)
+
+    @given(ipv4_values, ipv4_values)
+    def test_shared_prefix_bounds(self, a, b):
+        length = shared_prefix_len(IPv4Address(a), IPv4Address(b))
+        assert 0 <= length <= 32
+        assert (length == 32) == (a == b)
+
+    @given(
+        st.lists(
+            st.tuples(ipv4_values, st.integers(min_value=8, max_value=32)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_aggregation_preserves_coverage(self, raw):
+        networks = [IPv4Network(IPv4Address(v), p) for v, p in raw]
+        aggregated = aggregate_cidrs(networks)
+        # Every original member address remains covered.
+        for network in networks:
+            assert any(
+                agg.contains_network(network) for agg in aggregated
+            )
+        # And the aggregate never has more blocks than the input.
+        assert len(aggregated) <= len(set(networks))
+
+    @given(
+        st.lists(
+            st.tuples(ipv4_values, st.integers(min_value=8, max_value=32)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_aggregation_is_idempotent(self, raw):
+        networks = [IPv4Network(IPv4Address(v), p) for v, p in raw]
+        once = aggregate_cidrs(networks)
+        twice = aggregate_cidrs(once)
+        assert once == twice
+
+
+latitudes = st.floats(min_value=-90, max_value=90, allow_nan=False)
+longitudes = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestGeoProperties:
+    @given(latitudes, longitudes, latitudes, longitudes)
+    def test_distance_symmetric_and_bounded(self, lat1, lon1, lat2, lon2):
+        d1 = great_circle_km(lat1, lon1, lat2, lon2)
+        d2 = great_circle_km(lat2, lon2, lat1, lon1)
+        assert abs(d1 - d2) < 1e-6
+        assert 0 <= d1 <= 20_038  # half the Earth's circumference + slack
+
+    @given(latitudes, longitudes)
+    def test_self_distance_zero(self, lat, lon):
+        assert great_circle_km(lat, lon, lat, lon) == 0.0
+
+    @given(latitudes, longitudes, latitudes, longitudes)
+    def test_rtt_never_violates_light_speed(self, lat1, lon1, lat2, lon2):
+        """The co-location detector's core assumption."""
+        model = LatencyModel()
+        a = GeoPoint(lat=lat1, lon=lon1, country="A")
+        b = GeoPoint(lat=lat2, lon=lon2, country="B")
+        fibre = 299.79 * 0.66
+        floor = 2 * a.distance_km(b) / fibre
+        assert model.rtt_ms(a, b) > floor
+
+    @given(latitudes, longitudes, latitudes, longitudes,
+           st.integers(min_value=0, max_value=100))
+    def test_rtt_deterministic(self, lat1, lon1, lat2, lon2, sample):
+        model = LatencyModel()
+        a = GeoPoint(lat=lat1, lon=lon1, country="A")
+        b = GeoPoint(lat=lat2, lon=lon2, country="B")
+        assert model.rtt_ms(a, b, sample) == model.rtt_ms(a, b, sample)
+
+
+header_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABC-",
+    min_size=1, max_size=12,
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+header_values = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 .;=/",
+    min_size=0, max_size=30,
+)
+
+
+class TestHeaderProperties:
+    @given(st.lists(st.tuples(header_names, header_values), max_size=10))
+    def test_normalise_idempotent(self, items):
+        headers = HeaderSet(items)
+        once = headers.normalised()
+        twice = once.normalised()
+        assert once.items() == twice.items()
+
+    @given(st.lists(st.tuples(header_names, header_values), max_size=10))
+    def test_normalise_preserves_multiset(self, items):
+        headers = HeaderSet(items)
+        normalised = headers.normalised()
+        assert sorted(
+            (k.lower(), v) for k, v in normalised.items()
+        ) == sorted((k.lower(), v) for k, v in headers.items())
+
+
+class TestPacketProperties:
+    payload_strategy = st.one_of(
+        st.builds(
+            DnsPayload,
+            qname=st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz.-",
+                min_size=1, max_size=30,
+            ),
+            qtype=st.sampled_from(["A", "AAAA", "NS", "TXT"]),
+            is_response=st.booleans(),
+            answers=st.lists(
+                st.from_regex(
+                    r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}",
+                    fullmatch=True,
+                ),
+                max_size=3,
+            ).map(tuple),
+            txid=st.integers(min_value=0, max_value=65535),
+        ),
+        st.builds(
+            HttpPayload,
+            method=st.sampled_from(["GET", "POST"]),
+            url=st.just("http://example.com/"),
+            status=st.sampled_from([0, 200, 301, 302, 403, 404]),
+            body=st.text(max_size=50),
+        ),
+        st.builds(RawPayload, label=st.text(max_size=10),
+                  size=st.integers(min_value=0, max_value=9000)),
+    )
+
+    @given(
+        ipv4_values,
+        ipv4_values,
+        st.integers(min_value=1, max_value=255),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+        payload_strategy,
+    )
+    @settings(max_examples=60)
+    def test_encode_decode_round_trip(
+        self, src, dst, ttl, sport, dport, app
+    ):
+        packet = Packet(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            ttl=ttl,
+            payload=UdpDatagram(sport, dport, app),
+        )
+        assert Packet.decode(packet.encode()) == packet
+
+    @given(ipv4_values, ipv4_values, payload_strategy)
+    @settings(max_examples=30)
+    def test_tunnel_encode_decode(self, src, dst, app):
+        inner = Packet(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            payload=TcpSegment(1, 2, "PA", 0, app),
+        )
+        outer = Packet(
+            src=IPv4Address(dst),
+            dst=IPv4Address(src),
+            payload=TunnelPayload(protocol="OpenVPN", inner=inner),
+        )
+        assert Packet.decode(outer.encode()) == outer
+
+
+class TestRoutingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                ipv4_values,
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        ipv4_values,
+    )
+    def test_lookup_returns_longest_matching_prefix(self, routes, probe):
+        table = RoutingTable()
+        for value, prefix_len, metric in routes:
+            network = IPv4Network(IPv4Address(value), prefix_len)
+            table.add_prefix(str(network), f"if{metric}", metric=metric)
+        destination = IPv4Address(probe)
+        result = table.lookup(destination)
+        matching = [
+            r for r in table.routes() if destination in r.prefix
+        ]
+        if not matching:
+            assert result is None
+        else:
+            best_len = max(r.prefix.prefix_len for r in matching)
+            assert result.prefix.prefix_len == best_len
+            same_len = [
+                r for r in matching if r.prefix.prefix_len == best_len
+            ]
+            assert result.metric == min(r.metric for r in same_len)
+
+
+class TestUrlProperties:
+    hosts = st.from_regex(
+        r"[a-z]{1,8}(\.[a-z]{1,8}){1,3}", fullmatch=True
+    )
+
+    @given(hosts)
+    def test_registered_domain_is_suffix(self, host):
+        domain = registered_domain(host)
+        assert host == domain or host.endswith("." + domain)
+
+    @given(hosts)
+    def test_registered_domain_idempotent(self, host):
+        domain = registered_domain(host)
+        assert registered_domain(domain) == domain
+
+    @given(hosts, st.sampled_from(["http", "https"]))
+    def test_url_round_trip(self, host, scheme):
+        text = f"{scheme}://{host}/path"
+        assert str(Url.parse(text)) == text

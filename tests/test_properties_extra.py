@@ -1,0 +1,166 @@
+"""Additional property-based tests: firewall, WHOIS, DNS names, capture."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, IPv4Network, parse_address
+from repro.net.capture import Capture
+from repro.net.firewall import Firewall, FirewallAction, FirewallRule
+from repro.net.packet import DnsPayload, Packet, UdpDatagram
+from repro.net.whois import WhoisRegistry
+
+ipv4_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def reference_firewall_eval(rules, default, packet, direction, interface):
+    """Naive first-match reference implementation."""
+    for rule in rules:
+        if rule.matches(packet, direction, interface):
+            return rule.action
+    return default
+
+
+rule_strategy = st.builds(
+    FirewallRule,
+    action=st.sampled_from(list(FirewallAction)),
+    direction=st.sampled_from(["any", "in", "out"]),
+    dst=st.one_of(
+        st.none(),
+        st.builds(
+            IPv4Network,
+            st.builds(IPv4Address, ipv4_values),
+            st.integers(min_value=0, max_value=32),
+        ),
+    ),
+    protocol=st.one_of(st.none(), st.sampled_from(["udp", "tcp", "icmp"])),
+    dst_port=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=65535)
+    ),
+    interface=st.one_of(st.none(), st.sampled_from(["en0", "utun0"])),
+)
+
+
+class TestFirewallProperties:
+    @given(
+        st.lists(rule_strategy, max_size=8),
+        ipv4_values,
+        ipv4_values,
+        st.integers(min_value=0, max_value=65535),
+        st.sampled_from(["in", "out"]),
+        st.sampled_from(["en0", "utun0"]),
+    )
+    @settings(max_examples=80)
+    def test_matches_reference_implementation(
+        self, rules, src, dst, port, direction, interface
+    ):
+        firewall = Firewall()
+        for rule in rules:
+            firewall.add(rule)
+        packet = Packet(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            payload=UdpDatagram(1000, port),
+        )
+        expected = reference_firewall_eval(
+            rules, FirewallAction.ALLOW, packet, direction, interface
+        )
+        assert firewall.evaluate(packet, direction, interface) is expected
+
+    @given(st.lists(rule_strategy, max_size=8))
+    @settings(max_examples=40)
+    def test_permits_iff_allow(self, rules):
+        firewall = Firewall()
+        for rule in rules:
+            firewall.add(rule)
+        packet = Packet(
+            src=IPv4Address(1),
+            dst=IPv4Address(2),
+            payload=UdpDatagram(1, 2),
+        )
+        permits = firewall.permits(packet, "out", "en0")
+        action = firewall.evaluate(packet, "out", "en0")
+        assert permits == (action is FirewallAction.ALLOW)
+
+
+class TestWhoisProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                ipv4_values,
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=1, max_value=9999),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        ipv4_values,
+    )
+    @settings(max_examples=60)
+    def test_lookup_is_longest_matching_prefix(self, allocations, probe):
+        registry = WhoisRegistry()
+        networks = []
+        for value, prefix_len, asn in allocations:
+            network = IPv4Network(IPv4Address(value), prefix_len)
+            registry.register(str(network), f"org-{asn}", "US", asn)
+            networks.append((network, asn))
+        address = IPv4Address(probe)
+        record = registry.lookup(address)
+        covering = [
+            (network.prefix_len, asn)
+            for network, asn in networks
+            if address in network
+        ]
+        if not covering:
+            assert record is None
+        else:
+            best_len = max(length for length, _ in covering)
+            assert record is not None
+            # The record's prefix length matches the longest cover.
+            assert IPv4Network.parse(record.prefix).prefix_len == best_len
+
+
+class TestCaptureProperties:
+    qnames = st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,10}){1,2}", fullmatch=True)
+
+    @given(st.lists(st.tuples(qnames, st.booleans()), max_size=15))
+    @settings(max_examples=40)
+    def test_dns_query_extraction_complete(self, entries):
+        capture = Capture(interface="en0")
+        expected_queries = []
+        for index, (qname, is_response) in enumerate(entries):
+            packet = Packet(
+                src=IPv4Address(index + 1),
+                dst=IPv4Address(10_000 + index),
+                payload=UdpDatagram(
+                    1000 + index, 53,
+                    DnsPayload(qname=qname, is_response=is_response),
+                ),
+            )
+            capture.record(float(index), "tx", packet)
+            if not is_response:
+                expected_queries.append(qname)
+        observed = [
+            e.packet.payload.payload.qname for e in capture.dns_queries()
+        ]
+        assert observed == expected_queries
+
+    @given(st.lists(st.tuples(qnames, st.booleans()), max_size=10))
+    @settings(max_examples=30)
+    def test_serialisation_preserves_everything(self, entries):
+        capture = Capture(interface="en0")
+        for index, (qname, is_response) in enumerate(entries):
+            packet = Packet(
+                src=IPv4Address(index + 1),
+                dst=IPv4Address(2),
+                payload=UdpDatagram(
+                    5, 53, DnsPayload(qname=qname, is_response=is_response)
+                ),
+            )
+            capture.record(float(index), "rx", packet)
+        restored = Capture.from_bytes("en0", capture.to_bytes())
+        assert [e.packet for e in restored] == [
+            e.packet for e in capture
+        ]
+        assert [e.timestamp_ms for e in restored] == [
+            e.timestamp_ms for e in capture
+        ]

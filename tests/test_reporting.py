@@ -1,0 +1,90 @@
+"""Tests for the reporting helpers and the experiment registry."""
+
+import pathlib
+
+from repro.reporting.experiments import EXPERIMENTS, experiment
+from repro.reporting.figures import ascii_bar_chart, cdf_points, series_summary
+from repro.reporting.tables import render_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestTables:
+    def test_alignment(self):
+        text = render_table(
+            ["Name", "Count"],
+            [["alpha", 1], ["a-much-longer-name", 22]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[2]
+        # Columns align: 'Count' values start at the same offset.
+        assert lines[4].index("1") == lines[5].index("22")
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestFigures:
+    def test_cdf_monotone(self):
+        points = cdf_points([5, 1, 3, 2, 4])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_series_summary(self):
+        summary = series_summary([1.0, 2.0, 3.0, 10.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["median"] == 2.5
+        assert summary["mean"] == 4.0
+
+    def test_bar_chart_renders(self):
+        chart = ascii_bar_chart([("US", 46), ("GB", 22)], title="Fig")
+        assert "US" in chart and "#" in chart
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in ascii_bar_chart([])
+
+
+class TestExperimentRegistry:
+    def test_covers_all_tables_and_figures(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        for table in range(1, 8):
+            assert f"table{table}" in ids
+        for figure in range(1, 10):
+            assert f"fig{figure}" in ids
+
+    def test_every_bench_file_exists(self):
+        for entry in EXPERIMENTS:
+            assert (REPO_ROOT / entry.bench).exists(), entry.bench
+
+    def test_every_module_importable(self):
+        import importlib
+
+        for entry in EXPERIMENTS:
+            for module in entry.modules:
+                importlib.import_module(module)
+
+    def test_lookup(self):
+        assert experiment("table4").paper_ref == "Table 4"
+        import pytest
+
+        with pytest.raises(KeyError):
+            experiment("table99")
+
+    def test_registry_matches_bench_directory(self):
+        bench_dir = REPO_ROOT / "benchmarks"
+        bench_files = {
+            f"benchmarks/{p.name}"
+            for p in bench_dir.glob("bench_*.py")
+        }
+        registered = {e.bench for e in EXPERIMENTS}
+        assert registered <= bench_files

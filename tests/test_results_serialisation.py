@@ -1,0 +1,145 @@
+"""Tests for the typed result records and their JSON serialisation."""
+
+import json
+
+from repro.core.results import (
+    DnsComparisonEntry,
+    DnsLeakageResult,
+    DnsManipulationResult,
+    DomCollectionResult,
+    GeolocationResult,
+    Ipv6LeakageResult,
+    PageObservation,
+    PingMeasurement,
+    PingTracerouteResult,
+    ProxyDetectionResult,
+    TunnelFailureResult,
+    VantagePointResults,
+)
+
+
+class TestVerdictProperties:
+    def test_dns_manipulation_flags(self):
+        result = DnsManipulationResult(entries=[
+            DnsComparisonEntry("a.com", ("1.1.1.1",), ("1.1.1.1",), False),
+            DnsComparisonEntry("b.com", ("6.6.6.6",), ("2.2.2.2",), True),
+        ])
+        assert result.manipulated
+        assert result.suspicious_hostnames == ["b.com"]
+
+    def test_dom_collection_views(self):
+        clean = PageObservation(
+            url="http://a/", ok=True, status=200,
+            redirect_chain=["http://a/"], injected_elements=[],
+            unexpected_resources=[],
+        )
+        injected = PageObservation(
+            url="http://b/", ok=True, status=200,
+            redirect_chain=["http://b/"],
+            injected_elements=["added: <script>"],
+            unexpected_resources=["http://evil/x.js"],
+        )
+        redirected = PageObservation(
+            url="http://c/", ok=True, status=200,
+            redirect_chain=["http://c/", "http://block/"],
+            injected_elements=[], unexpected_resources=[],
+        )
+        result = DomCollectionResult(pages=[clean, injected, redirected])
+        assert result.injection_detected
+        assert result.injected_pages == [injected]
+        assert result.redirected_pages == [redirected]
+
+    def test_proxy_detection_verdict(self):
+        assert not ProxyDetectionResult().proxy_detected
+        assert ProxyDetectionResult(headers_modified=True).proxy_detected
+        assert ProxyDetectionResult(
+            headers_injected=["x-evil"]
+        ).proxy_detected
+
+    def test_tunnel_failure_verdict(self):
+        assert not TunnelFailureResult(attempts=12).fails_open
+        assert TunnelFailureResult(
+            attempts=12, reachable_during_failure=3, first_leak_attempt=4
+        ).fails_open
+
+    def test_leakage_verdicts(self):
+        assert not DnsLeakageResult(queries_issued=4).leaked
+        assert DnsLeakageResult(leaked_queries=["q"]).leaked
+        assert not Ipv6LeakageResult(attempts=8).leaked
+        assert Ipv6LeakageResult(leaked_destinations=["::1"]).leaked
+
+    def test_geolocation_agreement(self):
+        result = GeolocationResult(
+            egress_address="1.2.3.4", claimed_country="DE",
+            estimates={"db-a": "DE", "db-b": "US", "db-c": None},
+        )
+        assert result.agreement("db-a") is True
+        assert result.agreement("db-b") is False
+        assert result.agreement("db-c") is None
+
+    def test_rtt_vector_skips_unreachable(self):
+        result = PingTracerouteResult(pings=[
+            PingMeasurement("1.1.1.1", "a", 10.0),
+            PingMeasurement("2.2.2.2", "b", None),
+        ])
+        assert result.rtt_vector() == {"1.1.1.1": 10.0}
+
+
+class TestJsonSerialisation:
+    def test_full_record_round_trips_through_json(self):
+        record = VantagePointResults(
+            provider="TestVPN",
+            hostname="us.test.net",
+            egress_address="1.2.3.4",
+            claimed_country="US",
+            dns_leakage=DnsLeakageResult(
+                queries_issued=4, leaked_queries=["q.example"],
+                leaked_servers=["192.168.1.1"],
+            ),
+            geolocation=GeolocationResult(
+                egress_address="1.2.3.4", claimed_country="US",
+                estimates={"maxmind-geolite2": "US"},
+            ),
+        )
+        decoded = json.loads(record.to_json())
+        assert decoded["provider"] == "TestVPN"
+        assert decoded["dns_leakage"]["leaked_queries"] == ["q.example"]
+        assert decoded["geolocation"]["estimates"]["maxmind-geolite2"] == "US"
+        assert decoded["tls"] is None  # untested sections serialise as null
+
+    def test_json_is_stable(self):
+        record = VantagePointResults(
+            provider="TestVPN", hostname="h", egress_address="1.2.3.4",
+            claimed_country="US",
+        )
+        assert record.to_json() == record.to_json()
+
+
+class TestDocsConsistency:
+    def test_design_md_lists_every_experiment(self):
+        import pathlib
+
+        from repro.reporting.experiments import EXPERIMENTS
+
+        design = pathlib.Path(__file__).resolve().parents[1] / "DESIGN.md"
+        text = design.read_text()
+        for entry in EXPERIMENTS:
+            if entry.exp_id.startswith(("table", "fig")):
+                assert entry.bench.split("/")[-1].replace(
+                    ".py", ""
+                ).replace("bench_", "") in text.lower().replace(
+                    "benchmarks/bench_", ""
+                ) or entry.bench in text, entry.exp_id
+
+    def test_experiments_md_covers_tables_and_figures(self):
+        import pathlib
+
+        experiments = (
+            pathlib.Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+        )
+        text = experiments.read_text()
+        for table in range(1, 8):
+            assert f"Table {table}" in text
+        for figure in range(1, 10):
+            assert f"Fig {figure}" in text
+        assert "Known deviations" in text

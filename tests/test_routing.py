@@ -1,0 +1,83 @@
+"""Unit tests for the routing table."""
+
+from repro.net.routing import Route, RoutingTable
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "en0")
+        table.add_prefix("10.0.0.0/8", "en1")
+        table.add_prefix("10.1.0.0/16", "en2")
+        assert table.lookup("10.1.2.3").interface == "en2"
+        assert table.lookup("10.2.0.1").interface == "en1"
+        assert table.lookup("8.8.8.8").interface == "en0"
+
+    def test_no_match_returns_none(self):
+        table = RoutingTable()
+        table.add_prefix("10.0.0.0/8", "en0")
+        assert table.lookup("11.0.0.1") is None
+
+    def test_metric_breaks_ties(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "en0", metric=10)
+        table.add_prefix("0.0.0.0/0", "utun0", metric=0)
+        assert table.lookup("1.2.3.4").interface == "utun0"
+
+    def test_recency_breaks_equal_metric(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "en0", metric=5)
+        table.add_prefix("0.0.0.0/0", "en1", metric=5)
+        assert table.lookup("1.2.3.4").interface == "en1"
+
+    def test_families_are_separate(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "v4")
+        table.add_prefix("::/0", "v6")
+        assert table.lookup("1.2.3.4").interface == "v4"
+        assert table.lookup("2001:db8::1").interface == "v6"
+
+
+class TestMutation:
+    def test_remove_where_by_source(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "en0", source="dhcp")
+        table.add_prefix("0.0.0.0/0", "utun0", source="vpn")
+        table.add_prefix("1.2.3.4/32", "en0", source="vpn")
+        removed = table.remove_where(source="vpn")
+        assert removed == 2
+        assert len(table) == 1
+        assert table.lookup("8.8.8.8").interface == "en0"
+
+    def test_remove_where_by_interface(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "utun0")
+        assert table.remove_where(interface="utun0") == 1
+        assert table.lookup("8.8.8.8") is None
+
+
+class TestQueries:
+    def test_default_route(self):
+        table = RoutingTable()
+        assert table.default_route() is None
+        table.add_prefix("0.0.0.0/0", "en0", metric=10)
+        table.add_prefix("0.0.0.0/0", "utun0", metric=0)
+        assert table.default_route().interface == "utun0"
+        assert table.default_route(version=6) is None
+
+    def test_host_routes(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "en0")
+        table.add_prefix("5.6.7.8/32", "en0", source="vpn")
+        table.add_prefix("2001:db8::1/128", "en0")
+        hosts = table.host_routes()
+        assert len(hosts) == 2
+
+    def test_snapshot_readable(self):
+        table = RoutingTable()
+        table.add_prefix("0.0.0.0/0", "en0", gateway="192.168.1.1",
+                         metric=10, source="dhcp")
+        line = table.snapshot()[0]
+        assert "0.0.0.0/0" in line
+        assert "192.168.1.1" in line
+        assert "en0" in line

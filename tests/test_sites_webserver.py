@@ -1,0 +1,132 @@
+"""Unit tests for the site catalogue and origin web servers."""
+
+from repro.web.http import HttpRequest
+from repro.web.server import BLOCK_PAGES, BlockPageServer, OriginWebServer
+from repro.web.sites import (
+    HONEYSITE_AD,
+    HONEYSITE_STATIC,
+    default_catalog,
+    generate_document,
+)
+from repro.web.tls import CertificateAuthority, CertificateStore
+
+
+class TestCatalog:
+    def setup_method(self):
+        self.catalog = default_catalog()
+
+    def test_dom_set_is_55(self):
+        assert len(self.catalog.dom_test_sites()) == 55
+
+    def test_two_honeysites_in_dom_set(self):
+        honeysites = self.catalog.honeysites()
+        assert {s.domain for s in honeysites} == {
+            HONEYSITE_AD, HONEYSITE_STATIC,
+        }
+        assert all(s.in_dom_set for s in honeysites)
+
+    def test_tls_set_exceeds_200(self):
+        assert len(self.catalog.tls_test_sites()) > 200
+
+    def test_dom_sites_do_not_upgrade_https(self):
+        # Section 5.3.1: chosen specifically not to upgrade.
+        assert all(
+            not s.upgrades_https for s in self.catalog.dom_test_sites()
+        )
+
+    def test_sensitive_categories_present(self):
+        categories = {s.category for s in self.catalog.dom_test_sites()}
+        for expected in ("politics", "pornography", "government", "defense"):
+            assert expected in categories
+
+    def test_censored_domains_for_country(self):
+        turkish = self.catalog.censored_domains_for_country("TR")
+        assert any("adult" in d for d in turkish)
+        assert any("torrent" in d or "magnet" in d or "file" in d
+                   or "seedbox" in d or "p2p" in d for d in turkish)
+        assert self.catalog.censored_domains_for_country("US") == []
+
+    def test_documents_deterministic(self):
+        site = self.catalog.dom_test_sites()[0]
+        assert generate_document(site) == generate_document(site)
+
+    def test_ad_honeysite_has_ad_markup(self):
+        site = self.catalog.get(HONEYSITE_AD)
+        doc = generate_document(site)
+        srcs = doc.external_scripts()
+        assert any("major-ad-network" in s for s in srcs)
+
+
+class TestOriginWebServer:
+    def setup_method(self):
+        self.catalog = default_catalog()
+        self.store = CertificateStore(CertificateAuthority("CA"))
+
+    def _server(self, domain, is_vpn=lambda a: False):
+        site = self.catalog.get(domain)
+        return OriginWebServer(site, self.store, is_vpn_address=is_vpn)
+
+    def test_serves_page(self):
+        server = self._server(HONEYSITE_STATIC)
+        response = server.respond(
+            HttpRequest("GET", f"http://{HONEYSITE_STATIC}/"),
+            source_address="1.2.3.4",
+        )
+        assert response.status == 200
+        assert response.body
+
+    def test_wrong_host_404(self):
+        server = self._server(HONEYSITE_STATIC)
+        response = server.respond(
+            HttpRequest("GET", "http://other.example/"),
+            source_address="1.2.3.4",
+        )
+        assert response.status == 404
+
+    def test_https_upgrade_redirect(self):
+        upgrading = next(
+            s for s in self.catalog if s.upgrades_https
+        )
+        server = OriginWebServer(upgrading, self.store)
+        response = server.respond(
+            HttpRequest("GET", upgrading.http_url), source_address="1.2.3.4"
+        )
+        assert response.status == 301
+        assert response.location.startswith("https://")
+
+    def test_vpn_range_blocking_403(self):
+        blocking = next(s for s in self.catalog if s.blocks_vpn_ranges)
+        server = OriginWebServer(
+            blocking, self.store, is_vpn_address=lambda a: a == "6.6.6.6"
+        )
+        blocked = server.respond(
+            HttpRequest("GET", blocking.http_url), source_address="6.6.6.6"
+        )
+        assert blocked.status == 403
+        allowed = server.respond(
+            HttpRequest("GET", blocking.http_url), source_address="1.2.3.4"
+        )
+        assert allowed.status in (200, 301)
+
+
+class TestBlockPages:
+    def test_known_ids_serve(self):
+        server = BlockPageServer("ru-ttk")
+        assert server.url == "http://fz139.ttk.ru"
+        assert server.country == "RU"
+
+    def test_unknown_id_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BlockPageServer("nonexistent")
+
+    def test_table4_destinations_complete(self):
+        # All 11 Table 4 destinations must exist.
+        assert len(BLOCK_PAGES) == 11
+        countries = [country for _url, country in BLOCK_PAGES.values()]
+        assert countries.count("RU") == 6
+        assert countries.count("NL") == 2
+        assert countries.count("TR") == 1
+        assert countries.count("KR") == 1
+        assert countries.count("TH") == 1

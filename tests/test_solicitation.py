@@ -1,0 +1,74 @@
+"""Tests for the data-broker solicitation study (Section 6.2.2)."""
+
+import pytest
+
+from repro.ecosystem.generate import generate_ecosystem
+from repro.ecosystem.solicitation import (
+    SolicitationResponse,
+    TENTATIVE_DETAILS,
+    run_solicitation_study,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_solicitation_study(generate_ecosystem())
+
+
+class TestCampaignShape:
+    def test_contacted_approximately_153(self, report):
+        assert report.contacted == 153
+
+    def test_one_email_per_provider(self, report):
+        providers = [o.provider for o in report.outcomes]
+        assert len(providers) == len(set(providers)) == 200
+
+    def test_auto_ticket_most_common(self, report):
+        assert (
+            report.most_common_response
+            is SolicitationResponse.AUTO_TICKET_CLOSED
+        )
+
+    def test_exactly_three_tentative(self, report):
+        tentative = report.tentatively_interested
+        assert len(tentative) == 3
+        details = {o.detail for o in tentative}
+        assert details == set(TENTATIVE_DETAILS)
+
+    def test_popular_head_never_interested(self, report):
+        from repro.vpn.catalog import POPULAR_SERVICES
+
+        interested = {o.provider for o in report.tentatively_interested}
+        assert interested.isdisjoint(POPULAR_SERVICES)
+
+    def test_refusals_present(self, report):
+        counts = report.counts()
+        assert counts[SolicitationResponse.EXPLICIT_REFUSAL] > 0
+        assert counts[SolicitationResponse.PASSED_ON] > 0
+
+    def test_no_provider_jumped_at_offer(self, report):
+        # The strongest response class is 'tentative interest' — by
+        # construction there is nothing stronger, mirroring the paper.
+        kinds = {o.response for o in report.outcomes}
+        assert kinds <= set(SolicitationResponse)
+
+    def test_deterministic(self):
+        eco = generate_ecosystem()
+        a = run_solicitation_study(eco)
+        b = run_solicitation_study(eco)
+        assert [o.response for o in a.outcomes] == [
+            o.response for o in b.outcomes
+        ]
+
+    def test_seed_changes_distribution(self):
+        eco = generate_ecosystem()
+        a = run_solicitation_study(eco, seed=1)
+        b = run_solicitation_study(eco, seed=2)
+        assert [o.response for o in a.outcomes] != [
+            o.response for o in b.outcomes
+        ]
+
+    def test_summary_readable(self, report):
+        text = report.summary()
+        assert "Contacted 153 providers" in text
+        assert "tentative-interest" in text

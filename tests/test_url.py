@@ -1,0 +1,106 @@
+"""Unit tests for URL parsing and registered-domain logic."""
+
+import pytest
+
+from repro.web.url import (
+    Url,
+    domains_related,
+    public_suffix,
+    registered_domain,
+    same_registered_domain,
+    urls_related,
+)
+
+
+class TestUrlParse:
+    def test_basic(self):
+        url = Url.parse("http://example.com/path/page")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+        assert url.port == 80
+        assert url.path == "/path/page"
+
+    def test_https_default_port(self):
+        assert Url.parse("https://example.com").port == 443
+
+    def test_explicit_port(self):
+        assert Url.parse("http://example.com:8080/").port == 8080
+
+    def test_no_path(self):
+        assert Url.parse("http://example.com").path == "/"
+
+    def test_rejects_missing_scheme(self):
+        with pytest.raises(ValueError):
+            Url.parse("example.com/path")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            Url.parse("ftp://example.com/")
+
+    def test_host_lowercased(self):
+        assert Url.parse("http://ExAmPlE.CoM/").host == "example.com"
+
+    def test_str_round_trip(self):
+        text = "https://example.com/a/b"
+        assert str(Url.parse(text)) == text
+
+    def test_origin_hides_default_port(self):
+        assert Url.parse("http://example.com:80/x").origin == "http://example.com"
+        assert Url.parse("http://example.com:81/x").origin == "http://example.com:81"
+
+
+class TestJoin:
+    def test_absolute_reference(self):
+        base = Url.parse("http://a.com/x")
+        assert str(base.join("http://b.org/y")) == "http://b.org/y"
+
+    def test_absolute_path(self):
+        base = Url.parse("http://a.com/x/y")
+        assert str(base.join("/z")) == "http://a.com/z"
+
+    def test_relative_path(self):
+        base = Url.parse("http://a.com/dir/page")
+        assert str(base.join("other")) == "http://a.com/dir/other"
+
+    def test_with_scheme(self):
+        url = Url.parse("http://a.com/x").with_scheme("https")
+        assert url.scheme == "https"
+        assert url.port == 443
+
+
+class TestRegisteredDomain:
+    def test_simple(self):
+        assert registered_domain("www.example.com") == "example.com"
+        assert registered_domain("example.com") == "example.com"
+
+    def test_multi_label_suffix(self):
+        assert registered_domain("shop.foo.co.uk") == "foo.co.uk"
+        assert public_suffix("shop.foo.co.uk") == "co.uk"
+
+    def test_ip_literal(self):
+        assert registered_domain("195.175.254.2") == "195.175.254.2"
+
+    def test_same_registered_domain(self):
+        assert same_registered_domain("a.example.com", "b.example.com")
+        assert not same_registered_domain("a.example.com", "a.other.com")
+
+
+class TestRelatedness:
+    def test_same_domain_related(self):
+        assert domains_related("a.example.com", "b.example.com")
+
+    def test_cross_suffix_same_label_related(self):
+        # The paper's rule: registered domains differing only by suffix.
+        assert domains_related("a.example.com", "b.example.org")
+
+    def test_unrelated(self):
+        assert not domains_related("a.example.com", "blocked.mts.ru")
+
+    def test_ip_never_related_to_name(self):
+        assert not domains_related("example.com", "195.175.254.2")
+
+    def test_urls_related_wrapper(self):
+        assert urls_related("http://x.site.com/a", "https://y.site.com/b")
+        assert not urls_related(
+            "http://adult-site-alpha.com/", "http://warning.or.kr/"
+        )

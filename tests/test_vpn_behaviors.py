@@ -1,0 +1,206 @@
+"""Tests for vantage-point egress behaviours, observed end to end."""
+
+import pytest
+
+from repro.vpn.client import VpnClient
+from repro.web.browser import Browser
+from repro.web.sites import HONEYSITE_AD, HONEYSITE_STATIC
+
+
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    return World.build(
+        provider_names=["Seed4.me", "Mullvad", "Freedome VPN"]
+    )
+
+
+def connected_browser(world, provider_name, vp_index=0):
+    provider = world.provider(provider_name)
+    client = VpnClient(world.client, provider)
+    client.connect(provider.vantage_points[vp_index])
+    browser = Browser(
+        world.client, world.trust_store, world.chain_registry
+    )
+    return client, browser
+
+
+class TestAdInjection:
+    def test_injects_on_http_honeysite(self, world):
+        client, browser = connected_browser(world, "Seed4.me")
+        try:
+            load = browser.load_page(f"http://{HONEYSITE_AD}/")
+            scripts = load.document.external_scripts()
+            assert any("ads.seed4me.com" in s for s in scripts)
+            overlay = [
+                e for e in load.document.elements
+                if e.attr("class") == "vpn-upgrade-overlay"
+            ]
+            assert overlay and "premium" in overlay[0].text.lower()
+        finally:
+            client.disconnect()
+
+    def test_clean_provider_does_not_inject(self, world):
+        client, browser = connected_browser(world, "Mullvad")
+        try:
+            load = browser.load_page(f"http://{HONEYSITE_AD}/")
+            scripts = load.document.external_scripts()
+            assert not any("mullvad" in s for s in scripts)
+        finally:
+            client.disconnect()
+
+    def test_https_pages_not_injected(self, world):
+        upgrading = next(s for s in world.sites if s.upgrades_https)
+        client, browser = connected_browser(world, "Seed4.me")
+        try:
+            load = browser.load_page(upgrading.http_url)
+            assert load.ok
+            assert load.final_url.startswith("https://")
+            scripts = load.document.external_scripts()
+            assert not any("seed4me" in s for s in scripts)
+        finally:
+            client.disconnect()
+
+
+class TestTransparentProxy:
+    def test_proxy_regenerates_headers(self, world):
+        import json
+
+        from repro.web.http import default_request_headers
+        from repro.world import HEADER_ECHO_DOMAIN
+
+        client, browser = connected_browser(world, "Freedome VPN")
+        try:
+            sent = default_request_headers(HEADER_ECHO_DOMAIN)
+            result = browser.fetch(
+                f"http://{HEADER_ECHO_DOMAIN}/", headers=sent
+            )
+            observed = [
+                tuple(h)
+                for h in json.loads(result.response.body)["observed_headers"]
+            ]
+            assert observed != sent.items()
+            # Same values, different casing/order: regeneration, not injection.
+            assert sorted((k.lower(), v) for k, v in observed) == sorted(
+                (k.lower(), v) for k, v in sent.items()
+            )
+        finally:
+            client.disconnect()
+
+    def test_clean_provider_preserves_headers(self, world):
+        import json
+
+        from repro.web.http import default_request_headers
+        from repro.world import HEADER_ECHO_DOMAIN
+
+        client, browser = connected_browser(world, "Mullvad")
+        try:
+            sent = default_request_headers(HEADER_ECHO_DOMAIN)
+            result = browser.fetch(
+                f"http://{HEADER_ECHO_DOMAIN}/", headers=sent
+            )
+            observed = [
+                tuple(h)
+                for h in json.loads(result.response.body)["observed_headers"]
+            ]
+            assert observed == sent.items()
+        finally:
+            client.disconnect()
+
+
+class TestCensorship:
+    def test_russian_endpoint_redirects_blocked_content(self):
+        from repro.world import World
+
+        world = World.build(provider_names=["NordVPN"])
+        provider = world.provider("NordVPN")
+        ru_vp = next(
+            vp for vp in provider.vantage_points
+            if vp.claimed_country == "RU"
+        )
+        client = VpnClient(world.client, provider)
+        client.connect(ru_vp)
+        browser = Browser(
+            world.client, world.trust_store, world.chain_registry
+        )
+        try:
+            censored = world.sites.censored_domains_for_country("RU")[0]
+            load = browser.load_page(f"http://{censored}/")
+            assert load.was_redirected
+            assert "ttk.ru" in load.final_url
+            assert load.final_response.status == 200
+            assert "restricted" in load.final_response.body
+        finally:
+            client.disconnect()
+
+    def test_same_content_fine_from_us_endpoint(self):
+        from repro.world import World
+
+        world = World.build(provider_names=["NordVPN"])
+        provider = world.provider("NordVPN")
+        us_vp = next(
+            vp for vp in provider.vantage_points
+            if vp.claimed_country == "US"
+        )
+        client = VpnClient(world.client, provider)
+        client.connect(us_vp)
+        browser = Browser(
+            world.client, world.trust_store, world.chain_registry
+        )
+        try:
+            censored = world.sites.censored_domains_for_country("RU")[0]
+            load = browser.load_page(f"http://{censored}/")
+            assert not load.was_redirected
+            assert load.ok
+        finally:
+            client.disconnect()
+
+
+class TestSyntheticTlsBehaviours:
+    """The paper found no TLS games; the detectors still need positive
+    controls, exercised through hand-built synthetic behaviours."""
+
+    def test_tls_interception_substitutes_chain(self, world):
+        from repro.vpn.behaviors import TlsInterceptionBehavior
+
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        behavior = TlsInterceptionBehavior("Evil CA", world.chain_registry)
+        vp.server.behaviors.append(behavior)
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        browser = Browser(
+            world.client, world.trust_store, world.chain_registry
+        )
+        try:
+            domain = world.sites.tls_test_sites()[0].domain
+            probe = browser.tls_probe(domain)
+            assert probe.ok
+            assert not probe.handshake.validation.valid
+            expected = world.cert_store.chain_for(domain).leaf.fingerprint
+            assert probe.handshake.leaf_fingerprint != expected
+        finally:
+            client.disconnect()
+            vp.server.behaviors.remove(behavior)
+
+    def test_tls_stripping_rewrites_upgrade(self, world):
+        from repro.vpn.behaviors import TlsStrippingBehavior
+
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        behavior = TlsStrippingBehavior()
+        vp.server.behaviors.append(behavior)
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        browser = Browser(
+            world.client, world.trust_store, world.chain_registry
+        )
+        try:
+            upgrading = next(s for s in world.sites if s.upgrades_https)
+            result = browser.fetch(upgrading.http_url)
+            assert result.response.status == 301
+            assert result.response.location.startswith("http://")
+        finally:
+            client.disconnect()
+            vp.server.behaviors.remove(behavior)

@@ -1,0 +1,189 @@
+"""Tests for the VPN client's host mutations and the tunnel endpoint."""
+
+import pytest
+
+from repro.vpn.client import ConnectionState, VpnClient
+from repro.vpn.protocols import PROTOCOLS
+from repro.vpn.tunnel import TunnelState
+
+
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    # Function-scoped fresh world: these tests mutate client state heavily.
+    return World.build(provider_names=["Seed4.me", "Mullvad", "Freedome VPN"])
+
+
+class TestProtocols:
+    def test_catalogue_complete(self):
+        for name in ("OpenVPN", "PPTP", "L2TP/IPsec", "IPsec/IKEv2",
+                     "SSTP", "SSL", "SSH"):
+            assert name in PROTOCOLS
+
+    def test_pptp_flagged_insecure(self):
+        assert not PROTOCOLS["PPTP"].considered_secure
+        assert PROTOCOLS["OpenVPN"].considered_secure
+
+
+class TestConnectDisconnect:
+    def test_connect_creates_tunnel_interface(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        assert client.state is ConnectionState.CONNECTED
+        assert "utun0" in world.client.interfaces
+        assert world.client.interfaces["utun0"].is_tunnel
+        client.disconnect()
+
+    def test_default_route_moves_to_tunnel(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        route = world.client.routing.lookup("8.8.8.8")
+        assert route.interface == "utun0"
+        client.disconnect()
+        route = world.client.routing.lookup("8.8.8.8")
+        assert route.interface == "en0"
+
+    def test_server_pinned_through_physical(self, world):
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        route = world.client.routing.lookup(str(vp.address))
+        assert route.interface == "en0"
+        client.disconnect()
+
+    def test_dns_repointed_and_restored(self, world):
+        provider = world.provider("Mullvad")
+        original = list(world.client.dns_servers)
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        assert str(world.client.dns_servers[0]) == "10.8.0.1"
+        client.disconnect()
+        assert world.client.dns_servers == original
+
+    def test_dns_leaker_leaves_system_resolver(self, world):
+        provider = world.provider("Freedome VPN")
+        original = list(world.client.dns_servers)
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        assert world.client.dns_servers == original
+        client.disconnect()
+
+    def test_double_connect_rejected(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        with pytest.raises(RuntimeError):
+            client.connect(provider.vantage_points[1])
+        client.disconnect()
+
+    def test_disconnect_idempotent(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        assert client.disconnect() is ConnectionState.DISCONNECTED
+
+    def test_connect_by_hostname(self, world):
+        provider = world.provider("Mullvad")
+        hostname = provider.vantage_points[0].hostname
+        client = VpnClient(world.client, provider)
+        client.connect(hostname)
+        assert client.current_vantage_point.hostname == hostname
+        client.disconnect()
+
+    def test_snapshot_restored_fully(self, world):
+        provider = world.provider("Mullvad")
+        before = world.client.snapshot()
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        client.disconnect()
+        assert world.client.snapshot() == before
+
+
+class TestTunnelTraffic:
+    def test_ping_through_tunnel_reaches_anchor(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        anchor = world.anchors[0]
+        results = world.internet.ping(world.client, anchor.address)
+        assert results[0].reachable
+        client.disconnect()
+
+    def test_tunnel_rtt_reflects_both_legs(self, world):
+        provider = world.provider("Mullvad")
+        anchor = world.anchors[0]
+        direct = world.internet.ping(world.client, anchor.address)[0].rtt_ms
+        # Pick a distant vantage point so the detour is visible.
+        vp = max(
+            provider.vantage_points,
+            key=lambda v: v.physical_location.distance_km(
+                world.client.location
+            ),
+        )
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        tunneled = world.internet.ping(world.client, anchor.address)[0].rtt_ms
+        client.disconnect()
+        assert tunneled > direct
+
+    def test_traffic_captured_as_tunnel_payload(self, world):
+        provider = world.provider("Mullvad")
+        client = VpnClient(world.client, provider)
+        client.connect(provider.vantage_points[0])
+        physical = world.client.primary_interface()
+        physical.capture.clear()
+        world.internet.ping(world.client, world.anchors[0].address)
+        kinds = {
+            entry.packet.payload.kind
+            for entry in physical.capture.transmitted()
+        }
+        assert kinds == {"tunnel"}
+        client.disconnect()
+
+
+class TestTunnelFailureModes:
+    def _sever_and_probe(self, world, provider_name):
+        provider = world.provider(provider_name)
+        vp = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        world.internet.block_path(world.client, vp.address)
+        try:
+            outcomes = [
+                world.internet.ping(
+                    world.client, world.anchors[0].address
+                )[0].reachable
+                for _ in range(6)
+            ]
+        finally:
+            world.internet.unblock_path(world.client, vp.address)
+            state = client.tunnel_state
+            client.disconnect()
+        return outcomes, state
+
+    def test_fail_open_client_leaks_after_detection(self, world):
+        outcomes, state = self._sever_and_probe(world, "Seed4.me")
+        assert not outcomes[0]          # outage detected but not yet open
+        assert any(outcomes)            # eventually leaks in plaintext
+        assert state is TunnelState.FAILED_OPEN
+
+    def test_fail_closed_client_never_leaks(self, world):
+        outcomes, state = self._sever_and_probe(world, "Mullvad")
+        assert not any(outcomes)
+        assert state in (TunnelState.FAILED, TunnelState.CONNECTED)
+
+    def test_tunnel_recovers_after_outage(self, world):
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        world.internet.block_path(world.client, vp.address)
+        world.internet.ping(world.client, world.anchors[0].address)
+        world.internet.unblock_path(world.client, vp.address)
+        results = world.internet.ping(world.client, world.anchors[0].address)
+        assert results[0].reachable
+        assert client.tunnel_state is TunnelState.CONNECTED
+        client.disconnect()

@@ -1,0 +1,90 @@
+"""Tests for the STUN substrate and the WebRTC leakage audit."""
+
+import pytest
+
+from repro.core.harness import TestContext, TestSuite
+from repro.core.leakage.webrtc_leakage import WebRtcLeakageTest
+from repro.vpn.client import VpnClient
+from repro.web.stun import (
+    StunServer,
+    gather_ice_candidates,
+    install_stun_service,
+)
+
+
+class TestStunServer:
+    def test_binding_reports_source(self, mini_internet):
+        internet, london, new_york = mini_internet
+        server = StunServer()
+        install_stun_service(new_york, server)
+        candidates = gather_ice_candidates(london, "10.0.1.1")
+        reflexive = [c for c in candidates if c.candidate_type == "srflx"]
+        assert len(reflexive) == 1
+        assert reflexive[0].address == "10.0.0.1"
+        assert server.requests_served == 1
+
+    def test_host_candidates_enumerate_interfaces(self, mini_internet):
+        internet, london, new_york = mini_internet
+        install_stun_service(new_york, StunServer())
+        candidates = gather_ice_candidates(london, "10.0.1.1")
+        hosts = [c for c in candidates if c.candidate_type == "host"]
+        assert [c.address for c in hosts] == ["10.0.0.1"]
+        assert hosts[0].interface == "eth0"
+
+    def test_unreachable_stun_server(self, mini_internet):
+        internet, london, _ = mini_internet
+        candidates = gather_ice_candidates(london, "10.9.9.9")
+        assert all(c.candidate_type == "host" for c in candidates)
+
+
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    return World.build(provider_names=["Mullvad"])
+
+
+class TestWebRtcLeakageTest:
+    def _context(self, world):
+        provider = world.provider("Mullvad")
+        vantage_point = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        client.connect(vantage_point)
+        suite = TestSuite(world)
+        return TestContext(
+            world=world, provider=provider, vantage_point=vantage_point,
+            vpn_client=client, suite=suite,
+        ), client
+
+    def test_host_candidates_expose_real_addresses(self, world):
+        context, client = self._context(world)
+        try:
+            result = WebRtcLeakageTest().run(context)
+            # The universal WebRTC weakness: local addresses reach page JS
+            # regardless of the tunnel (Al-Fannah / Section 7).
+            assert result.leaked
+            assert "192.168.1.2" in result.exposed_local_addresses
+        finally:
+            client.disconnect()
+
+    def test_reflexive_address_is_vpn_egress(self, world):
+        context, client = self._context(world)
+        try:
+            result = WebRtcLeakageTest().run(context)
+            # The STUN binding rides the tunnel, so the public-facing
+            # address is the vantage point — the VPN works at layer 3.
+            assert result.reflexive_is_vpn_egress
+            assert result.reflexive_address == str(
+                context.vantage_point.address
+            )
+        finally:
+            client.disconnect()
+
+    def test_candidates_include_tunnel_address(self, world):
+        context, client = self._context(world)
+        try:
+            result = WebRtcLeakageTest().run(context)
+            addresses = {address for _kind, address in result.candidates}
+            assert "10.8.0.2" in addresses  # the utun0 host candidate
+        finally:
+            client.disconnect()

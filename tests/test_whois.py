@@ -1,0 +1,109 @@
+"""Tests for the WHOIS/ASN registry and its use in triage."""
+
+import pytest
+
+from repro.net.whois import WhoisRegistry
+
+
+class TestRegistry:
+    def setup_method(self):
+        self.registry = WhoisRegistry()
+        self.registry.register("10.0.0.0/8", "Big Hosting", "US", 100)
+        self.registry.register("10.5.0.0/16", "Sub Hosting", "DE", 200)
+
+    def test_longest_prefix_wins(self):
+        assert self.registry.lookup("10.5.1.1").organisation == "Sub Hosting"
+        assert self.registry.lookup("10.6.1.1").organisation == "Big Hosting"
+
+    def test_no_match(self):
+        assert self.registry.lookup("11.0.0.1") is None
+        assert self.registry.organisation_for("11.0.0.1") == "unregistered"
+
+    def test_invalid_address(self):
+        assert self.registry.lookup("not-an-ip") is None
+
+    def test_asn_lookup(self):
+        assert self.registry.asn_for("10.5.1.1") == 200
+        assert self.registry.asn_for("11.0.0.1") is None
+
+    def test_record_describe(self):
+        record = self.registry.lookup("10.5.1.1")
+        assert "AS200" in record.describe()
+        assert "DE" in record.describe()
+
+
+class TestWorldWhois:
+    def test_vantage_points_registered_to_provider(self, small_world):
+        provider = small_world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        record = small_world.whois.lookup(str(vp.address))
+        assert record is not None
+        assert "Mullvad" in record.organisation
+        assert record.asn == vp.spec.asn
+
+    def test_virtual_endpoint_registers_claimed_country(self, small_world):
+        provider = small_world.provider("MyIP.io")
+        us = next(
+            vp for vp in provider.vantage_points
+            if vp.claimed_country == "US"
+        )
+        record = small_world.whois.lookup(str(us.address))
+        # The registration claims the *advertised* country — the data that
+        # fools registration-trusting geo-IP databases (Section 6.4).
+        assert record.country == "US"
+
+    def test_infrastructure_registered(self, small_world):
+        record = small_world.whois.lookup("8.8.8.8")
+        assert record is not None
+        assert record.asn == 15169
+
+    def test_site_space_registered(self, small_world):
+        site = small_world.sites.dom_test_sites()[0]
+        host = small_world.internet.host_named(f"site:{site.domain}")
+        record = small_world.whois.lookup(str(host.interfaces["eth0"].ipv4))
+        assert record.organisation == "Origin Hosting Co"
+
+
+class TestDnsTriageUsesWhois:
+    def test_hijack_note_names_owner(self):
+        from repro.core.harness import TestContext, TestSuite
+        from repro.core.manipulation.dns_manipulation import (
+            DnsManipulationTest,
+        )
+        from repro.dns.message import DnsRecord, DnsResponse
+        from repro.vpn.client import VpnClient
+        from repro.world import World
+
+        world = World.build(provider_names=["Mullvad"])
+        provider = world.provider("Mullvad")
+        vp = provider.vantage_points[0]
+        hijack_target = str(provider.vantage_points[1].address)
+
+        def hijack(response):
+            return DnsResponse(
+                question=response.question,
+                records=(
+                    DnsRecord(
+                        name=response.question.qname, rtype="A",
+                        value=hijack_target,
+                    ),
+                ),
+                resolver="hijacker",
+            )
+
+        vp.server.resolver.manipulation = hijack
+        client = VpnClient(world.client, provider)
+        client.connect(vp)
+        suite = TestSuite(world)
+        context = TestContext(
+            world=world, provider=provider, vantage_point=vp,
+            vpn_client=client, suite=suite,
+        )
+        try:
+            result = DnsManipulationTest().run(context)
+            assert result.manipulated
+            flagged = [e for e in result.entries if e.suspicious]
+            assert all("Mullvad Networks" in e.whois_note for e in flagged)
+        finally:
+            client.disconnect()
+            vp.server.resolver.manipulation = None
