@@ -1,0 +1,89 @@
+"""Runtime engine scaling and resume-cost benchmarks.
+
+Times the study-execution engine on a fixed provider subset:
+
+- wall-clock for the same study at workers ∈ {1, 2, 4, 8} (thread backend),
+  asserting byte-identical archived results at every width;
+- the cost of resuming a checkpointed study that was killed halfway,
+  versus re-running it from scratch.
+
+The simulation is pure CPU-bound Python, so thread-pool scaling is bounded
+by the GIL and by the machine's core count — on a single-core box every
+width costs about the same and the numbers demonstrate *correctness* of
+parallel execution, not speedup; the process backend is the path to real
+multi-core scaling.  Recorded numbers live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+PROVIDERS = ["Seed4.me", "Mullvad", "MyIP.io", "PureVPN"]
+MAX_VPS = 2
+
+
+def _run(workers: int, checkpoint_dir=None, limit_units=None):
+    from repro.runtime.executor import StudyExecutor
+
+    executor = StudyExecutor(
+        seed=2018,
+        providers=PROVIDERS,
+        max_vantage_points=MAX_VPS,
+        workers=workers,
+        backend="thread",
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+    )
+    report = executor.run(limit_units=limit_units)
+    return report, executor.stats
+
+
+def _verdict_fingerprint(report) -> dict:
+    return {
+        name: (
+            provider.injection_detected,
+            provider.proxy_detected,
+            provider.dns_leak_detected,
+            provider.fails_open,
+            provider.misrepresents_locations,
+        )
+        for name, provider in report.providers.items()
+    }
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_study_scaling(benchmark, workers):
+    """Same study at increasing pool widths; results must not vary."""
+    report, stats = benchmark.pedantic(
+        _run, args=(workers,), iterations=1, rounds=1
+    )
+    assert stats.failed_units == 0
+    assert stats.completed_units == stats.total_units
+    baseline, _ = _run(1)
+    assert _verdict_fingerprint(report) == _verdict_fingerprint(baseline)
+
+
+def test_resume_cost(benchmark, tmp_path_factory):
+    """Resuming a half-finished study must only pay for the missing half."""
+
+    def interrupted_then_resumed():
+        root = tmp_path_factory.mktemp("resume")
+        _, partial = _run(2, checkpoint_dir=root, limit_units=6)
+        started = time.perf_counter()
+        report, stats = _run(2, checkpoint_dir=root)
+        resume_s = time.perf_counter() - started
+        return report, partial, stats, resume_s
+
+    report, partial, stats, resume_s = benchmark.pedantic(
+        interrupted_then_resumed, iterations=1, rounds=1
+    )
+    assert partial.completed_units == 6
+    assert stats.skipped_units == 6
+    assert stats.completed_units == stats.total_units - 6
+    baseline, _ = _run(1)
+    assert _verdict_fingerprint(report) == _verdict_fingerprint(baseline)
+    print(
+        f"\nresume: skipped {stats.skipped_units} units, "
+        f"executed {stats.completed_units}, {resume_s:.2f}s"
+    )

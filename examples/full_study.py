@@ -7,9 +7,10 @@ the Table 4 redirect table, the geo-IP comparison, and the leakage
 headlines.
 
 Run:
-    python examples/full_study.py
+    python examples/full_study.py [--workers N] [--resume DIR] [--progress]
 """
 
+import argparse
 import time
 
 from repro import run_full_study
@@ -17,9 +18,20 @@ from repro.reporting.tables import render_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="checkpoint directory (resume a killed run)")
+    parser.add_argument("--progress", action="store_true")
+    args = parser.parse_args()
+
     started = time.time()
     print("Building the simulated internet and auditing 62 providers...")
-    study = run_full_study()
+    study = run_full_study(
+        workers=args.workers,
+        checkpoint_dir=args.resume,
+        progress=args.progress,
+    )
     print(f"done in {time.time() - started:.0f}s\n")
 
     print(study.summary())

@@ -12,7 +12,10 @@ The package implements, in pure Python:
 - ``repro.ecosystem`` — the 200-provider ecosystem metadata study (Section 4);
 - ``repro.core`` — the paper's contribution: the active-measurement test suite
   (Section 5) and its analyses (Section 6);
-- ``repro.reporting`` — table and figure regeneration for every experiment.
+- ``repro.reporting`` — table and figure regeneration for every experiment;
+- ``repro.runtime`` — parallel, checkpointable study execution: work-unit
+  decomposition, worker pools, retry policies, resumable checkpoints,
+  progress events and longitudinal (multi-snapshot) scheduling.
 
 Quickstart::
 
@@ -21,13 +24,19 @@ Quickstart::
     print(report.summary())
 """
 
-from repro.api import audit_provider, build_study, run_full_study
+from repro.api import (
+    audit_provider,
+    build_study,
+    run_full_study,
+    run_longitudinal_study,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "audit_provider",
     "build_study",
     "run_full_study",
+    "run_longitudinal_study",
     "__version__",
 ]

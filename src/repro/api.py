@@ -41,15 +41,78 @@ def audit_provider(name: str, seed: int = 2018):
     return suite.audit_provider(name)
 
 
-def run_full_study(seed: int = 2018, max_vantage_points: int | None = 5):
+def run_full_study(
+    seed: int = 2018,
+    max_vantage_points: int | None = 5,
+    providers: Optional[list[str]] = None,
+    workers: int = 1,
+    backend: str = "thread",
+    checkpoint_dir: Optional[str] = None,
+    progress: bool = False,
+):
     """Run the paper's full study: all 62 providers.
 
     ``max_vantage_points`` caps vantage points per manually-evaluated
     provider (the paper used ~5); ``None`` tests every vantage point.
+
+    Orchestration goes through :class:`repro.runtime.StudyExecutor`:
+    ``workers`` sets the pool size (1 = inline sequential), ``backend``
+    picks ``"thread"`` or ``"process"`` workers, ``checkpoint_dir`` makes
+    progress durable so re-running with the same directory resumes a
+    killed study, and ``progress`` prints per-unit progress lines.  The
+    report is byte-identical at any worker count.
+
     Returns a :class:`repro.core.harness.StudyReport`.
     """
-    world = build_study(seed=seed)
-    from repro.core.harness import TestSuite
+    import sys
 
-    suite = TestSuite(world, max_vantage_points=max_vantage_points)
-    return suite.run_study()
+    from repro.runtime.events import EventBus, TextProgressRenderer
+    from repro.runtime.executor import StudyExecutor
+
+    bus = EventBus()
+    if progress:
+        bus.subscribe(TextProgressRenderer(sys.stderr))
+    executor = StudyExecutor(
+        seed=seed,
+        providers=providers,
+        max_vantage_points=max_vantage_points,
+        workers=workers,
+        backend=backend,
+        checkpoint_dir=checkpoint_dir,
+        bus=bus,
+    )
+    return executor.run()
+
+
+def run_longitudinal_study(
+    seed: int = 2018,
+    snapshots: int = 2,
+    max_vantage_points: int | None = 5,
+    providers: Optional[list[str]] = None,
+    workers: int = 1,
+    backend: str = "thread",
+    archive_root: Optional[str] = None,
+    reseed: bool = True,
+):
+    """Re-run the study as *snapshots* measurements and diff the verdicts.
+
+    ``reseed=True`` rebuilds each snapshot's world from a derived seed (an
+    ecosystem that may drift); ``reseed=False`` re-measures the same world
+    every time, so any verdict change is a reproducibility failure.
+    Returns a :class:`repro.runtime.scheduler.LongitudinalReport` whose
+    ``diffs`` list what changed between consecutive snapshots (empty when
+    the ecosystem — here, the simulation — is stable).
+    """
+    from repro.runtime.scheduler import LongitudinalScheduler
+
+    scheduler = LongitudinalScheduler(
+        seed=seed,
+        snapshots=snapshots,
+        providers=providers,
+        max_vantage_points=max_vantage_points,
+        workers=workers,
+        backend=backend,
+        archive_root=archive_root,
+        reseed=reseed,
+    )
+    return scheduler.run()

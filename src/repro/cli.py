@@ -5,7 +5,8 @@ VPN services; this CLI is the reproduction's equivalent front door:
 
     python -m repro list                       # the 62-provider catalogue
     python -m repro audit Seed4.me             # full audit of one provider
-    python -m repro study [--max-vps N] [--archive DIR]
+    python -m repro study [--max-vps N] [--archive DIR] [--workers N]
+                          [--resume DIR] [--snapshots N] [--progress]
     python -m repro ecosystem                  # Section 4 statistics
     python -m repro experiments                # table/figure registry
 """
@@ -44,6 +45,28 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--archive", metavar="DIR",
         help="write per-provider JSON results to this directory",
+    )
+    study.add_argument(
+        "--workers", type=int, default=1,
+        help="worker pool size (default 1 = sequential)",
+    )
+    study.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="worker pool backend (default thread)",
+    )
+    study.add_argument(
+        "--resume", metavar="DIR",
+        help="checkpoint directory; completed units found there are "
+             "skipped and new ones recorded, so a killed study resumes",
+    )
+    study.add_argument(
+        "--snapshots", type=int, default=1, metavar="N",
+        help="run the study N times as a longitudinal schedule and "
+             "report verdict changes between snapshots (default 1)",
+    )
+    study.add_argument(
+        "--progress", action="store_true",
+        help="print per-unit progress lines to stderr",
     )
 
     sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
@@ -100,14 +123,44 @@ def cmd_audit(provider: str, max_vps: int, seed: int) -> int:
     return 0
 
 
-def cmd_study(max_vps: int, seed: int, archive: Optional[str]) -> int:
-    from repro.api import build_study
-    from repro.core.harness import TestSuite
-
+def cmd_study(
+    max_vps: int,
+    seed: int,
+    archive: Optional[str],
+    workers: int = 1,
+    backend: str = "thread",
+    resume: Optional[str] = None,
+    snapshots: int = 1,
+    progress: bool = False,
+) -> int:
     started = time.time()
-    world = build_study(seed=seed)
-    suite = TestSuite(world, max_vantage_points=max_vps)
-    study = suite.run_study()
+    if snapshots > 1:
+        from repro.api import run_longitudinal_study
+
+        report = run_longitudinal_study(
+            seed=seed,
+            snapshots=snapshots,
+            max_vantage_points=max_vps,
+            workers=workers,
+            backend=backend,
+            archive_root=archive,
+        )
+        print(report.summary())
+        print(f"\ncompleted in {time.time() - started:.0f}s")
+        if archive:
+            print(f"snapshots archived under {archive}")
+        return 0
+
+    from repro.api import run_full_study
+
+    study = run_full_study(
+        seed=seed,
+        max_vantage_points=max_vps,
+        workers=workers,
+        backend=backend,
+        checkpoint_dir=resume,
+        progress=progress,
+    )
     print(study.summary())
     print(f"\ncompleted in {time.time() - started:.0f}s")
     if archive:
@@ -190,7 +243,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "audit":
         return cmd_audit(args.provider, args.max_vps, args.seed)
     if args.command == "study":
-        return cmd_study(args.max_vps, args.seed, args.archive)
+        return cmd_study(
+            args.max_vps,
+            args.seed,
+            args.archive,
+            workers=args.workers,
+            backend=args.backend,
+            resume=args.resume,
+            snapshots=args.snapshots,
+            progress=args.progress,
+        )
     if args.command == "ecosystem":
         return cmd_ecosystem()
     if args.command == "experiments":

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
     from repro.core.harness import ProviderReport, StudyReport
+    from repro.core.results import VantagePointResults
 
 _MANIFEST = "manifest.json"
 _VERDICTS = "verdicts.json"
@@ -84,9 +85,79 @@ def write_provider_archive(
     }
     (directory / _VERDICTS).write_text(json.dumps(verdicts, indent=2))
     for results in report.full_results + report.sweep_results:
-        filename = _slug(results.hostname) + ".json"
-        (directory / filename).write_text(results.to_json())
+        _write_results_file(results, directory)
     return directory
+
+
+def _write_results_file(
+    results: "VantagePointResults", directory: pathlib.Path
+) -> pathlib.Path:
+    path = directory / (_slug(results.hostname) + ".json")
+    path.write_text(results.to_json())
+    return path
+
+
+def write_unit_result(
+    results: "VantagePointResults", root: str | pathlib.Path
+) -> pathlib.Path:
+    """Persist one vantage point's results under ``<root>/<provider>/``.
+
+    This is the unit of incremental persistence: study checkpoints write
+    completed work units through it, and :func:`write_provider_archive`
+    writes final archives through it, so both directions share one format
+    (``<root>/<provider slug>/<hostname slug>.json``) byte for byte.
+    """
+    directory = pathlib.Path(root) / _slug(results.provider)
+    directory.mkdir(parents=True, exist_ok=True)
+    return _write_results_file(results, directory)
+
+
+def read_vantage_point_results(
+    path: str | pathlib.Path,
+) -> "VantagePointResults":
+    """Load one archived vantage-point file back into a typed record."""
+    from repro.core.results import VantagePointResults
+
+    return VantagePointResults.from_json(pathlib.Path(path).read_text())
+
+
+def merge_archives(
+    sources: list[str | pathlib.Path], dest: str | pathlib.Path
+) -> pathlib.Path:
+    """Merge study/checkpoint archive directories into *dest*.
+
+    File-level merge: per-vantage-point results and per-provider verdicts
+    are copied (later sources win on conflicts — results are deterministic,
+    so conflicting files are normally identical anyway); the study
+    manifests' provider lists are unioned, other manifest keys taken from
+    the last source that has them.  Lets partial archives — two snapshot
+    shards, or a checkpoint plus a finishing run — be combined into one
+    readable archive.
+    """
+    dest = pathlib.Path(dest)
+    dest.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {}
+    providers: set[str] = set()
+    for source in sources:
+        source = pathlib.Path(source)
+        if not source.is_dir():
+            raise FileNotFoundError(f"archive directory not found: {source}")
+        source_manifest = source / _MANIFEST
+        if source_manifest.exists():
+            loaded = json.loads(source_manifest.read_text())
+            providers.update(loaded.get("providers", ()))
+            manifest.update(loaded)
+        for path in sorted(source.rglob("*.json")):
+            if path == source_manifest:
+                continue
+            relative = path.relative_to(source)
+            target = dest / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(path.read_bytes())
+    if manifest or providers:
+        manifest["providers"] = sorted(providers)
+        (dest / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return dest
 
 
 @dataclass

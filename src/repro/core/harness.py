@@ -18,7 +18,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.analysis.colocation import (
     ColocationAnalysis,
@@ -45,11 +45,15 @@ from repro.core.manipulation.tls_interception import TlsInterceptionTest
 from repro.core.metadata import MetadataTest
 from repro.core.p2p import P2pDetection
 from repro.core.results import VantagePointResults
+from repro.runtime.retry import RetryPolicy
 from repro.vpn.client import VpnClient
 from repro.vpn.provider import ClientType, VantagePoint, VpnProvider
 from repro.web.browser import Browser
 from repro.web.dom import Document
 from repro.world import World
+
+if TYPE_CHECKING:
+    from repro.runtime.units import AuditUnit, StudyPlan
 
 
 class TestContext:
@@ -289,9 +293,14 @@ class TestSuite:
         dom_sites: Optional[int] = None,
         tls_hosts: Optional[int] = None,
         tunnel_failure_attempts: int = 12,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.world = world
         self.max_vantage_points = max_vantage_points
+        # Flaky-endpoint handling (§5.2): formerly a hard-coded single
+        # inline retry around the connect call; now a shared policy that
+        # also covers mid-battery drops during the leakage tests.
+        self.retry_policy = retry_policy or RetryPolicy.single_retry()
         self._dom_test = DomCollectionTest(max_sites=dom_sites)
         self._tls_test = TlsInterceptionTest(max_hosts=tls_hosts)
         self._dns_manip = DnsManipulationTest()
@@ -411,20 +420,7 @@ class TestSuite:
         physical = client_host.primary_interface()
         if physical is not None:
             physical.capture.clear()
-        from repro.vpn.client import TunnelConnectionError
-
-        try:
-            vpn_client.connect(vantage_point)
-        except TunnelConnectionError:
-            # Flaky endpoint (Section 5.2): retry once, as the study did
-            # with its partial re-collections.
-            self.connect_retries += 1
-            try:
-                vpn_client.connect(vantage_point)
-            except TunnelConnectionError:
-                results.connected = False
-                return results
-        except Exception:  # pragma: no cover - defensive
+        if not self._connect_with_retry(vpn_client, vantage_point):
             results.connected = False
             return results
 
@@ -452,9 +448,19 @@ class TestSuite:
                 if is_custom:
                     # Leakage tests need the provider's own client software
                     # (Section 6.5: disabled for automated OpenVPN testing).
-                    results.dns_leakage = self._dns_leak.run(context)
-                    results.ipv6_leakage = self._ipv6_leak.run(context)
-                webrtc = self._webrtc.run(context)
+                    # Each leakage test runs under the retry policy: a
+                    # flaky endpoint dropping the session mid-battery is
+                    # reconnected and the test re-run, where the seed
+                    # harness only ever retried the initial connect.
+                    results.dns_leakage = self._run_leakage_test(
+                        context, lambda: self._dns_leak.run(context)
+                    )
+                    results.ipv6_leakage = self._run_leakage_test(
+                        context, lambda: self._ipv6_leak.run(context)
+                    )
+                webrtc = self._run_leakage_test(
+                    context, lambda: self._webrtc.run(context)
+                )
                 from repro.core.results import WebRtcSummary
 
                 results.webrtc = WebRtcSummary(
@@ -466,35 +472,184 @@ class TestSuite:
                 results.p2p = self._p2p.run(context)
                 if is_custom:
                     # Last: deliberately wrecks the tunnel.
-                    results.tunnel_failure = self._tunnel_failure.run(context)
+                    results.tunnel_failure = self._run_leakage_test(
+                        context, lambda: self._tunnel_failure.run(context)
+                    )
         finally:
             vpn_client.disconnect()
         return results
+
+    # ------------------------------------------------------------------
+    # Flaky-endpoint handling (§5.2) via the shared retry policy
+    # ------------------------------------------------------------------
+    def _connect_with_retry(
+        self, vpn_client: VpnClient, vantage_point: VantagePoint
+    ) -> bool:
+        """Connect under the retry policy; False when attempts run out."""
+        from repro.vpn.client import TunnelConnectionError
+
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                vpn_client.connect(vantage_point)
+                return True
+            except TunnelConnectionError:
+                if not self.retry_policy.should_retry(attempt):
+                    return False
+                self.connect_retries += 1
+            except Exception:  # pragma: no cover - defensive
+                return False
+
+    def _run_leakage_test(self, context: TestContext, run: Callable):
+        """Run a leakage test, reconnecting and re-running on a dropped
+        session (the §5.2 flaky endpoints are not limited to connect time).
+        """
+        from repro.vpn.client import ConnectionState, TunnelConnectionError
+
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                vpn_client = context.vpn_client
+                if (
+                    vpn_client is not None
+                    and vpn_client.state is ConnectionState.DISCONNECTED
+                ):
+                    vpn_client.connect(context.vantage_point)
+                return run()
+            except TunnelConnectionError:
+                if not self.retry_policy.should_retry(attempt):
+                    raise
+                self.connect_retries += 1
+
+    # ------------------------------------------------------------------
+    # Per-unit entry points (what the runtime executor schedules)
+    # ------------------------------------------------------------------
+    def run_unit(self, unit: "AuditUnit") -> list[VantagePointResults]:
+        """Execute one work unit of the study.
+
+        A FULL unit is the complete battery at its single endpoint; a SWEEP
+        unit is the lightweight infrastructure pass over the provider's
+        remaining endpoints.  Units are independent: results do not depend
+        on which other units ran before them, in this world or any other
+        built from the same seed — that is what makes parallel execution
+        bit-for-bit reproducible.
+        """
+        from repro.runtime.units import UnitKind
+
+        # RTTs are clock deltas; rebasing the clock per unit keeps the
+        # float arithmetic (and thus the archived bytes) independent of
+        # how much this particular world instance has already simulated.
+        self.world.internet.clock_ms = 0.0
+        provider = self.world.provider(unit.provider)
+        full = unit.kind is UnitKind.FULL
+        return [
+            self.run_vantage_point(
+                provider, provider.vantage_point(hostname), full=full
+            )
+            for hostname in unit.hostnames
+        ]
+
+    def plan_study(self) -> "StudyPlan":
+        """The study as an explicit work-unit graph (in sequential order)."""
+        from repro.runtime.units import decompose_study
+
+        return decompose_study(self)
+
+    # ------------------------------------------------------------------
+    # Assembly: unit results -> provider/study reports
+    # ------------------------------------------------------------------
+    def assemble_provider(
+        self,
+        name: str,
+        full_results: list[VantagePointResults],
+        sweep_results: list[VantagePointResults],
+    ) -> ProviderReport:
+        provider = self.world.provider(name)
+        report = ProviderReport(
+            provider=name,
+            subscription=provider.profile.subscription.value,
+            client_type=provider.profile.client_type.value,
+            full_results=full_results,
+            sweep_results=sweep_results,
+        )
+        report.colocation = self._colocation_for(provider, report)
+        return report
+
+    def assemble_study(
+        self,
+        plan: "StudyPlan",
+        unit_results: dict[str, list[VantagePointResults]],
+    ) -> StudyReport:
+        """Aggregate per-unit results into a :class:`StudyReport`.
+
+        Iterates in plan order, so the report (and its archived bytes) is
+        independent of the order in which units actually executed.  Units
+        missing from *unit_results* (failed or timed out) are recorded in
+        the provider's ``connect_failures``.
+        """
+        from repro.runtime.units import UnitKind
+
+        study = StudyReport()
+        for name in plan.providers:
+            provider = self.world.provider(name)
+            full_results: list[VantagePointResults] = []
+            sweep_results: list[VantagePointResults] = []
+            for unit in plan.units:
+                if unit.provider != name:
+                    continue
+                results = unit_results.get(unit.unit_id)
+                if results is None:
+                    continue
+                if unit.kind is UnitKind.FULL:
+                    full_results.extend(results)
+                else:
+                    sweep_results.extend(results)
+            report = self.assemble_provider(name, full_results, sweep_results)
+            measured = {r.hostname for r in full_results + sweep_results}
+            report.connect_failures.extend(
+                hostname
+                for unit in plan.units
+                if unit.provider == name
+                for hostname in unit.hostnames
+                if hostname not in measured
+            )
+            study.providers[name] = report
+            for results in report.full_results:
+                if results.dom_collection is not None:
+                    study.redirects.ingest(
+                        name, results.claimed_country, results.dom_collection
+                    )
+            for results in report.full_results + report.sweep_results:
+                if results.geolocation is not None:
+                    study.geoip.ingest(name, results.geolocation)
+            for vantage_point in provider.vantage_points:
+                study.shared_infra.ingest(
+                    provider=name,
+                    address=str(vantage_point.address),
+                    block=str(vantage_point.block),
+                    asn=vantage_point.spec.asn,
+                )
+        return study
 
     # ------------------------------------------------------------------
     # Provider- and study-level drivers
     # ------------------------------------------------------------------
     def audit_provider(self, name: str) -> ProviderReport:
         provider = self.world.provider(name)
-        report = ProviderReport(
-            provider=name,
-            subscription=provider.profile.subscription.value,
-            client_type=provider.profile.client_type.value,
-        )
         selected = self.select_vantage_points(provider)
         selected_names = {vp.hostname for vp in selected}
-        for vantage_point in selected:
-            report.full_results.append(
-                self.run_vantage_point(provider, vantage_point, full=True)
-            )
-        for vantage_point in provider.vantage_points:
-            if vantage_point.hostname in selected_names:
-                continue
-            report.sweep_results.append(
-                self.run_vantage_point(provider, vantage_point, full=False)
-            )
-        report.colocation = self._colocation_for(provider, report)
-        return report
+        full_results = [
+            self.run_vantage_point(provider, vantage_point, full=True)
+            for vantage_point in selected
+        ]
+        sweep_results = [
+            self.run_vantage_point(provider, vantage_point, full=False)
+            for vantage_point in provider.vantage_points
+            if vantage_point.hostname not in selected_names
+        ]
+        return self.assemble_provider(name, full_results, sweep_results)
 
     def _colocation_for(
         self, provider: VpnProvider, report: ProviderReport
@@ -526,23 +681,14 @@ class TestSuite:
         return ColocationAnalysis().analyse_provider(evidence)
 
     def run_study(self) -> StudyReport:
-        study = StudyReport()
-        for name, provider in self.world.providers.items():
-            report = self.audit_provider(name)
-            study.providers[name] = report
-            for results in report.full_results:
-                if results.dom_collection is not None:
-                    study.redirects.ingest(
-                        name, results.claimed_country, results.dom_collection
-                    )
-            for results in report.full_results + report.sweep_results:
-                if results.geolocation is not None:
-                    study.geoip.ingest(name, results.geolocation)
-            for vantage_point in provider.vantage_points:
-                study.shared_infra.ingest(
-                    provider=name,
-                    address=str(vantage_point.address),
-                    block=str(vantage_point.block),
-                    asn=vantage_point.spec.asn,
-                )
-        return study
+        """Run the full study sequentially, in plan order.
+
+        This is the single-worker reference path; the runtime executor
+        (:mod:`repro.runtime.executor`) runs the same plan on a worker
+        pool and assembles an identical report.
+        """
+        plan = self.plan_study()
+        unit_results = {
+            unit.unit_id: self.run_unit(unit) for unit in plan.units
+        }
+        return self.assemble_study(plan, unit_results)

@@ -1,24 +1,30 @@
 """Recursive DNS origins test (Section 5.3.2).
 
-Resolves a unique timestamped-and-tagged hostname under the probe domain
-whose authoritative nameserver logs request sources.  The source addresses
+Resolves a unique tagged hostname under the probe domain whose
+authoritative nameserver logs request sources.  The source addresses
 that appear in the log reveal which resolver actually performed the
 recursion for the VPN session — provider-run, an upstream public resolver,
 or (alarmingly) the client's own ISP resolver.
+
+Tags must be unique (the log is matched by tag) but also *deterministic
+per vantage point*: they end up in the archived results, and a study run
+on four workers must archive byte-identical files to a sequential run.  A
+global counter would bake the execution order into the tag, so the tag is
+instead a stable hash of (provider, hostname) plus a per-suite repeat
+count — the same at any worker count, yet still unique when one suite
+audits the same endpoint twice.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING
 
 from repro.core.results import DnsOriginResult
 from repro.dns.resolver import StubResolver
+from repro.runtime.retry import stable_hash
 
 if TYPE_CHECKING:
     from repro.core.harness import TestContext
-
-_tag_counter = itertools.count(1)
 
 
 class DnsOriginTest:
@@ -26,13 +32,23 @@ class DnsOriginTest:
 
     name = "dns-origin"
 
+    def __init__(self) -> None:
+        self._repeat_counts: dict[tuple[str, str], int] = {}
+
     def run(self, context: "TestContext") -> DnsOriginResult:
         from repro.world import PROBE_DOMAIN
 
         nameserver = context.world.probe_nameserver
         assert nameserver is not None, "world has no probe nameserver"
+        hostname = context.vantage_point.hostname
+        key = (context.provider.name, hostname)
+        repeat = self._repeat_counts.get(key, 0) + 1
+        self._repeat_counts[key] = repeat
+        # The hash prefix keeps one tag from being a substring of another
+        # (the log is substring-matched); the rest keeps it readable.
+        digest = stable_hash(context.provider.name, hostname, repeat)
         tag = (
-            f"t{next(_tag_counter):06d}-"
+            f"t{digest:016x}-"
             f"{context.provider_slug}-{context.vantage_point_slug}"
         )
         probe_hostname = f"{tag}.{PROBE_DOMAIN}"

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import types
+import typing
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -287,6 +289,20 @@ class VantagePointResults:
     def to_json(self) -> str:
         return json.dumps(_jsonable(self), indent=2, sort_keys=True)
 
+    @classmethod
+    def from_jsonable(cls, data: dict[str, Any]) -> "VantagePointResults":
+        return _hydrate(cls, data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VantagePointResults":
+        """Inverse of :meth:`to_json`.
+
+        Round-trips exactly: hydrating an archived vantage-point file and
+        re-serialising it reproduces the original bytes, which is what lets
+        study checkpoints and final archives share one format.
+        """
+        return cls.from_jsonable(json.loads(text))
+
 
 def _jsonable(obj: Any) -> Any:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
@@ -299,3 +315,45 @@ def _jsonable(obj: Any) -> Any:
     if isinstance(obj, (list, tuple)):
         return [_jsonable(v) for v in obj]
     return obj
+
+
+def _hydrate(annotation: Any, value: Any) -> Any:
+    """Rebuild a typed value from its JSON form, per the field annotation.
+
+    JSON flattens tuples to lists and drops dataclass identity; this walks
+    the annotations of the result records to restore both, so hydrated
+    results compare equal to the originals (and re-serialise identically).
+    """
+    if value is None:
+        return None
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union or origin is types.UnionType:  # Optional[T]
+        for candidate in args:
+            if candidate is type(None):
+                continue
+            return _hydrate(candidate, value)
+        return value
+    if dataclasses.is_dataclass(annotation) and isinstance(value, dict):
+        hints = typing.get_type_hints(annotation)
+        kwargs = {
+            f.name: _hydrate(hints[f.name], value[f.name])
+            for f in dataclasses.fields(annotation)
+            if f.name in value
+        }
+        return annotation(**kwargs)
+    if origin is list:
+        item = args[0] if args else Any
+        return [_hydrate(item, v) for v in value]
+    if origin is tuple:
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_hydrate(args[0], v) for v in value)
+        if args:
+            return tuple(
+                _hydrate(a, v) for a, v in zip(args, value)
+            )
+        return tuple(value)
+    if origin is dict:
+        value_type = args[1] if len(args) == 2 else Any
+        return {k: _hydrate(value_type, v) for k, v in value.items()}
+    return value

@@ -93,7 +93,6 @@ class Internet:
         self.clock_ms: float = 0.0
         self._hosts_by_address: dict[Address, Host] = {}
         self._hosts_by_name: dict[str, Host] = {}
-        self._probe_counter = 0
         # Upstream path blackholes: (source host name, destination address)
         # pairs an in-path censor/ISP silently drops. Used by the
         # tunnel-failure test to sever a VPN outside the client's control.
@@ -148,9 +147,22 @@ class Internet:
             destination = parse_address(destination)
         self._blackholes.discard((source.name, destination))
 
+    def _jitter_sample(self, packet: Packet) -> int:
+        """Jitter realisation for a packet, from its content alone.
+
+        Deriving the sample from the packet (rather than a running probe
+        counter) keeps every RTT a pure function of the probe itself, so
+        results are identical regardless of what else the world delivered
+        first — the property the parallel runtime's byte-identical
+        archives rest on.  Distinct probes (ping sequence numbers, query
+        names) still draw distinct jitter.
+        """
+        key = f"{packet.src}|{packet.dst}|{packet.ttl}|{packet.payload!r}"
+        digest = hashlib.sha256(key.encode("utf-8", "replace")).digest()
+        return int.from_bytes(digest[:8], "big")
+
     def deliver(self, packet: Packet, source: Host) -> DeliveryResult:
         """Deliver a packet from *source* to the owner of ``packet.dst``."""
-        self._probe_counter += 1
         if (source.name, packet.dst) in self._blackholes:
             self.clock_ms += 2.0
             return DeliveryResult(
@@ -172,7 +184,9 @@ class Internet:
             fraction = hop_index / max(1, hops)
             rtt = (
                 self.latency.rtt_ms(
-                    source.location, destination.location, self._probe_counter
+                    source.location,
+                    destination.location,
+                    self._jitter_sample(packet),
                 )
                 * fraction
             )
@@ -193,7 +207,7 @@ class Internet:
             )
 
         rtt = self.latency.rtt_ms(
-            source.location, destination.location, self._probe_counter
+            source.location, destination.location, self._jitter_sample(packet)
         )
         self.clock_ms += rtt / 2.0
         responses = destination.receive(packet.decrement_ttl()) or []
@@ -224,10 +238,13 @@ class Internet:
                 ),
             )
             # RTT is measured on the simulation clock so that multi-leg
-            # paths (e.g. through a VPN tunnel) accumulate correctly.
+            # paths (e.g. through a VPN tunnel) accumulate correctly.  The
+            # delta is rounded to nanoseconds: subtraction near a large
+            # accumulated clock value leaves ~1e-9 ms of float noise that
+            # would otherwise vary with how much the world ran beforehand.
             started = self.clock_ms
             outcome = source.send(probe)
-            elapsed = self.clock_ms - started
+            elapsed = round(self.clock_ms - started, 6)
             got_reply = outcome.ok and any(
                 isinstance(r.payload, IcmpPayload)
                 and r.payload.icmp_type == "echo_reply"
@@ -259,7 +276,7 @@ class Internet:
             )
             started = self.clock_ms
             outcome = source.send(probe)
-            elapsed = self.clock_ms - started
+            elapsed = round(self.clock_ms - started, 6)
             if outcome.status == "ttl_exceeded":
                 router = outcome.responses[0].src if outcome.responses else None
                 hops.append(

@@ -1,0 +1,145 @@
+"""Incremental study checkpoints.
+
+A killed study should resume without re-running finished work.  The
+executor records every completed unit here as soon as it finishes:
+
+- the unit's per-vantage-point results are written through
+  :func:`repro.core.archive.write_unit_result`, i.e. in the *same* format
+  (``results/<provider slug>/<hostname slug>.json``) as a final study
+  archive — a checkpoint is just an archive that isn't finished yet;
+- a journal line is then appended to ``units.jsonl``; the journal append is
+  the commit point, so a crash between the result files and the journal
+  simply re-runs that unit (results are deterministic, the rewrite is
+  byte-identical).
+
+``plan.json`` pins the study parameters; resuming with a different seed,
+vantage-point budget, or provider set raises
+:class:`CheckpointMismatchError` instead of silently mixing studies.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.archive import read_vantage_point_results, write_unit_result
+from repro.runtime.units import AuditUnit, StudyPlan, _slug
+
+if TYPE_CHECKING:
+    from repro.core.results import VantagePointResults
+
+_PLAN = "plan.json"
+_JOURNAL = "units.jsonl"
+_RESULTS = "results"
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The checkpoint directory belongs to a different study."""
+
+
+@dataclass(frozen=True)
+class CompletedUnit:
+    """One journal entry: a unit that finished in a previous (or this) run."""
+
+    unit_id: str
+    provider: str
+    hostnames: tuple[str, ...]
+    wall_ms: float
+    connect_retries: int = 0
+
+
+class CheckpointStore:
+    """Persist and recover per-unit study progress in a directory."""
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+
+    @property
+    def results_root(self) -> pathlib.Path:
+        return self.directory / _RESULTS
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self, plan: StudyPlan) -> dict[str, CompletedUnit]:
+        """Bind the store to *plan*; returns the units already completed.
+
+        A fresh directory is initialised with the plan; an existing one is
+        validated against it (same seed, budget and provider set) and its
+        journal replayed.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.results_root.mkdir(parents=True, exist_ok=True)
+        plan_file = self.directory / _PLAN
+        if plan_file.exists():
+            existing = StudyPlan.from_json(plan_file.read_text())
+            if existing.fingerprint() != plan.fingerprint():
+                raise CheckpointMismatchError(
+                    f"checkpoint at {self.directory} was created for "
+                    f"[{existing.fingerprint()}], not [{plan.fingerprint()}]"
+                )
+        else:
+            plan_file.write_text(plan.to_json())
+        return self.completed_units()
+
+    def completed_units(self) -> dict[str, CompletedUnit]:
+        """Replay the journal; tolerates a truncated final line."""
+        journal = self.directory / _JOURNAL
+        completed: dict[str, CompletedUnit] = {}
+        if not journal.exists():
+            return completed
+        for line in journal.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # killed mid-append; the unit will simply re-run
+            entry = CompletedUnit(
+                unit_id=raw["unit"],
+                provider=raw["provider"],
+                hostnames=tuple(raw["hostnames"]),
+                wall_ms=raw.get("wall_ms", 0.0),
+                connect_retries=raw.get("connect_retries", 0),
+            )
+            completed[entry.unit_id] = entry
+        return completed
+
+    # ------------------------------------------------------------------
+    # Recording and recovery
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        unit: AuditUnit,
+        results: list["VantagePointResults"],
+        wall_ms: float,
+        connect_retries: int = 0,
+    ) -> None:
+        """Persist one finished unit (results first, then the journal)."""
+        for vp_results in results:
+            write_unit_result(vp_results, self.results_root)
+        entry = {
+            "unit": unit.unit_id,
+            "provider": unit.provider,
+            "hostnames": [r.hostname for r in results],
+            "wall_ms": round(wall_ms, 3),
+            "connect_retries": connect_retries,
+        }
+        with (self.directory / _JOURNAL).open("a") as journal:
+            journal.write(json.dumps(entry) + "\n")
+
+    def load_unit_results(
+        self, entry: CompletedUnit
+    ) -> Optional[list["VantagePointResults"]]:
+        """Rehydrate a journalled unit's results, or None if files are gone."""
+        results = []
+        provider_dir = self.results_root / _slug(entry.provider)
+        for hostname in entry.hostnames:
+            path = provider_dir / (_slug(hostname) + ".json")
+            if not path.exists():
+                return None
+            results.append(read_vantage_point_results(path))
+        return results

@@ -1,0 +1,255 @@
+"""Progress and telemetry events for study execution.
+
+The executor publishes typed events onto an :class:`EventBus` as units move
+through their lifecycle — queued, started, finished, retried, failed,
+skipped (checkpoint hits) — with per-unit wall time and the remaining queue
+depth.  Subscribers are plain callables; two are provided:
+
+- :class:`TextProgressRenderer` — one line per event to a stream, the CLI's
+  ``--progress`` view;
+- :class:`StatsCollector` — aggregates counts and wall times into an
+  :class:`ExecutionStats` the executor exposes after the run (and the
+  runtime benchmark reads for its scaling numbers).
+
+Handler exceptions are swallowed (a broken renderer must not kill a
+two-hour study); the bus keeps the first error for inspection.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TextIO
+
+
+# ----------------------------------------------------------------------
+# Event types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StudyStarted:
+    total_units: int
+    providers: int
+    vantage_points: int
+    workers: int
+    resumed_units: int = 0
+
+
+@dataclass(frozen=True)
+class UnitStarted:
+    unit_id: str
+    provider: str
+    kind: str
+    index: int          # 1-based position in the plan
+    total: int
+
+
+@dataclass(frozen=True)
+class UnitFinished:
+    unit_id: str
+    wall_ms: float
+    vantage_points: int
+    queue_depth: int    # units still outstanding after this one
+    connect_retries: int = 0
+
+
+@dataclass(frozen=True)
+class UnitRetried:
+    unit_id: str
+    attempt: int        # the attempt that just failed (1-based)
+    backoff_s: float
+    error: str
+
+
+@dataclass(frozen=True)
+class UnitFailed:
+    unit_id: str
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
+class UnitSkipped:
+    """Unit satisfied from a checkpoint instead of being executed."""
+
+    unit_id: str
+    wall_ms: float      # the original run's cost, from the journal
+
+
+@dataclass(frozen=True)
+class UnitTimedOut:
+    unit_id: str
+    timeout_s: float
+
+
+@dataclass(frozen=True)
+class StudyFinished:
+    wall_s: float
+    completed: int
+    skipped: int
+    failed: int
+    retried: int
+
+
+Event = object
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous fan-out of events to subscribers (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._handlers: list[Handler] = []
+        self._lock = threading.Lock()
+        self.first_handler_error: Optional[BaseException] = None
+
+    def subscribe(self, handler: Handler) -> Handler:
+        with self._lock:
+            self._handlers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        with self._lock:
+            if handler in self._handlers:
+                self._handlers.remove(handler)
+
+    def publish(self, event: Event) -> None:
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            try:
+                handler(event)
+            except BaseException as exc:  # noqa: BLE001 - isolation by design
+                if self.first_handler_error is None:
+                    self.first_handler_error = exc
+
+
+# ----------------------------------------------------------------------
+# Subscribers
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionStats:
+    """Aggregate counters for one executor run."""
+
+    total_units: int = 0
+    completed_units: int = 0
+    skipped_units: int = 0
+    failed_units: int = 0
+    retried_units: int = 0
+    timed_out_units: int = 0
+    connect_retries: int = 0
+    wall_s: float = 0.0
+    unit_wall_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def executed_units(self) -> int:
+        return self.completed_units
+
+    @property
+    def total_unit_wall_ms(self) -> float:
+        return sum(self.unit_wall_ms.values())
+
+    @property
+    def max_unit_wall_ms(self) -> float:
+        return max(self.unit_wall_ms.values(), default=0.0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed_units} units executed, "
+            f"{self.skipped_units} from checkpoint, "
+            f"{self.failed_units} failed, "
+            f"{self.retried_units} retried, "
+            f"{self.connect_retries} endpoint reconnects, "
+            f"{self.wall_s:.1f}s wall"
+        )
+
+
+class StatsCollector:
+    """EventBus subscriber that fills an :class:`ExecutionStats`."""
+
+    def __init__(self) -> None:
+        self.stats = ExecutionStats()
+
+    def __call__(self, event: Event) -> None:
+        stats = self.stats
+        if isinstance(event, StudyStarted):
+            stats.total_units = event.total_units
+        elif isinstance(event, UnitFinished):
+            stats.completed_units += 1
+            stats.connect_retries += event.connect_retries
+            stats.unit_wall_ms[event.unit_id] = event.wall_ms
+        elif isinstance(event, UnitSkipped):
+            stats.skipped_units += 1
+        elif isinstance(event, UnitRetried):
+            stats.retried_units += 1
+        elif isinstance(event, UnitFailed):
+            stats.failed_units += 1
+        elif isinstance(event, UnitTimedOut):
+            stats.timed_out_units += 1
+        elif isinstance(event, StudyFinished):
+            stats.wall_s = event.wall_s
+
+
+class TextProgressRenderer:
+    """Render events as plain text lines (the CLI ``--progress`` view)."""
+
+    def __init__(self, stream: TextIO, verbose: bool = True) -> None:
+        self.stream = stream
+        self.verbose = verbose
+        self._done = 0
+        self._total = 0
+
+    def _emit(self, line: str) -> None:
+        self.stream.write(line + "\n")
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, StudyStarted):
+            self._total = event.total_units
+            # Checkpointed units arrive as UnitSkipped events, which is
+            # where they are counted — do not pre-seed the counter here.
+            self._done = 0
+            self._emit(
+                f"study: {event.total_units} units over "
+                f"{event.providers} providers "
+                f"({event.vantage_points} vantage points), "
+                f"{event.workers} worker(s)"
+                + (
+                    f", {event.resumed_units} already checkpointed"
+                    if event.resumed_units
+                    else ""
+                )
+            )
+        elif isinstance(event, UnitFinished):
+            self._done += 1
+            if self.verbose:
+                self._emit(
+                    f"[{self._done:4d}/{self._total}] done "
+                    f"{event.unit_id}  {event.wall_ms / 1000:.2f}s  "
+                    f"(queue {event.queue_depth})"
+                )
+        elif isinstance(event, UnitSkipped):
+            self._done += 1
+            if self.verbose:
+                self._emit(
+                    f"[{self._done:4d}/{self._total}] skip "
+                    f"{event.unit_id}  (checkpointed)"
+                )
+        elif isinstance(event, UnitRetried):
+            self._emit(
+                f"retry {event.unit_id} after attempt {event.attempt} "
+                f"(+{event.backoff_s:.2f}s): {event.error}"
+            )
+        elif isinstance(event, UnitFailed):
+            self._emit(
+                f"FAILED {event.unit_id} after {event.attempts} "
+                f"attempt(s): {event.error}"
+            )
+        elif isinstance(event, UnitTimedOut):
+            self._emit(
+                f"timeout {event.unit_id} exceeded {event.timeout_s:.0f}s"
+            )
+        elif isinstance(event, StudyFinished):
+            self._emit(
+                f"study finished in {event.wall_s:.1f}s: "
+                f"{event.completed} executed, {event.skipped} skipped, "
+                f"{event.failed} failed, {event.retried} retried"
+            )

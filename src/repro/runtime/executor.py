@@ -1,0 +1,450 @@
+"""Parallel, checkpointable execution of a study plan.
+
+:class:`StudyExecutor` owns study orchestration: it decomposes the study
+into :class:`~repro.runtime.units.AuditUnit` records, dispatches them onto
+a worker pool, retries failures under a :class:`RetryPolicy`, persists
+every completed unit through a :class:`CheckpointStore`, publishes progress
+events, and finally assembles the per-unit results — in plan order, never
+completion order — into the same :class:`~repro.core.harness.StudyReport`
+a sequential run produces.
+
+Determinism is the design constraint everything else bends around:
+
+- every worker (thread or process) builds its *own* world from the study
+  seed; worlds are deterministic, and units are independent of what else
+  ran before them in the same world, so a unit computes identical results
+  on any worker of any run;
+- assembly iterates the plan, so scheduling order never reaches the
+  report; archived verdicts from ``workers=8`` are byte-identical to
+  ``workers=1`` (asserted in ``tests/test_determinism.py``).
+
+Backends: ``thread`` (default; worlds are cheap to build and share nothing)
+and ``process`` (sidesteps the GIL for real multi-core scaling; unit
+results travel home by pickle).  The simulation is pure CPU-bound Python,
+so thread workers only help on interpreters without a GIL — the backend
+exists for correctness on both and for the process pool to exploit real
+cores where the hardware has them.
+
+The per-unit timeout is *hard* for units still queued (they are cancelled)
+and advisory for units already running — a GIL-bound worker cannot be
+preempted — which keeps timeouts from ever introducing nondeterminism into
+results that did complete.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.harness import TestSuite
+from repro.runtime import events as ev
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.units import AuditUnit, StudyPlan
+from repro.world import World
+
+if TYPE_CHECKING:
+    from repro.core.harness import StudyReport
+    from repro.core.results import VantagePointResults
+
+_BACKENDS = ("thread", "process")
+
+# One attempt at a unit: (results, connect retries spent, wall milliseconds).
+UnitOutcome = tuple[list["VantagePointResults"], int, float]
+
+
+def _build_suite(
+    seed: int,
+    providers: Optional[list[str]],
+    suite_kwargs: dict,
+) -> TestSuite:
+    world = World.build(seed=seed, provider_names=providers)
+    return TestSuite(world, **suite_kwargs)
+
+
+def _timed_run_unit(suite: TestSuite, unit: AuditUnit) -> UnitOutcome:
+    retries_before = suite.connect_retries
+    started = time.perf_counter()
+    results = suite.run_unit(unit)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    return results, suite.connect_retries - retries_before, wall_ms
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker side: one world per worker process, built once.
+# ----------------------------------------------------------------------
+_PROCESS_SUITE: dict = {}
+
+
+def _process_worker_init(
+    seed: int, providers: Optional[list[str]], suite_kwargs: dict
+) -> None:
+    _PROCESS_SUITE["suite"] = _build_suite(seed, providers, suite_kwargs)
+
+
+def _process_run_unit(unit: AuditUnit) -> UnitOutcome:
+    return _timed_run_unit(_PROCESS_SUITE["suite"], unit)
+
+
+class StudyExecutor:
+    """Run a study as a unit graph on a worker pool.
+
+    ``workers=1`` executes inline on the coordinator's own world — exactly
+    the classic ``TestSuite.run_study()`` path.  ``checkpoint_dir`` makes
+    progress durable: re-running with the same directory (and parameters)
+    skips every unit whose results are already journalled there.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2018,
+        providers: Optional[list[str]] = None,
+        max_vantage_points: Optional[int] = 5,
+        workers: int = 1,
+        backend: str = "thread",
+        retry: Optional[RetryPolicy] = None,
+        unit_timeout_s: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        bus: Optional[ev.EventBus] = None,
+        sleep_on_retry: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+        self.seed = seed
+        self.providers = list(providers) if providers is not None else None
+        self.max_vantage_points = max_vantage_points
+        self.workers = workers
+        self.backend = backend
+        self.retry = retry or RetryPolicy.single_retry()
+        self.unit_timeout_s = unit_timeout_s
+        self.checkpoint_dir = checkpoint_dir
+        self.bus = bus or ev.EventBus()
+        self.sleep_on_retry = sleep_on_retry
+        self._stats_collector = ev.StatsCollector()
+        self.bus.subscribe(self._stats_collector)
+        self.plan: Optional[StudyPlan] = None
+
+    @property
+    def stats(self) -> ev.ExecutionStats:
+        return self._stats_collector.stats
+
+    def _suite_kwargs(self) -> dict:
+        return {
+            "max_vantage_points": self.max_vantage_points,
+            "retry_policy": self.retry,
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, limit_units: Optional[int] = None) -> "StudyReport":
+        """Execute the study; returns the assembled report.
+
+        ``limit_units`` stops after that many units have been *executed*
+        (checkpointed units don't count) and assembles a partial report —
+        the hook the resume tests and benchmarks use to simulate a study
+        killed mid-run without actually killing a process.
+        """
+        started = time.perf_counter()
+        suite = _build_suite(self.seed, self.providers, self._suite_kwargs())
+        plan = suite.plan_study()
+        self.plan = plan
+
+        checkpoint = (
+            CheckpointStore(self.checkpoint_dir)
+            if self.checkpoint_dir
+            else None
+        )
+        journal = checkpoint.open(plan) if checkpoint else {}
+
+        unit_results: dict[str, list["VantagePointResults"]] = {}
+        skipped: list[AuditUnit] = []
+        pending: list[AuditUnit] = []
+        for unit in plan.units:
+            entry = journal.get(unit.unit_id)
+            loaded = (
+                checkpoint.load_unit_results(entry)
+                if checkpoint and entry is not None
+                else None
+            )
+            if loaded is not None:
+                unit_results[unit.unit_id] = loaded
+                skipped.append(unit)
+            else:
+                pending.append(unit)
+        if limit_units is not None:
+            pending = pending[:limit_units]
+
+        self.bus.publish(
+            ev.StudyStarted(
+                total_units=len(plan.units),
+                providers=len(plan.providers),
+                vantage_points=plan.total_vantage_points,
+                workers=self.workers,
+                resumed_units=len(skipped),
+            )
+        )
+        for unit in skipped:
+            entry = journal[unit.unit_id]
+            self.bus.publish(
+                ev.UnitSkipped(unit_id=unit.unit_id, wall_ms=entry.wall_ms)
+            )
+
+        if pending:
+            if self.workers == 1:
+                self._run_inline(suite, plan, pending, unit_results, checkpoint)
+            else:
+                self._run_pooled(plan, pending, unit_results, checkpoint)
+
+        report = suite.assemble_study(plan, unit_results)
+        wall_s = time.perf_counter() - started
+        self.bus.publish(
+            ev.StudyFinished(
+                wall_s=wall_s,
+                completed=self.stats.completed_units,
+                skipped=len(skipped),
+                failed=self.stats.failed_units,
+                retried=self.stats.retried_units,
+            )
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Inline (workers=1): the sequential reference path
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self,
+        suite: TestSuite,
+        plan: StudyPlan,
+        pending: list[AuditUnit],
+        unit_results: dict,
+        checkpoint: Optional[CheckpointStore],
+    ) -> None:
+        index_of = {u.unit_id: i + 1 for i, u in enumerate(plan.units)}
+        for position, unit in enumerate(pending):
+            self.bus.publish(
+                ev.UnitStarted(
+                    unit_id=unit.unit_id,
+                    provider=unit.provider,
+                    kind=unit.kind.value,
+                    index=index_of[unit.unit_id],
+                    total=len(plan.units),
+                )
+            )
+            outcome = self._attempt_with_retry(
+                unit, lambda: _timed_run_unit(suite, unit)
+            )
+            if outcome is None:
+                continue
+            self._commit(
+                unit,
+                outcome,
+                unit_results,
+                checkpoint,
+                queue_depth=len(pending) - position - 1,
+            )
+
+    # ------------------------------------------------------------------
+    # Pooled (workers>1): thread or process backend
+    # ------------------------------------------------------------------
+    def _run_pooled(
+        self,
+        plan: StudyPlan,
+        pending: list[AuditUnit],
+        unit_results: dict,
+        checkpoint: Optional[CheckpointStore],
+    ) -> None:
+        if self.backend == "process":
+            pool: concurrent.futures.Executor = (
+                concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        self.seed,
+                        self.providers,
+                        self._suite_kwargs(),
+                    ),
+                )
+            )
+            run_unit: Callable[[AuditUnit], UnitOutcome] = _process_run_unit
+        else:
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-runtime",
+            )
+            thread_state = threading.local()
+
+            def run_unit(unit: AuditUnit) -> UnitOutcome:
+                suite = getattr(thread_state, "suite", None)
+                if suite is None:
+                    suite = _build_suite(
+                        self.seed, self.providers, self._suite_kwargs()
+                    )
+                    thread_state.suite = suite
+                return _timed_run_unit(suite, unit)
+
+        index_of = {u.unit_id: i + 1 for i, u in enumerate(plan.units)}
+        # future -> (unit, attempt number, dispatch timestamp)
+        active: dict[concurrent.futures.Future, tuple[AuditUnit, int, float]]
+        active = {}
+        flagged_overrun: set[str] = set()
+        with pool:
+            for unit in pending:
+                self.bus.publish(
+                    ev.UnitStarted(
+                        unit_id=unit.unit_id,
+                        provider=unit.provider,
+                        kind=unit.kind.value,
+                        index=index_of[unit.unit_id],
+                        total=len(plan.units),
+                    )
+                )
+                active[pool.submit(run_unit, unit)] = (
+                    unit,
+                    1,
+                    time.perf_counter(),
+                )
+            while active:
+                done, _ = concurrent.futures.wait(
+                    active,
+                    timeout=(
+                        min(1.0, self.unit_timeout_s)
+                        if self.unit_timeout_s
+                        else None
+                    ),
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if self.unit_timeout_s:
+                    self._enforce_timeouts(active, done, flagged_overrun)
+                for future in done:
+                    unit, attempt, _dispatched = active.pop(future)
+                    try:
+                        outcome = future.result()
+                    except concurrent.futures.CancelledError:
+                        continue  # already reported by _enforce_timeouts
+                    except Exception as exc:  # noqa: BLE001 - unit isolation
+                        if self.retry.should_retry(attempt):
+                            backoff = self.retry.backoff_s(
+                                attempt, key=unit.unit_id
+                            )
+                            self.bus.publish(
+                                ev.UnitRetried(
+                                    unit_id=unit.unit_id,
+                                    attempt=attempt,
+                                    backoff_s=backoff,
+                                    error=repr(exc),
+                                )
+                            )
+                            if self.sleep_on_retry and backoff:
+                                time.sleep(backoff)
+                            active[pool.submit(run_unit, unit)] = (
+                                unit,
+                                attempt + 1,
+                                time.perf_counter(),
+                            )
+                        else:
+                            self.bus.publish(
+                                ev.UnitFailed(
+                                    unit_id=unit.unit_id,
+                                    attempts=attempt,
+                                    error=repr(exc),
+                                )
+                            )
+                        continue
+                    self._commit(
+                        unit,
+                        outcome,
+                        unit_results,
+                        checkpoint,
+                        queue_depth=len(active),
+                    )
+
+    def _enforce_timeouts(
+        self,
+        active: dict,
+        done: set,
+        flagged_overrun: set[str],
+    ) -> None:
+        now = time.perf_counter()
+        for future, (unit, attempt, dispatched) in list(active.items()):
+            if future in done or now - dispatched <= self.unit_timeout_s:
+                continue
+            if future.cancel():
+                # Never started: a hard timeout while queued.
+                active.pop(future)
+                self.bus.publish(
+                    ev.UnitTimedOut(
+                        unit_id=unit.unit_id, timeout_s=self.unit_timeout_s
+                    )
+                )
+                self.bus.publish(
+                    ev.UnitFailed(
+                        unit_id=unit.unit_id,
+                        attempts=attempt,
+                        error=f"timed out after {self.unit_timeout_s}s",
+                    )
+                )
+            elif unit.unit_id not in flagged_overrun:
+                # Running workers cannot be preempted; flag the overrun
+                # once and let the unit finish (its result is still used).
+                flagged_overrun.add(unit.unit_id)
+                self.bus.publish(
+                    ev.UnitTimedOut(
+                        unit_id=unit.unit_id, timeout_s=self.unit_timeout_s
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _attempt_with_retry(
+        self, unit: AuditUnit, attempt_once: Callable[[], UnitOutcome]
+    ) -> Optional[UnitOutcome]:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return attempt_once()
+            except Exception as exc:  # noqa: BLE001 - unit isolation
+                if not self.retry.should_retry(attempt):
+                    self.bus.publish(
+                        ev.UnitFailed(
+                            unit_id=unit.unit_id,
+                            attempts=attempt,
+                            error=repr(exc),
+                        )
+                    )
+                    return None
+                backoff = self.retry.backoff_s(attempt, key=unit.unit_id)
+                self.bus.publish(
+                    ev.UnitRetried(
+                        unit_id=unit.unit_id,
+                        attempt=attempt,
+                        backoff_s=backoff,
+                        error=repr(exc),
+                    )
+                )
+                if self.sleep_on_retry and backoff:
+                    time.sleep(backoff)
+
+    def _commit(
+        self,
+        unit: AuditUnit,
+        outcome: UnitOutcome,
+        unit_results: dict,
+        checkpoint: Optional[CheckpointStore],
+        queue_depth: int,
+    ) -> None:
+        results, connect_retries, wall_ms = outcome
+        unit_results[unit.unit_id] = results
+        if checkpoint is not None:
+            checkpoint.record(unit, results, wall_ms, connect_retries)
+        self.bus.publish(
+            ev.UnitFinished(
+                unit_id=unit.unit_id,
+                wall_ms=wall_ms,
+                vantage_points=len(results),
+                queue_depth=queue_depth,
+                connect_retries=connect_retries,
+            )
+        )

@@ -1,0 +1,195 @@
+"""Work-unit decomposition of a study.
+
+The paper's study is embarrassingly parallel once phrased as independent
+work units: for each provider, one *full-battery* run per selected vantage
+point (the manual ~5-endpoint evaluation of Section 5.2) plus one
+*lightweight sweep* over every remaining vantage point (the automated
+ping/geolocation collection that covered all 1,046 endpoints).  This module
+turns a world into that explicit unit list — a :class:`StudyPlan` — which
+the executor runs in any order on any number of workers and then reassembles
+in plan order, so the resulting :class:`~repro.core.harness.StudyReport`
+is identical to a sequential run.
+
+Each unit carries a seed derived deterministically from
+``(study seed, provider, hostname)`` via a process-independent hash, so any
+per-unit randomness (retry jitter today, stochastic probe schedules
+tomorrow) is a stable function of the unit, not of scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.runtime.retry import stable_hash
+
+if TYPE_CHECKING:
+    from repro.core.harness import TestSuite
+
+
+class UnitKind(enum.Enum):
+    """What a unit runs at its vantage point(s)."""
+
+    FULL = "full"       # complete battery at one endpoint
+    SWEEP = "sweep"     # ping + geolocation over the remaining endpoints
+
+
+def derive_unit_seed(study_seed: int, provider: str, hostname: str) -> int:
+    """Deterministic per-unit seed; identical at any worker count."""
+    return stable_hash("unit-seed", study_seed, provider, hostname)
+
+
+def _slug(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in name.lower()
+    )
+
+
+@dataclass(frozen=True)
+class AuditUnit:
+    """One independently executable slice of the study."""
+
+    provider: str
+    kind: UnitKind
+    hostnames: tuple[str, ...]
+    seed: int
+
+    @property
+    def unit_id(self) -> str:
+        """Stable identifier used for checkpoints, events and retry keys."""
+        anchor = _slug(self.hostnames[0]) if self.kind is UnitKind.FULL else "all"
+        return f"{_slug(self.provider)}::{self.kind.value}::{anchor}"
+
+    @property
+    def vantage_point_count(self) -> int:
+        return len(self.hostnames)
+
+    def describe(self) -> str:
+        if self.kind is UnitKind.FULL:
+            return f"{self.provider} full battery @ {self.hostnames[0]}"
+        return (
+            f"{self.provider} infrastructure sweep "
+            f"({len(self.hostnames)} endpoints)"
+        )
+
+
+@dataclass
+class StudyPlan:
+    """The ordered unit list plus the parameters that produced it.
+
+    The order is the sequential harness's execution order; assembling unit
+    results in plan order reproduces ``TestSuite.run_study()`` exactly.
+    """
+
+    seed: int
+    max_vantage_points: int | None
+    providers: list[str] = field(default_factory=list)
+    units: list[AuditUnit] = field(default_factory=list)
+
+    @property
+    def total_vantage_points(self) -> int:
+        return sum(u.vantage_point_count for u in self.units)
+
+    def unit_ids(self) -> list[str]:
+        return [u.unit_id for u in self.units]
+
+    # ------------------------------------------------------------------
+    # Serialisation (the checkpoint directory records the plan so a resume
+    # can refuse to mix incompatible studies).
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "max_vantage_points": self.max_vantage_points,
+                "providers": self.providers,
+                "units": [
+                    {
+                        "provider": u.provider,
+                        "kind": u.kind.value,
+                        "hostnames": list(u.hostnames),
+                        "seed": u.seed,
+                    }
+                    for u in self.units
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudyPlan":
+        raw = json.loads(text)
+        plan = cls(
+            seed=raw["seed"],
+            max_vantage_points=raw["max_vantage_points"],
+            providers=list(raw["providers"]),
+        )
+        for entry in raw["units"]:
+            plan.units.append(
+                AuditUnit(
+                    provider=entry["provider"],
+                    kind=UnitKind(entry["kind"]),
+                    hostnames=tuple(entry["hostnames"]),
+                    seed=entry["seed"],
+                )
+            )
+        return plan
+
+    def fingerprint(self) -> str:
+        """Compatibility key for checkpoint validation."""
+        return (
+            f"seed={self.seed}"
+            f"|max_vps={self.max_vantage_points}"
+            f"|providers={','.join(self.providers)}"
+        )
+
+
+def decompose_study(suite: "TestSuite") -> StudyPlan:
+    """Decompose *suite*'s world into the study's unit graph.
+
+    Mirrors ``TestSuite.run_study``: providers in catalogue order; per
+    provider, the selected endpoints (full battery) in selection order,
+    then a single sweep unit over every remaining endpoint.
+    """
+    world = suite.world
+    plan = StudyPlan(
+        seed=world.seed, max_vantage_points=suite.max_vantage_points
+    )
+    for name, provider in world.providers.items():
+        plan.providers.append(name)
+        selected = suite.select_vantage_points(provider)
+        selected_names = {vp.hostname for vp in selected}
+        for vantage_point in selected:
+            plan.units.append(
+                AuditUnit(
+                    provider=name,
+                    kind=UnitKind.FULL,
+                    hostnames=(vantage_point.hostname,),
+                    seed=derive_unit_seed(
+                        world.seed, name, vantage_point.hostname
+                    ),
+                )
+            )
+        remaining = tuple(
+            vp.hostname
+            for vp in provider.vantage_points
+            if vp.hostname not in selected_names
+        )
+        if remaining:
+            plan.units.append(
+                AuditUnit(
+                    provider=name,
+                    kind=UnitKind.SWEEP,
+                    hostnames=remaining,
+                    seed=derive_unit_seed(world.seed, name, "*sweep*"),
+                )
+            )
+    return plan
+
+
+def units_for_provider(
+    plan: StudyPlan, provider: str
+) -> Iterable[AuditUnit]:
+    return (u for u in plan.units if u.provider == provider)

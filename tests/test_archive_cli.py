@@ -6,9 +6,12 @@ import pytest
 
 from repro.cli import main
 from repro.core.archive import (
+    merge_archives,
     read_study_archive,
+    read_vantage_point_results,
     write_provider_archive,
     write_study_archive,
+    write_unit_result,
 )
 from repro.core.harness import TestSuite
 
@@ -66,6 +69,54 @@ class TestArchive:
         verdicts = json.loads((directory / "verdicts.json").read_text())
         assert verdicts["provider"] == "Mullvad"
         assert verdicts["webrtc_leak"] is True  # universal WebRTC exposure
+
+
+class TestUnitResults:
+    """Unit-level persistence: checkpoints and archives share one format."""
+
+    def test_write_unit_result_matches_archive_layout(
+        self, small_study, tmp_path
+    ):
+        results = small_study.providers["Seed4.me"].full_results[0]
+        path = write_unit_result(results, tmp_path / "ck")
+        archive_root = write_study_archive(small_study, tmp_path / "archive")
+        twin = archive_root / path.relative_to(tmp_path / "ck")
+        assert twin.exists()
+        assert path.read_bytes() == twin.read_bytes()
+
+    def test_vantage_point_results_round_trip_exactly(
+        self, small_study, tmp_path
+    ):
+        for results in small_study.providers["Seed4.me"].full_results:
+            path = write_unit_result(results, tmp_path / "rt")
+            restored = read_vantage_point_results(path)
+            assert restored == results
+            assert restored.to_json() == results.to_json()
+
+    def test_merge_archives_combines_partial_studies(
+        self, small_study, tmp_path
+    ):
+        left = write_provider_archive(
+            small_study.providers["Seed4.me"], tmp_path / "a" / "seed4_me"
+        ).parent
+        right = write_provider_archive(
+            small_study.providers["Mullvad"], tmp_path / "b" / "mullvad"
+        ).parent
+        (tmp_path / "a" / "manifest.json").write_text(
+            json.dumps({"providers": ["Seed4.me"]})
+        )
+        (tmp_path / "b" / "manifest.json").write_text(
+            json.dumps({"providers": ["Mullvad"]})
+        )
+        merged = merge_archives([left, right], tmp_path / "merged")
+        loaded = read_study_archive(merged)
+        assert set(loaded.providers) == {"Seed4.me", "Mullvad"}
+        assert loaded.verdicts["Seed4.me"].injection is True
+        assert loaded.verdicts["Mullvad"].injection is False
+
+    def test_merge_archives_rejects_missing_source(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_archives([tmp_path / "nope"], tmp_path / "out")
 
 
 class TestCli:

@@ -65,6 +65,39 @@ class TestWorldDeterminism:
             == generate_document(site).content_hash()
         )
 
+    def test_parallel_study_is_byte_identical(self, tmp_path):
+        """workers=4 must archive byte-identical JSON to workers=1.
+
+        The provider mix deliberately includes PureVPN, whose flaky
+        endpoints exercise the connect-retry path, and MyIP.io, whose
+        all-virtual vantage points exercise the RTT/geolocation analyses —
+        the two places where hidden execution-order state would show up.
+        """
+        from repro.core.archive import write_study_archive
+        from repro.runtime.executor import StudyExecutor
+
+        providers = ["Seed4.me", "PureVPN", "MyIP.io"]
+
+        def archive_bytes(workers: int, label: str) -> dict:
+            report = StudyExecutor(
+                seed=2018,
+                providers=providers,
+                max_vantage_points=2,
+                workers=workers,
+                backend="thread",
+            ).run()
+            root = tmp_path / label
+            write_study_archive(report, root)
+            return {
+                path.relative_to(root): path.read_bytes()
+                for path in sorted(root.rglob("*.json"))
+            }
+
+        sequential = archive_bytes(1, "sequential")
+        parallel = archive_bytes(4, "parallel")
+        assert sequential.keys() == parallel.keys()
+        assert sequential == parallel
+
     def test_ecosystem_seed_sensitivity(self):
         from repro.ecosystem.generate import generate_ecosystem
 
