@@ -1,0 +1,206 @@
+"""Hot-path benchmark: simulator primitives plus an end-to-end study.
+
+Not a paper experiment — this is the regression harness for the delivery
+hot path (world snapshot reuse, indexed routing, zero-rework packet
+delivery).  It measures:
+
+- **primitives** (ops/s): routing lookup, address parsing, direct ping,
+  tunnelled ping, DNS resolution, and a single-provider world build;
+- **end-to-end**: wall-clock for a full multi-provider study through
+  :class:`~repro.runtime.executor.StudyExecutor` (the golden-fingerprint
+  configuration, so the timed run is also byte-pinned by
+  ``tests/test_determinism.py``).
+
+Results are written to ``BENCH_hotpath.json`` at the repository root —
+both when run standalone (``python benchmarks/bench_hot_path.py``) and
+under pytest (``pytest benchmarks/bench_hot_path.py``), so the CI smoke
+job can upload the file as an artifact.  Timing loops are plain
+``perf_counter`` min-of-N: independent of pytest-benchmark, stable enough
+on a loaded box, and identical in both entry points.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+STUDY_SEED = 2018
+STUDY_PROVIDERS = ["Seed4.me", "PureVPN", "MyIP.io"]
+STUDY_MAX_VPS = 2
+STUDY_RUNS = 3
+
+# Reference numbers measured at the pre-optimisation commit (48ee9fa) on
+# the development box (1 CPU), same protocol as below.  They are context
+# for the speedup columns in EXPERIMENTS.md, not assertions — absolute
+# throughput is machine-dependent.
+BASELINE_PRE_OPTIMIZATION = {
+    "commit": "48ee9fa",
+    "routing_lookup_ops": 23_971,
+    "parse_address_ops": 427_838,
+    "ping_direct_ops": 20_093,
+    "ping_through_tunnel_ops": 7_715,
+    "dns_resolution_ops": 6_318,
+    "world_build_seconds": 0.110,
+    "end_to_end_study_wall_seconds_best": 2.749,
+}
+
+
+def ops_per_sec(fn, min_seconds: float = 0.5) -> float:
+    """Throughput of *fn* measured over at least *min_seconds*."""
+    fn()
+    fn()  # warm caches/allocator before the timed window
+    count = 0
+    started = time.perf_counter()
+    while True:
+        fn()
+        count += 1
+        elapsed = time.perf_counter() - started
+        if elapsed >= min_seconds:
+            return count / elapsed
+
+
+def bench_primitives() -> dict[str, float]:
+    """ops/s for each simulator primitive on a fresh single-provider world."""
+    from repro.dns.resolver import resolve_via_server
+    from repro.net.addresses import parse_address
+    from repro.net.routing import RoutingTable
+    from repro.vpn.client import VpnClient
+    from repro.world import GOOGLE_DNS, World
+
+    results: dict[str, float] = {}
+
+    build_started = time.perf_counter()
+    world = World.build(provider_names=["Mullvad"])
+    results["world_build_seconds"] = round(
+        time.perf_counter() - build_started, 4
+    )
+
+    anchor = world.anchors[0]
+    results["ping_direct_ops"] = round(
+        ops_per_sec(lambda: world.internet.ping(world.client, anchor.address))
+    )
+
+    provider = world.provider("Mullvad")
+    client = VpnClient(world.client, provider)
+    client.connect(provider.vantage_points[0])
+    try:
+        results["ping_through_tunnel_ops"] = round(
+            ops_per_sec(
+                lambda: world.internet.ping(world.client, anchor.address)
+            )
+        )
+        domain = world.sites.dom_test_sites()[0].domain
+        results["dns_resolution_ops"] = round(
+            ops_per_sec(
+                lambda: resolve_via_server(world.client, GOOGLE_DNS, domain)
+            )
+        )
+    finally:
+        client.disconnect()
+
+    table = RoutingTable()
+    table.add_prefix("0.0.0.0/0", "en0", metric=10)
+    for i in range(64):
+        table.add_prefix(f"10.{i}.0.0/16", f"if{i % 4}")
+    probe = parse_address("10.42.7.9")
+    results["routing_lookup_ops"] = round(
+        ops_per_sec(lambda: table.lookup(probe))
+    )
+    results["parse_address_ops"] = round(
+        ops_per_sec(lambda: parse_address("104.131.7.9"))
+    )
+    return results
+
+
+def bench_end_to_end(runs: int = STUDY_RUNS) -> dict[str, object]:
+    """Wall-clock (best of *runs*) for the golden multi-provider study."""
+    from repro.runtime.executor import StudyExecutor
+
+    walls = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        StudyExecutor(
+            seed=STUDY_SEED,
+            providers=STUDY_PROVIDERS,
+            max_vantage_points=STUDY_MAX_VPS,
+            workers=1,
+            backend="thread",
+        ).run()
+        walls.append(time.perf_counter() - started)
+    return {
+        "seed": STUDY_SEED,
+        "providers": STUDY_PROVIDERS,
+        "max_vantage_points": STUDY_MAX_VPS,
+        "runs": runs,
+        "wall_seconds_best": round(min(walls), 3),
+        "wall_seconds_all": [round(w, 3) for w in walls],
+    }
+
+
+def collect() -> dict[str, object]:
+    primitives = bench_primitives()
+    end_to_end = bench_end_to_end()
+    baseline = BASELINE_PRE_OPTIMIZATION
+    speedups = {
+        key: round(primitives[key] / baseline[key], 2)
+        for key in (
+            "routing_lookup_ops",
+            "parse_address_ops",
+            "ping_direct_ops",
+            "ping_through_tunnel_ops",
+            "dns_resolution_ops",
+        )
+    }
+    speedups["world_build"] = round(
+        baseline["world_build_seconds"] / primitives["world_build_seconds"], 2
+    )
+    speedups["end_to_end_study"] = round(
+        baseline["end_to_end_study_wall_seconds_best"]
+        / end_to_end["wall_seconds_best"],  # type: ignore[operator]
+        2,
+    )
+    return {
+        "generated_by": "benchmarks/bench_hot_path.py",
+        "primitives": primitives,
+        "end_to_end_study": end_to_end,
+        "baseline_pre_optimization": baseline,
+        "speedup_vs_baseline": speedups,
+    }
+
+
+def write_results(results: dict[str, object], path: Path = OUTPUT_PATH) -> None:
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points.  The floors are sanity bounds (an order of
+# magnitude under current numbers), not performance targets: they catch a
+# catastrophic regression without making CI flaky on slow runners.
+# ----------------------------------------------------------------------
+def test_hot_path_benchmarks():
+    results = collect()
+    write_results(results)
+    primitives = results["primitives"]
+    assert primitives["routing_lookup_ops"] > 50_000
+    assert primitives["parse_address_ops"] > 100_000
+    assert primitives["ping_direct_ops"] > 5_000
+    assert primitives["ping_through_tunnel_ops"] > 2_000
+    assert primitives["dns_resolution_ops"] > 1_000
+    assert results["end_to_end_study"]["wall_seconds_best"] < 60.0
+
+
+def main() -> int:
+    results = collect()
+    write_results(results)
+    json.dump(results, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,10 +23,14 @@ def build_study(
 
     ``providers`` selects a subset of the 62-provider catalogue by name;
     ``None`` builds all of them.
-    """
-    from repro.world import World
 
-    return World.build(seed=seed, provider_names=providers)
+    Worlds come from the process-wide snapshot cache: the first build of a
+    ``(seed, providers)`` key constructs from scratch, later calls restore
+    an isolated clone from the pickled template (~10x faster).
+    """
+    from repro.world_factory import WorldFactory
+
+    return WorldFactory.clone(seed=seed, provider_names=providers)
 
 
 def audit_provider(name: str, seed: int = 2018):

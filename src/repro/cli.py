@@ -7,6 +7,7 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro audit Seed4.me             # full audit of one provider
     python -m repro study [--max-vps N] [--archive DIR] [--workers N]
                           [--resume DIR] [--snapshots N] [--progress]
+                          [--profile]
     python -m repro ecosystem                  # Section 4 statistics
     python -m repro experiments                # table/figure registry
 """
@@ -67,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--progress", action="store_true",
         help="print per-unit progress lines to stderr",
+    )
+    study.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+             "cumulative time after the study completes",
     )
 
     sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
@@ -132,7 +138,24 @@ def cmd_study(
     resume: Optional[str] = None,
     snapshots: int = 1,
     progress: bool = False,
+    profile: bool = False,
 ) -> int:
+    if profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return cmd_study(
+                max_vps, seed, archive, workers=workers, backend=backend,
+                resume=resume, snapshots=snapshots, progress=progress,
+            )
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+
     started = time.time()
     if snapshots > 1:
         from repro.api import run_longitudinal_study
@@ -252,6 +275,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             resume=args.resume,
             snapshots=args.snapshots,
             progress=args.progress,
+            profile=args.profile,
         )
     if args.command == "ecosystem":
         return cmd_ecosystem()

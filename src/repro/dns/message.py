@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 class RCode(enum.Enum):
@@ -61,9 +62,15 @@ class DnsResponse:
     @property
     def addresses(self) -> tuple[str, ...]:
         """The address-record values in the answer (A or AAAA)."""
-        return tuple(
-            r.value for r in self.records if r.rtype in ("A", "AAAA")
-        )
+        # Memoised: responses are frozen and the leakage/manipulation
+        # analyses re-read the answer addresses many times per response.
+        cached = self.__dict__.get("_addresses")
+        if cached is None:
+            cached = tuple(
+                r.value for r in self.records if r.rtype in ("A", "AAAA")
+            )
+            object.__setattr__(self, "_addresses", cached)
+        return cached
 
     @property
     def ok(self) -> bool:
@@ -74,6 +81,7 @@ class DnsResponse:
         return f"{self.question.qname}/{self.question.qtype} -> {answers}"
 
 
+@lru_cache(maxsize=8192)
 def normalise_name(name: str) -> str:
     """Lower-case and strip the trailing dot from a domain name."""
     return name.strip().rstrip(".").lower()

@@ -11,6 +11,7 @@ carving, shared-prefix queries) and because keeping the representation an
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Union
 
 _V4_BITS = 32
@@ -65,10 +66,25 @@ class IPv4Address:
         return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
 
     def __str__(self) -> str:
-        return ".".join(str(o) for o in self.octets())
+        # Rendering is on the packet-delivery hot path (jitter keys, capture
+        # summaries); memoise it on the frozen instance.
+        text = self.__dict__.get("_text")
+        if text is None:
+            v = self.value
+            text = (
+                f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}"
+                f".{(v >> 8) & 0xFF}.{v & 0xFF}"
+            )
+            object.__setattr__(self, "_text", text)
+        return text
 
     def __repr__(self) -> str:
         return f"IPv4Address({str(self)!r})"
+
+    def __reduce__(self):
+        # Rebuild from the value alone; keeps the memoised rendering out
+        # of pickled world snapshots.
+        return (IPv4Address, (self.value,))
 
     def __add__(self, offset: int) -> "IPv4Address":
         return IPv4Address(self.value + offset)
@@ -123,6 +139,13 @@ class IPv6Address:
         return tuple((self.value >> (16 * (7 - i))) & 0xFFFF for i in range(8))
 
     def __str__(self) -> str:
+        text = self.__dict__.get("_text")
+        if text is None:
+            text = self._render()
+            object.__setattr__(self, "_text", text)
+        return text
+
+    def _render(self) -> str:
         groups = self.groups()
         # Find the longest run of zero groups (length >= 2) to compress.
         best_start, best_len = -1, 0
@@ -145,6 +168,9 @@ class IPv6Address:
     def __repr__(self) -> str:
         return f"IPv6Address({str(self)!r})"
 
+    def __reduce__(self):
+        return (IPv6Address, (self.value,))
+
     def __add__(self, offset: int) -> "IPv6Address":
         return IPv6Address(self.value + offset)
 
@@ -152,8 +178,15 @@ class IPv6Address:
 Address = Union[IPv4Address, IPv6Address]
 
 
+@lru_cache(maxsize=65536)
 def parse_address(text: str) -> Address:
-    """Parse an IPv4 or IPv6 address from its textual form."""
+    """Parse an IPv4 or IPv6 address from its textual form.
+
+    Parsed addresses are immutable, so results are interned through an LRU
+    cache: the measurement suite parses the same anchor/resolver literals
+    millions of times per study, and interning also lets the memoised
+    ``__str__`` rendering amortise across call sites.
+    """
     if ":" in text:
         return IPv6Address.parse(text)
     return IPv4Address.parse(text)
@@ -181,11 +214,19 @@ class _BaseNetwork:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    # Reconstruct through __init__: the default slot-state protocol would
+    # trip the immutability guard above when unpickling snapshot clones.
+    def __reduce__(self):
+        return (type(self), (self.network, self.prefix_len))
+
+    # Per-class mask table, filled in after the subclass definitions;
+    # indexing a tuple beats recomputing the shift on every containment
+    # check (the routing and VPN-block hot paths).
+    _masks: tuple[int, ...] = ()
+
     @classmethod
     def _mask(cls, prefix_len: int) -> int:
-        if prefix_len == 0:
-            return 0
-        return ((1 << prefix_len) - 1) << (cls._bits - prefix_len)
+        return cls._masks[prefix_len]
 
     @classmethod
     def parse(cls, text: str):
@@ -297,14 +338,65 @@ class IPv6Network(_BaseNetwork):
     _bits = _V6_BITS
 
 
+def _mask_table(bits: int) -> tuple[int, ...]:
+    return tuple(
+        0 if plen == 0 else ((1 << plen) - 1) << (bits - plen)
+        for plen in range(bits + 1)
+    )
+
+
+IPv4Network._masks = _mask_table(_V4_BITS)
+IPv6Network._masks = _mask_table(_V6_BITS)
+
 Network = Union[IPv4Network, IPv6Network]
 
 
+@lru_cache(maxsize=65536)
 def parse_network(text: str) -> Network:
-    """Parse an IPv4 or IPv6 CIDR block from its textual form."""
+    """Parse an IPv4 or IPv6 CIDR block from its textual form.
+
+    Networks are immutable, so results are LRU-interned like
+    :func:`parse_address`.
+    """
     if ":" in text:
         return IPv6Network.parse(text)
     return IPv4Network.parse(text)
+
+
+class NetworkSet:
+    """Indexed membership test over a collection of CIDR blocks.
+
+    Bucketing network values by (version, prefix length) turns "is this
+    address inside any of these blocks?" from a linear scan over every
+    block into one mask-and-probe per populated prefix length.  Used for
+    the VPN egress-block blacklist, which every origin web server consults
+    on every request.
+    """
+
+    def __init__(self, networks: Iterable[Network] = ()) -> None:
+        self._buckets: dict[tuple[int, int], set[int]] = {}
+        for network in networks:
+            self.add(network)
+
+    def add(self, network: Network) -> None:
+        key = (network.version, network.prefix_len)
+        self._buckets.setdefault(key, set()).add(network.network.value)
+
+    def __contains__(self, address: object) -> bool:
+        if isinstance(address, IPv4Address):
+            version, masks = 4, IPv4Network._masks
+        elif isinstance(address, IPv6Address):
+            version, masks = 6, IPv6Network._masks
+        else:
+            return False
+        value = address.value
+        for (bucket_version, plen), values in self._buckets.items():
+            if bucket_version == version and (value & masks[plen]) in values:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(len(values) for values in self._buckets.values())
 
 
 def ip_in_network(address: Union[str, Address], network: Union[str, Network]) -> bool:

@@ -19,9 +19,15 @@ from repro.net.packet import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CaptureEntry:
-    """A single captured packet with capture metadata."""
+    """A single captured packet with capture metadata.
+
+    A plain slots dataclass (not frozen): entries are created once per
+    delivered packet on the hot path, and the frozen-dataclass ``__init__``
+    (one ``object.__setattr__`` per field) costs several times a plain
+    slotted store.  Nothing mutates or hashes entries.
+    """
 
     timestamp_ms: float
     direction: str  # "tx" | "rx"

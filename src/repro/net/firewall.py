@@ -135,6 +135,9 @@ class Firewall:
         return self.default
 
     def permits(self, packet: Packet, direction: str, interface: str) -> bool:
+        # Most hosts never install a rule; skip evaluation entirely then.
+        if not self._rules:
+            return self.default is FirewallAction.ALLOW
         return self.evaluate(packet, direction, interface) is FirewallAction.ALLOW
 
     def snapshot(self) -> list[str]:

@@ -24,6 +24,32 @@ class GeoPoint:
     country: str  # ISO 3166-1 alpha-2
     city: str = ""
 
+    def __post_init__(self) -> None:
+        # Same tuple the generated dataclass hash uses, computed eagerly:
+        # points key the latency caches, so they are hashed millions of
+        # times and the cached attribute read wins over recomputation.
+        object.__setattr__(
+            self, "_hash", hash((self.lat, self.lon, self.country, self.city))
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            # Unpickled instances skip __post_init__; recompute lazily.
+            h = hash((self.lat, self.lon, self.country, self.city))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    # String hashing is salted per-process: never pickle the cached hash.
+    def __getstate__(self) -> dict:
+        return {
+            "lat": self.lat,
+            "lon": self.lon,
+            "country": self.country,
+            "city": self.city,
+        }
+
     def distance_km(self, other: "GeoPoint") -> float:
         return great_circle_km(self.lat, self.lon, other.lat, other.lon)
 

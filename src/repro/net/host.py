@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.addresses import Address, parse_address
-from repro.net.firewall import Firewall
+from repro.net.capture import CaptureEntry
+from repro.net.firewall import Firewall, FirewallAction
 from repro.net.geo import GeoPoint
 from repro.net.interface import Interface
 from repro.net.packet import (
@@ -68,6 +69,11 @@ class Host:
         self.firewall = Firewall()
         self.dns_servers: list[Address] = []
         self._services: dict[tuple[str, int], ServiceHandler] = {}
+        # address -> owning interface memo for `interface_for_address`.
+        # Positive entries are validated against the interface on every hit
+        # (addresses can be reassigned), so the memo can never serve a stale
+        # mapping; it only skips the linear scan.
+        self._iface_by_addr: dict[Address, Interface] = {}
         self._ports_in_use: set[tuple[str, int]] = set()
         self._ephemeral = itertools.count(49152)
         # Hook invoked on every packet successfully delivered to this host,
@@ -85,11 +91,21 @@ class Host:
 
     def remove_interface(self, name: str) -> None:
         self.interfaces.pop(name, None)
+        # Drop the whole memo: a detached interface may still carry the
+        # address, so hit-validation alone would not notice the removal.
+        self._iface_by_addr.clear()
         self.routing.remove_where(interface=name)
 
     def interface_for_address(self, address: Address) -> Optional[Interface]:
+        cached = self._iface_by_addr.get(address)
+        if cached is not None and (
+            address is cached.ipv4 or address is cached.ipv6
+            or address == cached.ipv4 or address == cached.ipv6
+        ):
+            return cached
         for interface in self.interfaces.values():
             if interface.has_address(address):
+                self._iface_by_addr[address] = interface
                 return interface
         return None
 
@@ -160,19 +176,44 @@ class Host:
         if interface is None or not interface.up:
             return DeliveryResult.interface_down(packet, route.interface)
 
-        if not self.firewall.permits(packet, "out", interface.name):
+        # An empty allow-all firewall (the overwhelmingly common case) is
+        # decided inline without the `permits` call.
+        firewall = self.firewall
+        firewall_active = (
+            firewall._rules or firewall.default is not FirewallAction.ALLOW
+        )
+        if firewall_active and not firewall.permits(
+            packet, "out", interface.name
+        ):
             return DeliveryResult.filtered(packet, "egress firewall")
 
-        interface.capture.record(self.internet.clock_ms, "tx", packet)
+        internet = self.internet
+        capture = interface.capture
+        if capture.enabled:
+            capture.entries.append(
+                CaptureEntry(internet.clock_ms, "tx", capture.interface, packet)
+            )
         if interface.is_tunnel and interface.endpoint is not None:
             # VPN tunnel: the endpoint encapsulates and re-sends via the
             # physical interface (and may fail open/closed on tunnel loss).
             result = interface.endpoint.transmit(packet)  # type: ignore[attr-defined]
         else:
-            result = self.internet.deliver(packet, self)
-        for response in result.responses:
-            if self.firewall.permits(response, "in", interface.name):
-                interface.capture.record(self.internet.clock_ms, "rx", response)
+            result = internet.deliver(packet, self)
+        responses = result.responses
+        if responses:
+            clock_ms = internet.clock_ms
+            record_rx = capture.enabled
+            for response in responses:
+                if firewall_active and not firewall.permits(
+                    response, "in", interface.name
+                ):
+                    continue
+                if record_rx:
+                    capture.entries.append(
+                        CaptureEntry(
+                            clock_ms, "rx", capture.interface, response
+                        )
+                    )
         return result
 
     # ------------------------------------------------------------------
@@ -181,27 +222,40 @@ class Host:
     def receive(self, packet: Packet) -> Optional[list[Packet]]:
         """Handle a delivered packet; returns response packets if any."""
         interface = self.interface_for_address(packet.dst)
-        iface_name = interface.name if interface else "?"
-        if not self.firewall.permits(packet, "in", iface_name):
-            return None
+        firewall = self.firewall
+        if firewall._rules or firewall.default is not FirewallAction.ALLOW:
+            iface_name = interface.name if interface else "?"
+            if not firewall.permits(packet, "in", iface_name):
+                return None
         if interface is not None:
-            assert self.internet is not None
-            interface.capture.record(self.internet.clock_ms, "rx", packet)
+            capture = interface.capture
+            if capture.enabled:
+                capture.entries.append(
+                    CaptureEntry(
+                        self.internet.clock_ms, "rx", capture.interface, packet
+                    )
+                )
         if self.packet_tap is not None:
             self.packet_tap(packet)
 
         payload = packet.payload
         if isinstance(payload, IcmpPayload):
             if payload.icmp_type == "echo_request":
-                reply = Packet(
-                    src=packet.dst,
-                    dst=packet.src,
-                    payload=IcmpPayload(
-                        icmp_type="echo_reply",
-                        identifier=payload.identifier,
-                        sequence=payload.sequence,
-                    ),
-                )
+                # The reply is a pure function of the (frozen) request, so
+                # it is memoised on the request object; capture recording
+                # still happens per delivery.
+                reply = packet.__dict__.get("_echo_reply")
+                if reply is None:
+                    reply = Packet(
+                        src=packet.dst,
+                        dst=packet.src,
+                        payload=IcmpPayload(
+                            icmp_type="echo_reply",
+                            identifier=payload.identifier,
+                            sequence=payload.sequence,
+                        ),
+                    )
+                    object.__setattr__(packet, "_echo_reply", reply)
                 self._record_tx(interface, reply)
                 return [reply]
             return None
@@ -220,7 +274,15 @@ class Host:
                 return [reply]
             responses = handler(packet, self) or []
             for response in responses:
-                self._record_tx(self.interface_for_address(response.src), response)
+                # Responses almost always leave from the address the request
+                # arrived on (the very same object) — skip the scan then.
+                src = response.src
+                self._record_tx(
+                    interface
+                    if src is packet.dst
+                    else self.interface_for_address(src),
+                    response,
+                )
             return responses
 
         if isinstance(payload, TunnelPayload):
@@ -229,14 +291,26 @@ class Host:
                 return None
             responses = handler(packet, self) or []
             for response in responses:
-                self._record_tx(self.interface_for_address(response.src), response)
+                src = response.src
+                self._record_tx(
+                    interface
+                    if src is packet.dst
+                    else self.interface_for_address(src),
+                    response,
+                )
             return responses
 
         return None
 
     def _record_tx(self, interface: Optional[Interface], packet: Packet) -> None:
         if interface is not None and self.internet is not None:
-            interface.capture.record(self.internet.clock_ms, "tx", packet)
+            capture = interface.capture
+            if capture.enabled:
+                capture.entries.append(
+                    CaptureEntry(
+                        self.internet.clock_ms, "tx", capture.interface, packet
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Configuration snapshots (metadata test, Section 5.3.4)

@@ -24,7 +24,7 @@ from repro.net.addresses import Address, IPv4Address, parse_address
 from repro.net.geo import GeoPoint
 from repro.net.host import Host
 from repro.net.latency import DEFAULT_LATENCY_MODEL, LatencyModel
-from repro.net.packet import IcmpPayload, Packet
+from repro.net.packet import DEFAULT_TTL, IcmpPayload, Packet
 
 # Synthetic transit routers live in this (reserved, never host-assigned)
 # space: 100.64.0.0/10 is carrier-grade NAT space in the real world.
@@ -58,7 +58,7 @@ class PingResult:
         return self.rtt_ms is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryResult:
     """The fate of a sent packet."""
 
@@ -97,6 +97,38 @@ class Internet:
         # pairs an in-path censor/ISP silently drops. Used by the
         # tunnel-failure test to sever a VPN outside the client's control.
         self._blackholes: set[tuple[str, Address]] = set()
+        # Synthetic-router memo: (src loc, dst loc, hop, total) -> result.
+        # Purely derived (SHA of the key), so caching cannot alter output.
+        self._router_cache: dict[
+            tuple[GeoPoint, GeoPoint, int, int], tuple[Address, GeoPoint]
+        ] = {}
+        # id(dst address) -> (dst address, Host) delivery memo.  Identity
+        # keys hash at C speed; the address reference in the entry pins the
+        # id.  Cleared whenever the address registry mutates, so it can
+        # never serve a stale owner.
+        self._dst_memo: dict[int, tuple[Address, Host]] = {}
+        # Interned probe packets: ping/traceroute re-issue byte-identical
+        # probes throughout a study, and reusing the same frozen object
+        # lets every per-object memo (hash, jitter sample, decremented
+        # copy, echo reply) hit instead of being rebuilt per probe.
+        self._probe_cache: dict[
+            tuple[Address, Address, int, int], Packet
+        ] = {}
+
+    # Drop the derived memos from pickled worlds; they are rebuilt on
+    # demand and only bloat the snapshot blob.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_router_cache", None)
+        state.pop("_probe_cache", None)
+        state.pop("_dst_memo", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._router_cache = {}
+        self._probe_cache = {}
+        self._dst_memo = {}
 
     # ------------------------------------------------------------------
     # Topology management
@@ -118,9 +150,11 @@ class Internet:
                 f"address {address} already owned by {existing.name}"
             )
         self._hosts_by_address[address] = host
+        self._dst_memo.clear()
 
     def release_address(self, address: Address) -> None:
         self._hosts_by_address.pop(address, None)
+        self._dst_memo.clear()
 
     def host_for(self, address: str | Address) -> Optional[Host]:
         if isinstance(address, str):
@@ -156,25 +190,56 @@ class Internet:
         first — the property the parallel runtime's byte-identical
         archives rest on.  Distinct probes (ping sequence numbers, query
         names) still draw distinct jitter.
+
+        The sample is memoised on the (frozen) packet: a packet's fields
+        never change after construction, so hashing it twice — once for a
+        TTL check, once for final delivery — is pure rework.  The key
+        string and digest are byte-for-byte those of the original
+        implementation; only recomputation is skipped.
         """
-        key = f"{packet.src}|{packet.dst}|{packet.ttl}|{packet.payload!r}"
-        digest = hashlib.sha256(key.encode("utf-8", "replace")).digest()
-        return int.from_bytes(digest[:8], "big")
+        sample = packet.__dict__.get("_jitter_sample")
+        if sample is None:
+            # The payload repr dominates the key build (it recurses
+            # through tunnel encapsulation); payloads are frozen, so
+            # memoise the rendering on the payload object itself.
+            payload = packet.payload
+            payload_repr = payload.__dict__.get("_repr")
+            if payload_repr is None:
+                payload_repr = repr(payload)
+                object.__setattr__(payload, "_repr", payload_repr)
+            key = f"{packet.src}|{packet.dst}|{packet.ttl}|{payload_repr}"
+            digest = hashlib.sha256(key.encode("utf-8", "replace")).digest()
+            sample = int.from_bytes(digest[:8], "big")
+            object.__setattr__(packet, "_jitter_sample", sample)
+        return sample
 
     def deliver(self, packet: Packet, source: Host) -> DeliveryResult:
         """Deliver a packet from *source* to the owner of ``packet.dst``."""
-        if (source.name, packet.dst) in self._blackholes:
+        dst = packet.dst
+        if self._blackholes and (source.name, dst) in self._blackholes:
             self.clock_ms += 2.0
             return DeliveryResult(
                 packet=packet, status="unreachable", detail="path blackholed"
             )
-        destination = self._hosts_by_address.get(packet.dst)
-        if destination is None:
-            # No such host: the packet dies in transit after a plausible delay.
-            self.clock_ms += 3.0
-            return DeliveryResult(packet=packet, status="unreachable")
+        entry = self._dst_memo.get(id(dst))
+        if entry is not None:
+            destination = entry[1]
+        else:
+            destination = self._hosts_by_address.get(dst)
+            if destination is None:
+                # No such host: the packet dies in transit after a
+                # plausible delay.  (Misses are not memoised — the address
+                # may be registered later.)
+                self.clock_ms += 3.0
+                return DeliveryResult(packet=packet, status="unreachable")
+            if len(self._dst_memo) >= 8192:
+                self._dst_memo.clear()
+            self._dst_memo[id(dst)] = (dst, destination)
 
-        hops = self.latency.hops_between(source.location, destination.location)
+        latency = self.latency
+        src_loc = source.location
+        dst_loc = destination.location
+        hops = latency._pair_stats(src_loc, dst_loc)[1]
         if packet.ttl <= hops:
             # Expired at an intermediate router.
             hop_index = packet.ttl
@@ -183,11 +248,7 @@ class Internet:
             )
             fraction = hop_index / max(1, hops)
             rtt = (
-                self.latency.rtt_ms(
-                    source.location,
-                    destination.location,
-                    self._jitter_sample(packet),
-                )
+                latency.rtt_ms(src_loc, dst_loc, self._jitter_sample(packet))
                 * fraction
             )
             self.clock_ms += rtt
@@ -206,11 +267,16 @@ class Internet:
                 detail=str(router_addr),
             )
 
-        rtt = self.latency.rtt_ms(
-            source.location, destination.location, self._jitter_sample(packet)
-        )
+        sample = packet.__dict__.get("_jitter_sample")
+        if sample is None:
+            sample = self._jitter_sample(packet)
+        rtt = latency.rtt_ms(src_loc, dst_loc, sample)
         self.clock_ms += rtt / 2.0
-        responses = destination.receive(packet.decrement_ttl()) or []
+        # Inline `decrement_ttl` memo fast path (hot: once per delivery).
+        delivered = packet.__dict__.get("_dec")
+        if delivered is None:
+            delivered = packet.decrement_ttl()
+        responses = destination.receive(delivered) or []
         self.clock_ms += rtt / 2.0
         return DeliveryResult(
             packet=packet, status="delivered", rtt_ms=rtt, responses=responses
@@ -230,13 +296,7 @@ class Internet:
         if src_addr is None:
             return [PingResult(target=target, rtt_ms=None)] * count
         for sequence in range(count):
-            probe = Packet(
-                src=src_addr,
-                dst=target,
-                payload=IcmpPayload(
-                    icmp_type="echo_request", identifier=1, sequence=sequence
-                ),
-            )
+            probe = self._probe(src_addr, target, 1, sequence)
             # RTT is measured on the simulation clock so that multi-leg
             # paths (e.g. through a VPN tunnel) accumulate correctly.  The
             # delta is rounded to nanoseconds: subtraction near a large
@@ -266,14 +326,7 @@ class Internet:
             return []
         hops: list[TracerouteHop] = []
         for ttl in range(1, max_ttl + 1):
-            probe = Packet(
-                src=src_addr,
-                dst=target,
-                ttl=ttl,
-                payload=IcmpPayload(
-                    icmp_type="echo_request", identifier=2, sequence=ttl
-                ),
-            )
+            probe = self._probe(src_addr, target, 2, ttl, ttl=ttl)
             started = self.clock_ms
             outcome = source.send(probe)
             elapsed = round(self.clock_ms - started, 6)
@@ -319,24 +372,58 @@ class Internet:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _probe(
+        self,
+        src: Address,
+        dst: Address,
+        identifier: int,
+        sequence: int,
+        ttl: int = DEFAULT_TTL,
+    ) -> Packet:
+        """An interned echo-request probe (content-identical to a fresh one)."""
+        cache_key = (src, dst, identifier, sequence)
+        probe = self._probe_cache.get(cache_key)
+        if probe is None:
+            probe = Packet(
+                src=src,
+                dst=dst,
+                ttl=ttl,
+                payload=IcmpPayload(
+                    icmp_type="echo_request",
+                    identifier=identifier,
+                    sequence=sequence,
+                ),
+            )
+            if len(self._probe_cache) >= 65536:
+                self._probe_cache.clear()
+            self._probe_cache[cache_key] = probe
+        return probe
+
     def _router_at(
         self, source: Host, destination: Host, hop: int, total_hops: int
     ) -> tuple[Address, GeoPoint]:
         """Deterministic synthetic router for hop *hop* on a path."""
-        key = f"{source.location.lat},{source.location.lon}->" \
-              f"{destination.location.lat},{destination.location.lon}#{hop}"
+        src_loc = source.location
+        dst_loc = destination.location
+        cache_key = (src_loc, dst_loc, hop, total_hops)
+        cached = self._router_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        key = f"{src_loc.lat},{src_loc.lon}->" \
+              f"{dst_loc.lat},{dst_loc.lon}#{hop}"
         digest = hashlib.sha256(key.encode("ascii")).digest()
         suffix = int.from_bytes(digest[:3], "big") & 0x3FFFFF
         address = IPv4Address(_ROUTER_PREFIX | suffix)
         fraction = hop / max(1, total_hops)
         location = GeoPoint(
-            lat=source.location.lat
-            + (destination.location.lat - source.location.lat) * fraction,
-            lon=source.location.lon
-            + (destination.location.lon - source.location.lon) * fraction,
+            lat=src_loc.lat + (dst_loc.lat - src_loc.lat) * fraction,
+            lon=src_loc.lon + (dst_loc.lon - src_loc.lon) * fraction,
             country="",
         )
-        return address, location
+        if len(self._router_cache) >= 4096:
+            self._router_cache.clear()
+        result = self._router_cache[cache_key] = (address, location)
+        return result
 
 
 def _source_address_for(source: Host, target: Address) -> Optional[Address]:

@@ -48,18 +48,77 @@ class LatencyModel:
     per_hop_ms: float = 0.12
     jitter_ms: float = 0.25
 
+    # Memoisation of the pure geometry/hash functions below.  Every cached
+    # value is a deterministic function of its key, so the caches cannot
+    # change a single emitted byte — they only skip recomputation.  The
+    # study probes the same few hundred location pairs ~10^5 times.
+    _PAIR_CACHE_LIMIT = 1 << 16
+    _JITTER_CACHE_LIMIT = 1 << 17
+
+    def __post_init__(self) -> None:
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        # The hot caches are keyed by GeoPoint *identity* — (id(a), id(b))
+        # int tuples hash at C speed, whereas value keys would pay a
+        # Python-level ``GeoPoint.__hash__`` frame per probe (hundreds of
+        # thousands per study).  Every cached number is a pure function of
+        # the coordinates, so identity keying returns identical values; an
+        # equal-valued but distinct point merely recomputes.  ``_pins``
+        # holds a strong reference to every keyed point so an id can never
+        # be recycled while a cache entry mentions it.
+        object.__setattr__(self, "_pair_cache", {})
+        object.__setattr__(self, "_jitter_cache", {})
+        object.__setattr__(self, "_rtt_cache", {})
+        object.__setattr__(self, "_prefix_cache", {})
+        object.__setattr__(self, "_pins", {})
+
+    # The caches are derived state; keep pickled worlds lean.
+    def __getstate__(self) -> dict:
+        return {
+            "base_ms": self.base_ms,
+            "path_stretch": self.path_stretch,
+            "per_hop_ms": self.per_hop_ms,
+            "jitter_ms": self.jitter_ms,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self._reset_caches()
+
+    def _pair_stats(self, a: GeoPoint, b: GeoPoint) -> tuple[float, int]:
+        """(propagation_ms, hop count) for an endpoint pair, memoised."""
+        cache: dict = self._pair_cache  # type: ignore[attr-defined]
+        key = (id(a), id(b))
+        stats = cache.get(key)
+        if stats is None:
+            distance = a.distance_km(b)
+            propagation = (
+                self.base_ms
+                + (distance * self.path_stretch) / _FIBRE_KM_PER_MS
+            )
+            if distance < 50.0:
+                hops = 3
+            else:
+                # ~1 hop per 600 km after the first few.
+                hops = 4 + int(distance // 600.0)
+            if len(cache) >= self._PAIR_CACHE_LIMIT:
+                self._reset_caches()
+                cache = self._pair_cache  # type: ignore[attr-defined]
+            pins: dict = self._pins  # type: ignore[attr-defined]
+            pins[id(a)] = a
+            pins[id(b)] = b
+            stats = cache[key] = (propagation, hops)
+        return stats
+
     def propagation_ms(self, a: GeoPoint, b: GeoPoint) -> float:
         """One-way propagation delay between two points, jitter-free."""
-        distance = a.distance_km(b)
-        return self.base_ms + (distance * self.path_stretch) / _FIBRE_KM_PER_MS
+        return self._pair_stats(a, b)[0]
 
     def hops_between(self, a: GeoPoint, b: GeoPoint) -> int:
         """Plausible router hop count, growing with distance."""
-        distance = a.distance_km(b)
-        if distance < 50.0:
-            return 3
-        # ~1 hop per 600 km after the first few.
-        return 4 + int(distance // 600.0)
+        return self._pair_stats(a, b)[1]
 
     def one_way_ms(self, a: GeoPoint, b: GeoPoint, sample: int = 0) -> float:
         """One-way latency including per-hop cost and deterministic jitter.
@@ -67,19 +126,85 @@ class LatencyModel:
         ``sample`` selects among jitter realisations so that repeated probes
         between the same endpoints are not byte-identical.
         """
-        hops = self.hops_between(a, b)
+        propagation, hops = self._pair_stats(a, b)
         jitter = self._jitter(a, b, sample)
-        return self.propagation_ms(a, b) + hops * self.per_hop_ms + jitter
+        return propagation + hops * self.per_hop_ms + jitter
 
     def rtt_ms(self, a: GeoPoint, b: GeoPoint, sample: int = 0) -> float:
-        """Round-trip time between two points."""
-        return self.one_way_ms(a, b, sample) + self.one_way_ms(b, a, sample + 1)
+        """Round-trip time between two points.
+
+        The miss path inlines ``one_way_ms``/``_jitter``: RTT is the hottest
+        latency entry point and packet-derived samples rarely repeat, so the
+        intermediate per-sample caches cannot pay for their probes here.  The
+        arithmetic keeps the exact expression shape of ``one_way_ms(a, b, s)
+        + one_way_ms(b, a, s + 1)`` so every float rounds identically.
+        """
+        cache: dict = self._rtt_cache  # type: ignore[attr-defined]
+        id_a = id(a)
+        id_b = id(b)
+        key = (id_a, id_b, sample)
+        rtt = cache.get(key)
+        if rtt is None:
+            per_hop = self.per_hop_ms
+            jitter_ms = self.jitter_ms
+            prop_ab, hops_ab = self._pair_stats(a, b)
+            prop_ba, hops_ba = self._pair_stats(b, a)
+            prefixes: dict = self._prefix_cache  # type: ignore[attr-defined]
+            prefix_ab = prefixes.get((id_a, id_b))
+            if prefix_ab is None:
+                prefix_ab = prefixes[(id_a, id_b)] = (
+                    f"{a.lat:.4f},{a.lon:.4f}|{b.lat:.4f},{b.lon:.4f}|"
+                ).encode("ascii")
+            prefix_ba = prefixes.get((id_b, id_a))
+            if prefix_ba is None:
+                prefix_ba = prefixes[(id_b, id_a)] = (
+                    f"{b.lat:.4f},{b.lon:.4f}|{a.lat:.4f},{a.lon:.4f}|"
+                ).encode("ascii")
+            digest_ab = hashlib.sha256(
+                prefix_ab + str(sample).encode("ascii")
+            ).digest()
+            digest_ba = hashlib.sha256(
+                prefix_ba + str(sample + 1).encode("ascii")
+            ).digest()
+            jitter_ab = (
+                int.from_bytes(digest_ab[:4], "big") / 0xFFFFFFFF
+            ) * jitter_ms
+            jitter_ba = (
+                int.from_bytes(digest_ba[:4], "big") / 0xFFFFFFFF
+            ) * jitter_ms
+            rtt = (prop_ab + hops_ab * per_hop + jitter_ab) + (
+                prop_ba + hops_ba * per_hop + jitter_ba
+            )
+            if len(cache) >= self._JITTER_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = rtt
+        return rtt
 
     def _jitter(self, a: GeoPoint, b: GeoPoint, sample: int) -> float:
-        key = f"{a.lat:.4f},{a.lon:.4f}|{b.lat:.4f},{b.lon:.4f}|{sample}"
-        digest = hashlib.sha256(key.encode("ascii")).digest()
-        unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
-        return unit * self.jitter_ms
+        cache: dict = self._jitter_cache  # type: ignore[attr-defined]
+        id_a = id(a)
+        id_b = id(b)
+        key = (id_a, id_b, sample)
+        jitter = cache.get(key)
+        if jitter is None:
+            # The pair prefix of the hash key is memoised; concatenating the
+            # encoded sample yields bytes identical to encoding the full
+            # f-string (everything is ASCII), so the digest cannot change.
+            prefixes: dict = self._prefix_cache  # type: ignore[attr-defined]
+            prefix = prefixes.get((id_a, id_b))
+            if prefix is None:
+                pins: dict = self._pins  # type: ignore[attr-defined]
+                pins[id_a] = a
+                pins[id_b] = b
+                prefix = prefixes[(id_a, id_b)] = (
+                    f"{a.lat:.4f},{a.lon:.4f}|{b.lat:.4f},{b.lon:.4f}|"
+                ).encode("ascii")
+            digest = hashlib.sha256(prefix + str(sample).encode("ascii")).digest()
+            unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+            if len(cache) >= self._JITTER_CACHE_LIMIT:
+                cache.clear()
+            jitter = cache[key] = unit * self.jitter_ms
+        return jitter
 
 
 DEFAULT_LATENCY_MODEL = LatencyModel()

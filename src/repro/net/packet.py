@@ -16,12 +16,19 @@ round-trip fidelity.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.net.addresses import Address, parse_address
 
 DEFAULT_TTL = 64
+
+# Packet and payload reprs feed the delivery layer's deterministic jitter
+# keys, so the same frozen object is rendered over and over as it crosses
+# encapsulation layers.  Each class below therefore defines a memoised
+# ``__repr__`` producing the exact string the dataclass-generated repr
+# would (same field order, same ``name=value!r`` rendering): the bytes
+# hashed for jitter cannot change, only the rework is skipped.
 
 
 @dataclass(frozen=True)
@@ -32,6 +39,16 @@ class RawPayload:
     size: int = 0
 
     kind = "raw"
+
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(label={self.label!r}, "
+                f"size={self.size!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
 
     def describe(self) -> str:
         return f"raw({self.label},{self.size}B)"
@@ -49,6 +66,18 @@ class DnsPayload:
     txid: int = 0
 
     kind = "dns"
+
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(qname={self.qname!r}, "
+                f"qtype={self.qtype!r}, is_response={self.is_response!r}, "
+                f"rcode={self.rcode!r}, answers={self.answers!r}, "
+                f"txid={self.txid!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
 
     def describe(self) -> str:
         direction = "resp" if self.is_response else "query"
@@ -74,6 +103,18 @@ class HttpPayload:
 
     kind = "http"
 
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(method={self.method!r}, "
+                f"url={self.url!r}, status={self.status!r}, "
+                f"headers={self.headers!r}, body_label={self.body_label!r}, "
+                f"body_size={self.body_size!r}, body={self.body!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
+
     @property
     def is_response(self) -> bool:
         return self.status != 0
@@ -95,6 +136,18 @@ class TlsPayload:
 
     kind = "tls"
 
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(sni={self.sni!r}, "
+                f"record={self.record!r}, "
+                f"certificate_fingerprint={self.certificate_fingerprint!r}, "
+                f"size={self.size!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
+
     def describe(self) -> str:
         return f"tls({self.record} sni={self.sni})"
 
@@ -110,6 +163,18 @@ class IcmpPayload:
 
     kind = "icmp"
 
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(icmp_type={self.icmp_type!r}, "
+                f"identifier={self.identifier!r}, "
+                f"sequence={self.sequence!r}, "
+                f"original_dst={self.original_dst!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
+
     def describe(self) -> str:
         return f"icmp({self.icmp_type} seq={self.sequence})"
 
@@ -121,6 +186,16 @@ class UdpDatagram:
     payload: "AppPayload" = field(default_factory=RawPayload)
 
     kind = "udp"
+
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(src_port={self.src_port!r}, "
+                f"dst_port={self.dst_port!r}, payload={self.payload!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
 
     def describe(self) -> str:
         return f"udp:{self.src_port}->{self.dst_port} {self.payload.describe()}"
@@ -135,6 +210,17 @@ class TcpSegment:
     payload: "AppPayload" = field(default_factory=RawPayload)
 
     kind = "tcp"
+
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(src_port={self.src_port!r}, "
+                f"dst_port={self.dst_port!r}, flags={self.flags!r}, "
+                f"seq={self.seq!r}, payload={self.payload!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
 
     def describe(self) -> str:
         return (
@@ -158,6 +244,16 @@ class TunnelPayload:
     cipher: str = "AES-256-GCM"
 
     kind = "tunnel"
+
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(protocol={self.protocol!r}, "
+                f"inner={self.inner!r}, cipher={self.cipher!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
 
     @property
     def size(self) -> int:
@@ -196,11 +292,83 @@ class Packet:
             return header + payload_size
         return header + 8 + (inner_size or 0)
 
+    def __repr__(self) -> str:
+        r = self.__dict__.get("_repr")
+        if r is None:
+            r = (
+                f"{self.__class__.__qualname__}(src={self.src!r}, "
+                f"dst={self.dst!r}, payload={self.payload!r}, "
+                f"ttl={self.ttl!r})"
+            )
+            object.__setattr__(self, "_repr", r)
+        return r
+
+    def __hash__(self) -> int:
+        # Same tuple the generated dataclass hash uses, memoised: packets
+        # key the delivery-layer jitter cache and are hashed repeatedly as
+        # they traverse tunnel encapsulation layers.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.src, self.dst, self.payload, self.ttl))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def decrement_ttl(self) -> "Packet":
-        return replace(self, ttl=self.ttl - 1)
+        # Direct construction: dataclasses.replace re-derives the field
+        # list on every call and is ~4x slower on this per-hop path.  The
+        # result is memoised: packets are frozen, so the decremented copy
+        # is the same for the lifetime of this object, and reusing it lets
+        # downstream per-object memos (jitter sample, echo reply) hit.
+        dec = self.__dict__.get("_dec")
+        if dec is None:
+            dec = Packet(
+                src=self.src, dst=self.dst, payload=self.payload,
+                ttl=self.ttl - 1,
+            )
+            object.__setattr__(self, "_dec", dec)
+        return dec
+
+    def with_src(self, src: Address) -> "Packet":
+        """A copy with a rewritten source (tunnel session rewrites).
+
+        Memoised per source: the tunnel chain rewrites the same packet with
+        the same session/egress address on every traversal, and a stable
+        object lets the delivery layer's per-object memos hit downstream.
+        """
+        cache = self.__dict__.get("_with_src")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_with_src", cache)
+        rewritten = cache.get(src)
+        if rewritten is None:
+            rewritten = cache[src] = Packet(
+                src=src, dst=self.dst, payload=self.payload, ttl=self.ttl
+            )
+        return rewritten
+
+    def with_dst(self, dst: Address) -> "Packet":
+        """A copy with a rewritten destination (tunnel reply routing)."""
+        cache = self.__dict__.get("_with_dst")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_with_dst", cache)
+        rewritten = cache.get(dst)
+        if rewritten is None:
+            rewritten = cache[dst] = Packet(
+                src=self.src, dst=dst, payload=self.payload, ttl=self.ttl
+            )
+        return rewritten
 
     def describe(self) -> str:
         return f"{self.src} -> {self.dst} ttl={self.ttl} {self.payload.describe()}"
+
+    # Keep derived memos (leading underscore) out of pickled captures and
+    # world snapshots: cached hashes are salted per-process and must not
+    # survive into another interpreter.
+    def __getstate__(self) -> dict:
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_")
+        }
 
     # ------------------------------------------------------------------
     # Serialisation: a stable JSON encoding used by persisted captures.

@@ -49,14 +49,53 @@ class Route:
         )
 
 
+_MISS = object()  # lookup-cache sentinel (None is a valid cached result)
+
+
 class RoutingTable:
-    """An ordered collection of routes with longest-prefix-match lookup."""
+    """An ordered collection of routes with longest-prefix-match lookup.
+
+    Lookup is indexed: routes are bucketed by (IP version, prefix length,
+    network value), and a longest-prefix match walks the populated prefix
+    lengths in descending order instead of linearly scanning every route.
+    A generation counter tracks mutations; the index and the per-destination
+    lookup memo are rebuilt lazily whenever the table has changed, so
+    correctness never depends on call order.  Semantics are unchanged from
+    the linear implementation: longest prefix wins, ties break by lowest
+    metric, then by most recently added.
+    """
 
     def __init__(self) -> None:
         self._routes: list[Route] = []
+        # Mutation generation; bumped by add/remove, compared lazily.
+        self._generation = 0
+        # version -> prefix_len -> network value -> [(insertion idx, Route)]
+        self._buckets: dict[int, dict[int, dict[int, list[tuple[int, Route]]]]]
+        self._buckets = {}
+        # version -> populated prefix lengths, descending (index walk order).
+        self._plens: dict[int, list[int]] = {}
+        self._index_generation = -1
+        # id(destination) -> (destination, Optional[Route]) memo, valid for
+        # one generation.  Identity keys hash at C speed (value keys would
+        # pay a Python-level dataclass ``__hash__`` frame per probe on the
+        # packet hot path); the destination reference held in the entry pins
+        # the id against recycling.  Equal-but-distinct destinations merely
+        # recompute the same route.
+        self._lookup_cache: dict[int, tuple[Address, Optional[Route]]] = {}
+        self._cache_generation = -1
+
+    # Derived state (index + memo) is rebuilt on demand; keep pickled
+    # worlds lean by persisting only the canonical route list.
+    def __getstate__(self) -> dict:
+        return {"_routes": self._routes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()  # type: ignore[misc]
+        self._routes = state["_routes"]
 
     def add(self, route: Route) -> None:
         self._routes.append(route)
+        self._generation += 1
 
     def add_prefix(
         self,
@@ -87,32 +126,57 @@ class RoutingTable:
 
         before = len(self._routes)
         self._routes = [r for r in self._routes if not matches(r)]
+        self._generation += 1
         return before - len(self._routes)
 
     def routes(self) -> list[Route]:
         return list(self._routes)
 
+    def _rebuild_index(self) -> None:
+        buckets: dict[int, dict[int, dict[int, list[tuple[int, Route]]]]] = {}
+        for index, route in enumerate(self._routes):
+            prefix = route.prefix
+            by_plen = buckets.setdefault(prefix.version, {})
+            by_value = by_plen.setdefault(prefix.prefix_len, {})
+            by_value.setdefault(prefix.network.value, []).append((index, route))
+        self._buckets = buckets
+        self._plens = {
+            version: sorted(by_plen, reverse=True)
+            for version, by_plen in buckets.items()
+        }
+        self._index_generation = self._generation
+
     def lookup(self, destination: str | Address) -> Optional[Route]:
         """Longest-prefix match; ties broken by lowest metric, then recency."""
         if isinstance(destination, str):
             destination = parse_address(destination)
+        if self._cache_generation != self._generation:
+            self._lookup_cache.clear()
+            self._cache_generation = self._generation
+        cached = self._lookup_cache.get(id(destination))
+        if cached is not None:
+            return cached[1]
+        if self._index_generation != self._generation:
+            self._rebuild_index()
         best: Optional[Route] = None
-        best_index = -1
-        for index, route in enumerate(self._routes):
-            if route.prefix.version != destination.version:
-                continue
-            if destination not in route.prefix:
-                continue
-            if best is None:
-                best, best_index = route, index
-                continue
-            if route.prefix.prefix_len > best.prefix.prefix_len:
-                best, best_index = route, index
-            elif route.prefix.prefix_len == best.prefix.prefix_len:
-                if route.metric < best.metric or (
-                    route.metric == best.metric and index > best_index
-                ):
-                    best, best_index = route, index
+        by_plen = self._buckets.get(destination.version)
+        if by_plen:
+            value = destination.value
+            masks = (
+                IPv4Network._masks
+                if destination.version == 4
+                else IPv6Network._masks
+            )
+            for prefix_len in self._plens[destination.version]:
+                candidates = by_plen[prefix_len].get(value & masks[prefix_len])
+                if candidates:
+                    best = min(
+                        candidates, key=lambda pair: (pair[1].metric, -pair[0])
+                    )[1]
+                    break
+        if len(self._lookup_cache) >= 4096:
+            self._lookup_cache.clear()
+        self._lookup_cache[id(destination)] = (destination, best)
         return best
 
     def default_route(self, version: int = 4) -> Optional[Route]:

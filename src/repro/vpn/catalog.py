@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
-from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.addresses import IPv4Address, IPv4Network, parse_network
 from repro.net.geo import cities_in_country, country_centroid
 from repro.vpn.provider import (
     BehaviorFlags,
@@ -190,12 +191,17 @@ def _city_for_country(country: str, salt: int = 0) -> str:
     return cities[_stable_hash(country, salt) % len(cities)]
 
 
+@lru_cache(maxsize=None)
 def _asn_for_block(block: str) -> int:
+    # Pure function of the block text; providers share a handful of blocks
+    # across hundreds of vantage points, so memoise the whole lookup (and
+    # intern the CIDR parses) rather than re-scanning the pools each time.
     for cidr, (asn, _cc, _providers) in TABLE5_BLOCKS.items():
         if cidr == block:
             return asn
+    parsed = parse_network(block)
     for cidr, asn in HOSTING_POOLS:
-        if IPv4Network.parse(cidr).contains_network(IPv4Network.parse(block)):
+        if parse_network(cidr).contains_network(parsed):
             return asn
     return 64512 + _stable_hash(block) % 1000  # private-range fallback
 

@@ -228,8 +228,6 @@ class VpnClient:
 
     # ------------------------------------------------------------------
     def _install_relay_exit(self, physical_name: str) -> None:
-        from dataclasses import replace as dc_replace
-
         from repro.net.packet import TunnelPayload
 
         def relay_exit(packet, host):
@@ -247,7 +245,7 @@ class VpnClient:
             # directly via the hardware interface (a raw-socket exit that
             # bypasses the tunnel's default route) — the exact signal the
             # P2P detection scans for on the capture.
-            outbound = dc_replace(inner, src=source)
+            outbound = inner.with_src(source)
             assert host.internet is not None
             physical.capture.record(
                 host.internet.clock_ms, "tx", outbound
@@ -264,7 +262,7 @@ class VpnClient:
                     dst=packet.src,
                     payload=TunnelPayload(
                         protocol=payload.protocol,
-                        inner=dc_replace(response, dst=inner.src),
+                        inner=response.with_dst(inner.src),
                     ),
                 )
                 for response in responses

@@ -15,7 +15,6 @@ the paper's Section 6.4.2 analysis.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.dns.server import RecursiveResolverServer
@@ -116,9 +115,9 @@ class VantagePointServer:
         if inner.dst.version == 6:
             if self.egress_address_v6 is None:
                 return []  # v4-only vantage point cannot carry IPv6
-            outbound = replace(inner, src=self.egress_address_v6)
+            outbound = inner.with_src(self.egress_address_v6)
         else:
-            outbound = replace(inner, src=self.egress_address)
+            outbound = inner.with_src(self.egress_address)
 
         context = EgressContext(
             provider_name=self.provider_name,
@@ -128,8 +127,8 @@ class VantagePointServer:
         for behavior in self.behaviors:
             behavior.on_request(context)
             if context.synthetic_response is not None:
-                synthetic = replace(
-                    context.synthetic_response, dst=client_tunnel_address
+                synthetic = context.synthetic_response.with_dst(
+                    client_tunnel_address
                 )
                 return [synthetic]
         outbound = context.outbound
@@ -141,7 +140,7 @@ class VantagePointServer:
         for response in responses:
             for behavior in self.behaviors:
                 response = behavior.on_response(context, response)
-            processed.append(replace(response, dst=client_tunnel_address))
+            processed.append(response.with_dst(client_tunnel_address))
         return processed
 
     # ------------------------------------------------------------------

@@ -21,10 +21,12 @@ kill-switch configuration:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.addresses import Address
+from repro.net.capture import CaptureEntry
+from repro.net.firewall import FirewallAction
 from repro.net.internet import DeliveryResult
 from repro.net.packet import Packet, TunnelPayload
 
@@ -70,17 +72,26 @@ class TunnelEndpoint:
             return self._leak(inner)
 
         outer = self._encapsulate(inner)
-        physical = self.host.interfaces.get(self.physical_interface)
+        host = self.host
+        physical = host.interfaces.get(self.physical_interface)
         if physical is None or not physical.up:
             return DeliveryResult(packet=inner, status="interface_down",
                                   detail=self.physical_interface)
 
-        if not self.host.firewall.permits(outer, "out", physical.name):
+        firewall = host.firewall
+        if (
+            firewall._rules or firewall.default is not FirewallAction.ALLOW
+        ) and not firewall.permits(outer, "out", physical.name):
             return self._handle_outer_failure(inner, "egress firewall")
 
-        assert self.host.internet is not None
-        physical.capture.record(self.host.internet.clock_ms, "tx", outer)
-        outcome = self.host.internet.deliver(outer, self.host)
+        internet = host.internet
+        assert internet is not None
+        capture = physical.capture
+        if capture.enabled:
+            capture.entries.append(
+                CaptureEntry(internet.clock_ms, "tx", capture.interface, outer)
+            )
+        outcome = internet.deliver(outer, host)
         if not outcome.ok:
             return self._handle_outer_failure(inner, outcome.status)
 
@@ -91,8 +102,13 @@ class TunnelEndpoint:
         self.carried_packets += 1
 
         inner_responses: list[Packet] = []
+        record_rx = capture.enabled
+        clock_ms = internet.clock_ms
         for response in outcome.responses:
-            physical.capture.record(self.host.internet.clock_ms, "rx", response)
+            if record_rx:
+                capture.entries.append(
+                    CaptureEntry(clock_ms, "rx", capture.interface, response)
+                )
             payload = response.payload
             if isinstance(payload, TunnelPayload):
                 inner_responses.append(payload.inner)
@@ -108,6 +124,18 @@ class TunnelEndpoint:
 
     # ------------------------------------------------------------------
     def _encapsulate(self, inner: Packet) -> Packet:
+        # Memoised per inner-packet content for this endpoint: repeated
+        # probes re-encapsulate identically, and reusing the outer object
+        # lets the delivery layer's per-object memos (hash, jitter sample,
+        # TTL copy) hit.  Physical/tunnel addressing is fixed for the
+        # lifetime of the endpoint, so the cached outer cannot go stale.
+        cache = getattr(self, "_encap_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_encap_cache", cache)
+        outer = cache.get(inner)
+        if outer is not None:
+            return outer
         physical = self.host.interfaces[self.physical_interface]
         src = physical.address_for_version(self.server_address.version)
         if src is None:
@@ -117,12 +145,16 @@ class TunnelEndpoint:
         session_source = self.client_tunnel_address
         if inner.dst.version == 6 and self.client_tunnel_address_v6 is not None:
             session_source = self.client_tunnel_address_v6
-        inner = replace(inner, src=session_source)
-        return Packet(
+        rewritten = inner.with_src(session_source)
+        outer = Packet(
             src=src,
             dst=self.server_address,
-            payload=TunnelPayload(protocol=self.protocol.name, inner=inner),
+            payload=TunnelPayload(protocol=self.protocol.name, inner=rewritten),
         )
+        if len(cache) >= 16384:
+            cache.clear()
+        cache[inner] = outer
+        return outer
 
     def _handle_outer_failure(self, inner: Packet, detail: str) -> DeliveryResult:
         self.consecutive_failures += 1
@@ -152,7 +184,7 @@ class TunnelEndpoint:
         if src is None:
             return DeliveryResult(packet=inner, status="no_route",
                                   detail="no plaintext source address")
-        plaintext = replace(inner, src=src)
+        plaintext = inner.with_src(src)
         if not self.host.firewall.permits(plaintext, "out", physical.name):
             return DeliveryResult.filtered(plaintext, "egress firewall")
         assert self.host.internet is not None

@@ -65,18 +65,24 @@ class Document:
         return hashlib.sha256(self.serialise().encode()).hexdigest()[:32]
 
     def serialise(self) -> str:
-        return json.dumps(
-            {
-                "url": self.url,
-                "title": self.title,
-                "elements": [
-                    {"tag": e.tag, "attrs": list(e.attrs), "text": e.text}
-                    for e in self.elements
-                ],
-            },
-            separators=(",", ":"),
-            sort_keys=True,
-        )
+        # Documents are frozen; origin servers serialise the same page on
+        # every request, so the rendering is memoised on the instance.
+        cached = self.__dict__.get("_serialised")
+        if cached is None:
+            cached = json.dumps(
+                {
+                    "url": self.url,
+                    "title": self.title,
+                    "elements": [
+                        {"tag": e.tag, "attrs": list(e.attrs), "text": e.text}
+                        for e in self.elements
+                    ],
+                },
+                separators=(",", ":"),
+                sort_keys=True,
+            )
+            object.__setattr__(self, "_serialised", cached)
+        return cached
 
     @classmethod
     def deserialise(cls, data: str) -> "Document":

@@ -28,6 +28,15 @@ from repro.web.url import Url
 VpnRangePredicate = Callable[[str], bool]
 
 
+def _never_vpn(_addr: str) -> bool:
+    """Default predicate when no world-level blacklist is wired in.
+
+    A module-level function (not a lambda) so that worlds embedding a
+    server remain picklable — snapshot cloning depends on it.
+    """
+    return False
+
+
 def _http_reply(
     packet: Packet, segment: TcpSegment, response: HttpResponse
 ) -> list[Packet]:
@@ -78,7 +87,7 @@ class OriginWebServer:
     ) -> None:
         self.site = site
         self.cert_store = cert_store
-        self.is_vpn_address = is_vpn_address or (lambda _addr: False)
+        self.is_vpn_address = is_vpn_address or _never_vpn
         self.document: Document = generate_document(site)
         self.request_log: list[HttpRequest] = []
 
@@ -230,18 +239,30 @@ class BlockPageServer:
     def handle_https(
         self, cert_store: CertificateStore
     ) -> Callable[[Packet, Host], Optional[list[Packet]]]:
-        def handler(packet: Packet, host: Host) -> Optional[list[Packet]]:
-            segment = packet.payload
-            if not isinstance(segment, TcpSegment):
-                return None
-            payload = segment.payload
-            if isinstance(payload, TlsPayload) and payload.record == "client_hello":
-                destination_host = Url.parse(self.url).host
-                chain = cert_store.chain_for(destination_host)
-                return _tls_reply(packet, segment, chain, payload.sni)
-            return self.handle_http(packet, host)
+        # A picklable callable object, not a nested closure: the handler
+        # ends up bound inside hosts that world snapshotting pickles.
+        return _BlockPageHttpsHandler(server=self, cert_store=cert_store)
 
-        return handler
+
+class _BlockPageHttpsHandler:
+    """TLS-aware service handler for a :class:`BlockPageServer`."""
+
+    def __init__(
+        self, server: BlockPageServer, cert_store: CertificateStore
+    ) -> None:
+        self.server = server
+        self.cert_store = cert_store
+
+    def __call__(self, packet: Packet, host: Host) -> Optional[list[Packet]]:
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment):
+            return None
+        payload = segment.payload
+        if isinstance(payload, TlsPayload) and payload.record == "client_hello":
+            destination_host = Url.parse(self.server.url).host
+            chain = self.cert_store.chain_for(destination_host)
+            return _tls_reply(packet, segment, chain, payload.sni)
+        return self.server.handle_http(packet, host)
 
 
 def install_web_service(

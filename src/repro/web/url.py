@@ -11,6 +11,7 @@ the simulated namespace.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 # A compact public-suffix set: generic TLDs plus the multi-label suffixes the
 # site catalogue and block pages use. Real PSL semantics (longest match wins).
 PUBLIC_SUFFIXES: frozenset[str] = frozenset(
@@ -96,6 +97,12 @@ class Url:
 
     @classmethod
     def parse(cls, text: str) -> "Url":
+        # Urls are frozen, so parses are interned: browsers, origin servers
+        # and the analysis passes all re-parse the same few site URLs.
+        return _parse_url(text)
+
+    @classmethod
+    def _parse(cls, text: str) -> "Url":
         text = text.strip()
         scheme, sep, rest = text.partition("://")
         if not sep:
@@ -145,6 +152,11 @@ class Url:
 
     def __str__(self) -> str:
         return f"{self.origin}{self.path}"
+
+
+@lru_cache(maxsize=4096)
+def _parse_url(text: str) -> Url:
+    return Url._parse(text)
 
 
 def urls_related(url_a: str | Url, url_b: str | Url) -> bool:

@@ -32,7 +32,12 @@ from repro.dns.server import (
 from repro.dns.zone import ZoneRegistry
 from repro.geoip import standard_databases
 from repro.geoip.database import GeoIpDatabase
-from repro.net.addresses import IPv4Address, IPv4Network, parse_address
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    NetworkSet,
+    parse_address,
+)
 from repro.net.geo import CITY_COORDINATES, GeoPoint, city_location
 from repro.net.host import Host
 from repro.net.interface import Interface
@@ -144,6 +149,9 @@ class World:
         self.whois = WhoisRegistry()
         self._vp_by_address: dict[str, VantagePoint] = {}
         self._vpn_blocks: list[IPv4Network] = []
+        # Prefix-length-bucketed view of the same blocks; membership tests
+        # are O(#distinct prefix lengths) instead of O(#blocks).
+        self._vpn_block_set = NetworkSet()
         self._host_counter = itertools.count()
 
     # ------------------------------------------------------------------
@@ -475,6 +483,7 @@ class World:
             provider.vantage_points.append(vantage_point)
             self._vp_by_address[spec.address] = vantage_point
             self._vpn_blocks.append(vantage_point.block)
+            self._vpn_block_set.add(vantage_point.block)
         return provider
 
     def _physical_location(self, spec) -> GeoPoint:
@@ -548,7 +557,7 @@ class World:
             return False
         if not isinstance(parsed, IPv4Address):
             return False
-        return any(parsed in block for block in self._vpn_blocks)
+        return parsed in self._vpn_block_set
 
 
 def _is_ip_literal(host: str) -> bool:

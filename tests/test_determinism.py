@@ -5,7 +5,21 @@ and the stochastic components must be stable functions of their seeds —
 this is what makes the EXPERIMENTS.md numbers re-derivable.
 """
 
+import hashlib
+
 import pytest
+
+# SHA-256 over the golden study archive (seed=2018, providers below,
+# max_vantage_points=2): for every *.json under the archive root in sorted
+# order, the relative path bytes, a NUL, the file bytes, a NUL.  This value
+# was recorded before the hot-path optimisation work and pins the archive
+# bit-for-bit: any cache or fast path that changes a single emitted byte —
+# an RTT, a capture entry, a verdict — fails this test.  It must only ever
+# be updated for an intentional, reviewed output change.
+GOLDEN_STUDY_FINGERPRINT = (
+    "089be0e16eadd949c1d0e5a81d691eb9381b69e195cc8f4a13df111c83c08a86"
+)
+GOLDEN_STUDY_PROVIDERS = ["Seed4.me", "PureVPN", "MyIP.io"]
 
 
 class TestWorldDeterminism:
@@ -97,6 +111,43 @@ class TestWorldDeterminism:
         parallel = archive_bytes(4, "parallel")
         assert sequential.keys() == parallel.keys()
         assert sequential == parallel
+
+    @pytest.mark.parametrize(
+        "workers,backend",
+        [(1, "thread"), (4, "thread"), (4, "process")],
+        ids=["sequential", "thread-pool", "process-pool"],
+    )
+    def test_study_archive_matches_golden_fingerprint(
+        self, tmp_path, workers, backend
+    ):
+        """Every execution backend must reproduce the committed archive.
+
+        The sequential case pins the simulation itself against the
+        pre-optimisation output; the pooled cases additionally pin the
+        world-snapshot reuse in the executor (each worker audits on a
+        pickle-restored clone) and, for processes, that no salted hash or
+        derived memo leaks through pickling into the emitted bytes.
+        """
+        from repro.core.archive import write_study_archive
+        from repro.runtime.executor import StudyExecutor
+
+        report = StudyExecutor(
+            seed=2018,
+            providers=GOLDEN_STUDY_PROVIDERS,
+            max_vantage_points=2,
+            workers=workers,
+            backend=backend,
+        ).run()
+        root = tmp_path / "archive"
+        write_study_archive(report, root)
+
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.json")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        assert digest.hexdigest() == GOLDEN_STUDY_FINGERPRINT
 
     def test_ecosystem_seed_sensitivity(self):
         from repro.ecosystem.generate import generate_ecosystem
