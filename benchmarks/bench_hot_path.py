@@ -17,6 +17,13 @@ under pytest (``pytest benchmarks/bench_hot_path.py``), so the CI smoke
 job can upload the file as an artifact.  Timing loops are plain
 ``perf_counter`` min-of-N: independent of pytest-benchmark, stable enough
 on a loaded box, and identical in both entry points.
+
+It also measures the **observability overhead** (``BENCH_obs.json``): the
+golden study timed with obs absent, with a fully *disabled*
+:class:`~repro.obs.config.ObsConfig` (the shipped default — every hot-path
+event site pays one attribute load and ``is not None`` check), and with
+tracing + metrics + flight recorder all *enabled*.  CI gates on the
+disabled-path overhead staying within 3%.
 """
 
 from __future__ import annotations
@@ -28,6 +35,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_hotpath.json"
+OBS_OUTPUT_PATH = REPO_ROOT / "BENCH_obs.json"
+
+#: CI gate: the disabled observability path (one attribute check per
+#: event) must stay within this fraction of the uninstrumented run.
+OBS_DISABLED_OVERHEAD_LIMIT_PCT = 3.0
 
 STUDY_SEED = 2018
 STUDY_PROVIDERS = ["Seed4.me", "PureVPN", "MyIP.io"]
@@ -142,6 +154,58 @@ def bench_end_to_end(runs: int = STUDY_RUNS) -> dict[str, object]:
     }
 
 
+def bench_obs_overhead(runs: int = STUDY_RUNS) -> dict[str, object]:
+    """Golden-study wall clock across the three observability modes.
+
+    Modes are interleaved round-robin (baseline, disabled, enabled,
+    repeat) so slow machine drift lands on all three equally, and each
+    mode takes its min-of-*runs* — the standard noise floor for a
+    CPU-bound ~2s workload.
+    """
+    from repro.obs.config import ObsConfig
+    from repro.runtime.executor import StudyExecutor
+
+    modes: dict[str, object] = {
+        "baseline": None,                 # obs never passed at all
+        "disabled": ObsConfig(),          # passed but everything off
+        "enabled": ObsConfig(trace=True, metrics=True, flight_recorder=64),
+    }
+    walls: dict[str, list[float]] = {name: [] for name in modes}
+    for _ in range(runs):
+        for name, obs in modes.items():
+            started = time.perf_counter()
+            StudyExecutor(
+                seed=STUDY_SEED,
+                providers=STUDY_PROVIDERS,
+                max_vantage_points=STUDY_MAX_VPS,
+                obs=obs,
+            ).run()
+            walls[name].append(time.perf_counter() - started)
+
+    best = {name: min(samples) for name, samples in walls.items()}
+
+    def overhead_pct(mode: str) -> float:
+        return round((best[mode] / best["baseline"] - 1.0) * 100.0, 2)
+
+    return {
+        "generated_by": "benchmarks/bench_hot_path.py",
+        "seed": STUDY_SEED,
+        "providers": STUDY_PROVIDERS,
+        "max_vantage_points": STUDY_MAX_VPS,
+        "runs_per_mode": runs,
+        "wall_seconds_best": {
+            name: round(value, 3) for name, value in best.items()
+        },
+        "wall_seconds_all": {
+            name: [round(w, 3) for w in samples]
+            for name, samples in walls.items()
+        },
+        "disabled_overhead_pct": overhead_pct("disabled"),
+        "enabled_overhead_pct": overhead_pct("enabled"),
+        "disabled_overhead_limit_pct": OBS_DISABLED_OVERHEAD_LIMIT_PCT,
+    }
+
+
 def collect() -> dict[str, object]:
     primitives = bench_primitives()
     end_to_end = bench_end_to_end()
@@ -194,10 +258,37 @@ def test_hot_path_benchmarks():
     assert results["end_to_end_study"]["wall_seconds_best"] < 60.0
 
 
+def test_obs_overhead_gate():
+    """CI gate: disabled observability must cost within 3% of no obs.
+
+    The disabled path and the baseline execute the same simulation with
+    the same per-event guard, so this is an A/A measurement whose gate
+    bounds both the config plumbing and timing noise; the enabled number
+    rides along for EXPERIMENTS.md and is deliberately not gated
+    (recording cost is the feature's price, not a regression).
+    """
+    results = bench_obs_overhead()
+    write_results(results, OBS_OUTPUT_PATH)
+    assert (
+        results["disabled_overhead_pct"] <= OBS_DISABLED_OVERHEAD_LIMIT_PCT
+    ), (
+        f"disabled-obs overhead {results['disabled_overhead_pct']}% exceeds "
+        f"{OBS_DISABLED_OVERHEAD_LIMIT_PCT}% "
+        f"(walls: {results['wall_seconds_best']})"
+    )
+
+
 def main() -> int:
     results = collect()
     write_results(results)
-    json.dump(results, sys.stdout, indent=2, sort_keys=True)
+    obs_results = bench_obs_overhead()
+    write_results(obs_results, OBS_OUTPUT_PATH)
+    json.dump(
+        {"hot_path": results, "obs_overhead": obs_results},
+        sys.stdout,
+        indent=2,
+        sort_keys=True,
+    )
     print()
     return 0
 

@@ -13,7 +13,7 @@ Run:
 import argparse
 import time
 
-from repro import run_full_study
+from repro import StudyConfig, run_full_study
 from repro.reporting.tables import render_table
 
 
@@ -27,11 +27,11 @@ def main() -> None:
 
     started = time.time()
     print("Building the simulated internet and auditing 62 providers...")
-    study = run_full_study(
+    study = run_full_study(StudyConfig(
         workers=args.workers,
         checkpoint_dir=args.resume,
         progress=args.progress,
-    )
+    ))
     print(f"done in {time.time() - started:.0f}s\n")
 
     print(study.summary())

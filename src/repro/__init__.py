@@ -15,28 +15,79 @@ The package implements, in pure Python:
 - ``repro.reporting`` — table and figure regeneration for every experiment;
 - ``repro.runtime`` — parallel, checkpointable study execution: work-unit
   decomposition, worker pools, retry policies, resumable checkpoints,
-  progress events and longitudinal (multi-snapshot) scheduling.
+  progress events and longitudinal (multi-snapshot) scheduling;
+- ``repro.obs`` — opt-in observability: deterministic span traces, merged
+  execution metrics, and a per-host packet flight recorder.
 
 Quickstart::
 
-    from repro import audit_provider
+    from repro import StudyConfig, audit_provider, run_full_study
     report = audit_provider("Seed4.me")
     print(report.summary())
+    study = run_full_study(StudyConfig(providers=["Seed4.me"], workers=4))
+
+Exports resolve lazily (PEP 562): importing :mod:`repro` stays cheap, and
+each name pulls in its implementing module only on first attribute access.
 """
 
-from repro.api import (
-    audit_provider,
-    build_study,
-    run_full_study,
-    run_longitudinal_study,
-)
+from typing import TYPE_CHECKING
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = [
-    "audit_provider",
-    "build_study",
-    "run_full_study",
-    "run_longitudinal_study",
-    "__version__",
-]
+#: name -> (module, attribute) for lazy resolution.
+_EXPORTS = {
+    "audit_provider": ("repro.api", "audit_provider"),
+    "build_study": ("repro.api", "build_study"),
+    "run_full_study": ("repro.api", "run_full_study"),
+    "run_longitudinal_study": ("repro.api", "run_longitudinal_study"),
+    "StudyConfig": ("repro.config", "StudyConfig"),
+    "StudyReport": ("repro.core.harness", "StudyReport"),
+    "ProviderReport": ("repro.core.harness", "ProviderReport"),
+    "TestSuite": ("repro.core.harness", "TestSuite"),
+    "StudyExecutor": ("repro.runtime.executor", "StudyExecutor"),
+    "ObsConfig": ("repro.obs.config", "ObsConfig"),
+    "Observability": ("repro.obs.session", "Observability"),
+    "Tracer": ("repro.obs.trace", "Tracer"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "FlightRecorder": ("repro.obs.flight", "FlightRecorder"),
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+if TYPE_CHECKING:  # static importers see the real names
+    from repro.api import (  # noqa: F401
+        audit_provider,
+        build_study,
+        run_full_study,
+        run_longitudinal_study,
+    )
+    from repro.config import StudyConfig  # noqa: F401
+    from repro.core.harness import (  # noqa: F401
+        ProviderReport,
+        StudyReport,
+        TestSuite,
+    )
+    from repro.obs.config import ObsConfig  # noqa: F401
+    from repro.obs.flight import FlightRecorder  # noqa: F401
+    from repro.obs.metrics import MetricsRegistry  # noqa: F401
+    from repro.obs.session import Observability  # noqa: F401
+    from repro.obs.trace import Tracer  # noqa: F401
+    from repro.runtime.executor import StudyExecutor  # noqa: F401
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

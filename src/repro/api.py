@@ -5,15 +5,68 @@ the site catalogue and public resolvers, instantiate a provider from the
 catalogue, run the measurement suite against its vantage points, and return
 an analysis report.  They are what the examples and the quickstart use;
 everything they do can also be done piecemeal through the subpackages.
+
+Configuration flows through a single frozen :class:`repro.config.StudyConfig`
+passed as ``config=``.  The historical keyword arguments still work but are
+a deprecated shim: each entry point warns once per process and folds them
+into a ``StudyConfig`` internally, so both spellings execute the exact same
+path.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
+    from repro.config import StudyConfig
     from repro.core.harness import StudyReport, TestSuite
     from repro.world import World
+
+#: Sentinel distinguishing "keyword not passed" from any real value
+#: (including ``None``, which is meaningful for e.g. ``providers``).
+_UNSET = object()
+
+#: Entry points that have already emitted their legacy-kwargs warning.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _legacy_config(func_name: str, passed: dict) -> "StudyConfig":
+    """Fold legacy keyword arguments into a StudyConfig, warning once."""
+    from repro.config import StudyConfig
+
+    if func_name not in _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED.add(func_name)
+        names = ", ".join(sorted(passed))
+        warnings.warn(
+            f"passing keyword arguments to {func_name}() is deprecated; "
+            f"build a repro.StudyConfig and pass it as config= "
+            f"(got: {names})",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return StudyConfig(**passed)
+
+
+def _resolve_config(
+    func_name: str,
+    config: Optional["StudyConfig"],
+    legacy: dict,
+) -> "StudyConfig":
+    from repro.config import StudyConfig
+
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if config is not None:
+        if passed:
+            raise TypeError(
+                f"{func_name}() takes either config= or legacy keyword "
+                f"arguments, not both (got config and "
+                f"{', '.join(sorted(passed))})"
+            )
+        return config
+    if passed:
+        return _legacy_config(func_name, passed)
+    return StudyConfig()
 
 
 def build_study(
@@ -33,90 +86,138 @@ def build_study(
     return WorldFactory.clone(seed=seed, provider_names=providers)
 
 
-def audit_provider(name: str, seed: int = 2018):
+def audit_provider(
+    name: str,
+    seed=_UNSET,
+    config: Optional["StudyConfig"] = None,
+):
     """Run the full measurement suite against a single provider.
 
-    Returns a :class:`repro.core.harness.ProviderReport`.
+    Returns a :class:`repro.core.harness.ProviderReport`.  When the config
+    enables metrics, the report gains an ``obs_metrics`` snapshot dict.
     """
-    world = build_study(seed=seed, providers=[name])
     from repro.core.harness import TestSuite
 
-    suite = TestSuite(world)
-    return suite.audit_provider(name)
+    config = _resolve_config("audit_provider", config, {"seed": seed})
+    world = build_study(seed=config.seed, providers=[name])
+    obs_config = config.obs if config.obs.enabled else None
+    suite = TestSuite(
+        world,
+        max_vantage_points=config.max_vantage_points,
+        obs_config=obs_config,
+    )
+    report = suite.audit_provider(name)
+    if suite.obs is not None and suite.obs.metrics is not None:
+        report.obs_metrics = suite.obs.metrics.snapshot()
+    return report
 
 
 def run_full_study(
-    seed: int = 2018,
-    max_vantage_points: int | None = 5,
-    providers: Optional[list[str]] = None,
-    workers: int = 1,
-    backend: str = "thread",
-    checkpoint_dir: Optional[str] = None,
-    progress: bool = False,
+    config: Optional["StudyConfig"] = None,
+    *,
+    seed=_UNSET,
+    max_vantage_points=_UNSET,
+    providers=_UNSET,
+    workers=_UNSET,
+    backend=_UNSET,
+    checkpoint_dir=_UNSET,
+    progress=_UNSET,
+    obs=_UNSET,
 ):
     """Run the paper's full study: all 62 providers.
 
-    ``max_vantage_points`` caps vantage points per manually-evaluated
+    ``config.max_vantage_points`` caps vantage points per manually-evaluated
     provider (the paper used ~5); ``None`` tests every vantage point.
 
     Orchestration goes through :class:`repro.runtime.StudyExecutor`:
-    ``workers`` sets the pool size (1 = inline sequential), ``backend``
-    picks ``"thread"`` or ``"process"`` workers, ``checkpoint_dir`` makes
-    progress durable so re-running with the same directory resumes a
-    killed study, and ``progress`` prints per-unit progress lines.  The
-    report is byte-identical at any worker count.
+    ``config.workers`` sets the pool size (1 = inline sequential),
+    ``config.backend`` picks ``"thread"`` or ``"process"`` workers,
+    ``config.checkpoint_dir`` makes progress durable so re-running with the
+    same directory resumes a killed study, and ``config.progress`` prints
+    per-unit progress lines.  ``config.obs`` turns on tracing, metrics, and
+    the flight recorder.  The report is byte-identical at any worker count.
 
-    Returns a :class:`repro.core.harness.StudyReport`.
+    Returns a :class:`repro.core.harness.StudyReport`.  With obs enabled
+    the report gains ``obs_metrics`` (merged snapshot dict or ``None``) and
+    ``trace_records`` (the assembled span list or ``None``).
     """
     import sys
 
     from repro.runtime.events import EventBus, TextProgressRenderer
     from repro.runtime.executor import StudyExecutor
 
-    bus = EventBus()
-    if progress:
-        bus.subscribe(TextProgressRenderer(sys.stderr))
-    executor = StudyExecutor(
-        seed=seed,
-        providers=providers,
-        max_vantage_points=max_vantage_points,
-        workers=workers,
-        backend=backend,
-        checkpoint_dir=checkpoint_dir,
-        bus=bus,
+    config = _resolve_config(
+        "run_full_study",
+        config,
+        {
+            "seed": seed,
+            "max_vantage_points": max_vantage_points,
+            "providers": providers,
+            "workers": workers,
+            "backend": backend,
+            "checkpoint_dir": checkpoint_dir,
+            "progress": progress,
+            "obs": obs,
+        },
     )
-    return executor.run()
+    bus = EventBus()
+    if config.progress:
+        bus.subscribe(TextProgressRenderer(sys.stderr))
+    executor = StudyExecutor.from_config(config, bus=bus)
+    report = executor.run()
+    metrics = executor.metrics
+    report.obs_metrics = metrics.snapshot() if metrics is not None else None
+    report.trace_records = executor.trace_records
+    return report
 
 
 def run_longitudinal_study(
-    seed: int = 2018,
-    snapshots: int = 2,
-    max_vantage_points: int | None = 5,
-    providers: Optional[list[str]] = None,
-    workers: int = 1,
-    backend: str = "thread",
-    archive_root: Optional[str] = None,
-    reseed: bool = True,
+    config: Optional["StudyConfig"] = None,
+    *,
+    seed=_UNSET,
+    snapshots=_UNSET,
+    max_vantage_points=_UNSET,
+    providers=_UNSET,
+    workers=_UNSET,
+    backend=_UNSET,
+    archive_root=_UNSET,
+    reseed=_UNSET,
+    obs=_UNSET,
 ):
     """Re-run the study as *snapshots* measurements and diff the verdicts.
 
-    ``reseed=True`` rebuilds each snapshot's world from a derived seed (an
-    ecosystem that may drift); ``reseed=False`` re-measures the same world
-    every time, so any verdict change is a reproducibility failure.
-    Returns a :class:`repro.runtime.scheduler.LongitudinalReport` whose
-    ``diffs`` list what changed between consecutive snapshots (empty when
-    the ecosystem — here, the simulation — is stable).
+    ``config.reseed=True`` rebuilds each snapshot's world from a derived
+    seed (an ecosystem that may drift); ``reseed=False`` re-measures the
+    same world every time, so any verdict change is a reproducibility
+    failure.  Returns a :class:`repro.runtime.scheduler.LongitudinalReport`
+    whose ``diffs`` list what changed between consecutive snapshots (empty
+    when the ecosystem — here, the simulation — is stable).
     """
     from repro.runtime.scheduler import LongitudinalScheduler
 
+    legacy = {
+        "seed": seed,
+        "snapshots": snapshots,
+        "max_vantage_points": max_vantage_points,
+        "providers": providers,
+        "workers": workers,
+        "backend": backend,
+        "reseed": reseed,
+        "obs": obs,
+        # Historical name: the scheduler calls it archive_root, the
+        # config calls it archive_dir.
+        "archive_dir": archive_root,
+    }
+    config = _resolve_config("run_longitudinal_study", config, legacy)
     scheduler = LongitudinalScheduler(
-        seed=seed,
-        snapshots=snapshots,
-        providers=providers,
-        max_vantage_points=max_vantage_points,
-        workers=workers,
-        backend=backend,
-        archive_root=archive_root,
-        reseed=reseed,
+        seed=config.seed,
+        snapshots=config.snapshots,
+        providers=config.provider_list,
+        max_vantage_points=config.max_vantage_points,
+        workers=config.workers,
+        backend=config.backend,
+        archive_root=config.archive_dir,
+        reseed=config.reseed,
+        obs=config.obs if config.obs.enabled else None,
     )
     return scheduler.run()

@@ -7,9 +7,14 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro audit Seed4.me             # full audit of one provider
     python -m repro study [--max-vps N] [--archive DIR] [--workers N]
                           [--resume DIR] [--snapshots N] [--progress]
-                          [--profile]
+                          [--profile] [--trace FILE] [--metrics]
+                          [--flight-recorder N]
+    python -m repro trace summarize out.jsonl  # span-tree / packet summary
     python -m repro ecosystem                  # Section 4 statistics
     python -m repro experiments                # table/figure registry
+
+Flags are folded into one frozen :class:`repro.config.StudyConfig`, the
+same object the Python API takes — the CLI is a thin argv-to-config shim.
 """
 
 from __future__ import annotations
@@ -74,6 +79,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the top 25 functions by "
              "cumulative time after the study completes",
     )
+    study.add_argument(
+        "--trace", metavar="FILE",
+        help="write a deterministic JSONL span trace of the study to FILE "
+             "(one span/event per line; see 'repro trace summarize')",
+    )
+    study.add_argument(
+        "--metrics", action="store_true",
+        help="collect execution metrics (packets, DNS queries, retries, "
+             "per-test wall time) and print the aggregate after the study",
+    )
+    study.add_argument(
+        "--flight-recorder", type=int, default=0, metavar="N",
+        help="keep the last N packet events per host and dump them into "
+             "the trace when a connect/retry budget is exhausted",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a JSONL trace written by 'study --trace'"
+    )
+    trace.add_argument(
+        "action", choices=["summarize"],
+        help="what to do with the trace (summarize: span/packet rollup)",
+    )
+    trace.add_argument("file", help="path to the JSONL trace file")
 
     sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
     sub.add_parser("experiments", help="list the table/figure registry")
@@ -129,17 +158,7 @@ def cmd_audit(provider: str, max_vps: int, seed: int) -> int:
     return 0
 
 
-def cmd_study(
-    max_vps: int,
-    seed: int,
-    archive: Optional[str],
-    workers: int = 1,
-    backend: str = "thread",
-    resume: Optional[str] = None,
-    snapshots: int = 1,
-    progress: bool = False,
-    profile: bool = False,
-) -> int:
+def cmd_study(config, archive: Optional[str], profile: bool = False) -> int:
     if profile:
         import cProfile
         import pstats
@@ -147,27 +166,19 @@ def cmd_study(
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            return cmd_study(
-                max_vps, seed, archive, workers=workers, backend=backend,
-                resume=resume, snapshots=snapshots, progress=progress,
-            )
+            return cmd_study(config, archive)
         finally:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(25)
 
     started = time.time()
-    if snapshots > 1:
+    if config.snapshots > 1:
         from repro.api import run_longitudinal_study
 
-        report = run_longitudinal_study(
-            seed=seed,
-            snapshots=snapshots,
-            max_vantage_points=max_vps,
-            workers=workers,
-            backend=backend,
-            archive_root=archive,
-        )
+        report = run_longitudinal_study(config=config.replace(
+            archive_dir=archive
+        ))
         print(report.summary())
         print(f"\ncompleted in {time.time() - started:.0f}s")
         if archive:
@@ -176,21 +187,36 @@ def cmd_study(
 
     from repro.api import run_full_study
 
-    study = run_full_study(
-        seed=seed,
-        max_vantage_points=max_vps,
-        workers=workers,
-        backend=backend,
-        checkpoint_dir=resume,
-        progress=progress,
-    )
+    study = run_full_study(config=config)
     print(study.summary())
     print(f"\ncompleted in {time.time() - started:.0f}s")
+    if getattr(study, "obs_metrics", None):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.merge(study.obs_metrics)
+        print("\nexecution metrics:")
+        print(registry.render())
+    if config.obs.trace_path:
+        print(f"trace written to {config.obs.trace_path}")
     if archive:
         from repro.core.archive import write_study_archive
 
         path = write_study_archive(study, archive)
         print(f"archived to {path}")
+    return 0
+
+
+def cmd_trace(action: str, file: str) -> int:
+    from repro.obs.trace import read_trace, summarize_trace
+
+    try:
+        records = read_trace(file)
+    except OSError as exc:
+        print(f"cannot read trace {file!r}: {exc}", file=sys.stderr)
+        return 2
+    if action == "summarize":
+        print(summarize_trace(records))
     return 0
 
 
@@ -266,17 +292,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "audit":
         return cmd_audit(args.provider, args.max_vps, args.seed)
     if args.command == "study":
-        return cmd_study(
-            args.max_vps,
-            args.seed,
-            args.archive,
+        from repro.config import StudyConfig
+        from repro.obs.config import ObsConfig
+
+        config = StudyConfig(
+            seed=args.seed,
+            max_vantage_points=args.max_vps,
             workers=args.workers,
             backend=args.backend,
-            resume=args.resume,
+            checkpoint_dir=args.resume,
             snapshots=args.snapshots,
             progress=args.progress,
-            profile=args.profile,
+            obs=ObsConfig(
+                trace=bool(args.trace),
+                trace_path=args.trace,
+                metrics=args.metrics,
+                flight_recorder=args.flight_recorder,
+            ),
         )
+        return cmd_study(config, args.archive, profile=args.profile)
+    if args.command == "trace":
+        return cmd_trace(args.action, args.file)
     if args.command == "ecosystem":
         return cmd_ecosystem()
     if args.command == "experiments":

@@ -1,0 +1,124 @@
+"""The study configuration: one frozen object instead of seven kwargs.
+
+:class:`StudyConfig` is the single source of truth for how a study runs —
+what to measure (seed, providers, vantage-point cap), how to schedule it
+(workers, backend, checkpointing, snapshots) and what to observe
+(:class:`~repro.obs.config.ObsConfig`).  The CLI builds one from its flags,
+``repro.api`` accepts one via ``config=`` (the individual kwargs survive as
+a deprecated shim), and the executor/scheduler construct themselves from
+one — so a config value round-trips unchanged from flag to worker.
+
+Frozen and hashable on purpose: a config can key caches, be compared for
+checkpoint compatibility, and cannot drift mid-study.  ``to_dict`` /
+``from_dict`` give a stable JSON round-trip for archiving alongside
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional, Sequence
+
+from repro.obs.config import ObsConfig
+
+_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything that determines a study run.
+
+    Measurement identity (what the archive fingerprint is a function of):
+    ``seed``, ``providers`` (None = the full catalogue), and
+    ``max_vantage_points`` (None = test every vantage point).
+
+    Scheduling (must never change results): ``workers``, ``backend``,
+    ``checkpoint_dir`` (resume a killed study), ``snapshots`` +
+    ``reseed`` (longitudinal re-runs), ``archive_dir``, ``progress``.
+
+    Observability (a side channel — never perturbs results): ``obs``.
+    """
+
+    seed: int = 2018
+    providers: Optional[tuple[str, ...]] = None
+    max_vantage_points: Optional[int] = 5
+    workers: int = 1
+    backend: str = "thread"
+    checkpoint_dir: Optional[str] = None
+    snapshots: int = 1
+    reseed: bool = True
+    archive_dir: Optional[str] = None
+    progress: bool = False
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    def __post_init__(self) -> None:
+        # Normalise providers to a tuple so the config stays hashable and
+        # list/tuple callers compare equal.
+        if self.providers is not None and not isinstance(
+            self.providers, tuple
+        ):
+            object.__setattr__(self, "providers", tuple(self.providers))
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.snapshots < 1:
+            raise ValueError("snapshots must be >= 1")
+        if (
+            self.max_vantage_points is not None
+            and self.max_vantage_points < 1
+        ):
+            raise ValueError("max_vantage_points must be >= 1 or None")
+        if not isinstance(self.obs, ObsConfig):
+            raise TypeError("obs must be an ObsConfig")
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes: object) -> "StudyConfig":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def provider_list(self) -> Optional[list[str]]:
+        """Providers as the list the lower layers expect (or None)."""
+        return list(self.providers) if self.providers is not None else None
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "obs":
+                value = {
+                    "trace": value.trace,
+                    "trace_path": value.trace_path,
+                    "trace_packets": value.trace_packets,
+                    "metrics": value.metrics,
+                    "flight_recorder": value.flight_recorder,
+                }
+            elif spec.name == "providers" and value is not None:
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyConfig":
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        obs = kwargs.get("obs")
+        if isinstance(obs, dict):
+            kwargs["obs"] = ObsConfig(**obs)
+        providers = kwargs.get("providers")
+        if providers is not None:
+            kwargs["providers"] = tuple(providers)
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_providers(
+        cls, providers: Sequence[str], **kwargs: object
+    ) -> "StudyConfig":
+        """Convenience: a config scoped to a provider subset."""
+        return cls(providers=tuple(providers), **kwargs)  # type: ignore[arg-type]

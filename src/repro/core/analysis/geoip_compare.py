@@ -79,3 +79,43 @@ class GeoIpComparison:
         return self._providers_seen == self.providers_affected and bool(
             self._providers_seen
         )
+
+    # ------------------------------------------------------------------
+    # Serialisation (part of StudyReport.to_dict round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "database": row.database,
+                    "compared": row.compared,
+                    "estimates": row.estimates,
+                    "agreements": row.agreements,
+                    "mismatch_countries": dict(
+                        sorted(row.mismatch_countries.items())
+                    ),
+                }
+                for row in self.rows()
+            ],
+            "providers_affected": sorted(self.providers_affected),
+            "providers_seen": sorted(self._providers_seen),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeoIpComparison":
+        comparison = cls()
+        for entry in data.get("rows", []):
+            comparison._rows[entry["database"]] = GeoIpComparisonRow(
+                database=entry["database"],
+                compared=entry["compared"],
+                estimates=entry["estimates"],
+                agreements=entry["agreements"],
+                mismatch_countries=Counter(
+                    entry.get("mismatch_countries", {})
+                ),
+            )
+        comparison.providers_affected = set(
+            data.get("providers_affected", [])
+        )
+        comparison._providers_seen = set(data.get("providers_seen", []))
+        return comparison

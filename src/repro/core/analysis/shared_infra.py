@@ -125,6 +125,30 @@ class SharedInfraAnalysis:
         blocks_b = {r.block for r in self._records if r.provider == provider_b}
         return sorted(blocks_a & blocks_b)
 
+    # ------------------------------------------------------------------
+    # Serialisation (part of StudyReport.to_dict round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "records": [
+                {
+                    "provider": r.provider,
+                    "address": r.address,
+                    "block": r.block,
+                    "asn": r.asn,
+                }
+                for r in self._records
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SharedInfraAnalysis":
+        analysis = cls()
+        analysis._records = [
+            EndpointRecord(**entry) for entry in data.get("records", [])
+        ]
+        return analysis
+
     def membership_in(self, prefixes: list[str]) -> dict[str, set[str]]:
         """prefix -> providers with an endpoint inside it.
 

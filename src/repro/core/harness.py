@@ -53,6 +53,7 @@ from repro.web.dom import Document
 from repro.world import World
 
 if TYPE_CHECKING:
+    from repro.obs.config import ObsConfig
     from repro.runtime.units import AuditUnit, StudyPlan
 
 
@@ -222,6 +223,20 @@ class ProviderReport:
         )
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        from repro.core.results import _jsonable
+
+        return _jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProviderReport":
+        from repro.core.results import _hydrate
+
+        return _hydrate(cls, data)
+
 
 @dataclass
 class StudyReport:
@@ -280,6 +295,37 @@ class StudyReport:
             )
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    # Serialisation: a stable dict form that round-trips exactly
+    # (``StudyReport.from_dict(report.to_dict())`` re-serialises to the
+    # same dict), so a whole study can be archived and reloaded as one
+    # typed object rather than via the per-file archive format only.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "providers": {
+                name: report.to_dict()
+                for name, report in self.providers.items()
+            },
+            "redirects": self.redirects.to_dict(),
+            "geoip": self.geoip.to_dict(),
+            "shared_infra": self.shared_infra.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyReport":
+        study = cls()
+        for name, raw in data.get("providers", {}).items():
+            study.providers[name] = ProviderReport.from_dict(raw)
+        study.redirects = RedirectAnalysis.from_dict(
+            data.get("redirects", {})
+        )
+        study.geoip = GeoIpComparison.from_dict(data.get("geoip", {}))
+        study.shared_infra = SharedInfraAnalysis.from_dict(
+            data.get("shared_infra", {})
+        )
+        return study
+
 
 class TestSuite:
     """Runs the measurement battery over a world."""
@@ -294,9 +340,17 @@ class TestSuite:
         tls_hosts: Optional[int] = None,
         tunnel_failure_attempts: int = 12,
         retry_policy: Optional[RetryPolicy] = None,
+        obs_config: Optional["ObsConfig"] = None,
     ) -> None:
         self.world = world
         self.max_vantage_points = max_vantage_points
+        # Observability session (or None — the zero-overhead default).
+        # Built per suite so each worker records into its own buffers.
+        self.obs = (
+            obs_config.build(world.seed) if obs_config is not None else None
+        )
+        if self.obs is not None:
+            self.obs.attach(world)
         # Flaky-endpoint handling (§5.2): formerly a hard-coded single
         # inline retry around the connect call; now a shared policy that
         # also covers mid-battery drops during the leakage tests.
@@ -326,33 +380,48 @@ class TestSuite:
     # ------------------------------------------------------------------
     def ground_truth_pages(self) -> dict[str, Document]:
         if self._gt_pages is None:
-            browser = Browser(
-                self.world.university,
-                self.world.trust_store,
-                self.world.chain_registry,
-            )
-            pages: dict[str, Document] = {}
-            for site in self.world.sites.dom_test_sites():
-                load = browser.load_page(site.http_url)
-                if load.document is not None:
-                    pages[site.domain] = load.document
-            self._gt_pages = pages
+            with self._gt_collection():
+                browser = Browser(
+                    self.world.university,
+                    self.world.trust_store,
+                    self.world.chain_registry,
+                )
+                pages: dict[str, Document] = {}
+                for site in self.world.sites.dom_test_sites():
+                    load = browser.load_page(site.http_url)
+                    if load.document is not None:
+                        pages[site.domain] = load.document
+                self._gt_pages = pages
         return self._gt_pages
 
     def ground_truth_certificates(self) -> dict[str, str]:
         if self._gt_certs is None:
-            browser = Browser(
-                self.world.university,
-                self.world.trust_store,
-                self.world.chain_registry,
-            )
-            certs: dict[str, str] = {}
-            for site in self.world.sites.tls_test_sites():
-                probe = browser.tls_probe(site.domain)
-                if probe.ok and probe.handshake is not None:
-                    certs[site.domain] = probe.handshake.leaf_fingerprint
-            self._gt_certs = certs
+            with self._gt_collection():
+                browser = Browser(
+                    self.world.university,
+                    self.world.trust_store,
+                    self.world.chain_registry,
+                )
+                certs: dict[str, str] = {}
+                for site in self.world.sites.tls_test_sites():
+                    probe = browser.tls_probe(site.domain)
+                    if probe.ok and probe.handshake is not None:
+                        certs[site.domain] = probe.handshake.leaf_fingerprint
+                self._gt_certs = certs
         return self._gt_certs
+
+    def _gt_collection(self):
+        """Suspend observability around lazy ground-truth collection.
+
+        Ground truth is collected once per suite, inside whichever unit
+        first needs it — which worker that is depends on scheduling.  Its
+        packets and clock advance must therefore stay out of the obs
+        stream, or traces and metrics would differ across worker counts.
+        Results are unaffected: they consume only clock deltas.
+        """
+        from contextlib import nullcontext
+
+        return self.obs.suspended() if self.obs is not None else nullcontext()
 
     # ------------------------------------------------------------------
     # Vantage-point selection (Section 5.2: ~5, geographically diverse)
@@ -431,16 +500,32 @@ class TestSuite:
             vpn_client=vpn_client,
             suite=self,
         )
+        observed = self._observed
+        vantage = vantage_point.hostname
         try:
-            results.ping_traceroute = self._ping_test.run(context)
-            results.geolocation = self._geo_test.run(context)
+            results.ping_traceroute = observed(
+                "ping_traceroute", vantage,
+                lambda: self._ping_test.run(context))
+            results.geolocation = observed(
+                "geolocation", vantage, lambda: self._geo_test.run(context))
             if full:
-                results.metadata = self._metadata.run(context)
-                results.dns_manipulation = self._dns_manip.run(context)
-                results.dom_collection = self._dom_test.run(context)
-                results.tls = self._tls_test.run(context)
-                results.proxy = self._proxy_test.run(context)
-                results.dns_origin = self._dns_origin.run(context)
+                results.metadata = observed(
+                    "metadata", vantage, lambda: self._metadata.run(context))
+                results.dns_manipulation = observed(
+                    "dns_manipulation", vantage,
+                    lambda: self._dns_manip.run(context))
+                results.dom_collection = observed(
+                    "dom_collection", vantage,
+                    lambda: self._dom_test.run(context))
+                results.tls = observed(
+                    "tls_interception", vantage,
+                    lambda: self._tls_test.run(context))
+                results.proxy = observed(
+                    "proxy_detection", vantage,
+                    lambda: self._proxy_test.run(context))
+                results.dns_origin = observed(
+                    "dns_origin", vantage,
+                    lambda: self._dns_origin.run(context))
                 context.note_query(results.dns_origin.probe_hostname)
                 is_custom = (
                     provider.profile.client_type is ClientType.CUSTOM
@@ -452,15 +537,24 @@ class TestSuite:
                     # flaky endpoint dropping the session mid-battery is
                     # reconnected and the test re-run, where the seed
                     # harness only ever retried the initial connect.
-                    results.dns_leakage = self._run_leakage_test(
-                        context, lambda: self._dns_leak.run(context)
-                    )
-                    results.ipv6_leakage = self._run_leakage_test(
-                        context, lambda: self._ipv6_leak.run(context)
-                    )
-                webrtc = self._run_leakage_test(
-                    context, lambda: self._webrtc.run(context)
-                )
+                    results.dns_leakage = observed(
+                        "dns_leakage", vantage,
+                        lambda: self._run_leakage_test(
+                            context, lambda: self._dns_leak.run(context),
+                            name="dns_leakage",
+                        ))
+                    results.ipv6_leakage = observed(
+                        "ipv6_leakage", vantage,
+                        lambda: self._run_leakage_test(
+                            context, lambda: self._ipv6_leak.run(context),
+                            name="ipv6_leakage",
+                        ))
+                webrtc = observed(
+                    "webrtc_leakage", vantage,
+                    lambda: self._run_leakage_test(
+                        context, lambda: self._webrtc.run(context),
+                        name="webrtc_leakage",
+                    ))
                 from repro.core.results import WebRtcSummary
 
                 results.webrtc = WebRtcSummary(
@@ -469,15 +563,28 @@ class TestSuite:
                     reflexive_address=webrtc.reflexive_address,
                     reflexive_is_vpn_egress=webrtc.reflexive_is_vpn_egress,
                 )
-                results.p2p = self._p2p.run(context)
+                results.p2p = observed(
+                    "p2p_detection", vantage, lambda: self._p2p.run(context))
                 if is_custom:
                     # Last: deliberately wrecks the tunnel.
-                    results.tunnel_failure = self._run_leakage_test(
-                        context, lambda: self._tunnel_failure.run(context)
-                    )
+                    results.tunnel_failure = observed(
+                        "tunnel_failure", vantage,
+                        lambda: self._run_leakage_test(
+                            context,
+                            lambda: self._tunnel_failure.run(context),
+                            name="tunnel_failure",
+                        ))
         finally:
             vpn_client.disconnect()
         return results
+
+    def _observed(self, name: str, vantage: str, run: Callable):
+        """Run one test, inside a ``test`` span when observability is on."""
+        obs = self.obs
+        if obs is None:
+            return run()
+        with obs.test_span(name, vantage=vantage):
+            return run()
 
     # ------------------------------------------------------------------
     # Flaky-endpoint handling (§5.2) via the shared retry policy
@@ -488,6 +595,7 @@ class TestSuite:
         """Connect under the retry policy; False when attempts run out."""
         from repro.vpn.client import TunnelConnectionError
 
+        obs = self.obs
         attempt = 0
         while True:
             attempt += 1
@@ -496,17 +604,28 @@ class TestSuite:
                 return True
             except TunnelConnectionError:
                 if not self.retry_policy.should_retry(attempt):
+                    if obs is not None:
+                        obs.flight_dump(
+                            "connect_exhausted",
+                            vantage=vantage_point.hostname,
+                            attempts=attempt,
+                        )
                     return False
                 self.connect_retries += 1
+                if obs is not None:
+                    obs.retry("connect")
             except Exception:  # pragma: no cover - defensive
                 return False
 
-    def _run_leakage_test(self, context: TestContext, run: Callable):
+    def _run_leakage_test(
+        self, context: TestContext, run: Callable, name: str = "leakage"
+    ):
         """Run a leakage test, reconnecting and re-running on a dropped
         session (the §5.2 flaky endpoints are not limited to connect time).
         """
         from repro.vpn.client import ConnectionState, TunnelConnectionError
 
+        obs = self.obs
         attempt = 0
         while True:
             attempt += 1
@@ -520,8 +639,17 @@ class TestSuite:
                 return run()
             except TunnelConnectionError:
                 if not self.retry_policy.should_retry(attempt):
+                    if obs is not None:
+                        obs.flight_dump(
+                            "retry_exhausted",
+                            test=name,
+                            vantage=context.vantage_point.hostname,
+                            attempts=attempt,
+                        )
                     raise
                 self.connect_retries += 1
+                if obs is not None:
+                    obs.retry(name)
 
     # ------------------------------------------------------------------
     # Per-unit entry points (what the runtime executor schedules)
@@ -536,12 +664,21 @@ class TestSuite:
         built from the same seed — that is what makes parallel execution
         bit-for-bit reproducible.
         """
+        from repro.dns.resolver import reset_txids
         from repro.runtime.units import UnitKind
 
         # RTTs are clock deltas; rebasing the clock per unit keeps the
         # float arithmetic (and thus the archived bytes) independent of
         # how much this particular world instance has already simulated.
+        # Txids and ephemeral ports are rebased for the same reason: they
+        # end up in packet payloads, which feed the jitter hash — resetting
+        # them makes every unit's packet bytes (and the obs trace of them)
+        # a pure function of the unit.
         self.world.internet.clock_ms = 0.0
+        reset_txids()
+        self.world.client.reset_ephemeral_ports()
+        if self.obs is not None:
+            self.obs.begin_unit(unit)
         provider = self.world.provider(unit.provider)
         full = unit.kind is UnitKind.FULL
         return [

@@ -9,7 +9,6 @@ DNS-leakage test depends on.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -18,7 +17,52 @@ from repro.net.addresses import Address, parse_address
 from repro.net.host import Host
 from repro.net.packet import DnsPayload, Packet, UdpDatagram
 
-_txid_counter = itertools.count(1)
+
+class _TxidCounter:
+    """Resettable, thread-local transaction-id source.
+
+    Txids end up in query payloads, which feed the latency model's jitter
+    hash — so the harness resets this counter at unit boundaries (and the
+    observability session saves/restores it around ground-truth
+    collection) to keep every unit's DNS packet bytes independent of how
+    many queries the process issued before.  The counter is thread-local
+    because the thread execution backend runs one suite per worker
+    thread: a process-global counter would interleave increments from
+    concurrent units and make packet bytes scheduling-dependent.  Answers
+    never depend on the txid value, only on the question, so results are
+    unaffected either way.
+    """
+
+    __slots__ = ("_local", "_start")
+
+    def __init__(self, start: int = 1) -> None:
+        import threading
+
+        self._local = threading.local()
+        self._start = start
+
+    @property
+    def value(self) -> int:
+        return getattr(self._local, "value", self._start)
+
+    def __next__(self) -> int:
+        value = self.value
+        self._local.value = value + 1
+        return value
+
+    def reset(self, value: int = 1) -> None:
+        self._local.value = value
+
+
+_txid_counter = _TxidCounter()
+
+
+def reset_txids(value: int = 1) -> None:
+    _txid_counter.reset(value)
+
+
+def txid_state() -> int:
+    return _txid_counter.value
 
 
 def resolve_via_server(
@@ -28,6 +72,24 @@ def resolve_via_server(
     qtype: str = "A",
 ) -> DnsResponse:
     """Send one DNS query from *host* to *server* and parse the reply."""
+    response = _resolve_via_server(host, server, qname, qtype)
+    internet = host.internet
+    if internet is not None:
+        obs = internet.obs
+        if obs is not None:
+            obs.dns_query(
+                host.name, qname, qtype, response.resolver,
+                response.rcode.value,
+            )
+    return response
+
+
+def _resolve_via_server(
+    host: Host,
+    server: str | Address,
+    qname: str,
+    qtype: str = "A",
+) -> DnsResponse:
     if isinstance(server, str):
         server = parse_address(server)
     question = DnsQuestion(qname=qname, qtype=qtype)

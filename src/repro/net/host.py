@@ -155,6 +155,17 @@ class Host:
     def release_port(self, protocol: str, port: int) -> None:
         self._ports_in_use.discard((protocol, port))
 
+    def reset_ephemeral_ports(self) -> None:
+        """Restart ephemeral port allocation at the base of the range.
+
+        Source ports end up inside packet payloads, which feed the latency
+        model's jitter hash — so the harness resets this counter at unit
+        boundaries to keep every unit's packet bytes (and thus any
+        observability trace of them) independent of what the host sent
+        during earlier units.  Ports still bound are skipped as usual.
+        """
+        self._ephemeral = itertools.count(49152)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -169,11 +180,20 @@ class Host:
         if self.internet is None:
             raise RuntimeError(f"host {self.name} is not attached to an internet")
 
+        # Packets that die before reaching the wire are invisible to
+        # `Internet.deliver`; record their fate here.
+        obs = self.internet.obs
         route = self.routing.lookup(packet.dst)
         if route is None:
+            if obs is not None:
+                obs.packet_event(self.name, packet, "no_route")
             return DeliveryResult.no_route(packet)
         interface = self.interfaces.get(route.interface)
         if interface is None or not interface.up:
+            if obs is not None:
+                obs.packet_event(
+                    self.name, packet, "interface_down", route.interface
+                )
             return DeliveryResult.interface_down(packet, route.interface)
 
         # An empty allow-all firewall (the overwhelmingly common case) is
@@ -185,6 +205,10 @@ class Host:
         if firewall_active and not firewall.permits(
             packet, "out", interface.name
         ):
+            if obs is not None:
+                obs.packet_event(
+                    self.name, packet, "filtered", "egress firewall"
+                )
             return DeliveryResult.filtered(packet, "egress firewall")
 
         internet = self.internet

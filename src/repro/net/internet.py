@@ -91,6 +91,10 @@ class Internet:
     def __init__(self, latency_model: LatencyModel | None = None) -> None:
         self.latency = latency_model or DEFAULT_LATENCY_MODEL
         self.clock_ms: float = 0.0
+        # Observability session (repro.obs) or None.  None is the contract
+        # for "off": every event site pays one attribute load and one
+        # `is not None` check, nothing else.  Never pickled with the world.
+        self.obs = None
         self._hosts_by_address: dict[Address, Host] = {}
         self._hosts_by_name: dict[str, Host] = {}
         # Upstream path blackholes: (source host name, destination address)
@@ -122,6 +126,7 @@ class Internet:
         state.pop("_router_cache", None)
         state.pop("_probe_cache", None)
         state.pop("_dst_memo", None)
+        state.pop("obs", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -129,6 +134,7 @@ class Internet:
         self._router_cache = {}
         self._probe_cache = {}
         self._dst_memo = {}
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Topology management
@@ -216,8 +222,13 @@ class Internet:
     def deliver(self, packet: Packet, source: Host) -> DeliveryResult:
         """Deliver a packet from *source* to the owner of ``packet.dst``."""
         dst = packet.dst
+        obs = self.obs
         if self._blackholes and (source.name, dst) in self._blackholes:
             self.clock_ms += 2.0
+            if obs is not None:
+                obs.packet_event(
+                    source.name, packet, "unreachable", "path blackholed"
+                )
             return DeliveryResult(
                 packet=packet, status="unreachable", detail="path blackholed"
             )
@@ -231,6 +242,8 @@ class Internet:
                 # plausible delay.  (Misses are not memoised — the address
                 # may be registered later.)
                 self.clock_ms += 3.0
+                if obs is not None:
+                    obs.packet_event(source.name, packet, "unreachable")
                 return DeliveryResult(packet=packet, status="unreachable")
             if len(self._dst_memo) >= 8192:
                 self._dst_memo.clear()
@@ -259,6 +272,10 @@ class Internet:
                     icmp_type="time_exceeded", original_dst=str(packet.dst)
                 ),
             )
+            if obs is not None:
+                obs.packet_event(
+                    source.name, packet, "ttl_exceeded", str(router_addr)
+                )
             return DeliveryResult(
                 packet=packet,
                 status="ttl_exceeded",
@@ -278,6 +295,8 @@ class Internet:
             delivered = packet.decrement_ttl()
         responses = destination.receive(delivered) or []
         self.clock_ms += rtt / 2.0
+        if obs is not None:
+            obs.packet_event(source.name, packet, "delivered")
         return DeliveryResult(
             packet=packet, status="delivered", rtt_ms=rtt, responses=responses
         )

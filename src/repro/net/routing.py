@@ -83,6 +83,9 @@ class RoutingTable:
         # recompute the same route.
         self._lookup_cache: dict[int, tuple[Address, Optional[Route]]] = {}
         self._cache_generation = -1
+        # Observability memo stats (repro.obs.metrics.RouteLookupStats) or
+        # None; attached by an Observability session, one check per lookup.
+        self.stats = None
 
     # Derived state (index + memo) is rebuilt on demand; keep pickled
     # worlds lean by persisting only the canonical route list.
@@ -153,9 +156,14 @@ class RoutingTable:
         if self._cache_generation != self._generation:
             self._lookup_cache.clear()
             self._cache_generation = self._generation
+        stats = self.stats
         cached = self._lookup_cache.get(id(destination))
         if cached is not None:
+            if stats is not None:
+                stats.hits += 1
             return cached[1]
+        if stats is not None:
+            stats.misses += 1
         if self._index_generation != self._generation:
             self._rebuild_index()
         best: Optional[Route] = None

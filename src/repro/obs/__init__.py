@@ -1,0 +1,70 @@
+"""repro.obs — tracing, metrics and the packet flight recorder.
+
+The observability subsystem.  :class:`ObsConfig` picks features;
+``ObsConfig.build()`` returns an :class:`Observability` session (or ``None``
+when everything is off — the zero-overhead contract).  See DESIGN.md
+§ Observability.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "ObsConfig": ("repro.obs.config", "ObsConfig"),
+    "Observability": ("repro.obs.session", "Observability"),
+    "Tracer": ("repro.obs.trace", "Tracer"),
+    "SpanSink": ("repro.obs.trace", "SpanSink"),
+    "JsonlSpanSink": ("repro.obs.trace", "JsonlSpanSink"),
+    "MemorySpanSink": ("repro.obs.trace", "MemorySpanSink"),
+    "study_span_id": ("repro.obs.trace", "study_span_id"),
+    "read_trace": ("repro.obs.trace", "read_trace"),
+    "write_trace": ("repro.obs.trace", "write_trace"),
+    "summarize_trace": ("repro.obs.trace", "summarize_trace"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "Counter": ("repro.obs.metrics", "Counter"),
+    "Gauge": ("repro.obs.metrics", "Gauge"),
+    "Histogram": ("repro.obs.metrics", "Histogram"),
+    "RouteLookupStats": ("repro.obs.metrics", "RouteLookupStats"),
+    "FlightRecorder": ("repro.obs.flight", "FlightRecorder"),
+}
+
+__all__ = list(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.obs.config import ObsConfig
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.metrics import (
+        Counter,
+        Gauge,
+        Histogram,
+        MetricsRegistry,
+        RouteLookupStats,
+    )
+    from repro.obs.session import Observability
+    from repro.obs.trace import (
+        JsonlSpanSink,
+        MemorySpanSink,
+        SpanSink,
+        Tracer,
+        read_trace,
+        study_span_id,
+        summarize_trace,
+        write_trace,
+    )
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

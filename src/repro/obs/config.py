@@ -1,0 +1,91 @@
+"""Observability configuration.
+
+:class:`ObsConfig` is the single switchboard for the observability
+subsystem: structured tracing (span tree exported as JSONL), the metrics
+registry, and the packet flight recorder.  It is a frozen dataclass of
+plain values so it can ride inside :class:`repro.config.StudyConfig`,
+cross process boundaries in worker-pool ``initargs``, and participate in
+config equality/hashing.
+
+The cardinal rule is that a fully disabled config costs nothing: when
+``enabled`` is False no :class:`~repro.obs.session.Observability` object is
+built at all, so every instrumentation site in the packet hot path pays
+exactly one attribute load and ``None`` check — measured in
+``benchmarks/bench_hot_path.py`` and gated at <= 3% in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.session import Observability
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe during a study.
+
+    ``trace`` collects the span tree in memory (read it back from the
+    executor's ``trace_records``); ``trace_path`` additionally writes it as
+    JSONL, one record per line, and implies ``trace``.  ``trace_packets``
+    controls whether individual ``packet_send`` events are recorded inside
+    test spans (the bulk of an enabled trace).  ``metrics`` turns on the
+    counters/gauges/histograms registry; ``flight_recorder`` keeps the last
+    N packet events per host in a ring buffer that is dumped into the trace
+    whenever a retry policy exhausts.
+    """
+
+    trace: bool = False
+    trace_path: Optional[str] = None
+    trace_packets: bool = True
+    metrics: bool = False
+    flight_recorder: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flight_recorder < 0:
+            raise ValueError("flight_recorder must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def trace_enabled(self) -> bool:
+        return self.trace or self.trace_path is not None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether *any* observability feature is on."""
+        return (
+            self.trace_enabled or self.metrics or self.flight_recorder > 0
+        )
+
+    def replace(self, **changes: object) -> "ObsConfig":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def build(self, seed: int = 0) -> "Optional[Observability]":
+        """Build the runtime session, or None when nothing is enabled.
+
+        Returning ``None`` (rather than an inert object) is what keeps the
+        disabled fast path to a single ``is not None`` check per event.
+        """
+        if not self.enabled:
+            return None
+        from repro.obs.session import Observability
+
+        return Observability(self, seed=seed)
+
+    @classmethod
+    def disabled(cls) -> "ObsConfig":
+        return cls()
+
+    @classmethod
+    def full(cls, trace_path: Optional[str] = None,
+             flight_recorder: int = 64) -> "ObsConfig":
+        """Everything on — the ``--trace --metrics --flight-recorder`` CLI."""
+        return cls(
+            trace=True,
+            trace_path=trace_path,
+            metrics=True,
+            flight_recorder=flight_recorder,
+        )

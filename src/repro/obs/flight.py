@@ -1,0 +1,67 @@
+"""The packet flight recorder: a bounded ring of recent packet events.
+
+A failed leakage test is only as convincing as the packets behind it.  The
+flight recorder keeps the last *N* packet events per host in a
+``deque(maxlen=N)`` — constant memory however long the study runs — and the
+harness dumps the buffers into the trace the moment a test fails or a
+:class:`~repro.runtime.retry.RetryPolicy` exhausts, so the evidence trail
+is captured *at* the failure, not reconstructed after it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class FlightRecorder:
+    """Per-host ring buffers of the most recent packet events."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("FlightRecorder capacity must be positive")
+        self.capacity = capacity
+        self._buffers: dict[str, deque[dict]] = {}
+
+    def record(
+        self,
+        host: str,
+        clock_ms: float,
+        status: str,
+        protocol: str,
+        dst: str,
+        detail: str = "",
+    ) -> None:
+        buffer = self._buffers.get(host)
+        if buffer is None:
+            buffer = self._buffers[host] = deque(maxlen=self.capacity)
+        event = {
+            "t_ms": round(clock_ms, 6),
+            "status": status,
+            "protocol": protocol,
+            "dst": dst,
+        }
+        if detail:
+            event["detail"] = detail
+        buffer.append(event)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, host: Optional[str] = None) -> list[dict]:
+        """The buffered events, oldest first.
+
+        With *host*, just that host's buffer; otherwise every buffer,
+        hosts in sorted order so dumps are deterministic.
+        """
+        if host is not None:
+            buffer = self._buffers.get(host)
+            return [dict(e, host=host) for e in buffer] if buffer else []
+        events: list[dict] = []
+        for name in sorted(self._buffers):
+            events.extend(dict(e, host=name) for e in self._buffers[name])
+        return events
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buffers.values())

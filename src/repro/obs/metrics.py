@@ -1,0 +1,237 @@
+"""Metrics: counters, gauges and histograms with snapshot merging.
+
+A :class:`MetricsRegistry` is deliberately worker-local: each executor
+worker (thread or process) owns one and updates it lock-free on the packet
+hot path.  Aggregation happens by *snapshot merging* — after every
+completed work unit the worker drains its registry into a plain-dict
+snapshot (the per-unit delta), the executor publishes it on the event bus,
+and a coordinator-side registry merges it in.  Because counter and
+histogram merges are commutative and associative, the aggregate is
+independent of scheduling order and identical across the sequential,
+thread-pool and process-pool backends for every deterministic series
+(packet counts, query counts, memo hit rates); wall-clock histograms merge
+correctly too, their *count* deterministic even though their sums are not.
+
+Snapshots are plain JSON-able dicts so they cross process boundaries by
+pickle and can be written next to a study archive.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value; merging keeps the last-set value."""
+
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming count/sum/min/max summary of an observed series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class RouteLookupStats:
+    """Memo hit/miss counts hung off a :class:`RoutingTable`.
+
+    The routing lookup memo is the single hottest memo in the simulator;
+    the table bumps these two plain ints behind one ``is not None`` check,
+    and the observability session folds them into ``routing.memo_hits`` /
+    ``routing.memo_misses`` counters at unit boundaries.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    def drain(self) -> tuple[int, int]:
+        out = (self.hits, self.misses)
+        self.hits = 0
+        self.misses = 0
+        return out
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters, gauges and histograms with mergeable snapshots."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Merges can arrive from bus handlers; updates on the hot path are
+        # worker-local so only merge/snapshot take the lock.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Hot-path updates (worker-local, lock-free)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        counter.value += amount
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        return gauge
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the current state (JSON/pickle-safe)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self.counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self.gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                    for name, h in sorted(self.histograms.items())
+                },
+            }
+
+    def drain(self) -> dict:
+        """Snapshot then reset — the per-unit delta the executor merges."""
+        with self._lock:
+            out = {
+                "counters": {
+                    name: c.value for name, c in sorted(self.counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self.gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                    for name, h in sorted(self.histograms.items())
+                },
+            }
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+            return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (from :meth:`drain`/:meth:`snapshot`) in."""
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                counter = self.counters.get(name)
+                if counter is None:
+                    counter = self.counters[name] = Counter()
+                counter.value += value
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauges.setdefault(name, Gauge()).value = value
+            for name, data in snapshot.get("histograms", {}).items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = Histogram()
+                histogram.count += data["count"]
+                histogram.total += data["total"]
+                for bound, better in (("min", min), ("max", max)):
+                    incoming = data.get(bound)
+                    if incoming is None:
+                        continue
+                    current = getattr(histogram, bound)
+                    setattr(
+                        histogram,
+                        bound,
+                        incoming if current is None
+                        else better(current, incoming),
+                    )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable dump (the CLI ``--metrics`` view)."""
+        lines = ["metrics:"]
+        for name, counter in sorted(self.counters.items()):
+            value = counter.value
+            text = f"{value:g}"
+            lines.append(f"  {name:<36s} {text:>12s}")
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append(f"  {name:<36s} {gauge.value:>12g}")
+        for name, histogram in sorted(self.histograms.items()):
+            lines.append(
+                f"  {name:<36s} n={histogram.count} "
+                f"mean={histogram.mean:.3f} "
+                f"min={histogram.min if histogram.min is not None else '-'} "
+                f"max={histogram.max if histogram.max is not None else '-'}"
+            )
+        return "\n".join(lines)

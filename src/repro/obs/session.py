@@ -1,0 +1,264 @@
+"""The per-worker observability session.
+
+One :class:`Observability` object lives in each executor worker (built by
+``ObsConfig.build`` inside ``_build_suite``) and owns whichever components
+the config enables: the :class:`~repro.obs.trace.Tracer`, the
+:class:`~repro.obs.metrics.MetricsRegistry`, the
+:class:`~repro.obs.flight.FlightRecorder` and the routing-memo stats.  It
+is the single object the instrumented hot paths talk to: the simulated
+:class:`~repro.net.internet.Internet` carries an ``obs`` attribute that is
+either this session or ``None``, so the disabled cost at every event site
+is one attribute load and one ``is not None`` check.
+
+Determinism contract: all trace timestamps come from the simulation clock
+(rebased to zero per unit by the harness), span IDs are seeded hashes, and
+per-unit state is reset in :meth:`begin_unit` — so the obs payload drained
+after a unit is a pure function of the unit, regardless of which worker
+ran it or what ran before.  Wall-clock only ever enters *metrics
+histograms* (per-test durations), whose counts stay deterministic even
+though their sums cannot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import TYPE_CHECKING, ContextManager, Iterator, Optional
+
+from repro.obs.config import ObsConfig
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry, RouteLookupStats
+from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.net.internet import Internet
+    from repro.net.packet import Packet
+    from repro.runtime.units import AuditUnit
+    from repro.world.factory import World
+
+
+class Observability:
+    """Everything the enabled observability features need, in one object."""
+
+    def __init__(self, config: ObsConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._internet: "Optional[Internet]" = None
+        self.tracer: Optional[Tracer] = (
+            Tracer(seed, clock=self._clock) if config.trace_enabled else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.metrics else None
+        )
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(config.flight_recorder)
+            if config.flight_recorder > 0
+            else None
+        )
+        self.route_stats: Optional[RouteLookupStats] = (
+            RouteLookupStats() if config.metrics else None
+        )
+        self._dumps: list[dict] = []
+        self._unit_open = False
+
+    # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        internet = self._internet
+        return internet.clock_ms if internet is not None else 0.0
+
+    def attach(self, world: "World") -> None:
+        """Wire this session into *world*'s hot paths."""
+        internet = world.internet
+        self._internet = internet
+        internet.obs = self
+        if self.route_stats is not None:
+            for host in internet.hosts():
+                host.routing.stats = self.route_stats
+
+    def detach(self) -> None:
+        internet = self._internet
+        if internet is None:
+            return
+        internet.obs = None
+        for host in internet.hosts():
+            host.routing.stats = None
+        self._internet = None
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks.  Callers have already paid the `obs is not None`
+    # check; everything here is the enabled path.
+    # ------------------------------------------------------------------
+    def packet_event(
+        self, host_name: str, packet: "Packet", status: str, detail: str = ""
+    ) -> None:
+        """One packet reached a terminal fate (delivered or otherwise)."""
+        protocol = packet.payload.kind
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("packets.total")
+            metrics.inc(f"packets.{status}")
+        flight = self.flight
+        if flight is not None:
+            flight.record(
+                host_name,
+                self._clock(),
+                status,
+                protocol,
+                str(packet.dst),
+                detail,
+            )
+        tracer = self.tracer
+        if (
+            tracer is not None
+            and self.config.trace_packets
+            and self._unit_open
+        ):
+            attrs = {
+                "host": host_name,
+                "status": status,
+                "protocol": protocol,
+                "dst": str(packet.dst),
+            }
+            if detail:
+                attrs["detail"] = detail
+            tracer.event("packet_send", "packet_send", **attrs)
+
+    def dns_query(
+        self, host_name: str, qname: str, qtype: str, resolver: str, rcode: str
+    ) -> None:
+        """One stub-resolver query completed (any rcode)."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("dns.queries")
+            if rcode != "NOERROR":
+                metrics.inc("dns.failures")
+        tracer = self.tracer
+        if tracer is not None and self._unit_open:
+            tracer.event(
+                "dns_query",
+                "dns_query",
+                host=host_name,
+                qname=qname,
+                qtype=qtype,
+                resolver=resolver,
+                rcode=rcode,
+            )
+
+    def retry(self, key: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("retries.total")
+            self.metrics.inc(f"retries.{key}")
+
+    def tunnel_carried(self) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("tunnel.carried")
+
+    def tunnel_leaked(self) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("tunnel.leaked")
+
+    # ------------------------------------------------------------------
+    # Harness-level hooks
+    # ------------------------------------------------------------------
+    def test_span(
+        self, name: str, **attrs: object
+    ) -> ContextManager[Optional[str]]:
+        """A span around one measurement test (plus a wall-clock histogram)."""
+        tracer = self.tracer
+        span: ContextManager[Optional[str]]
+        if tracer is not None and self._unit_open:
+            span = tracer.span("test", name, **attrs)
+        else:
+            span = nullcontext()
+        if self.metrics is None:
+            return span
+        return self._timed_span(name, span)
+
+    @contextmanager
+    def _timed_span(
+        self, name: str, span: ContextManager[Optional[str]]
+    ) -> Iterator[Optional[str]]:
+        import time
+
+        started = time.perf_counter()
+        with span as span_id:
+            yield span_id
+        assert self.metrics is not None
+        self.metrics.observe(
+            f"test.wall_ms.{name}", (time.perf_counter() - started) * 1e3
+        )
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Temporarily blind the session (ground-truth collection).
+
+        Ground-truth pages/certificates are collected lazily, once per
+        worker suite, inside whichever unit happens to run first there —
+        so their packets and clock advance must stay invisible or traces
+        and metrics would depend on scheduling.  Results are unaffected
+        by the clock restore because they only consume clock *deltas*.
+        """
+        from repro.dns.resolver import reset_txids, txid_state
+
+        internet = self._internet
+        if internet is None:
+            yield
+            return
+        saved_clock = internet.clock_ms
+        saved_txid = txid_state()
+        internet.obs = None
+        try:
+            yield
+        finally:
+            internet.obs = self
+            internet.clock_ms = saved_clock
+            reset_txids(saved_txid)
+
+    def flight_dump(self, reason: str, **attrs: object) -> None:
+        """Dump the ring buffers into the evidence trail, then clear them."""
+        flight = self.flight
+        if flight is None:
+            return
+        events = flight.snapshot()
+        flight.clear()
+        dump = {"reason": reason, "events": events, **attrs}
+        self._dumps.append(dump)
+        if self.metrics is not None:
+            self.metrics.inc("flight.dumps")
+        tracer = self.tracer
+        if tracer is not None and self._unit_open:
+            tracer.event(
+                "flight_dump", "flight_dump", reason=reason,
+                events=events, **attrs,
+            )
+
+    # ------------------------------------------------------------------
+    # Unit lifecycle (driven by the harness/executor)
+    # ------------------------------------------------------------------
+    def begin_unit(self, unit: "AuditUnit") -> None:
+        if self.tracer is not None:
+            self.tracer.begin_unit(unit.unit_id, unit.seed)
+        if self.flight is not None:
+            self.flight.clear()
+        self._dumps = []
+        self._unit_open = True
+
+    def drain_unit(self) -> Optional[dict]:
+        """Collect this unit's obs payload (rides home in the UnitOutcome)."""
+        if not self._unit_open:
+            return None
+        self._unit_open = False
+        payload: dict = {}
+        if self.route_stats is not None and self.metrics is not None:
+            hits, misses = self.route_stats.drain()
+            if hits:
+                self.metrics.inc("routing.memo_hits", hits)
+            if misses:
+                self.metrics.inc("routing.memo_misses", misses)
+        if self.tracer is not None:
+            payload["trace"] = self.tracer.drain()
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.drain()
+        if self._dumps:
+            payload["flight_dumps"] = self._dumps
+            self._dumps = []
+        return payload or None

@@ -18,6 +18,7 @@ two-hour study); the bus keeps the first error for inspection.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TextIO
 
@@ -90,21 +91,56 @@ class StudyFinished:
     retried: int
 
 
+@dataclass(frozen=True)
+class UnitMetrics:
+    """One unit's drained metrics delta, published at its commit point.
+
+    Commit is the checkpoint boundary, so metrics aggregation and durable
+    progress advance together — a resumed study re-merges exactly the
+    deltas of the units it re-runs, nothing more.  ``snapshot`` has the
+    :meth:`repro.obs.metrics.MetricsRegistry.drain` shape.
+    """
+
+    unit_id: str
+    snapshot: dict
+
+
+@dataclass(frozen=True)
+class StudyMetrics:
+    """The merged study-wide metrics snapshot, published at study end."""
+
+    snapshot: dict
+
+
 Event = object
 Handler = Callable[[Event], None]
 
 
 class EventBus:
-    """Synchronous fan-out of events to subscribers (thread-safe)."""
+    """Synchronous fan-out of events to subscribers (thread-safe).
+
+    The bus keeps a bounded history of published events, and
+    :meth:`subscribe` replays it to the new handler by default — so a
+    subscriber attached *after* a study has started (a UI connecting to a
+    long run, a metrics aggregator created mid-flight) still observes the
+    events it missed, in order, rather than joining blind.  Handlers that
+    only care about the live stream subscribe with ``replay=False``.
+    """
+
+    HISTORY_LIMIT = 4096
 
     def __init__(self) -> None:
         self._handlers: list[Handler] = []
         self._lock = threading.Lock()
+        self._history: deque[Event] = deque(maxlen=self.HISTORY_LIMIT)
         self.first_handler_error: Optional[BaseException] = None
 
-    def subscribe(self, handler: Handler) -> Handler:
+    def subscribe(self, handler: Handler, replay: bool = True) -> Handler:
         with self._lock:
+            missed = list(self._history) if replay else []
             self._handlers.append(handler)
+        for event in missed:
+            self._dispatch(handler, event)
         return handler
 
     def unsubscribe(self, handler: Handler) -> None:
@@ -115,12 +151,16 @@ class EventBus:
     def publish(self, event: Event) -> None:
         with self._lock:
             handlers = list(self._handlers)
+            self._history.append(event)
         for handler in handlers:
-            try:
-                handler(event)
-            except BaseException as exc:  # noqa: BLE001 - isolation by design
-                if self.first_handler_error is None:
-                    self.first_handler_error = exc
+            self._dispatch(handler, event)
+
+    def _dispatch(self, handler: Handler, event: Event) -> None:
+        try:
+            handler(event)
+        except BaseException as exc:  # noqa: BLE001 - isolation by design
+            if self.first_handler_error is None:
+                self.first_handler_error = exc
 
 
 # ----------------------------------------------------------------------
@@ -187,6 +227,28 @@ class StatsCollector:
             stats.timed_out_units += 1
         elif isinstance(event, StudyFinished):
             stats.wall_s = event.wall_s
+
+
+class MetricsAggregator:
+    """EventBus subscriber folding :class:`UnitMetrics` into one registry.
+
+    Obs metrics flow through the same bus as progress events rather than a
+    side channel, so any subscriber — the executor's own aggregate, a CLI
+    renderer, a test — sees the identical stream; combined with replay, an
+    aggregator attached mid-study still converges on the same totals
+    (snapshot merging is commutative).
+    """
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, UnitMetrics):
+            self.registry.merge(event.snapshot)
 
 
 class TextProgressRenderer:

@@ -46,13 +46,17 @@ from repro.runtime.units import AuditUnit, StudyPlan
 from repro.world_factory import WorldFactory
 
 if TYPE_CHECKING:
+    from repro.config import StudyConfig
     from repro.core.harness import StudyReport
     from repro.core.results import VantagePointResults
+    from repro.obs.config import ObsConfig
+    from repro.obs.metrics import MetricsRegistry
 
 _BACKENDS = ("thread", "process")
 
-# One attempt at a unit: (results, connect retries spent, wall milliseconds).
-UnitOutcome = tuple[list["VantagePointResults"], int, float]
+# One attempt at a unit: (results, connect retries spent, wall
+# milliseconds, drained observability payload or None).
+UnitOutcome = tuple[list["VantagePointResults"], int, float, Optional[dict]]
 
 
 def _build_suite(
@@ -72,9 +76,17 @@ def _build_suite(
 def _timed_run_unit(suite: TestSuite, unit: AuditUnit) -> UnitOutcome:
     retries_before = suite.connect_retries
     started = time.perf_counter()
-    results = suite.run_unit(unit)
+    try:
+        results = suite.run_unit(unit)
+    except BaseException:
+        # Discard the partial unit's obs buffers so a retry (or the next
+        # unit on this worker) starts from clean per-unit state.
+        if suite.obs is not None:
+            suite.obs.drain_unit()
+        raise
     wall_ms = (time.perf_counter() - started) * 1000.0
-    return results, suite.connect_retries - retries_before, wall_ms
+    obs_payload = suite.obs.drain_unit() if suite.obs is not None else None
+    return results, suite.connect_retries - retries_before, wall_ms, obs_payload
 
 
 # ----------------------------------------------------------------------
@@ -114,6 +126,7 @@ class StudyExecutor:
         checkpoint_dir: Optional[str] = None,
         bus: Optional[ev.EventBus] = None,
         sleep_on_retry: bool = False,
+        obs: Optional["ObsConfig"] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -129,18 +142,69 @@ class StudyExecutor:
         self.checkpoint_dir = checkpoint_dir
         self.bus = bus or ev.EventBus()
         self.sleep_on_retry = sleep_on_retry
+        self.obs_config = obs if obs is not None and obs.enabled else None
+        # Internal collectors see only this executor's run: a shared bus
+        # (the longitudinal scheduler reuses one across snapshots) must
+        # not replay a previous executor's events into them.
         self._stats_collector = ev.StatsCollector()
-        self.bus.subscribe(self._stats_collector)
+        self.bus.subscribe(self._stats_collector, replay=False)
+        self._metrics_aggregator: Optional[ev.MetricsAggregator] = None
+        if self.obs_config is not None and self.obs_config.metrics:
+            self._metrics_aggregator = ev.MetricsAggregator()
+            self.bus.subscribe(self._metrics_aggregator, replay=False)
+        self._obs_payloads: dict[str, dict] = {}
+        self.trace_records: Optional[list[dict]] = None
         self.plan: Optional[StudyPlan] = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config: "StudyConfig",
+        bus: Optional[ev.EventBus] = None,
+        **overrides,
+    ) -> "StudyExecutor":
+        """Build an executor from a :class:`repro.config.StudyConfig`."""
+        kwargs = dict(
+            seed=config.seed,
+            providers=config.provider_list,
+            max_vantage_points=config.max_vantage_points,
+            workers=config.workers,
+            backend=config.backend,
+            checkpoint_dir=config.checkpoint_dir,
+            obs=config.obs,
+            bus=bus,
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
 
     @property
     def stats(self) -> ev.ExecutionStats:
         return self._stats_collector.stats
 
+    @property
+    def metrics(self) -> Optional["MetricsRegistry"]:
+        """The merged study-wide registry (None unless metrics enabled)."""
+        if self._metrics_aggregator is None:
+            return None
+        return self._metrics_aggregator.registry
+
+    @property
+    def flight_dumps(self) -> list[dict]:
+        """Flight-recorder dumps from executed units, in plan order."""
+        if self.plan is None:
+            return []
+        dumps: list[dict] = []
+        for unit in self.plan.units:
+            payload = self._obs_payloads.get(unit.unit_id)
+            if payload:
+                dumps.extend(payload.get("flight_dumps") or [])
+        return dumps
+
     def _suite_kwargs(self) -> dict:
         return {
             "max_vantage_points": self.max_vantage_points,
             "retry_policy": self.retry,
+            "obs_config": self.obs_config,
         }
 
     # ------------------------------------------------------------------
@@ -204,6 +268,7 @@ class StudyExecutor:
                 self._run_pooled(plan, pending, unit_results, checkpoint)
 
         report = suite.assemble_study(plan, unit_results)
+        self._finalize_obs(plan)
         wall_s = time.perf_counter() - started
         self.bus.publish(
             ev.StudyFinished(
@@ -440,10 +505,20 @@ class StudyExecutor:
         checkpoint: Optional[CheckpointStore],
         queue_depth: int,
     ) -> None:
-        results, connect_retries, wall_ms = outcome
+        results, connect_retries, wall_ms, obs_payload = outcome
         unit_results[unit.unit_id] = results
         if checkpoint is not None:
             checkpoint.record(unit, results, wall_ms, connect_retries)
+        if obs_payload is not None:
+            self._obs_payloads[unit.unit_id] = obs_payload
+            snapshot = obs_payload.get("metrics")
+            if snapshot is not None:
+                # Commit is the checkpoint boundary: per-worker metrics
+                # deltas merge into the study aggregate exactly when the
+                # unit's results become durable.
+                self.bus.publish(
+                    ev.UnitMetrics(unit_id=unit.unit_id, snapshot=snapshot)
+                )
         self.bus.publish(
             ev.UnitFinished(
                 unit_id=unit.unit_id,
@@ -453,3 +528,44 @@ class StudyExecutor:
                 connect_retries=connect_retries,
             )
         )
+
+    def _finalize_obs(self, plan: StudyPlan) -> None:
+        """Assemble the study trace and publish the merged metrics.
+
+        Trace records are concatenated in *plan order* — like result
+        assembly, scheduling order never reaches the output, so the JSONL
+        trace from ``workers=8 / process`` is byte-identical to the
+        ``workers=1`` run (units resumed from a checkpoint were never
+        executed and contribute no spans).
+        """
+        if self.obs_config is None:
+            return
+        if self.obs_config.trace_enabled:
+            from repro.obs.trace import JsonlSpanSink, study_record
+
+            records: list[dict] = [
+                study_record(
+                    seed=self.seed,
+                    providers=plan.providers,
+                    total_units=len(plan.units),
+                    max_vantage_points=self.max_vantage_points,
+                )
+            ]
+            for unit in plan.units:
+                payload = self._obs_payloads.get(unit.unit_id)
+                if payload:
+                    records.extend(payload.get("trace") or [])
+            self.trace_records = records
+            if self.obs_config.trace_path:
+                sink = JsonlSpanSink(self.obs_config.trace_path)
+                try:
+                    for record in records:
+                        sink.write(record)
+                finally:
+                    sink.close()
+        if self._metrics_aggregator is not None:
+            self.bus.publish(
+                ev.StudyMetrics(
+                    snapshot=self._metrics_aggregator.registry.snapshot()
+                )
+            )

@@ -30,6 +30,7 @@ from repro.runtime.retry import RetryPolicy, stable_hash
 
 if TYPE_CHECKING:
     from repro.core.harness import StudyReport
+    from repro.obs.config import ObsConfig
 
 #: Per-provider verdict fields compared between snapshots (mirrors the
 #: verdict summary written by ``repro.core.archive``).
@@ -201,6 +202,7 @@ class LongitudinalScheduler:
         archive_root: Optional[str | pathlib.Path] = None,
         bus: Optional[ev.EventBus] = None,
         reseed: bool = True,
+        obs: Optional["ObsConfig"] = None,
     ) -> None:
         if snapshots < 1:
             raise ValueError("snapshots must be >= 1")
@@ -223,6 +225,7 @@ class LongitudinalScheduler:
             pathlib.Path(archive_root) if archive_root is not None else None
         )
         self.bus = bus
+        self.obs = obs if obs is not None and obs.enabled else None
         # reseed=True rebuilds each snapshot's world from a derived seed
         # (an ecosystem that may drift); reseed=False models pure
         # re-measurement of a static ecosystem, where any non-empty diff
@@ -256,6 +259,13 @@ class LongitudinalScheduler:
         report = LongitudinalReport()
         previous: Optional[dict[str, dict[str, object]]] = None
         for spec in self.schedule():
+            snapshot_obs = self.obs
+            if snapshot_obs is not None and snapshot_obs.trace_path:
+                # One JSONL per snapshot: <path>.snapshot-NN so traces
+                # from consecutive snapshots never interleave.
+                snapshot_obs = snapshot_obs.replace(
+                    trace_path=f"{snapshot_obs.trace_path}.{spec.label}"
+                )
             executor = StudyExecutor(
                 seed=spec.seed,
                 providers=self.providers,
@@ -264,6 +274,7 @@ class LongitudinalScheduler:
                 backend=self.backend,
                 retry=self.retry,
                 bus=self.bus,
+                obs=snapshot_obs,
             )
             study = executor.run()
             verdicts = verdict_map(study)

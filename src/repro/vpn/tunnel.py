@@ -100,6 +100,9 @@ class TunnelEndpoint:
         if self.state is TunnelState.FAILED:
             self.state = TunnelState.CONNECTED
         self.carried_packets += 1
+        obs = internet.obs
+        if obs is not None:
+            obs.tunnel_carried()
 
         inner_responses: list[Packet] = []
         record_rx = capture.enabled
@@ -192,6 +195,9 @@ class TunnelEndpoint:
         outcome = self.host.internet.deliver(plaintext, self.host)
         if outcome.ok:
             self.leaked_packets += 1
+            obs = self.host.internet.obs
+            if obs is not None:
+                obs.tunnel_leaked()
             for response in outcome.responses:
                 physical.capture.record(
                     self.host.internet.clock_ms, "rx", response

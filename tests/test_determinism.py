@@ -149,6 +149,36 @@ class TestWorldDeterminism:
             digest.update(b"\0")
         assert digest.hexdigest() == GOLDEN_STUDY_FINGERPRINT
 
+    def test_study_archive_fingerprint_unchanged_by_observability(
+        self, tmp_path
+    ):
+        """Turning the full obs stack on must not move a single archive byte.
+
+        Tracing, metrics, and the flight recorder read the simulation; the
+        golden fingerprint proves they never write to it (no clock skew, no
+        extra packets, no perturbed retry schedule).
+        """
+        from repro.core.archive import write_study_archive
+        from repro.obs.config import ObsConfig
+        from repro.runtime.executor import StudyExecutor
+
+        report = StudyExecutor(
+            seed=2018,
+            providers=GOLDEN_STUDY_PROVIDERS,
+            max_vantage_points=2,
+            obs=ObsConfig(trace=True, metrics=True, flight_recorder=64),
+        ).run()
+        root = tmp_path / "archive"
+        write_study_archive(report, root)
+
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.json")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        assert digest.hexdigest() == GOLDEN_STUDY_FINGERPRINT
+
     def test_ecosystem_seed_sensitivity(self):
         from repro.ecosystem.generate import generate_ecosystem
 

@@ -1,0 +1,175 @@
+"""StudyConfig API tests: the frozen config object and the kwargs shim.
+
+Both spellings of every entry point — ``config=StudyConfig(...)`` and the
+deprecated keyword arguments — must execute the same path and produce the
+same report; the shim warns exactly once per process per function.
+"""
+
+import json
+import warnings
+
+import pytest
+
+
+class TestStudyConfig:
+    def test_frozen_and_hashable(self):
+        from repro.config import StudyConfig
+
+        config = StudyConfig(providers=["Seed4.me"])
+        with pytest.raises(AttributeError):
+            config.seed = 1
+        assert config == StudyConfig(providers=("Seed4.me",))
+        assert hash(config) == hash(StudyConfig(providers=("Seed4.me",)))
+
+    def test_validation(self):
+        from repro.config import StudyConfig
+
+        with pytest.raises(ValueError):
+            StudyConfig(workers=0)
+        with pytest.raises(ValueError):
+            StudyConfig(backend="fibers")
+        with pytest.raises(ValueError):
+            StudyConfig(snapshots=0)
+        with pytest.raises(ValueError):
+            StudyConfig(max_vantage_points=0)
+        with pytest.raises(TypeError):
+            StudyConfig(obs={"metrics": True})
+
+    def test_replace_returns_new_config(self):
+        from repro.config import StudyConfig
+
+        base = StudyConfig()
+        other = base.replace(workers=4, backend="process")
+        assert base.workers == 1
+        assert (other.workers, other.backend) == (4, "process")
+
+    def test_dict_round_trip_is_stable_and_jsonable(self):
+        from repro.config import StudyConfig
+        from repro.obs.config import ObsConfig
+
+        config = StudyConfig(
+            seed=7,
+            providers=["Seed4.me", "MyIP.io"],
+            workers=2,
+            checkpoint_dir="out/ck",
+            obs=ObsConfig(trace=True, metrics=True, flight_recorder=8),
+        )
+        data = config.to_dict()
+        json.dumps(data)  # must be JSON-serialisable as-is
+        rebuilt = StudyConfig.from_dict(data)
+        assert rebuilt == config
+        assert rebuilt.to_dict() == data
+        # Unknown keys (forward compatibility) are ignored.
+        data["added_in_future_version"] = True
+        assert StudyConfig.from_dict(data) == config
+
+
+class TestKwargsShim:
+    def _fresh_api(self):
+        """api with the warn-once latch cleared for this test."""
+        from repro import api
+
+        api._DEPRECATION_WARNED.clear()
+        return api
+
+    def test_legacy_kwargs_warn_once_and_match_config_path(self):
+        api = self._fresh_api()
+
+        with pytest.warns(DeprecationWarning, match="StudyConfig"):
+            legacy = api.audit_provider("Seed4.me", seed=2018)
+        # Second legacy call: no further warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = api.audit_provider("Seed4.me", seed=2018)
+        from repro.config import StudyConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_config = api.audit_provider(
+                "Seed4.me", config=StudyConfig(seed=2018)
+            )
+        assert legacy.to_dict() == again.to_dict() == via_config.to_dict()
+
+    def test_config_plus_kwargs_rejected(self):
+        api = self._fresh_api()
+        from repro.config import StudyConfig
+
+        with pytest.raises(TypeError, match="not both"):
+            api.run_full_study(StudyConfig(), workers=2)
+
+    def test_run_full_study_shim_equivalence(self):
+        api = self._fresh_api()
+        from repro.config import StudyConfig
+
+        with pytest.warns(DeprecationWarning):
+            legacy = api.run_full_study(
+                providers=["Seed4.me"], max_vantage_points=1
+            )
+        via_config = api.run_full_study(
+            StudyConfig(providers=["Seed4.me"], max_vantage_points=1)
+        )
+        assert legacy.to_dict() == via_config.to_dict()
+
+
+class TestStudyReportRoundTrip:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.config import StudyConfig
+        from repro.runtime.executor import StudyExecutor
+
+        return StudyExecutor.from_config(
+            StudyConfig(providers=["Seed4.me", "MyIP.io"],
+                        max_vantage_points=2)
+        ).run()
+
+    def test_to_dict_from_dict_round_trip(self, study):
+        from repro.core.harness import StudyReport
+
+        data = study.to_dict()
+        json.dumps(data)  # stable, JSON-serialisable shape
+        rebuilt = StudyReport.from_dict(data)
+        assert rebuilt.to_dict() == data
+        assert sorted(rebuilt.providers) == sorted(study.providers)
+        for name, report in study.providers.items():
+            clone = rebuilt.providers[name]
+            assert clone.summary() == report.summary()
+            assert clone.to_dict() == report.to_dict()
+
+    def test_all_entry_points_return_same_report_type(self, study):
+        from repro.config import StudyConfig
+        from repro.core.harness import StudyReport
+        from repro.api import run_full_study
+
+        assert isinstance(study, StudyReport)
+        via_api = run_full_study(
+            StudyConfig(providers=["Seed4.me", "MyIP.io"],
+                        max_vantage_points=2)
+        )
+        assert isinstance(via_api, StudyReport)
+        assert via_api.to_dict() == study.to_dict()
+
+
+class TestPublicSurface:
+    def test_package_reexports(self):
+        import repro
+
+        for name in (
+            "StudyConfig",
+            "StudyReport",
+            "run_full_study",
+            "run_longitudinal_study",
+            "audit_provider",
+            "build_study",
+            "Tracer",
+            "MetricsRegistry",
+            "ObsConfig",
+            "FlightRecorder",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
