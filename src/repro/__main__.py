@@ -1,7 +1,18 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    # Flush explicitly so a closed downstream pipe surfaces here, where
+    # it can be handled, rather than as a traceback during shutdown.
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream closed early (e.g. ``repro trace query ... | head``).
+    # Point stdout at devnull so interpreter shutdown doesn't re-raise.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

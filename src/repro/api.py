@@ -171,6 +171,34 @@ def run_full_study(
     return report
 
 
+def explain_provider(
+    name: str,
+    config: Optional["StudyConfig"] = None,
+):
+    """Audit one provider with tracing forced on; return explainable output.
+
+    Runs the study through the executor (the unit-span path — evidence
+    chains only exist inside unit/test spans) with ``obs.trace`` enabled
+    regardless of what *config* says, so every verdict comes back with an
+    :class:`~repro.obs.evidence.EvidenceChain` resolvable against the
+    returned trace.
+
+    Returns ``(ProviderReport, trace_records)`` — the report's
+    ``evidence_chains()`` reference span IDs found in ``trace_records``.
+    This is the engine behind ``repro report explain <provider>``.
+    """
+    from repro.config import StudyConfig
+
+    if config is None:
+        config = StudyConfig()
+    config = config.replace(
+        providers=(name,),
+        obs=config.obs.replace(trace=True),
+    )
+    study = run_full_study(config=config)
+    return study.providers[name], study.trace_records
+
+
 def run_longitudinal_study(
     config: Optional["StudyConfig"] = None,
     *,

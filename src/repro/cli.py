@@ -5,11 +5,16 @@ VPN services; this CLI is the reproduction's equivalent front door:
 
     python -m repro list                       # the 62-provider catalogue
     python -m repro audit Seed4.me             # full audit of one provider
-    python -m repro study [--max-vps N] [--archive DIR] [--workers N]
-                          [--resume DIR] [--snapshots N] [--progress]
-                          [--profile] [--trace FILE] [--metrics]
+    python -m repro study [--max-vps N] [--providers NAME ...]
+                          [--archive DIR] [--workers N] [--resume DIR]
+                          [--snapshots N] [--progress] [--profile]
+                          [--trace FILE] [--metrics] [--metrics-out FILE]
                           [--flight-recorder N]
     python -m repro trace summarize out.jsonl  # span-tree / packet summary
+    python -m repro trace flows out.jsonl      # per-packet causal hop chains
+    python -m repro trace query 'kind=packet_send status=delivered' out.jsonl
+    python -m repro trace diff a.jsonl b.jsonl # span-exact run comparison
+    python -m repro report explain Seed4.me    # verdicts + evidence chains
     python -m repro ecosystem                  # Section 4 statistics
     python -m repro experiments                # table/figure registry
 
@@ -48,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run the full 62-provider study")
     study.add_argument("--max-vps", type=int, default=5)
     study.add_argument("--seed", type=int, default=2018)
+    study.add_argument(
+        "--providers", nargs="+", metavar="NAME",
+        help="restrict the study to these providers (default: all 62)",
+    )
     study.add_argument(
         "--archive", metavar="DIR",
         help="write per-provider JSON results to this directory",
@@ -90,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
              "per-test wall time) and print the aggregate after the study",
     )
     study.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the merged metrics snapshot as JSON to FILE "
+             "(implies metrics collection)",
+    )
+    study.add_argument(
         "--flight-recorder", type=int, default=0, metavar="N",
         help="keep the last N packet events per host and dump them into "
              "the trace when a connect/retry budget is exhausted",
@@ -98,11 +112,55 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="inspect a JSONL trace written by 'study --trace'"
     )
-    trace.add_argument(
-        "action", choices=["summarize"],
-        help="what to do with the trace (summarize: span/packet rollup)",
+    trace_sub = trace.add_subparsers(dest="trace_cmd", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize", help="span/packet rollup of one trace"
     )
-    trace.add_argument("file", help="path to the JSONL trace file")
+    trace_sum.add_argument("file", help="path to the JSONL trace file")
+    trace_flows = trace_sub.add_parser(
+        "flows", help="reconstruct per-packet causal hop chains"
+    )
+    trace_flows.add_argument("file", help="path to the JSONL trace file")
+    trace_flows.add_argument(
+        "--test", metavar="GLOB",
+        help="only tests whose name matches this glob (e.g. 'dns_*')",
+    )
+    trace_flows.add_argument(
+        "--max-flows", type=int, metavar="N",
+        help="stop after printing N flows",
+    )
+    trace_query = trace_sub.add_parser(
+        "query", help="filter records with 'key=value' terms (ANDed; "
+                      "=/!= glob-match, </<=/>/>= compare numerically)",
+    )
+    trace_query.add_argument(
+        "expression",
+        help="e.g. 'kind=packet_send status=no_route host=*client*'",
+    )
+    trace_query.add_argument("file", help="path to the JSONL trace file")
+    trace_diff = trace_sub.add_parser(
+        "diff", help="compare two runs span-by-span (exact: seeded span "
+                     "IDs align identical logical spans)",
+    )
+    trace_diff.add_argument("file_a", help="baseline JSONL trace")
+    trace_diff.add_argument("file_b", help="candidate JSONL trace")
+
+    report = sub.add_parser(
+        "report", help="explainable views over audit verdicts"
+    )
+    report_sub = report.add_subparsers(dest="report_cmd", required=True)
+    explain = report_sub.add_parser(
+        "explain",
+        help="audit one provider with tracing on and print the evidence "
+             "chain behind every verdict",
+    )
+    explain.add_argument("provider", help="provider name (see 'list')")
+    explain.add_argument("--max-vps", type=int, default=5)
+    explain.add_argument("--seed", type=int, default=2018)
+    explain.add_argument(
+        "--all", action="store_true", dest="show_all",
+        help="also print chains for clean (non-flagged) verdicts",
+    )
 
     sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
     sub.add_parser("experiments", help="list the table/figure registry")
@@ -199,6 +257,8 @@ def cmd_study(config, archive: Optional[str], profile: bool = False) -> int:
         print(registry.render())
     if config.obs.trace_path:
         print(f"trace written to {config.obs.trace_path}")
+    if config.obs.metrics_path:
+        print(f"metrics written to {config.obs.metrics_path}")
     if archive:
         from repro.core.archive import write_study_archive
 
@@ -207,16 +267,108 @@ def cmd_study(config, archive: Optional[str], profile: bool = False) -> int:
     return 0
 
 
-def cmd_trace(action: str, file: str) -> int:
-    from repro.obs.trace import read_trace, summarize_trace
+def _load_trace(file: str):
+    """Read a trace for the CLI; None (after a stderr message) on failure.
+
+    ``read_trace`` already skips corrupt lines with warnings; the command
+    only fails when nothing at all parsed.
+    """
+    from repro.obs.trace import read_trace
 
     try:
         records = read_trace(file)
     except OSError as exc:
         print(f"cannot read trace {file!r}: {exc}", file=sys.stderr)
+        return None
+    if not records:
+        print(f"no trace records parsed from {file!r}", file=sys.stderr)
+        return None
+    return records
+
+
+def cmd_trace(args) -> int:
+    if args.trace_cmd == "diff":
+        from repro.obs.analyze import diff_traces, render_diff
+
+        a = _load_trace(args.file_a)
+        b = _load_trace(args.file_b)
+        if a is None or b is None:
+            return 2
+        diff = diff_traces(a, b)
+        print(render_diff(diff))
+        return 0 if diff.empty else 1
+
+    records = _load_trace(args.file)
+    if records is None:
         return 2
-    if action == "summarize":
+    if args.trace_cmd == "summarize":
+        from repro.obs.trace import summarize_trace
+
         print(summarize_trace(records))
+    elif args.trace_cmd == "flows":
+        from repro.obs.analyze import reconstruct_flows, render_flows
+
+        print(
+            render_flows(
+                reconstruct_flows(records),
+                test=args.test,
+                max_flows=args.max_flows,
+            )
+        )
+    elif args.trace_cmd == "query":
+        import json
+
+        from repro.obs.analyze import query_trace
+
+        try:
+            matches = query_trace(records, args.expression)
+        except ValueError as exc:
+            print(f"bad query: {exc}", file=sys.stderr)
+            return 2
+        for record in matches:
+            print(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        print(
+            f"{len(matches)} / {len(records)} records matched",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_report_explain(
+    provider: str, max_vps: int, seed: int, show_all: bool
+) -> int:
+    from repro.api import explain_provider
+    from repro.config import StudyConfig
+
+    try:
+        report, trace_records = explain_provider(
+            provider,
+            config=StudyConfig(seed=seed, max_vantage_points=max_vps),
+        )
+    except KeyError:
+        print(f"unknown provider {provider!r}; see 'repro list'",
+              file=sys.stderr)
+        return 2
+    print(report.summary())
+    chains = report.evidence_chains()
+    flagged = 0
+    clean = 0
+    for hostname in sorted(chains):
+        for name, chain in chains[hostname].items():
+            if chain.links or chain.notes:
+                flagged += 1
+            else:
+                clean += 1
+                if not show_all:
+                    continue
+            print()
+            print(chain.render(trace_records))
+    print()
+    print(
+        f"{flagged} verdict(s) with incriminating evidence, "
+        f"{clean} clean"
+        + ("" if show_all or not clean else " (--all to show)")
+    )
     return 0
 
 
@@ -297,6 +449,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         config = StudyConfig(
             seed=args.seed,
+            providers=(
+                tuple(args.providers) if args.providers else None
+            ),
             max_vantage_points=args.max_vps,
             workers=args.workers,
             backend=args.backend,
@@ -307,12 +462,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 trace=bool(args.trace),
                 trace_path=args.trace,
                 metrics=args.metrics,
+                metrics_path=args.metrics_out,
                 flight_recorder=args.flight_recorder,
             ),
         )
         return cmd_study(config, args.archive, profile=args.profile)
     if args.command == "trace":
-        return cmd_trace(args.action, args.file)
+        return cmd_trace(args)
+    if args.command == "report":
+        return cmd_report_explain(
+            args.provider, args.max_vps, args.seed, args.show_all
+        )
     if args.command == "ecosystem":
         return cmd_ecosystem()
     if args.command == "experiments":

@@ -96,6 +96,7 @@ class StudyConfig:
                     "trace_path": value.trace_path,
                     "trace_packets": value.trace_packets,
                     "metrics": value.metrics,
+                    "metrics_path": value.metrics_path,
                     "flight_recorder": value.flight_recorder,
                 }
             elif spec.name == "providers" and value is not None:

@@ -54,6 +54,7 @@ from repro.world import World
 
 if TYPE_CHECKING:
     from repro.obs.config import ObsConfig
+    from repro.obs.evidence import EvidenceCollector
     from repro.runtime.units import AuditUnit, StudyPlan
 
 
@@ -118,6 +119,21 @@ class TestContext:
 
     def note_query(self, qname: str) -> None:
         self.issued_query_names.add(qname.lower().rstrip("."))
+
+    def evidence(self, verdict: str) -> "EvidenceCollector":
+        """An evidence collector for the test currently running.
+
+        Bound to the open test span; inert (``chain()`` returns None) when
+        tracing is off or no unit is open, so tests can record evidence
+        unconditionally without checking observability state.
+        """
+        from repro.obs.evidence import EvidenceCollector
+
+        return EvidenceCollector(
+            self._suite.obs,
+            verdict=verdict,
+            vantage=self.vantage_point.hostname,
+        )
 
 
 @dataclass
@@ -224,18 +240,60 @@ class ProviderReport:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Evidence (what makes the verdicts above explainable)
+    # ------------------------------------------------------------------
+    def evidence_chains(self) -> dict:
+        """hostname -> {test-field name -> EvidenceChain}, non-empty only.
+
+        Chains exist when the study ran with tracing enabled; each links a
+        verdict to the trace spans of its incriminating packets.  The
+        study archive never carries them (fingerprint stability) — this
+        accessor and :meth:`to_dict` are how they travel.
+        """
+        out = {}
+        for results in self.full_results + self.sweep_results:
+            chains = results.evidence_chains()
+            if chains:
+                out[results.hostname] = chains
+        return out
+
+    # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         from repro.core.results import _jsonable
 
-        return _jsonable(self)
+        out = _jsonable(self)
+        evidence = {
+            hostname: {
+                name: chain.to_dict() for name, chain in chains.items()
+            }
+            for hostname, chains in self.evidence_chains().items()
+        }
+        if evidence:
+            out["evidence"] = evidence
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProviderReport":
         from repro.core.results import _hydrate
+        from repro.obs.evidence import EvidenceChain
 
-        return _hydrate(cls, data)
+        report = _hydrate(cls, data)
+        by_hostname = {
+            results.hostname: results
+            for results in report.full_results + report.sweep_results
+        }
+        for hostname, chains in (data.get("evidence") or {}).items():
+            results = by_hostname.get(hostname)
+            if results is not None:
+                results.attach_evidence(
+                    {
+                        name: EvidenceChain.from_dict(raw)
+                        for name, raw in chains.items()
+                    }
+                )
+        return report
 
 
 @dataclass
@@ -562,6 +620,7 @@ class TestSuite:
                     exposed_local_addresses=webrtc.exposed_local_addresses,
                     reflexive_address=webrtc.reflexive_address,
                     reflexive_is_vpn_egress=webrtc.reflexive_is_vpn_egress,
+                    evidence=getattr(webrtc, "evidence", None),
                 )
                 results.p2p = observed(
                     "p2p_detection", vantage, lambda: self._p2p.run(context))
@@ -579,12 +638,23 @@ class TestSuite:
         return results
 
     def _observed(self, name: str, vantage: str, run: Callable):
-        """Run one test, inside a ``test`` span when observability is on."""
+        """Run one test, inside a ``test`` span when observability is on.
+
+        While the span is still open, results that support evidence but
+        recorded none themselves get a default chain (anchored to the test
+        span, carrying the result's incriminating observations as notes) —
+        so in a traced study *every* verdict is explainable, not only the
+        ones from tests that build packet-level chains.
+        """
         obs = self.obs
         if obs is None:
             return run()
         with obs.test_span(name, vantage=vantage):
-            return run()
+            result = run()
+            from repro.obs.evidence import attach_default_evidence
+
+            attach_default_evidence(obs, name, vantage, result)
+            return result
 
     # ------------------------------------------------------------------
     # Flaky-endpoint handling (§5.2) via the shared retry policy

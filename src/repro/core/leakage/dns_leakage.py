@@ -52,6 +52,10 @@ class DnsLeakageTest:
                 issued += 1
 
         result = DnsLeakageResult(queries_issued=issued)
+        # Each leaked capture entry holds the same Packet object the
+        # internet delivered, so the collector can link the verdict to the
+        # exact packet_send trace records that prove the leak.
+        collector = context.evidence("dns_leakage")
         new_entries = capture.entries[marker:]
         for entry in new_entries:
             if entry.direction != "tx":
@@ -62,5 +66,11 @@ class DnsLeakageTest:
             if payload is not None and payload.kind == "dns" and not payload.is_response:  # type: ignore[union-attr]
                 result.leaked_queries.append(payload.qname)  # type: ignore[union-attr]
                 result.leaked_servers.append(str(entry.packet.dst))
+                collector.packet(
+                    entry.packet,
+                    note=f"plaintext query {payload.qname} "  # type: ignore[union-attr]
+                    f"to {entry.packet.dst}",
+                )
         result.leaked_servers = sorted(set(result.leaked_servers))
+        result.evidence = collector.chain()
         return result

@@ -54,6 +54,7 @@ class Ipv6LeakageTest:
             finally:
                 socket.close()
 
+        collector = context.evidence("ipv6_leakage")
         for entry in capture.entries[marker:]:
             if entry.direction != "tx":
                 continue
@@ -61,7 +62,12 @@ class Ipv6LeakageTest:
                 continue
             if entry.packet.version == 6:
                 result.leaked_destinations.append(str(entry.packet.dst))
+                collector.packet(
+                    entry.packet,
+                    note=f"v6 packet escaped tunnel to {entry.packet.dst}",
+                )
         result.leaked_destinations = sorted(set(result.leaked_destinations))
+        result.evidence = collector.chain()
         return result
 
 

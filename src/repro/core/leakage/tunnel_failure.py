@@ -14,7 +14,7 @@ role of the paper's three-minute blocking window.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.results import TunnelFailureResult
 from repro.net.packet import Packet, RawPayload, TcpSegment
@@ -50,33 +50,48 @@ class TunnelFailureTest:
         internet.block_path(client, server_address)
 
         result = TunnelFailureResult()
+        collector = context.evidence("tunnel_failure")
         try:
             for attempt in range(1, self.attempts + 1):
                 result.attempts = attempt
-                reachable = any(
-                    self._probe(context, target) for target in probes
-                )
-                if reachable:
+                # Stop at the first target that answers, exactly like the
+                # original any(): the probe sequence (and thus the trace)
+                # must not change with evidence collection.
+                leaked: Optional[Packet] = None
+                for target in probes:
+                    leaked = self._probe(context, target)
+                    if leaked is not None:
+                        break
+                if leaked is not None:
                     result.reachable_during_failure += 1
                     if result.first_leak_attempt is None:
                         result.first_leak_attempt = attempt
+                    collector.packet(
+                        leaked,
+                        note=f"probe reached {leaked.dst} during outage "
+                        f"(attempt {attempt})",
+                    )
         finally:
             internet.unblock_path(client, server_address)
+        result.evidence = collector.chain()
         return result
 
-    def _probe(self, context: "TestContext", target: str) -> bool:
+    def _probe(
+        self, context: "TestContext", target: str
+    ) -> Optional[Packet]:
+        """Send one plaintext probe; returns the packet if it got through."""
         client = context.client
         socket = client.open_socket("tcp")
         try:
             route = client.routing.lookup(target)
             if route is None:
-                return False
+                return None
             interface = client.interfaces.get(route.interface)
             if interface is None or not interface.up:
-                return False
+                return None
             src = interface.address_for_version(4)
             if src is None:
-                return False
+                return None
             probe = Packet(
                 src=src,
                 dst=_addr(target),
@@ -88,7 +103,7 @@ class TunnelFailureTest:
                 ),
             )
             outcome = client.send(probe)
-            return outcome.ok
+            return probe if outcome.ok else None
         finally:
             socket.close()
 

@@ -17,8 +17,9 @@ Two leak channels, both checked:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
+from repro.obs.evidence import EvidenceChain
 from repro.web.stun import gather_ice_candidates
 
 if TYPE_CHECKING:
@@ -33,6 +34,9 @@ class WebRtcLeakageResult:
     exposed_local_addresses: list[str] = field(default_factory=list)
     reflexive_address: str = ""
     reflexive_is_vpn_egress: bool = False
+    evidence: Optional[EvidenceChain] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def leaked(self) -> bool:
@@ -66,11 +70,24 @@ class WebRtcLeakageTest:
                 real_addresses.add(str(physical.ipv6))
 
         egress = str(context.vantage_point.address)
+        # WebRTC incrimination is API-level (candidates handed to page
+        # JavaScript), not a captured packet — the chain carries notes.
+        collector = context.evidence("webrtc_leakage")
         for candidate in candidates:
             if candidate.candidate_type == "host":
                 if candidate.address in real_addresses:
                     result.exposed_local_addresses.append(candidate.address)
+                    collector.note(
+                        f"host candidate exposes real address "
+                        f"{candidate.address}"
+                    )
             elif candidate.candidate_type == "srflx":
                 result.reflexive_address = candidate.address
                 result.reflexive_is_vpn_egress = candidate.address == egress
+                if not result.reflexive_is_vpn_egress:
+                    collector.note(
+                        f"srflx candidate {candidate.address} is not the "
+                        f"VPN egress {egress}: STUN escaped the tunnel"
+                    )
+        result.evidence = collector.chain()
         return result

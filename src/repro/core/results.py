@@ -14,6 +14,26 @@ import typing
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+# Real (not TYPE_CHECKING) import: _hydrate resolves field annotations at
+# runtime via typing.get_type_hints, so EvidenceChain must exist in this
+# module's namespace.  The dependency is acyclic — obs.evidence imports
+# nothing from repro.core.
+from repro.obs.evidence import EvidenceChain
+
+
+def _evidence_field() -> Any:
+    """An attached-evidence slot, excluded from the study archive.
+
+    ``metadata={"archive": False}`` makes ``_jsonable`` skip the field, so
+    archived per-vantage-point JSON (and its golden fingerprint) is
+    byte-identical whether or not a trace — and therefore evidence — was
+    collected.  Evidence instead travels via ``ProviderReport.to_dict``.
+    ``compare=False`` keeps result equality about the measurements.
+    """
+    return field(
+        default=None, compare=False, repr=False, metadata={"archive": False}
+    )
+
 
 @dataclass
 class DnsComparisonEntry:
@@ -31,6 +51,7 @@ class DnsManipulationResult:
     """Section 5.3.1, DNS manipulation."""
 
     entries: list[DnsComparisonEntry] = field(default_factory=list)
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def manipulated(self) -> bool:
@@ -59,6 +80,7 @@ class DomCollectionResult:
     """Section 5.3.1, DOM and request collection."""
 
     pages: list[PageObservation] = field(default_factory=list)
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def injection_detected(self) -> bool:
@@ -94,6 +116,7 @@ class TlsInterceptionResult:
     """Section 5.3.1, TLS interception and downgrade detection."""
 
     observations: list[TlsObservation] = field(default_factory=list)
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def interception_detected(self) -> bool:
@@ -120,6 +143,7 @@ class ProxyDetectionResult:
     headers_injected: list[str] = field(default_factory=list)
     headers_dropped: list[str] = field(default_factory=list)
     modification_style: str = ""  # e.g. "parse-and-regenerate"
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def proxy_detected(self) -> bool:
@@ -200,6 +224,7 @@ class DnsLeakageResult:
     queries_issued: int = 0
     leaked_queries: list[str] = field(default_factory=list)
     leaked_servers: list[str] = field(default_factory=list)
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def leaked(self) -> bool:
@@ -212,6 +237,7 @@ class Ipv6LeakageResult:
 
     attempts: int = 0
     leaked_destinations: list[str] = field(default_factory=list)
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def leaked(self) -> bool:
@@ -226,6 +252,7 @@ class WebRtcSummary:
     exposed_local_addresses: list[str] = field(default_factory=list)
     reflexive_address: str = ""
     reflexive_is_vpn_egress: bool = False
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
 
 @dataclass
@@ -235,6 +262,7 @@ class TunnelFailureResult:
     attempts: int = 0
     reachable_during_failure: int = 0
     first_leak_attempt: Optional[int] = None
+    evidence: Optional[EvidenceChain] = _evidence_field()
 
     @property
     def fails_open(self) -> bool:
@@ -289,6 +317,26 @@ class VantagePointResults:
     def to_json(self) -> str:
         return json.dumps(_jsonable(self), indent=2, sort_keys=True)
 
+    # ------------------------------------------------------------------
+    # Attached evidence (never archived; rides in ProviderReport.to_dict)
+    # ------------------------------------------------------------------
+    def evidence_chains(self) -> dict[str, EvidenceChain]:
+        """test-field name -> the chain attached to that result, if any."""
+        chains: dict[str, EvidenceChain] = {}
+        for spec in dataclasses.fields(self):
+            result = getattr(self, spec.name)
+            chain = getattr(result, "evidence", None)
+            if chain is not None:
+                chains[spec.name] = chain
+        return chains
+
+    def attach_evidence(self, chains: dict[str, EvidenceChain]) -> None:
+        """Re-attach chains by test-field name (inverse of the above)."""
+        for name, chain in chains.items():
+            result = getattr(self, name, None)
+            if result is not None and hasattr(result, "evidence"):
+                result.evidence = chain
+
     @classmethod
     def from_jsonable(cls, data: dict[str, Any]) -> "VantagePointResults":
         return _hydrate(cls, data)
@@ -306,9 +354,12 @@ class VantagePointResults:
 
 def _jsonable(obj: Any) -> Any:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # Fields marked archive=False (attached evidence) never reach the
+        # archive: its bytes must not depend on whether obs was enabled.
         return {
             f.name: _jsonable(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
+            if f.metadata.get("archive", True)
         }
     if isinstance(obj, dict):
         return {str(k): _jsonable(v) for k, v in obj.items()}

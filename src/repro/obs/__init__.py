@@ -19,6 +19,17 @@ _EXPORTS = {
     "read_trace": ("repro.obs.trace", "read_trace"),
     "write_trace": ("repro.obs.trace", "write_trace"),
     "summarize_trace": ("repro.obs.trace", "summarize_trace"),
+    "EvidenceChain": ("repro.obs.evidence", "EvidenceChain"),
+    "EvidenceLink": ("repro.obs.evidence", "EvidenceLink"),
+    "EvidenceCollector": ("repro.obs.evidence", "EvidenceCollector"),
+    "reconstruct_flows": ("repro.obs.analyze", "reconstruct_flows"),
+    "render_flows": ("repro.obs.analyze", "render_flows"),
+    "TestFlows": ("repro.obs.analyze", "TestFlows"),
+    "parse_query": ("repro.obs.analyze", "parse_query"),
+    "query_trace": ("repro.obs.analyze", "query_trace"),
+    "diff_traces": ("repro.obs.analyze", "diff_traces"),
+    "render_diff": ("repro.obs.analyze", "render_diff"),
+    "TraceDiff": ("repro.obs.analyze", "TraceDiff"),
     "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
     "Counter": ("repro.obs.metrics", "Counter"),
     "Gauge": ("repro.obs.metrics", "Gauge"),
@@ -30,7 +41,22 @@ _EXPORTS = {
 __all__ = list(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.obs.analyze import (
+        TestFlows,
+        TraceDiff,
+        diff_traces,
+        parse_query,
+        query_trace,
+        reconstruct_flows,
+        render_diff,
+        render_flows,
+    )
     from repro.obs.config import ObsConfig
+    from repro.obs.evidence import (
+        EvidenceChain,
+        EvidenceCollector,
+        EvidenceLink,
+    )
     from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import (
         Counter,

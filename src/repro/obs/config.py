@@ -32,15 +32,17 @@ class ObsConfig:
     JSONL, one record per line, and implies ``trace``.  ``trace_packets``
     controls whether individual ``packet_send`` events are recorded inside
     test spans (the bulk of an enabled trace).  ``metrics`` turns on the
-    counters/gauges/histograms registry; ``flight_recorder`` keeps the last
-    N packet events per host in a ring buffer that is dumped into the trace
-    whenever a retry policy exhausts.
+    counters/gauges/histograms registry; ``metrics_path`` additionally
+    writes the merged study snapshot as JSON and implies ``metrics``;
+    ``flight_recorder`` keeps the last N packet events per host in a ring
+    buffer that is dumped into the trace whenever a retry policy exhausts.
     """
 
     trace: bool = False
     trace_path: Optional[str] = None
     trace_packets: bool = True
     metrics: bool = False
+    metrics_path: Optional[str] = None
     flight_recorder: int = 0
 
     def __post_init__(self) -> None:
@@ -53,10 +55,16 @@ class ObsConfig:
         return self.trace or self.trace_path is not None
 
     @property
+    def metrics_enabled(self) -> bool:
+        return self.metrics or self.metrics_path is not None
+
+    @property
     def enabled(self) -> bool:
         """Whether *any* observability feature is on."""
         return (
-            self.trace_enabled or self.metrics or self.flight_recorder > 0
+            self.trace_enabled
+            or self.metrics_enabled
+            or self.flight_recorder > 0
         )
 
     def replace(self, **changes: object) -> "ObsConfig":

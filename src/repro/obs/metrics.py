@@ -18,6 +18,7 @@ pickle and can be written next to a study archive.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Optional
@@ -43,14 +44,43 @@ class Gauge:
         self.value = value
 
 
+#: Fixed log-spaced bucket upper bounds shared by every histogram: four
+#: buckets per decade from 1e-3 up to ~5.6e4, covering packet counts,
+#: query counts and wall-clock seconds alike.  A *fixed* layout (rather
+#: than adapting to the data) is what makes bucket merges commutative
+#: and the derived percentiles identical across snapshot orderings.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    0.001 * (10 ** (i / 4)) for i in range(32)
+)
+
+#: Index of the overflow bucket (values above every bound).
+OVERFLOW_BUCKET: int = len(BUCKET_BOUNDS)
+
+
+def _bucket_index(value: float) -> int:
+    for index, bound in enumerate(BUCKET_BOUNDS):
+        if value <= bound:
+            return index
+    return OVERFLOW_BUCKET
+
+
 @dataclass
 class Histogram:
-    """Streaming count/sum/min/max summary of an observed series."""
+    """Streaming summary of an observed series with fixed-bucket quantiles.
+
+    Alongside count/sum/min/max it maintains a sparse map of
+    :data:`BUCKET_BOUNDS` bucket index -> observation count, from which
+    :meth:`percentile` answers p50/p95/p99 deterministically: the same
+    observations produce the same buckets — and therefore the same
+    quantile estimates — no matter how they were split across workers
+    and merged back together.
+    """
 
     count: int = 0
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    buckets: dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -59,10 +89,31 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Estimate the p-th percentile from the bucket counts.
+
+        Returns the upper bound of the bucket containing the target rank,
+        clamped to the observed ``[min, max]`` so estimates never leave
+        the data's actual range.  ``None`` when nothing was observed.
+        """
+        if not self.count or self.min is None or self.max is None:
+            return None
+        rank = max(1, math.ceil(self.count * p / 100))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                if index >= OVERFLOW_BUCKET:
+                    return self.max
+                return min(max(BUCKET_BOUNDS[index], self.min), self.max)
+        return self.max
 
 
 @dataclass
@@ -83,6 +134,30 @@ class RouteLookupStats:
         self.hits = 0
         self.misses = 0
         return out
+
+
+def _histogram_state(histogram: Histogram) -> dict:
+    """The JSON-able snapshot form of one histogram.
+
+    Bucket keys are serialised as strings so a snapshot is identical to
+    its own JSON round-trip; :meth:`MetricsRegistry.merge` coerces them
+    back.  The p50/p95/p99 entries are derived (recomputed from buckets
+    after every merge), included so a written metrics file is readable
+    without post-processing.
+    """
+    return {
+        "count": histogram.count,
+        "total": histogram.total,
+        "min": histogram.min,
+        "max": histogram.max,
+        "buckets": {
+            str(index): histogram.buckets[index]
+            for index in sorted(histogram.buckets)
+        },
+        "p50": histogram.percentile(50),
+        "p95": histogram.percentile(95),
+        "p99": histogram.percentile(99),
+    }
 
 
 @dataclass
@@ -154,12 +229,7 @@ class MetricsRegistry:
                     name: g.value for name, g in sorted(self.gauges.items())
                 },
                 "histograms": {
-                    name: {
-                        "count": h.count,
-                        "total": h.total,
-                        "min": h.min,
-                        "max": h.max,
-                    }
+                    name: _histogram_state(h)
                     for name, h in sorted(self.histograms.items())
                 },
             }
@@ -175,12 +245,7 @@ class MetricsRegistry:
                     name: g.value for name, g in sorted(self.gauges.items())
                 },
                 "histograms": {
-                    name: {
-                        "count": h.count,
-                        "total": h.total,
-                        "min": h.min,
-                        "max": h.max,
-                    }
+                    name: _histogram_state(h)
                     for name, h in sorted(self.histograms.items())
                 },
             }
@@ -205,6 +270,11 @@ class MetricsRegistry:
                     histogram = self.histograms[name] = Histogram()
                 histogram.count += data["count"]
                 histogram.total += data["total"]
+                for index, observed in (data.get("buckets") or {}).items():
+                    index = int(index)
+                    histogram.buckets[index] = (
+                        histogram.buckets.get(index, 0) + observed
+                    )
                 for bound, better in (("min", min), ("max", max)):
                     incoming = data.get(bound)
                     if incoming is None:
@@ -228,10 +298,19 @@ class MetricsRegistry:
         for name, gauge in sorted(self.gauges.items()):
             lines.append(f"  {name:<36s} {gauge.value:>12g}")
         for name, histogram in sorted(self.histograms.items()):
+            quantiles = " ".join(
+                f"p{p}={value:.3f}" if value is not None else f"p{p}=-"
+                for p, value in (
+                    (50, histogram.percentile(50)),
+                    (95, histogram.percentile(95)),
+                    (99, histogram.percentile(99)),
+                )
+            )
             lines.append(
                 f"  {name:<36s} n={histogram.count} "
                 f"mean={histogram.mean:.3f} "
                 f"min={histogram.min if histogram.min is not None else '-'} "
-                f"max={histogram.max if histogram.max is not None else '-'}"
+                f"max={histogram.max if histogram.max is not None else '-'} "
+                f"{quantiles}"
             )
         return "\n".join(lines)

@@ -47,7 +47,7 @@ class Observability:
             Tracer(seed, clock=self._clock) if config.trace_enabled else None
         )
         self.metrics: Optional[MetricsRegistry] = (
-            MetricsRegistry() if config.metrics else None
+            MetricsRegistry() if config.metrics_enabled else None
         )
         self.flight: Optional[FlightRecorder] = (
             FlightRecorder(config.flight_recorder)
@@ -55,10 +55,18 @@ class Observability:
             else None
         )
         self.route_stats: Optional[RouteLookupStats] = (
-            RouteLookupStats() if config.metrics else None
+            RouteLookupStats() if config.metrics_enabled else None
         )
         self._dumps: list[dict] = []
         self._unit_open = False
+        # Per-unit side table: id(packet) -> span ID of its packet_send
+        # record.  Lets evidence collectors resolve a captured packet
+        # object back to the trace record that proves its fate, without
+        # adding a single byte to the emitted records.  Safe against id()
+        # reuse for the packets evidence cares about: PacketCapture holds
+        # strong references to every tx/rx packet for the unit's lifetime.
+        self._packet_spans: dict[int, str] = {}
+        self._test_span_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _clock(self) -> float:
@@ -120,7 +128,8 @@ class Observability:
             }
             if detail:
                 attrs["detail"] = detail
-            tracer.event("packet_send", "packet_send", **attrs)
+            span = tracer.event("packet_send", "packet_send", **attrs)
+            self._packet_spans[id(packet)] = span
 
     def dns_query(
         self, host_name: str, qname: str, qtype: str, resolver: str, rcode: str
@@ -159,6 +168,21 @@ class Observability:
     # ------------------------------------------------------------------
     # Harness-level hooks
     # ------------------------------------------------------------------
+    @property
+    def current_test_span_id(self) -> Optional[str]:
+        """Span ID of the test currently executing, if any.
+
+        This is what anchors an :class:`~repro.obs.evidence.EvidenceChain`
+        to the trace; ``None`` outside a traced test span (tracing off, or
+        the plain ``repro audit`` path that never opens a unit), which
+        disables evidence collection entirely.
+        """
+        return self._test_span_id
+
+    def span_for_packet(self, packet: "Packet") -> Optional[str]:
+        """Span ID of *packet*'s ``packet_send`` record in this unit."""
+        return self._packet_spans.get(id(packet))
+
     def test_span(
         self, name: str, **attrs: object
     ) -> ContextManager[Optional[str]]:
@@ -166,12 +190,23 @@ class Observability:
         tracer = self.tracer
         span: ContextManager[Optional[str]]
         if tracer is not None and self._unit_open:
-            span = tracer.span("test", name, **attrs)
+            span = self._tracked_test_span(tracer.span("test", name, **attrs))
         else:
             span = nullcontext()
         if self.metrics is None:
             return span
         return self._timed_span(name, span)
+
+    @contextmanager
+    def _tracked_test_span(
+        self, span: ContextManager[str]
+    ) -> Iterator[str]:
+        with span as span_id:
+            self._test_span_id = span_id
+            try:
+                yield span_id
+            finally:
+                self._test_span_id = None
 
     @contextmanager
     def _timed_span(
@@ -240,6 +275,8 @@ class Observability:
         if self.flight is not None:
             self.flight.clear()
         self._dumps = []
+        self._packet_spans = {}
+        self._test_span_id = None
         self._unit_open = True
 
     def drain_unit(self) -> Optional[dict]:
@@ -247,6 +284,8 @@ class Observability:
         if not self._unit_open:
             return None
         self._unit_open = False
+        self._packet_spans = {}
+        self._test_span_id = None
         payload: dict = {}
         if self.route_stats is not None and self.metrics is not None:
             hits, misses = self.route_stats.drain()

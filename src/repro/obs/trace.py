@@ -133,12 +133,39 @@ def write_trace(
 
 
 def read_trace(path: str | pathlib.Path) -> list[TraceRecord]:
-    """Load a JSONL trace back into records (tolerates blank lines)."""
-    records = []
-    for line in pathlib.Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
-            records.append(json.loads(line))
+    """Load a JSONL trace back into records.
+
+    Streams line-by-line (a multi-gigabyte trace never has to fit in one
+    string) and tolerates damage: blank lines are skipped silently, while
+    corrupt or truncated lines — e.g. the tail of a run killed mid-write —
+    are skipped with a stderr warning carrying the line number, so one bad
+    byte does not make the rest of a trace unreadable.
+    """
+    import sys
+
+    records: list[TraceRecord] = []
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(
+                    f"warning: {path}:{lineno}: skipping corrupt trace "
+                    f"line ({exc.msg})",
+                    file=sys.stderr,
+                )
+                continue
+            if not isinstance(record, dict):
+                print(
+                    f"warning: {path}:{lineno}: skipping non-object trace "
+                    f"line",
+                    file=sys.stderr,
+                )
+                continue
+            records.append(record)
     return records
 
 
@@ -212,11 +239,12 @@ class Tracer:
                 record["attrs"] = attrs
             self._records.append(record)
 
-    def event(self, kind: str, name: str, **attrs: object) -> None:
-        """Record a zero-duration leaf event under the current span."""
+    def event(self, kind: str, name: str, **attrs: object) -> str:
+        """Record a zero-duration leaf event; returns its span ID."""
+        span = self._next_child_id(name)
         record: TraceRecord = {
             "kind": kind,
-            "span_id": self._next_child_id(name),
+            "span_id": span,
             "parent_id": self._stack[-1],
             "name": name,
             "t_ms": round(self.clock(), 6),
@@ -224,6 +252,7 @@ class Tracer:
         if attrs:
             record["attrs"] = attrs
         self._records.append(record)
+        return span
 
     def drain(self) -> list[TraceRecord]:
         """Close the unit (if one is open) and return its records."""

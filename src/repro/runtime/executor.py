@@ -149,7 +149,7 @@ class StudyExecutor:
         self._stats_collector = ev.StatsCollector()
         self.bus.subscribe(self._stats_collector, replay=False)
         self._metrics_aggregator: Optional[ev.MetricsAggregator] = None
-        if self.obs_config is not None and self.obs_config.metrics:
+        if self.obs_config is not None and self.obs_config.metrics_enabled:
             self._metrics_aggregator = ev.MetricsAggregator()
             self.bus.subscribe(self._metrics_aggregator, replay=False)
         self._obs_payloads: dict[str, dict] = {}
@@ -564,8 +564,15 @@ class StudyExecutor:
                 finally:
                     sink.close()
         if self._metrics_aggregator is not None:
-            self.bus.publish(
-                ev.StudyMetrics(
-                    snapshot=self._metrics_aggregator.registry.snapshot()
+            snapshot = self._metrics_aggregator.registry.snapshot()
+            self.bus.publish(ev.StudyMetrics(snapshot=snapshot))
+            if self.obs_config.metrics_path:
+                import json
+                import pathlib
+
+                path = pathlib.Path(self.obs_config.metrics_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(
+                    json.dumps(snapshot, sort_keys=True, indent=2) + "\n",
+                    encoding="utf-8",
                 )
-            )

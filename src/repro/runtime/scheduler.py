@@ -266,6 +266,10 @@ class LongitudinalScheduler:
                 snapshot_obs = snapshot_obs.replace(
                     trace_path=f"{snapshot_obs.trace_path}.{spec.label}"
                 )
+            if snapshot_obs is not None and snapshot_obs.metrics_path:
+                snapshot_obs = snapshot_obs.replace(
+                    metrics_path=f"{snapshot_obs.metrics_path}.{spec.label}"
+                )
             executor = StudyExecutor(
                 seed=spec.seed,
                 providers=self.providers,

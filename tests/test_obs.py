@@ -233,12 +233,51 @@ class TestMetricsRegistry:
         assert ab.snapshot() == ba.snapshot()
         merged = ab.snapshot()
         assert merged["counters"]["packets.total"] == 8
-        assert merged["histograms"]["wall"] == {
-            "count": 3,
-            "total": 11.0,
-            "min": 1.0,
-            "max": 8.0,
-        }
+        wall = merged["histograms"]["wall"]
+        assert wall["count"] == 3
+        assert wall["total"] == 11.0
+        assert wall["min"] == 1.0
+        assert wall["max"] == 8.0
+        assert sum(wall["buckets"].values()) == 3
+        # Percentiles survive the merge and are order-independent.
+        direct = MetricsRegistry()
+        for value in (2.0, 8.0, 1.0):
+            direct.observe("wall", value)
+        assert wall == direct.snapshot()["histograms"]["wall"]
+
+    def test_histogram_percentiles_deterministic_across_split(self):
+        import json
+
+        from repro.obs.metrics import Histogram, MetricsRegistry
+
+        values = [0.002 * i for i in range(1, 101)]
+        whole = Histogram()
+        for value in values:
+            whole.observe(value)
+        # Split the same series across two registries and merge the
+        # snapshots through a JSON round-trip (as the process backend
+        # and --metrics-out files do): quantiles must not change.
+        left, right, merged = (
+            MetricsRegistry(),
+            MetricsRegistry(),
+            MetricsRegistry(),
+        )
+        for value in values[::2]:
+            left.observe("wall", value)
+        for value in values[1::2]:
+            right.observe("wall", value)
+        for part in (left, right):
+            merged.merge(json.loads(json.dumps(part.snapshot())))
+        rebuilt = merged.histograms["wall"]
+        for p in (50, 95, 99):
+            assert rebuilt.percentile(p) == whole.percentile(p)
+        assert whole.min is not None and whole.max is not None
+        for p in (1, 50, 99):
+            estimate = whole.percentile(p)
+            assert estimate is not None
+            assert whole.min <= estimate <= whole.max
+        assert Histogram().percentile(50) is None
+        assert "p50=" in merged.render() and "p99=" in merged.render()
 
     def test_drain_resets(self):
         from repro.obs.metrics import MetricsRegistry

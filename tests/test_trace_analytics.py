@@ -1,0 +1,325 @@
+"""Trace analytics tests: flows, query grammar, diff, and the trace CLI.
+
+The committed fixture ``tests/fixtures/mini_trace.jsonl`` is a hand-built
+miniature of a real study trace (one unit, a dns_leakage test showing the
+inside-out recursion nesting, a tunnel_failure test with a leaked packet).
+Golden-output assertions against it pin the exact rendering contracts the
+CLI exposes; the real-run tests then assert the properties that matter at
+scale — same config twice diffs empty, a different seed diffs non-empty
+but deterministically.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+FIXTURE = Path(__file__).parent / "fixtures" / "mini_trace.jsonl"
+
+GOLDEN_SUMMARY = """\
+10 trace records
+  kinds: dns_query=2, packet_send=4, study=1, test=2, unit=1
+  units: 1  sim-clock total 30.0 ms  max 30.0 ms
+  tests:
+    dns_leakage              1
+    tunnel_failure           1
+  packets: delivered=3, leaked=1"""
+
+
+def _fixture_records():
+    from repro.obs.trace import read_trace
+
+    return read_trace(str(FIXTURE))
+
+
+# ----------------------------------------------------------------------
+# Golden summarize output on the committed fixture
+# ----------------------------------------------------------------------
+class TestSummarizeGolden:
+    def test_summary_matches_golden(self):
+        from repro.obs.trace import summarize_trace
+
+        assert summarize_trace(_fixture_records()) == GOLDEN_SUMMARY
+
+    def test_cli_summarize_prints_golden(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "summarize", str(FIXTURE)]) == 0
+        assert capsys.readouterr().out.strip() == GOLDEN_SUMMARY
+
+
+# ----------------------------------------------------------------------
+# Flow reconstruction
+# ----------------------------------------------------------------------
+class TestFlowReconstruction:
+    def test_fixture_flows_shape(self):
+        from repro.obs.analyze import reconstruct_flows
+
+        flows = reconstruct_flows(_fixture_records())
+        by_test = {f.test: f for f in flows}
+        assert set(by_test) == {"dns_leakage", "tunnel_failure"}
+
+        leakage = by_test["dns_leakage"]
+        assert leakage.unit == "demo::full::vp0"
+        assert leakage.vantage == "demo.example.net"
+        assert leakage.packet_count == 3
+        assert len(leakage.flows) == 2
+        first, second = leakage.flows
+        # System-resolver query: a lone client hop, annotated.
+        assert first.host == "client"
+        assert not first.children
+        assert [
+            a["attrs"]["resolver"] for a in first.annotations
+        ] == ["10.8.0.1"]
+        # Public-resolver query: the VP's recursion hop nests beneath the
+        # client hop even though it was emitted first (inside-out order).
+        assert second.host == "client"
+        assert [child.host for child in second.children] == [
+            "vp0:demo.example.net"
+        ]
+        assert second.depth() == 2
+        assert [
+            a["attrs"]["resolver"] for a in second.annotations
+        ] == ["8.8.8.8"]
+
+        failure = by_test["tunnel_failure"]
+        assert failure.packet_count == 1
+        assert failure.flows[0].status == "leaked"
+
+    def test_render_flows_filter_and_cap(self):
+        from repro.obs.analyze import reconstruct_flows, render_flows
+
+        flows = reconstruct_flows(_fixture_records())
+        text = render_flows(flows, test="dns_leakage")
+        assert "dns_leakage" in text and "tunnel_failure" not in text
+        assert "span dddd000000000003" in text
+        capped = render_flows(flows, max_flows=1)
+        assert "truncated" in capped
+
+    def test_consecutive_same_host_hops_are_siblings(self):
+        from repro.obs.analyze import reconstruct_flows
+
+        def packet(span, host, t):
+            return {
+                "kind": "packet_send",
+                "name": "packet_send",
+                "span_id": span,
+                "parent_id": "t0",
+                "t_ms": t,
+                "attrs": {
+                    "host": host,
+                    "protocol": "udp",
+                    "dst": "x",
+                    "status": "delivered",
+                },
+            }
+
+        records = [
+            {
+                "kind": "unit",
+                "name": "u",
+                "span_id": "u0",
+                "parent_id": None,
+                "t0_ms": 0.0,
+                "t1_ms": 1.0,
+            },
+            packet("p1", "client", 0.1),
+            packet("p2", "client", 0.2),
+            packet("p3", "client", 0.3),
+            {
+                "kind": "test",
+                "name": "probe",
+                "span_id": "t0",
+                "parent_id": "u0",
+                "t0_ms": 0.0,
+                "t1_ms": 1.0,
+                "attrs": {"vantage": "vp"},
+            },
+        ]
+        (test,) = reconstruct_flows(records)
+        assert len(test.flows) == 3
+        assert all(not hop.children for hop in test.flows)
+
+
+# ----------------------------------------------------------------------
+# Query grammar
+# ----------------------------------------------------------------------
+class TestQueryGrammar:
+    def test_glob_match_on_core_and_attr_fields(self):
+        from repro.obs.analyze import query_trace
+
+        records = _fixture_records()
+        hits = query_trace(
+            records, "kind=packet_send status=leaked host=*client*"
+        )
+        assert [r["span_id"] for r in hits] == ["dddd000000000006"]
+
+    def test_numeric_comparisons(self):
+        from repro.obs.analyze import query_trace
+
+        records = _fixture_records()
+        assert len(query_trace(records, "kind=packet_send t_ms>=14")) == 3
+        assert len(query_trace(records, "kind=packet_send t_ms<14")) == 1
+
+    def test_negation_and_attrs_prefix(self):
+        from repro.obs.analyze import query_trace
+
+        records = _fixture_records()
+        assert len(query_trace(records, "kind=packet_send status!=leaked")) == 3
+        assert (
+            len(query_trace(records, "attrs.resolver=8.8.8.8 kind=dns_query"))
+            == 1
+        )
+
+    def test_malformed_expressions_raise(self):
+        from repro.obs.analyze import parse_query
+
+        for bad in ("status", "=leaked", "t_ms>not_a_number", ""):
+            with pytest.raises(ValueError):
+                parse_query(bad)
+
+    def test_cli_query_exit_codes(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["trace", "query", "status=leaked", str(FIXTURE)]
+            )
+            == 0
+        )
+        out = capsys.readouterr()
+        assert "dddd000000000006" in out.out
+        assert "1 / 10 records matched" in out.err
+        assert main(["trace", "query", "not-a-term", str(FIXTURE)]) == 2
+
+
+# ----------------------------------------------------------------------
+# Trace diff
+# ----------------------------------------------------------------------
+class TestTraceDiff:
+    def test_identical_traces_diff_empty(self):
+        from repro.obs.analyze import diff_traces
+
+        records = _fixture_records()
+        diff = diff_traces(records, [dict(r) for r in records])
+        assert diff.empty
+        assert diff.summary() == "0 added, 0 removed, 0 changed"
+
+    def test_perturbed_trace_reports_exact_changes(self):
+        from repro.obs.analyze import diff_traces
+
+        a = _fixture_records()
+        b = [json.loads(json.dumps(r)) for r in a]
+        b[1]["attrs"]["status"] = "dropped"  # changed span
+        removed = b.pop(3)  # the vp recursion hop vanishes
+        b.append(
+            {
+                "kind": "packet_send",
+                "name": "packet_send",
+                "span_id": "ffff000000000001",
+                "parent_id": "eeeeeeeeeeeeeeee",
+                "t_ms": 26.0,
+                "attrs": {"host": "client", "status": "delivered"},
+            }
+        )
+        diff = diff_traces(a, b)
+        assert not diff.empty
+        assert [r["span_id"] for r in diff.removed] == [removed["span_id"]]
+        assert [r["span_id"] for r in diff.added] == ["ffff000000000001"]
+        (change,) = diff.changed
+        assert change.span_id == a[1]["span_id"]
+        assert change.changed == {"attrs.status": ("delivered", "dropped")}
+
+    def test_cli_diff_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        same = main(["trace", "diff", str(FIXTURE), str(FIXTURE)])
+        assert same == 0
+        assert "0 added, 0 removed, 0 changed" in capsys.readouterr().out
+
+        perturbed = tmp_path / "b.jsonl"
+        lines = FIXTURE.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["attrs"]["status"] = "dropped"
+        lines[1] = json.dumps(record, sort_keys=True)
+        perturbed.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "diff", str(FIXTURE), str(perturbed)]) == 1
+        out = capsys.readouterr().out
+        assert "1 changed" in out and "attrs.status" in out
+
+        assert (
+            main(["trace", "diff", str(FIXTURE), str(tmp_path / "nope.jsonl")])
+            == 2
+        )
+
+    def test_same_config_runs_diff_empty_different_seed_does_not(self):
+        from repro.obs.analyze import diff_traces
+        from repro.obs.config import ObsConfig
+        from repro.runtime.executor import StudyExecutor
+
+        def run(seed):
+            executor = StudyExecutor(
+                seed=seed,
+                providers=["MyIP.io"],
+                max_vantage_points=1,
+                workers=1,
+                backend="thread",
+                obs=ObsConfig(trace=True),
+            )
+            executor.run()
+            return executor.trace_records
+
+        first, second, reseeded = run(2018), run(2018), run(2019)
+        assert diff_traces(first, second).empty
+        drift = diff_traces(first, reseeded)
+        assert not drift.empty
+        # Deterministic: diffing the same pair twice reports the same spans.
+        again = diff_traces(first, reseeded)
+        assert [r["span_id"] for r in drift.added] == [
+            r["span_id"] for r in again.added
+        ]
+        assert [r["span_id"] for r in drift.removed] == [
+            r["span_id"] for r in again.removed
+        ]
+        assert [c.span_id for c in drift.changed] == [
+            c.span_id for c in again.changed
+        ]
+
+
+# ----------------------------------------------------------------------
+# read_trace robustness (streaming, corrupt-line tolerance)
+# ----------------------------------------------------------------------
+class TestReadTraceRobustness:
+    def test_corrupt_lines_skipped_with_warning(self, tmp_path, capsys):
+        from repro.obs.trace import read_trace
+
+        path = tmp_path / "partial.jsonl"
+        good = FIXTURE.read_text().splitlines()[:3]
+        path.write_text(
+            good[0] + "\n" + "{truncated\n" + good[1] + "\n[]\n" + good[2]
+        )
+        records = read_trace(str(path))
+        assert len(records) == 3
+        err = capsys.readouterr().err
+        assert f"{path}:2" in err and "skipping corrupt trace line" in err
+
+    def test_cli_fails_only_when_nothing_parses(self, tmp_path, capsys):
+        from repro.cli import main
+
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json at all\n{]\n")
+        assert main(["trace", "summarize", str(garbage)]) != 0
+        capsys.readouterr()
+
+        mostly_good = tmp_path / "mostly_good.jsonl"
+        mostly_good.write_text(FIXTURE.read_text() + "{oops\n")
+        assert main(["trace", "summarize", str(mostly_good)]) == 0
+        out = capsys.readouterr()
+        assert "10 trace records" in out.out
+        assert "skipping corrupt trace line" in out.err
+
+    def test_missing_file_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "summarize", "/nonexistent/trace.jsonl"]) != 0
+        assert "trace" in capsys.readouterr().err
