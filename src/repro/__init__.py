@@ -17,7 +17,10 @@ The package implements, in pure Python:
   decomposition, worker pools, retry policies, resumable checkpoints,
   progress events and longitudinal (multi-snapshot) scheduling;
 - ``repro.obs`` — opt-in observability: deterministic span traces, merged
-  execution metrics, and a per-host packet flight recorder.
+  execution metrics, and a per-host packet flight recorder;
+- ``repro.serve`` — audit-as-a-service: a persistent daemon with a job
+  queue, one shared worker pool, a durable result store, and an HTTP/JSON
+  API (``repro serve`` / ``repro client``).
 
 Quickstart::
 
@@ -45,6 +48,10 @@ _EXPORTS = {
     "ProviderReport": ("repro.core.harness", "ProviderReport"),
     "TestSuite": ("repro.core.harness", "TestSuite"),
     "StudyExecutor": ("repro.runtime.executor", "StudyExecutor"),
+    "StudyInterrupted": ("repro.runtime.executor", "StudyInterrupted"),
+    "ServeConfig": ("repro.config", "ServeConfig"),
+    "AuditDaemon": ("repro.serve.daemon", "AuditDaemon"),
+    "ServeClient": ("repro.serve.client", "ServeClient"),
     "ObsConfig": ("repro.obs.config", "ObsConfig"),
     "Observability": ("repro.obs.session", "Observability"),
     "Tracer": ("repro.obs.trace", "Tracer"),
@@ -61,7 +68,7 @@ if TYPE_CHECKING:  # static importers see the real names
         run_full_study,
         run_longitudinal_study,
     )
-    from repro.config import StudyConfig  # noqa: F401
+    from repro.config import ServeConfig, StudyConfig  # noqa: F401
     from repro.core.harness import (  # noqa: F401
         ProviderReport,
         StudyReport,
@@ -72,7 +79,12 @@ if TYPE_CHECKING:  # static importers see the real names
     from repro.obs.metrics import MetricsRegistry  # noqa: F401
     from repro.obs.session import Observability  # noqa: F401
     from repro.obs.trace import Tracer  # noqa: F401
-    from repro.runtime.executor import StudyExecutor  # noqa: F401
+    from repro.runtime.executor import (  # noqa: F401
+        StudyExecutor,
+        StudyInterrupted,
+    )
+    from repro.serve.client import ServeClient  # noqa: F401
+    from repro.serve.daemon import AuditDaemon  # noqa: F401
 
 
 def __getattr__(name: str):

@@ -115,6 +115,7 @@ def audit_provider(
 def run_full_study(
     config: Optional["StudyConfig"] = None,
     *,
+    stop_event=None,
     seed=_UNSET,
     max_vantage_points=_UNSET,
     providers=_UNSET,
@@ -136,6 +137,11 @@ def run_full_study(
     same directory resumes a killed study, and ``config.progress`` prints
     per-unit progress lines.  ``config.obs`` turns on tracing, metrics, and
     the flight recorder.  The report is byte-identical at any worker count.
+
+    ``stop_event`` (a :class:`threading.Event`) requests a graceful stop:
+    when set, the executor finishes in-flight units, flushes the
+    checkpoint, and raises :class:`repro.runtime.StudyInterrupted` — this
+    is what the CLI's SIGTERM handler and the serve daemon use.
 
     Returns a :class:`repro.core.harness.StudyReport`.  With obs enabled
     the report gains ``obs_metrics`` (merged snapshot dict or ``None``) and
@@ -163,7 +169,9 @@ def run_full_study(
     bus = EventBus()
     if config.progress:
         bus.subscribe(TextProgressRenderer(sys.stderr))
-    executor = StudyExecutor.from_config(config, bus=bus)
+    executor = StudyExecutor.from_config(
+        config, bus=bus, stop_event=stop_event
+    )
     report = executor.run()
     metrics = executor.metrics
     report.obs_metrics = metrics.snapshot() if metrics is not None else None
@@ -202,6 +210,7 @@ def explain_provider(
 def run_longitudinal_study(
     config: Optional["StudyConfig"] = None,
     *,
+    stop_event=None,
     seed=_UNSET,
     snapshots=_UNSET,
     max_vantage_points=_UNSET,
@@ -247,5 +256,7 @@ def run_longitudinal_study(
         archive_root=config.archive_dir,
         reseed=config.reseed,
         obs=config.obs if config.obs.enabled else None,
+        stop_event=stop_event,
+        checkpoint_root=config.checkpoint_dir,
     )
     return scheduler.run()

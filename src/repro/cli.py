@@ -14,12 +14,21 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro trace flows out.jsonl      # per-packet causal hop chains
     python -m repro trace query 'kind=packet_send status=delivered' out.jsonl
     python -m repro trace diff a.jsonl b.jsonl # span-exact run comparison
-    python -m repro report explain Seed4.me    # verdicts + evidence chains
+    python -m repro report explain Seed4.me [--json]  # verdicts + evidence
     python -m repro ecosystem                  # Section 4 statistics
     python -m repro experiments                # table/figure registry
+    python -m repro serve [--port N] [--state-dir DIR]   # audit daemon
+    python -m repro client submit|status|fetch|cancel|list|trace
+    python -m repro checkpoint prune DIR       # drop crash-resume state
+    python -m repro archive fingerprint DIR    # content hash of an archive
 
 Flags are folded into one frozen :class:`repro.config.StudyConfig`, the
 same object the Python API takes — the CLI is a thin argv-to-config shim.
+
+``repro study`` installs a SIGTERM/SIGINT handler that drains instead of
+dying: in-flight units finish, the checkpoint flushes, and the process
+exits ``128 + signum`` — re-running with the same ``--resume`` directory
+continues where it stopped.
 """
 
 from __future__ import annotations
@@ -161,9 +170,134 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", dest="show_all",
         help="also print chains for clean (non-flagged) verdicts",
     )
+    explain.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable evidence document (the same "
+             "serialization the service's GET /results/{id}/evidence uses)",
+    )
 
     sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
     sub.add_parser("experiments", help="list the table/figure registry")
+
+    serve = sub.add_parser(
+        "serve", help="run the audit service daemon (HTTP/JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = pick an ephemeral port; default 8321)",
+    )
+    serve.add_argument(
+        "--state-dir", default="serve-state", metavar="DIR",
+        help="durable job/result directory (default ./serve-state)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="shared worker-pool size for unit execution (default 2)",
+    )
+    serve.add_argument(
+        "--max-active-jobs", type=int, default=2, metavar="N",
+        help="jobs running concurrently on the shared pool (default 2)",
+    )
+    serve.add_argument(
+        "--keep-checkpoints", action="store_true",
+        help="keep finished jobs' checkpoints instead of pruning them",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the daemon's stderr log lines",
+    )
+
+    client = sub.add_parser(
+        "client", help="talk to a running 'repro serve' daemon"
+    )
+    client.add_argument(
+        "--endpoint", default="http://127.0.0.1:8321", metavar="URL",
+        help="daemon base URL (default http://127.0.0.1:8321)",
+    )
+    client_sub = client.add_subparsers(dest="client_cmd", required=True)
+    submit = client_sub.add_parser(
+        "submit",
+        help="submit a job; prints the bare job id on stdout "
+             "(scripting-friendly: JOB=$(repro client submit ...))",
+    )
+    submit.add_argument(
+        "kind", choices=["study", "recheck", "snapshots"],
+        help="job type: full/subset study, single-provider re-check, "
+             "or longitudinal snapshot series",
+    )
+    submit.add_argument(
+        "--providers", nargs="+", metavar="NAME",
+        help="restrict to these providers (recheck: exactly one)",
+    )
+    submit.add_argument("--seed", type=int, default=2018)
+    submit.add_argument("--max-vps", type=int, default=5)
+    submit.add_argument(
+        "--snapshots", type=int, default=1,
+        help="snapshot count for a 'snapshots' job (>= 2)",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first; equal priorities run in submission order",
+    )
+    submit.add_argument("--label", help="free-form label for humans")
+    submit.add_argument(
+        "--trace", action="store_true",
+        help="collect a span trace (rechecks always trace)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes; exit 0 only on 'completed'",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait limit in seconds (default 600)",
+    )
+    status = client_sub.add_parser("status", help="one job's state")
+    status.add_argument("job_id")
+    fetch = client_sub.add_parser(
+        "fetch", help="print a stored result document as JSON"
+    )
+    fetch.add_argument("job_id")
+    fetch.add_argument(
+        "name", choices=["report", "evidence", "metrics", "fingerprint"],
+    )
+    cancel = client_sub.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("job_id")
+    client_sub.add_parser("list", help="every job the daemon knows about")
+    ctrace = client_sub.add_parser(
+        "trace", help="query a job's stored span trace"
+    )
+    ctrace.add_argument("job_id")
+    ctrace.add_argument(
+        "expression",
+        help="same syntax as 'repro trace query'",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="manage crash-resume checkpoints"
+    )
+    checkpoint_sub = checkpoint.add_subparsers(
+        dest="checkpoint_cmd", required=True
+    )
+    prune = checkpoint_sub.add_parser(
+        "prune",
+        help="delete checkpoint state: a study --resume directory, or a "
+             "serve state directory (prunes every finished job's "
+             "checkpoint, never a queued or running one)",
+    )
+    prune.add_argument("path", help="checkpoint or serve-state directory")
+
+    archive = sub.add_parser(
+        "archive", help="operate on study archives"
+    )
+    archive_sub = archive.add_subparsers(dest="archive_cmd", required=True)
+    fingerprint = archive_sub.add_parser(
+        "fingerprint",
+        help="print the content hash of an archive directory (sha256 over "
+             "sorted *.json; what the service and CI compare)",
+    )
+    fingerprint.add_argument("path", help="archive directory")
 
     guide = sub.add_parser(
         "guide",
@@ -230,22 +364,78 @@ def cmd_study(config, archive: Optional[str], profile: bool = False) -> int:
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(25)
 
+    import signal
+    import threading
+
+    from repro.runtime.executor import StudyInterrupted
+
+    # Graceful shutdown: SIGTERM/SIGINT set the stop event instead of
+    # killing the process mid-unit.  The executor finishes in-flight
+    # units, flushes the checkpoint, and raises StudyInterrupted; the
+    # process then exits 128+signum, and re-running with the same
+    # --resume directory picks up from the last committed unit.
+    stop_event = threading.Event()
+    received = {"signum": 0}
+
+    def _drain(signum: int, frame: object) -> None:
+        received["signum"] = signum
+        stop_event.set()
+
+    try:
+        previous = {
+            signal.SIGTERM: signal.signal(signal.SIGTERM, _drain),
+            signal.SIGINT: signal.signal(signal.SIGINT, _drain),
+        }
+    except ValueError:  # not the main thread (tests); run uninterruptible
+        previous = {}
+
+    def _interrupted(exc: StudyInterrupted) -> int:
+        print(
+            f"\ninterrupted by signal {received['signum']}: "
+            f"{exc.completed} unit(s) committed, {exc.remaining} left"
+            + (
+                f"; resume with --resume {config.checkpoint_dir}"
+                if config.checkpoint_dir
+                else " (no --resume directory: progress was not saved)"
+            ),
+            file=sys.stderr,
+        )
+        return 128 + received["signum"]
+
     started = time.time()
-    if config.snapshots > 1:
-        from repro.api import run_longitudinal_study
+    try:
+        if config.snapshots > 1:
+            from repro.api import run_longitudinal_study
 
-        report = run_longitudinal_study(config=config.replace(
-            archive_dir=archive
-        ))
-        print(report.summary())
-        print(f"\ncompleted in {time.time() - started:.0f}s")
-        if archive:
-            print(f"snapshots archived under {archive}")
-        return 0
+            try:
+                report = run_longitudinal_study(
+                    config=config.replace(archive_dir=archive),
+                    stop_event=stop_event,
+                )
+            except StudyInterrupted as exc:
+                return _interrupted(exc)
+            print(report.summary())
+            print(f"\ncompleted in {time.time() - started:.0f}s")
+            if archive:
+                print(f"snapshots archived under {archive}")
+            if report.interrupted:
+                print(
+                    f"\nseries interrupted by signal {received['signum']} "
+                    f"after {len(report.snapshots)} snapshot(s)",
+                    file=sys.stderr,
+                )
+                return 128 + received["signum"]
+            return 0
 
-    from repro.api import run_full_study
+        from repro.api import run_full_study
 
-    study = run_full_study(config=config)
+        try:
+            study = run_full_study(config=config, stop_event=stop_event)
+        except StudyInterrupted as exc:
+            return _interrupted(exc)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     print(study.summary())
     print(f"\ncompleted in {time.time() - started:.0f}s")
     if getattr(study, "obs_metrics", None):
@@ -335,7 +525,11 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report_explain(
-    provider: str, max_vps: int, seed: int, show_all: bool
+    provider: str,
+    max_vps: int,
+    seed: int,
+    show_all: bool,
+    as_json: bool = False,
 ) -> int:
     from repro.api import explain_provider
     from repro.config import StudyConfig
@@ -349,6 +543,19 @@ def cmd_report_explain(
         print(f"unknown provider {provider!r}; see 'repro list'",
               file=sys.stderr)
         return 2
+    if as_json:
+        # The same serialization path the audit service stores and the
+        # HTTP API serves — one schema for humans' scripts everywhere.
+        import json
+
+        from repro.obs.evidence import explain_document
+
+        print(json.dumps(
+            explain_document(report, trace_records),
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print(report.summary())
     chains = report.evidence_chains()
     flagged = 0
@@ -369,6 +576,159 @@ def cmd_report_explain(
         f"{clean} clean"
         + ("" if show_all or not clean else " (--all to show)")
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.config import ServeConfig
+    from repro.serve.daemon import AuditDaemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        max_active_jobs=args.max_active_jobs,
+        keep_checkpoints=args.keep_checkpoints,
+    )
+    log = None if args.quiet else (
+        lambda message: print(f"repro-serve: {message}", file=sys.stderr)
+    )
+    daemon = AuditDaemon(config, log=log)
+    return daemon.serve_forever()
+
+
+def _submit_request(args):
+    from repro.config import StudyConfig
+    from repro.obs.config import ObsConfig
+    from repro.serve.protocol import JobKind, JobRequest
+
+    config = StudyConfig(
+        seed=args.seed,
+        providers=tuple(args.providers) if args.providers else None,
+        max_vantage_points=args.max_vps,
+        snapshots=args.snapshots,
+        obs=ObsConfig(trace=args.trace),
+    )
+    return JobRequest(
+        kind=JobKind(args.kind),
+        config=config,
+        priority=args.priority,
+        label=args.label,
+    )
+
+
+def cmd_client(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.protocol import JobState, ProtocolError
+
+    client = ServeClient(args.endpoint)
+    try:
+        if args.client_cmd == "submit":
+            try:
+                request = _submit_request(args)
+            except ProtocolError as exc:
+                print(f"bad job: {exc}", file=sys.stderr)
+                return 2
+            reply = client.submit(request)
+            if reply.deduplicated:
+                print(
+                    f"deduplicated onto active job {reply.job_id}",
+                    file=sys.stderr,
+                )
+            # Bare id on stdout: JOB=$(repro client submit study ...)
+            print(reply.job_id)
+            if not args.wait:
+                return 0
+            final = client.wait(reply.job_id, timeout_s=args.timeout)
+            print(
+                f"{reply.job_id}: {final.record.state.value}",
+                file=sys.stderr,
+            )
+            return 0 if final.record.state is JobState.COMPLETED else 1
+        if args.client_cmd == "status":
+            print(json.dumps(
+                client.status(args.job_id).to_dict(),
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        if args.client_cmd == "fetch":
+            print(json.dumps(
+                client.result(args.job_id, args.name),
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        if args.client_cmd == "cancel":
+            reply = client.cancel(args.job_id)
+            print(f"{args.job_id}: {reply.record.state.value}")
+            return 0
+        if args.client_cmd == "list":
+            for reply in client.jobs():
+                record = reply.record
+                label = record.request.label or record.request.kind.value
+                print(
+                    f"{record.job_id}  {record.state.value:9s}  "
+                    f"prio={record.request.priority}  {label}"
+                )
+            return 0
+        if args.client_cmd == "trace":
+            reply = client.trace_query(args.job_id, args.expression)
+            for record in reply.matches:
+                print(json.dumps(
+                    record, sort_keys=True, separators=(",", ":")
+                ))
+            print(
+                f"{len(reply.matches)} / {reply.total_records} "
+                f"records matched",
+                file=sys.stderr,
+            )
+            return 0
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover
+
+
+def cmd_checkpoint_prune(path: str) -> int:
+    import pathlib
+
+    root = pathlib.Path(path)
+    if not root.exists():
+        print(f"no such directory: {path}", file=sys.stderr)
+        return 2
+    if (root / "jobs").is_dir():
+        # A serve state directory: prune every *finished* job's
+        # checkpoint, leave queued/running jobs resumable.
+        from repro.serve.store import ResultStore
+
+        pruned = ResultStore(root).prune_checkpoints()
+        total = sum(pruned.values())
+        for job_id, count in sorted(pruned.items()):
+            print(f"{job_id}: {count} file(s)")
+        print(f"pruned {total} file(s) across {len(pruned)} job(s)")
+        return 0
+    from repro.runtime.checkpoint import CheckpointStore
+
+    count = CheckpointStore(root).prune()
+    print(f"pruned {count} file(s) from {path}")
+    return 0
+
+
+def cmd_archive_fingerprint(path: str) -> int:
+    import pathlib
+
+    from repro.core.archive import archive_fingerprint
+
+    root = pathlib.Path(path)
+    if not root.is_dir():
+        print(f"no such directory: {path}", file=sys.stderr)
+        return 2
+    print(archive_fingerprint(root))
     return 0
 
 
@@ -471,8 +831,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_trace(args)
     if args.command == "report":
         return cmd_report_explain(
-            args.provider, args.max_vps, args.seed, args.show_all
+            args.provider, args.max_vps, args.seed, args.show_all,
+            as_json=args.as_json,
         )
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "client":
+        return cmd_client(args)
+    if args.command == "checkpoint":
+        return cmd_checkpoint_prune(args.path)
+    if args.command == "archive":
+        return cmd_archive_fingerprint(args.path)
     if args.command == "ecosystem":
         return cmd_ecosystem()
     if args.command == "experiments":

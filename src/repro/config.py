@@ -123,3 +123,47 @@ class StudyConfig:
     ) -> "StudyConfig":
         """Convenience: a config scoped to a provider subset."""
         return cls(providers=tuple(providers), **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """How the audit service (:mod:`repro.serve`) runs.
+
+    Deliberately separate from :class:`StudyConfig`: a daemon hosts *many*
+    studies, each carrying its own StudyConfig inside its job request,
+    while this object fixes what is per-process — where state lives
+    (``state_dir``), the listen address, the size of the one shared worker
+    pool every job multiplexes onto (``workers``), how many jobs may run
+    concurrently (``max_active_jobs``), and whether checkpoints of
+    finished jobs are kept for forensics instead of pruned
+    (``keep_checkpoints``).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    state_dir: str = "serve-state"
+    workers: int = 2
+    max_active_jobs: int = 2
+    poll_interval_s: float = 0.05
+    keep_checkpoints: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_active_jobs < 1:
+            raise ValueError("max_active_jobs must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be > 0")
+        if not (0 <= self.port <= 65535):
+            raise ValueError("port must be in [0, 65535] (0 = ephemeral)")
+
+    def replace(self, **changes: object) -> "ServeConfig":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

@@ -9,6 +9,7 @@ structure to re-derive every aggregate table without re-running tests.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
@@ -110,6 +111,26 @@ def write_unit_result(
     directory = pathlib.Path(root) / _slug(results.provider)
     directory.mkdir(parents=True, exist_ok=True)
     return _write_results_file(results, directory)
+
+
+def archive_fingerprint(root: str | pathlib.Path) -> str:
+    """SHA-256 fingerprint of a study archive, byte-exact.
+
+    For every ``*.json`` under *root* in sorted relative-path order the
+    digest absorbs the path bytes, a NUL, the file bytes, a NUL — the
+    recipe ``tests/test_determinism.py`` pins against its golden constant.
+    It is the identity of a study's *output*: two runs agree on this value
+    iff their archives are byte-identical, which is how the serve daemon
+    proves a job's HTTP-fetched result equals a one-shot CLI run.
+    """
+    root = pathlib.Path(root)
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.json")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
 
 
 def read_vantage_point_results(

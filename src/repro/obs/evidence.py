@@ -274,3 +274,43 @@ def attach_default_evidence(
     for note in _incriminating_notes(result):
         collector.note(note)
     result.evidence = collector.chain()  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+def explain_document(report, trace_records=None) -> dict:
+    """Machine-readable evidence view of one provider's audit.
+
+    The single serialization path behind both ``repro report explain
+    --json`` and the serve daemon's ``GET /results/{id}/evidence``: the
+    verdict booleans, plus the evidence chains exactly as
+    :meth:`repro.core.harness.ProviderReport.to_dict` emits them under
+    ``"evidence"`` (hostname -> test field -> chain dict).  When
+    *trace_records* is given, each chain gains a ``"spans"`` map resolving
+    its span IDs to the underlying trace records, so the document is
+    self-contained for scripts that never load the trace.
+    """
+    from repro.runtime.scheduler import VERDICT_FIELDS
+
+    evidence = report.to_dict().get("evidence", {})
+    document = {
+        "provider": report.provider,
+        "verdicts": {
+            name: getattr(report, name) for name in VERDICT_FIELDS
+        },
+        "evidence": evidence,
+    }
+    if trace_records is not None:
+        by_span = {
+            record.get("span_id"): record
+            for record in trace_records
+            if record.get("span_id")
+        }
+        for chains in evidence.values():
+            for chain in chains.values():
+                span_ids = [chain["test_span_id"]] + [
+                    link["span_id"] for link in chain.get("links", ())
+                ]
+                chain["spans"] = {
+                    span_id: by_span.get(span_id) for span_id in span_ids
+                }
+    return document

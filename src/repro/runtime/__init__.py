@@ -31,6 +31,8 @@ _EXPORTS = {
     "CheckpointMismatchError": "repro.runtime.checkpoint",
     "CheckpointStore": "repro.runtime.checkpoint",
     "StudyExecutor": "repro.runtime.executor",
+    "StudyInterrupted": "repro.runtime.executor",
+    "StudyHalted": "repro.runtime.events",
     "LongitudinalReport": "repro.runtime.scheduler",
     "LongitudinalScheduler": "repro.runtime.scheduler",
     "SnapshotDiff": "repro.runtime.scheduler",

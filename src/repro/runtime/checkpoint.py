@@ -131,6 +131,34 @@ class CheckpointStore:
         with (self.directory / _JOURNAL).open("a") as journal:
             journal.write(json.dumps(entry) + "\n")
 
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def prune(self) -> int:
+        """Delete the store's files; returns how many were removed.
+
+        Checkpoints are scaffolding: once the study they guard has been
+        assembled (or abandoned), the journal, plan pin and per-unit result
+        files are dead weight — a long-running daemon prunes them as jobs
+        reach a terminal state so its state directory stays bounded.  A
+        pruned directory is indistinguishable from one that never existed;
+        resuming into it simply starts a fresh checkpoint.
+        """
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in sorted(
+            self.directory.rglob("*"), key=lambda p: len(p.parts),
+            reverse=True,
+        ):
+            if path.is_dir():
+                path.rmdir()
+            else:
+                path.unlink()
+                removed += 1
+        self.directory.rmdir()
+        return removed
+
     def load_unit_results(
         self, entry: CompletedUnit
     ) -> Optional[list["VantagePointResults"]]:

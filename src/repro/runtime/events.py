@@ -92,6 +92,18 @@ class StudyFinished:
 
 
 @dataclass(frozen=True)
+class StudyHalted:
+    """The run stopped on request (SIGTERM, cancellation, daemon drain).
+
+    Published after every in-flight unit has been committed and the
+    checkpoint flushed; ``remaining`` units stay pending for a resume.
+    """
+
+    completed: int
+    remaining: int
+
+
+@dataclass(frozen=True)
 class UnitMetrics:
     """One unit's drained metrics delta, published at its commit point.
 
@@ -178,6 +190,7 @@ class ExecutionStats:
     timed_out_units: int = 0
     connect_retries: int = 0
     wall_s: float = 0.0
+    halted: bool = False
     unit_wall_ms: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -225,6 +238,8 @@ class StatsCollector:
             stats.failed_units += 1
         elif isinstance(event, UnitTimedOut):
             stats.timed_out_units += 1
+        elif isinstance(event, StudyHalted):
+            stats.halted = True
         elif isinstance(event, StudyFinished):
             stats.wall_s = event.wall_s
 
@@ -308,6 +323,11 @@ class TextProgressRenderer:
         elif isinstance(event, UnitTimedOut):
             self._emit(
                 f"timeout {event.unit_id} exceeded {event.timeout_s:.0f}s"
+            )
+        elif isinstance(event, StudyHalted):
+            self._emit(
+                f"study halted on request: {event.completed} unit(s) "
+                f"committed, {event.remaining} left for resume"
             )
         elif isinstance(event, StudyFinished):
             self._emit(

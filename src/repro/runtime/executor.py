@@ -59,6 +59,26 @@ _BACKENDS = ("thread", "process")
 UnitOutcome = tuple[list["VantagePointResults"], int, float, Optional[dict]]
 
 
+class StudyInterrupted(RuntimeError):
+    """The executor stopped on request before the plan finished.
+
+    Raised (after every in-flight unit has been committed and the
+    checkpoint flushed) when the executor's ``stop_event`` is set — by a
+    SIGTERM handler, a job cancellation, or a daemon drain.  ``completed``
+    counts units committed this run, ``remaining`` the units that were
+    still pending when the stop took effect; re-running with the same
+    checkpoint directory resumes exactly at the cut.
+    """
+
+    def __init__(self, completed: int, remaining: int) -> None:
+        super().__init__(
+            f"study interrupted: {completed} unit(s) committed, "
+            f"{remaining} left for resume"
+        )
+        self.completed = completed
+        self.remaining = remaining
+
+
 def _build_suite(
     seed: int,
     providers: Optional[list[str]],
@@ -127,11 +147,17 @@ class StudyExecutor:
         bus: Optional[ev.EventBus] = None,
         sleep_on_retry: bool = False,
         obs: Optional["ObsConfig"] = None,
+        stop_event: Optional[threading.Event] = None,
+        pool: Optional[concurrent.futures.Executor] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}")
+        if pool is not None and backend != "thread":
+            # A shared pool cannot re-run per-job process initializers, so
+            # only the thread backend may borrow one.
+            raise ValueError("an external pool requires the thread backend")
         self.seed = seed
         self.providers = list(providers) if providers is not None else None
         self.max_vantage_points = max_vantage_points
@@ -142,6 +168,13 @@ class StudyExecutor:
         self.checkpoint_dir = checkpoint_dir
         self.bus = bus or ev.EventBus()
         self.sleep_on_retry = sleep_on_retry
+        # stop_event is the cooperative cancellation point: when set, the
+        # executor stops dispatching, commits every unit already running,
+        # and raises StudyInterrupted.  pool, when given, is an external
+        # ThreadPoolExecutor shared with other executors (the serve
+        # daemon's); the executor then never shuts it down.
+        self.stop_event = stop_event
+        self.pool = pool
         self.obs_config = obs if obs is not None and obs.enabled else None
         # Internal collectors see only this executor's run: a shared bus
         # (the longitudinal scheduler reuses one across snapshots) must
@@ -176,6 +209,16 @@ class StudyExecutor:
         )
         kwargs.update(overrides)
         return cls(**kwargs)
+
+    def request_stop(self) -> None:
+        """Ask the run to drain: finish in-flight units, then interrupt.
+
+        Creates the stop event lazily so callers that constructed the
+        executor without one (the CLI's signal handler) can still stop it.
+        """
+        if self.stop_event is None:
+            self.stop_event = threading.Event()
+        self.stop_event.set()
 
     @property
     def stats(self) -> ev.ExecutionStats:
@@ -262,7 +305,7 @@ class StudyExecutor:
             )
 
         if pending:
-            if self.workers == 1:
+            if self.workers == 1 and self.pool is None:
                 self._run_inline(suite, plan, pending, unit_results, checkpoint)
             else:
                 self._run_pooled(plan, pending, unit_results, checkpoint)
@@ -294,6 +337,8 @@ class StudyExecutor:
     ) -> None:
         index_of = {u.unit_id: i + 1 for i, u in enumerate(plan.units)}
         for position, unit in enumerate(pending):
+            if self._stopped():
+                self._halt(remaining=len(pending) - position)
             self.bus.publish(
                 ev.UnitStarted(
                     unit_id=unit.unit_id,
@@ -317,7 +362,21 @@ class StudyExecutor:
             )
 
     # ------------------------------------------------------------------
-    # Pooled (workers>1): thread or process backend
+    # Cooperative stop
+    # ------------------------------------------------------------------
+    def _stopped(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    def _halt(self, remaining: int) -> None:
+        """Publish the halt and raise; every committed unit is durable."""
+        completed = self.stats.completed_units
+        self.bus.publish(
+            ev.StudyHalted(completed=completed, remaining=remaining)
+        )
+        raise StudyInterrupted(completed=completed, remaining=remaining)
+
+    # ------------------------------------------------------------------
+    # Pooled (workers>1 or a shared pool): thread or process backend
     # ------------------------------------------------------------------
     def _run_pooled(
         self,
@@ -340,7 +399,7 @@ class StudyExecutor:
             )
             run_unit: Callable[[AuditUnit], UnitOutcome] = _process_run_unit
         else:
-            pool = concurrent.futures.ThreadPoolExecutor(
+            pool = self.pool or concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix="repro-runtime",
             )
@@ -360,7 +419,9 @@ class StudyExecutor:
         active: dict[concurrent.futures.Future, tuple[AuditUnit, int, float]]
         active = {}
         flagged_overrun: set[str] = set()
-        with pool:
+        stop_seen = False
+        dropped = 0  # pending units cancelled before they started
+        try:
             for unit in pending:
                 self.bus.publish(
                     ev.UnitStarted(
@@ -377,13 +438,17 @@ class StudyExecutor:
                     time.perf_counter(),
                 )
             while active:
+                if self._stopped() and not stop_seen:
+                    # Drain: revoke everything still queued; the loop then
+                    # runs on to commit the units workers already hold.
+                    stop_seen = True
+                    for future in list(active):
+                        if future.cancel():
+                            active.pop(future)
+                            dropped += 1
                 done, _ = concurrent.futures.wait(
                     active,
-                    timeout=(
-                        min(1.0, self.unit_timeout_s)
-                        if self.unit_timeout_s
-                        else None
-                    ),
+                    timeout=self._wait_timeout(),
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
                 if self.unit_timeout_s:
@@ -395,7 +460,7 @@ class StudyExecutor:
                     except concurrent.futures.CancelledError:
                         continue  # already reported by _enforce_timeouts
                     except Exception as exc:  # noqa: BLE001 - unit isolation
-                        if self.retry.should_retry(attempt):
+                        if self.retry.should_retry(attempt) and not stop_seen:
                             backoff = self.retry.backoff_s(
                                 attempt, key=unit.unit_id
                             )
@@ -430,6 +495,23 @@ class StudyExecutor:
                         checkpoint,
                         queue_depth=len(active),
                     )
+        finally:
+            if pool is not self.pool:
+                pool.shutdown(wait=True)
+        if stop_seen:
+            self._halt(remaining=dropped)
+
+    def _wait_timeout(self) -> Optional[float]:
+        """Poll interval for the dispatch loop.
+
+        Bounded whenever a timeout must be enforced or a stop event could
+        arrive; None (block until a future completes) otherwise.
+        """
+        if self.unit_timeout_s:
+            return min(1.0, self.unit_timeout_s)
+        if self.stop_event is not None:
+            return 0.2
+        return None
 
     def _enforce_timeouts(
         self,

@@ -21,11 +21,13 @@ stability (all diffs empty, itself a reproduction claim).
 from __future__ import annotations
 
 import pathlib
+import threading
+from concurrent import futures
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.runtime import events as ev
-from repro.runtime.executor import StudyExecutor
+from repro.runtime.executor import StudyExecutor, StudyInterrupted
 from repro.runtime.retry import RetryPolicy, stable_hash
 
 if TYPE_CHECKING:
@@ -83,6 +85,23 @@ class VerdictChange:
             f"{self.before!r} -> {self.after!r}"
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "provider": self.provider,
+            "verdict": self.verdict,
+            "before": self.before,
+            "after": self.after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerdictChange":
+        return cls(
+            provider=data["provider"],
+            verdict=data["verdict"],
+            before=data.get("before"),
+            after=data.get("after"),
+        )
+
 
 @dataclass
 class SnapshotDiff:
@@ -97,6 +116,26 @@ class SnapshotDiff:
     def is_empty(self) -> bool:
         return not (
             self.changes or self.providers_added or self.providers_removed
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "changes": [change.to_dict() for change in self.changes],
+            "providers_added": list(self.providers_added),
+            "providers_removed": list(self.providers_removed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SnapshotDiff":
+        return cls(
+            index=data["index"],
+            changes=[
+                VerdictChange.from_dict(raw)
+                for raw in data.get("changes", ())
+            ],
+            providers_added=list(data.get("providers_added", ())),
+            providers_removed=list(data.get("providers_removed", ())),
         )
 
 
@@ -147,6 +186,32 @@ class SnapshotRecord:
     verdicts: dict[str, dict[str, object]]
     archive_dir: Optional[pathlib.Path] = None
 
+    def to_dict(self) -> dict:
+        return {
+            "index": self.spec.index,
+            "seed": self.spec.seed,
+            "max_vantage_points": self.spec.max_vantage_points,
+            "verdicts": self.verdicts,
+            "archive_dir": (
+                str(self.archive_dir) if self.archive_dir is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SnapshotRecord":
+        archive_dir = data.get("archive_dir")
+        return cls(
+            spec=SnapshotSpec(
+                index=data["index"],
+                seed=data["seed"],
+                max_vantage_points=data.get("max_vantage_points"),
+            ),
+            verdicts=data.get("verdicts", {}),
+            archive_dir=(
+                pathlib.Path(archive_dir) if archive_dir is not None else None
+            ),
+        )
+
 
 @dataclass
 class LongitudinalReport:
@@ -154,6 +219,9 @@ class LongitudinalReport:
 
     snapshots: list[SnapshotRecord] = field(default_factory=list)
     diffs: list[SnapshotDiff] = field(default_factory=list)
+    #: True when the schedule was stopped before running every snapshot
+    #: (daemon drain, job cancellation) — the snapshots list is a prefix.
+    interrupted: bool = False
 
     @property
     def changed_snapshots(self) -> list[SnapshotDiff]:
@@ -164,10 +232,33 @@ class LongitudinalReport:
         """True when every consecutive diff is empty."""
         return not self.changed_snapshots
 
+    def to_dict(self) -> dict:
+        """Stable JSON form (the shape ``repro.serve`` stores and serves)."""
+        return {
+            "snapshots": [record.to_dict() for record in self.snapshots],
+            "diffs": [diff.to_dict() for diff in self.diffs],
+            "interrupted": self.interrupted,
+            "stable": self.is_stable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LongitudinalReport":
+        return cls(
+            snapshots=[
+                SnapshotRecord.from_dict(raw)
+                for raw in data.get("snapshots", ())
+            ],
+            diffs=[
+                SnapshotDiff.from_dict(raw) for raw in data.get("diffs", ())
+            ],
+            interrupted=bool(data.get("interrupted", False)),
+        )
+
     def summary(self) -> str:
         lines = [
             f"{len(self.snapshots)} snapshot(s), "
             f"{len(self.changed_snapshots)} with verdict changes"
+            + (" [interrupted]" if self.interrupted else "")
         ]
         for diff in self.changed_snapshots:
             lines.append(f"  snapshot {diff.index}:")
@@ -203,6 +294,9 @@ class LongitudinalScheduler:
         bus: Optional[ev.EventBus] = None,
         reseed: bool = True,
         obs: Optional["ObsConfig"] = None,
+        stop_event: Optional[threading.Event] = None,
+        pool: Optional[futures.Executor] = None,
+        checkpoint_root: Optional[str | pathlib.Path] = None,
     ) -> None:
         if snapshots < 1:
             raise ValueError("snapshots must be >= 1")
@@ -226,6 +320,18 @@ class LongitudinalScheduler:
         )
         self.bus = bus
         self.obs = obs if obs is not None and obs.enabled else None
+        # stop_event halts the schedule between snapshots and drains the
+        # snapshot in flight (the executor commits running units first);
+        # pool lets every snapshot share one external worker pool; and
+        # checkpoint_root gives each snapshot a durable checkpoint under
+        # <root>/snapshot-NN so an interrupted series resumes mid-snapshot.
+        self.stop_event = stop_event
+        self.pool = pool
+        self.checkpoint_root = (
+            pathlib.Path(checkpoint_root)
+            if checkpoint_root is not None
+            else None
+        )
         # reseed=True rebuilds each snapshot's world from a derived seed
         # (an ecosystem that may drift); reseed=False models pure
         # re-measurement of a static ecosystem, where any non-empty diff
@@ -259,6 +365,9 @@ class LongitudinalScheduler:
         report = LongitudinalReport()
         previous: Optional[dict[str, dict[str, object]]] = None
         for spec in self.schedule():
+            if self.stop_event is not None and self.stop_event.is_set():
+                report.interrupted = True
+                break
             snapshot_obs = self.obs
             if snapshot_obs is not None and snapshot_obs.trace_path:
                 # One JSONL per snapshot: <path>.snapshot-NN so traces
@@ -279,8 +388,22 @@ class LongitudinalScheduler:
                 retry=self.retry,
                 bus=self.bus,
                 obs=snapshot_obs,
+                stop_event=self.stop_event,
+                pool=self.pool,
+                checkpoint_dir=(
+                    str(self.checkpoint_root / spec.label)
+                    if self.checkpoint_root is not None
+                    else None
+                ),
             )
-            study = executor.run()
+            try:
+                study = executor.run()
+            except StudyInterrupted:
+                # The snapshot's completed units are checkpointed (when a
+                # checkpoint_root is set); the series stops cleanly here
+                # and a re-run resumes this snapshot mid-flight.
+                report.interrupted = True
+                break
             verdicts = verdict_map(study)
             archive_dir = None
             if self.archive_root is not None:

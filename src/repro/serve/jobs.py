@@ -1,0 +1,221 @@
+"""The daemon's job queue.
+
+A thread-safe priority queue of :class:`~repro.serve.protocol.JobRecord`
+objects.  Three properties matter for a long-running service:
+
+- **priority with FIFO ties** — higher ``priority`` runs first; equal
+  priorities run in submission order (a monotonic sequence breaks ties),
+  so a flood of background jobs can never starve an operator's urgent
+  re-check, and two equal jobs never swap;
+- **dedup of active work** — submitting a request whose
+  :meth:`~repro.serve.protocol.JobRequest.fingerprint` matches a job that
+  is already queued or running returns that job instead of enqueuing a
+  twin (a snapshot tick that fires while the previous tick still runs
+  must not pile up);  finished jobs never dedup — re-submitting measures
+  again, which is the point of a re-check;
+- **every transition is observable** — an ``on_change`` callback fires
+  with each new record (the store persists it, so the queue's view and
+  the disk's view never drift).
+
+The queue holds no threads of its own; the scheduler pulls from it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable, Optional
+
+from repro.serve.protocol import (
+    JobKind,
+    JobRecord,
+    JobRequest,
+    JobState,
+)
+
+
+class UnknownJobError(KeyError):
+    """No job with that ID."""
+
+
+class JobQueue:
+    """Priority queue + registry of every job the daemon knows about."""
+
+    def __init__(
+        self,
+        on_change: Optional[Callable[[JobRecord], None]] = None,
+        make_job_id: Optional[Callable[[int, JobRequest], str]] = None,
+    ) -> None:
+        self._lock = threading.Condition()
+        self._records: dict[str, JobRecord] = {}
+        # (-priority, sequence, job_id): heapq pops the smallest tuple,
+        # so higher priority first, then submission order.
+        self._heap: list[tuple[int, int, str]] = []
+        self._sequence = itertools.count(1)
+        self._on_change = on_change
+        self._make_job_id = make_job_id or (
+            lambda seq, request: f"job-{seq:05d}-{request.fingerprint()[:8]}"
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> tuple[JobRecord, bool]:
+        """Enqueue *request*; returns ``(record, deduplicated)``.
+
+        ``deduplicated`` is True when an active (queued or running) job
+        with the same work fingerprint already exists — that job's record
+        is returned and nothing is enqueued.
+        """
+        with self._lock:
+            fingerprint = request.fingerprint()
+            for record in self._records.values():
+                if record.terminal:
+                    continue
+                if record.request.fingerprint() == fingerprint:
+                    return record, True
+            sequence = next(self._sequence)
+            record = JobRecord(
+                job_id=self._make_job_id(sequence, request),
+                request=request,
+                state=JobState.QUEUED,
+                sequence=sequence,
+            )
+            self._store(record)
+            heapq.heappush(
+                self._heap, (-request.priority, sequence, record.job_id)
+            )
+            self._lock.notify()
+            return record, False
+
+    def restore(self, record: JobRecord) -> None:
+        """Re-register a job recovered from disk (daemon restart).
+
+        Non-terminal jobs are re-queued — a job that was ``running`` when
+        the daemon died resumes from its checkpoint.  The internal
+        sequence counter advances past the record's, keeping later
+        submissions behind recovered ones at equal priority.
+        """
+        with self._lock:
+            if record.job_id in self._records:
+                return
+            if not record.terminal and record.state is not JobState.QUEUED:
+                record = record.advance(JobState.QUEUED)
+            self._store(record)
+            while record.sequence >= next(self._sequence):
+                pass
+            if record.state is JobState.QUEUED:
+                heapq.heappush(
+                    self._heap,
+                    (
+                        -record.request.priority,
+                        record.sequence,
+                        record.job_id,
+                    ),
+                )
+                self._lock.notify()
+
+    # ------------------------------------------------------------------
+    # Dispatch (scheduler side)
+    # ------------------------------------------------------------------
+    def claim(self, timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """Pop the best queued job and mark it running; None on timeout."""
+        with self._lock:
+            while True:
+                record = self._pop_queued_locked()
+                if record is not None:
+                    record = record.advance(JobState.RUNNING)
+                    self._store(record)
+                    return record
+                if not self._lock.wait(timeout=timeout):
+                    return None
+
+    def _pop_queued_locked(self) -> Optional[JobRecord]:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            record = self._records.get(job_id)
+            # Stale heap entries (cancelled while queued) are dropped here.
+            if record is not None and record.state is JobState.QUEUED:
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        job_id: str,
+        state: JobState,
+        error: Optional[str] = None,
+        progress: Optional[dict] = None,
+    ) -> JobRecord:
+        """Move a job to *state* (terminal, or back to QUEUED on drain)."""
+        with self._lock:
+            record = self._get_locked(job_id).advance(
+                state, error=error, progress=progress
+            )
+            self._store(record)
+            if state is JobState.QUEUED:
+                heapq.heappush(
+                    self._heap,
+                    (
+                        -record.request.priority,
+                        record.sequence,
+                        record.job_id,
+                    ),
+                )
+                self._lock.notify()
+            return record
+
+    def cancel_queued(self, job_id: str) -> Optional[JobRecord]:
+        """Cancel a job that has not started; None if it is not queued.
+
+        Running jobs are cancelled by the scheduler (their stop event),
+        not by the queue — the caller falls back to that path.
+        """
+        with self._lock:
+            record = self._get_locked(job_id)
+            if record.state is not JobState.QUEUED:
+                return None
+            record = record.advance(JobState.CANCELLED)
+            self._store(record)
+            return record
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._get_locked(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        """Every known job, newest submission first."""
+        with self._lock:
+            return sorted(
+                self._records.values(),
+                key=lambda r: r.sequence,
+                reverse=True,
+            )
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out = {state.value: 0 for state in JobState}
+            for record in self._records.values():
+                out[record.state.value] += 1
+            return out
+
+    # ------------------------------------------------------------------
+    def _get_locked(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def _store(self, record: JobRecord) -> None:
+        self._records[record.job_id] = record
+        if self._on_change is not None:
+            self._on_change(record)
+
+
+__all__ = ["JobQueue", "UnknownJobError", "JobKind", "JobState"]

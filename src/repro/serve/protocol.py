@@ -1,0 +1,320 @@
+"""Wire protocol of the audit service.
+
+Every payload that crosses the daemon's HTTP boundary — job submissions,
+status views, error replies — is a frozen dataclass here with a versioned
+``to_dict`` / ``from_dict`` round-trip.  Schema first: the daemon, the
+Python client, the CLI and the tests all build and parse exactly these
+shapes, so a field added here is a field everywhere (and an unknown
+protocol version fails loudly at the edge instead of corrupting a job).
+
+Jobs are typed by :class:`JobKind`:
+
+- ``study`` — a full (or provider-subset) audit, the one-shot
+  ``repro study`` as a service;
+- ``recheck`` — a single-provider re-audit with tracing forced on, so the
+  result carries evidence chains for every verdict;
+- ``snapshots`` — a longitudinal series driven by
+  :class:`repro.runtime.scheduler.LongitudinalScheduler`.
+
+The measurement itself is pinned by the embedded
+:class:`repro.config.StudyConfig`; the request adds only service-level
+concerns (priority, a human label).  Two active requests with the same
+:meth:`JobRequest.fingerprint` are the same work — the queue deduplicates
+them onto one job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import StudyConfig
+from repro.runtime.retry import stable_hash
+
+#: Bumped whenever a payload shape changes incompatibly.  ``from_dict``
+#: accepts payloads without a version (assumed current) but rejects a
+#: mismatched one — a v1 client talking to a v2 daemon should fail at
+#: parse time, not at interpretation time.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A payload that does not parse as this protocol version."""
+
+
+def _check_version(data: dict, payload: str) -> None:
+    version = data.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{payload} has protocol version {version!r}, "
+            f"this daemon speaks {PROTOCOL_VERSION}"
+        )
+
+
+class JobKind(enum.Enum):
+    STUDY = "study"
+    RECHECK = "recheck"
+    SNAPSHOTS = "snapshots"
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves (and whose checkpoints are prunable).
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobRequest:
+    """What a client asks the daemon to run."""
+
+    kind: JobKind
+    config: StudyConfig
+    priority: int = 0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, JobKind):
+            object.__setattr__(self, "kind", JobKind(self.kind))
+        if not isinstance(self.config, StudyConfig):
+            raise TypeError("config must be a StudyConfig")
+        if self.kind is JobKind.RECHECK and (
+            self.config.providers is None or len(self.config.providers) != 1
+        ):
+            raise ProtocolError(
+                "a recheck job must name exactly one provider"
+            )
+        if self.kind is JobKind.SNAPSHOTS and self.config.snapshots < 2:
+            raise ProtocolError(
+                "a snapshots job needs config.snapshots >= 2"
+            )
+
+    def fingerprint(self) -> str:
+        """Identity of the *work*: two active requests with equal
+        fingerprints would measure the same thing, so the queue runs one.
+
+        Priority and label are presentation, not work — excluded on
+        purpose.
+        """
+        config = self.config.to_dict()
+        return f"{stable_hash(self.kind.value, repr(sorted(config.items()))):016x}"
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "kind": self.kind.value,
+            "config": self.config.to_dict(),
+            "priority": self.priority,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRequest":
+        _check_version(data, "job request")
+        try:
+            kind = JobKind(data["kind"])
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError(
+                f"unknown job kind {data.get('kind')!r}; expected one of "
+                f"{[k.value for k in JobKind]}"
+            ) from exc
+        raw_config = data.get("config")
+        if not isinstance(raw_config, dict):
+            raise ProtocolError("job request needs a 'config' object")
+        try:
+            config = StudyConfig.from_dict(raw_config)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad study config: {exc}") from exc
+        return cls(
+            kind=kind,
+            config=config,
+            priority=int(data.get("priority", 0)),
+            label=data.get("label"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Job records (persisted by the store, served by GET /jobs/{id})
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's durable identity and state.
+
+    Frozen: state transitions produce a new record via :meth:`advance`,
+    which keeps every mutation an explicit, persistable step (the store
+    writes the record back to ``job.json`` on each one).
+    """
+
+    job_id: str
+    request: JobRequest
+    state: JobState = JobState.QUEUED
+    sequence: int = 0
+    error: Optional[str] = None
+    #: Final execution counters, filled at the terminal transition
+    #: (live counters come from the scheduler while running).
+    progress: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.state, JobState):
+            object.__setattr__(self, "state", JobState(self.state))
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def advance(
+        self,
+        state: JobState,
+        error: Optional[str] = None,
+        progress: Optional[dict] = None,
+    ) -> "JobRecord":
+        return JobRecord(
+            job_id=self.job_id,
+            request=self.request,
+            state=state,
+            sequence=self.sequence,
+            error=error if error is not None else self.error,
+            progress=progress if progress is not None else self.progress,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "request": self.request.to_dict(),
+            "state": self.state.value,
+            "sequence": self.sequence,
+            "error": self.error,
+            "progress": dict(self.progress),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        _check_version(data, "job record")
+        return cls(
+            job_id=data["job_id"],
+            request=JobRequest.from_dict(data["request"]),
+            state=JobState(data["state"]),
+            sequence=int(data.get("sequence", 0)),
+            error=data.get("error"),
+            progress=dict(data.get("progress") or {}),
+        )
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitReply:
+    """Answer to ``POST /jobs``."""
+
+    job_id: str
+    state: JobState
+    deduplicated: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.state, JobState):
+            object.__setattr__(self, "state", JobState(self.state))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "deduplicated": self.deduplicated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SubmitReply":
+        _check_version(data, "submit reply")
+        return cls(
+            job_id=data["job_id"],
+            state=JobState(data["state"]),
+            deduplicated=bool(data.get("deduplicated", False)),
+        )
+
+
+@dataclass(frozen=True)
+class JobStatusReply:
+    """Answer to ``GET /jobs/{id}``: the record plus live progress."""
+
+    record: JobRecord
+    progress: dict = field(default_factory=dict)
+    results: tuple[str, ...] = ()  # fetchable result names, e.g. "report"
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "job": self.record.to_dict(),
+            "progress": dict(self.progress),
+            "results": list(self.results),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobStatusReply":
+        _check_version(data, "job status reply")
+        return cls(
+            record=JobRecord.from_dict(data["job"]),
+            progress=dict(data.get("progress") or {}),
+            results=tuple(data.get("results") or ()),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Any non-2xx body."""
+
+    error: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "error": self.error,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ErrorReply":
+        _check_version(data, "error reply")
+        return cls(error=data["error"], detail=data.get("detail", ""))
+
+
+@dataclass(frozen=True)
+class TraceQueryReply:
+    """Answer to ``GET /trace/query``."""
+
+    job_id: str
+    expression: str
+    matches: tuple[dict, ...]
+    total_records: int
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "expression": self.expression,
+            "matches": list(self.matches),
+            "total_records": self.total_records,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceQueryReply":
+        _check_version(data, "trace query reply")
+        return cls(
+            job_id=data["job_id"],
+            expression=data["expression"],
+            matches=tuple(data.get("matches") or ()),
+            total_records=int(data.get("total_records", 0)),
+        )

@@ -1,0 +1,300 @@
+"""Job execution over one shared worker pool.
+
+The scheduler is the daemon's engine room: a dispatcher thread claims
+jobs off the :class:`~repro.serve.jobs.JobQueue` (priority order, at most
+``max_active_jobs`` concurrently) and runs each one on a lightweight
+runner thread.  The *unit work* of every job, however, executes on a
+single shared :class:`~concurrent.futures.ThreadPoolExecutor` — each
+job's :class:`~repro.runtime.executor.StudyExecutor` borrows the pool via
+its ``pool=`` parameter — so two concurrent jobs interleave at unit
+granularity on the same ``workers`` threads instead of each spawning its
+own pool.  Results stay byte-identical regardless of the interleaving
+because unit results are independent of scheduling order by construction.
+
+Each job also gets:
+
+- a **checkpoint** under its store directory, so a daemon killed mid-job
+  resumes the job from its last committed unit on restart;
+- a **stop event**, the one mechanism behind both job cancellation and
+  graceful daemon drain — setting it makes the executor finish in-flight
+  units, flush the checkpoint, and raise
+  :class:`~repro.runtime.executor.StudyInterrupted`;
+- a **private EventBus** with a :class:`~repro.runtime.events.StatsCollector`,
+  which is where ``GET /jobs/{id}`` progress numbers come from.
+
+On drain (SIGTERM) interrupted jobs go back to ``queued`` — the state a
+restarted daemon re-dispatches from — while an explicit cancellation
+lands in ``cancelled``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.config import ServeConfig
+from repro.runtime import events as ev
+from repro.runtime.checkpoint import CheckpointMismatchError
+from repro.runtime.executor import StudyExecutor, StudyInterrupted
+from repro.serve.jobs import JobQueue
+from repro.serve.protocol import JobKind, JobRecord, JobState
+from repro.serve.store import ResultStore
+
+
+class JobScheduler:
+    """Claim, run, and resolve jobs until told to shut down."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        config: ServeConfig,
+    ) -> None:
+        self.queue = queue
+        self.store = store
+        self.config = config
+        self.pool = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-serve"
+        )
+        self._dispatcher: Optional[threading.Thread] = None
+        self._runners: dict[str, threading.Thread] = {}
+        self._stop_events: dict[str, threading.Event] = {}
+        self._stats: dict[str, ev.StatsCollector] = {}
+        self._cancelled: set[str] = set()
+        self._active = threading.Semaphore(config.max_active_jobs)
+        self._shutdown = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._dispatcher is not None:
+            raise RuntimeError("scheduler already started")
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop dispatching; drain running jobs back to the queue.
+
+        ``drain=True`` (the graceful path) sets every active job's stop
+        event: executors finish their in-flight units, flush checkpoints,
+        and the jobs are re-queued for the next daemon.  The call returns
+        when every runner thread has finished and the pool is down.
+        """
+        self._shutdown.set()
+        if drain:
+            with self._lock:
+                for event in self._stop_events.values():
+                    event.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        while True:
+            with self._lock:
+                runners = list(self._runners.values())
+            if not runners:
+                break
+            for runner in runners:
+                runner.join()
+        self.pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Cancel a queued or running job; None when already terminal."""
+        record = self.queue.cancel_queued(job_id)
+        if record is not None:
+            return record
+        with self._lock:
+            event = self._stop_events.get(job_id)
+            if event is None:
+                return None
+            self._cancelled.add(job_id)
+            event.set()
+        return self.queue.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def progress(self, job_id: str) -> dict:
+        """Live counters for a running job; {} when none are tracked."""
+        with self._lock:
+            collector = self._stats.get(job_id)
+        if collector is None:
+            return {}
+        return _progress_dict(collector.stats)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._shutdown.is_set():
+            if not self._active.acquire(timeout=self.config.poll_interval_s):
+                continue
+            record = self.queue.claim(timeout=self.config.poll_interval_s)
+            if record is None:
+                self._active.release()
+                continue
+            if self._shutdown.is_set():
+                # Claimed during shutdown: hand it straight back.
+                self.queue.resolve(record.job_id, JobState.QUEUED)
+                self._active.release()
+                break
+            runner = threading.Thread(
+                target=self._run_job,
+                args=(record,),
+                name=f"repro-serve-{record.job_id}",
+                daemon=True,
+            )
+            with self._lock:
+                self._runners[record.job_id] = runner
+            runner.start()
+
+    def _run_job(self, record: JobRecord) -> None:
+        stop_event = threading.Event()
+        bus = ev.EventBus()
+        collector = ev.StatsCollector()
+        bus.subscribe(collector, replay=False)
+        with self._lock:
+            self._stop_events[record.job_id] = stop_event
+            self._stats[record.job_id] = collector
+        if self._shutdown.is_set():
+            stop_event.set()
+        try:
+            if record.request.kind is JobKind.SNAPSHOTS:
+                self._run_snapshots(record, bus, stop_event)
+            else:
+                self._run_study(record, bus, stop_event)
+        except StudyInterrupted:
+            progress = _progress_dict(collector.stats)
+            if record.job_id in self._cancelled:
+                self.queue.resolve(
+                    record.job_id, JobState.CANCELLED, progress=progress
+                )
+            else:
+                # Drain: the checkpoint holds every committed unit; the
+                # job waits in the queue for this daemon's successor.
+                self.queue.resolve(
+                    record.job_id, JobState.QUEUED, progress=progress
+                )
+        except CheckpointMismatchError as exc:
+            self.queue.resolve(
+                record.job_id, JobState.FAILED, error=str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation
+            self.queue.resolve(
+                record.job_id, JobState.FAILED, error=repr(exc)
+            )
+        finally:
+            with self._lock:
+                self._stop_events.pop(record.job_id, None)
+                self._runners.pop(record.job_id, None)
+                self._cancelled.discard(record.job_id)
+            self._active.release()
+
+    def _run_study(
+        self,
+        record: JobRecord,
+        bus: ev.EventBus,
+        stop_event: threading.Event,
+    ) -> None:
+        config = record.request.config
+        if record.request.kind is JobKind.RECHECK:
+            # A re-check must come back explainable: force tracing so the
+            # evidence document carries resolvable chains.
+            config = config.replace(obs=config.obs.replace(trace=True))
+        executor = StudyExecutor.from_config(
+            config,
+            bus=bus,
+            workers=self.config.workers,
+            backend="thread",
+            checkpoint_dir=str(self.store.checkpoint_dir(record.job_id)),
+            stop_event=stop_event,
+            pool=self.pool,
+        )
+        report = executor.run()
+        metrics = executor.metrics
+        fingerprint = self.store.store_study_result(
+            record,
+            report,
+            trace_records=executor.trace_records,
+            metrics_snapshot=(
+                metrics.snapshot() if metrics is not None else None
+            ),
+        )
+        progress = _progress_dict(self._collector_stats(record.job_id))
+        progress["archive_fingerprint"] = fingerprint
+        resolved = self.queue.resolve(
+            record.job_id, JobState.COMPLETED, progress=progress
+        )
+        self._maybe_prune(resolved)
+
+    def _run_snapshots(
+        self,
+        record: JobRecord,
+        bus: ev.EventBus,
+        stop_event: threading.Event,
+    ) -> None:
+        from repro.runtime.scheduler import LongitudinalScheduler
+
+        config = record.request.config
+        scheduler = LongitudinalScheduler(
+            seed=config.seed,
+            snapshots=config.snapshots,
+            providers=config.provider_list,
+            max_vantage_points=config.max_vantage_points,
+            workers=self.config.workers,
+            backend="thread",
+            archive_root=self.store.archive_dir(record.job_id),
+            bus=bus,
+            reseed=config.reseed,
+            obs=config.obs if config.obs.enabled else None,
+            stop_event=stop_event,
+            pool=self.pool,
+            checkpoint_root=self.store.checkpoint_dir(record.job_id),
+        )
+        report = scheduler.run()
+        self.store.store_longitudinal_result(record, report)
+        progress = _progress_dict(self._collector_stats(record.job_id))
+        progress["snapshots_completed"] = len(report.snapshots)
+        if report.interrupted:
+            # The series stopped early; its completed prefix is stored,
+            # and the job re-queues to finish the remaining snapshots.
+            raise StudyInterrupted(
+                completed=len(report.snapshots),
+                remaining=config.snapshots - len(report.snapshots),
+            )
+        resolved = self.queue.resolve(
+            record.job_id, JobState.COMPLETED, progress=progress
+        )
+        self._maybe_prune(resolved)
+
+    def _collector_stats(self, job_id: str) -> ev.ExecutionStats:
+        with self._lock:
+            collector = self._stats.get(job_id)
+        return collector.stats if collector is not None else ev.ExecutionStats()
+
+    def _maybe_prune(self, record: JobRecord) -> None:
+        if self.config.keep_checkpoints:
+            return
+        self.store.prune_checkpoints([record])
+
+
+def _progress_dict(stats: ev.ExecutionStats) -> dict:
+    return {
+        "total_units": stats.total_units,
+        "completed_units": stats.completed_units,
+        "skipped_units": stats.skipped_units,
+        "failed_units": stats.failed_units,
+        "retried_units": stats.retried_units,
+        "connect_retries": stats.connect_retries,
+        "halted": stats.halted,
+    }
+
+
+__all__ = ["JobScheduler"]

@@ -5,13 +5,13 @@ and the stochastic components must be stable functions of their seeds —
 this is what makes the EXPERIMENTS.md numbers re-derivable.
 """
 
-import hashlib
-
 import pytest
 
 # SHA-256 over the golden study archive (seed=2018, providers below,
-# max_vantage_points=2): for every *.json under the archive root in sorted
-# order, the relative path bytes, a NUL, the file bytes, a NUL.  This value
+# max_vantage_points=2), as computed by
+# :func:`repro.core.archive.archive_fingerprint`: for every *.json under
+# the archive root in sorted order, the relative path bytes, a NUL, the
+# file bytes, a NUL.  This value
 # was recorded before the hot-path optimisation work and pins the archive
 # bit-for-bit: any cache or fast path that changes a single emitted byte —
 # an RTT, a capture entry, a verdict — fails this test.  It must only ever
@@ -128,7 +128,10 @@ class TestWorldDeterminism:
         pickle-restored clone) and, for processes, that no salted hash or
         derived memo leaks through pickling into the emitted bytes.
         """
-        from repro.core.archive import write_study_archive
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
         from repro.runtime.executor import StudyExecutor
 
         report = StudyExecutor(
@@ -140,14 +143,7 @@ class TestWorldDeterminism:
         ).run()
         root = tmp_path / "archive"
         write_study_archive(report, root)
-
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.json")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        assert digest.hexdigest() == GOLDEN_STUDY_FINGERPRINT
+        assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
 
     def test_study_archive_fingerprint_unchanged_by_observability(
         self, tmp_path
@@ -158,7 +154,10 @@ class TestWorldDeterminism:
         golden fingerprint proves they never write to it (no clock skew, no
         extra packets, no perturbed retry schedule).
         """
-        from repro.core.archive import write_study_archive
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
         from repro.obs.config import ObsConfig
         from repro.runtime.executor import StudyExecutor
 
@@ -170,14 +169,7 @@ class TestWorldDeterminism:
         ).run()
         root = tmp_path / "archive"
         write_study_archive(report, root)
-
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.json")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        assert digest.hexdigest() == GOLDEN_STUDY_FINGERPRINT
+        assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
 
     def test_ecosystem_seed_sensitivity(self):
         from repro.ecosystem.generate import generate_ecosystem
