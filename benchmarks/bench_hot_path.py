@@ -28,7 +28,9 @@ disabled-path overhead staying within 3%.
 
 from __future__ import annotations
 
+import argparse
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -40,6 +42,14 @@ OBS_OUTPUT_PATH = REPO_ROOT / "BENCH_obs.json"
 #: CI gate: the disabled observability path (one attribute check per
 #: event) must stay within this fraction of the uninstrumented run.
 OBS_DISABLED_OVERHEAD_LIMIT_PCT = 3.0
+
+#: CI gate: the end-to-end study may not regress more than this over the
+#: best wall-clock recorded in the *committed* BENCH_hotpath.json.  The
+#: committed number and the CI measurement run on different machines, so
+#: the margin is deliberately wide — it catches an algorithmic regression
+#: (a cache that stopped firing, a fast path that started falling back),
+#: not scheduler noise.
+END_TO_END_REGRESSION_LIMIT_PCT = 25.0
 
 STUDY_SEED = 2018
 STUDY_PROVIDERS = ["Seed4.me", "PureVPN", "MyIP.io"]
@@ -62,6 +72,57 @@ BASELINE_PRE_OPTIMIZATION = {
 }
 
 
+def git_head(short: bool = True) -> str:
+    """Short hash of HEAD (``-dirty`` suffixed), or ``unknown``.
+
+    Recorded into the results as provenance: which tree produced the
+    committed numbers.  A dirty suffix means the benchmark ran on
+    uncommitted changes layered over the named commit.
+    """
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "--short" if short else "--verify", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        return f"{head}-dirty" if dirty else head
+    except Exception:
+        return "unknown"
+
+
+def committed_end_to_end_best() -> float | None:
+    """``wall_seconds_best`` from the BENCH_hotpath.json committed at HEAD.
+
+    Read from the git object store rather than the working tree so a
+    freshly regenerated (uncommitted) results file cannot mask the
+    reference the regression gate compares against.
+    """
+    try:
+        blob = subprocess.run(
+            ["git", "show", "HEAD:BENCH_hotpath.json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout
+        value = json.loads(blob)["end_to_end_study"]["wall_seconds_best"]
+        return float(value)
+    except Exception:
+        return None
+
+
 def ops_per_sec(fn, min_seconds: float = 0.5) -> float:
     """Throughput of *fn* measured over at least *min_seconds*."""
     fn()
@@ -76,7 +137,7 @@ def ops_per_sec(fn, min_seconds: float = 0.5) -> float:
             return count / elapsed
 
 
-def bench_primitives() -> dict[str, float]:
+def bench_primitives(min_seconds: float = 0.5) -> dict[str, float]:
     """ops/s for each simulator primitive on a fresh single-provider world."""
     from repro.dns.resolver import resolve_via_server
     from repro.net.addresses import parse_address
@@ -94,7 +155,10 @@ def bench_primitives() -> dict[str, float]:
 
     anchor = world.anchors[0]
     results["ping_direct_ops"] = round(
-        ops_per_sec(lambda: world.internet.ping(world.client, anchor.address))
+        ops_per_sec(
+            lambda: world.internet.ping(world.client, anchor.address),
+            min_seconds,
+        )
     )
 
     provider = world.provider("Mullvad")
@@ -103,13 +167,15 @@ def bench_primitives() -> dict[str, float]:
     try:
         results["ping_through_tunnel_ops"] = round(
             ops_per_sec(
-                lambda: world.internet.ping(world.client, anchor.address)
+                lambda: world.internet.ping(world.client, anchor.address),
+                min_seconds,
             )
         )
         domain = world.sites.dom_test_sites()[0].domain
         results["dns_resolution_ops"] = round(
             ops_per_sec(
-                lambda: resolve_via_server(world.client, GOOGLE_DNS, domain)
+                lambda: resolve_via_server(world.client, GOOGLE_DNS, domain),
+                min_seconds,
             )
         )
     finally:
@@ -121,10 +187,10 @@ def bench_primitives() -> dict[str, float]:
         table.add_prefix(f"10.{i}.0.0/16", f"if{i % 4}")
     probe = parse_address("10.42.7.9")
     results["routing_lookup_ops"] = round(
-        ops_per_sec(lambda: table.lookup(probe))
+        ops_per_sec(lambda: table.lookup(probe), min_seconds)
     )
     results["parse_address_ops"] = round(
-        ops_per_sec(lambda: parse_address("104.131.7.9"))
+        ops_per_sec(lambda: parse_address("104.131.7.9"), min_seconds)
     )
     return results
 
@@ -145,6 +211,7 @@ def bench_end_to_end(runs: int = STUDY_RUNS) -> dict[str, object]:
         ).run()
         walls.append(time.perf_counter() - started)
     return {
+        "commit": git_head(),
         "seed": STUDY_SEED,
         "providers": STUDY_PROVIDERS,
         "max_vantage_points": STUDY_MAX_VPS,
@@ -206,9 +273,15 @@ def bench_obs_overhead(runs: int = STUDY_RUNS) -> dict[str, object]:
     }
 
 
-def collect() -> dict[str, object]:
-    primitives = bench_primitives()
-    end_to_end = bench_end_to_end()
+def collect(quick: bool = False) -> dict[str, object]:
+    """All hot-path results; *quick* trades precision for a fast CI smoke.
+
+    Quick mode shrinks each primitive's timing window to 0.1 s and runs
+    the end-to-end study once instead of three times — same code paths,
+    same output schema, roughly a fifth of the wall-clock.
+    """
+    primitives = bench_primitives(min_seconds=0.1 if quick else 0.5)
+    end_to_end = bench_end_to_end(runs=1 if quick else STUDY_RUNS)
     baseline = BASELINE_PRE_OPTIMIZATION
     speedups = {
         key: round(primitives[key] / baseline[key], 2)
@@ -258,6 +331,31 @@ def test_hot_path_benchmarks():
     assert results["end_to_end_study"]["wall_seconds_best"] < 60.0
 
 
+def test_end_to_end_regression_gate():
+    """CI gate: study wall-clock within 25% of the committed best.
+
+    The reference is read from ``HEAD:BENCH_hotpath.json`` in the git
+    object store (never the working tree, which this module overwrites),
+    so the gate always compares against the numbers the repository
+    actually ships.  It re-measures rather than trusting a previously
+    written file, and skips when no committed reference exists (fresh
+    clone without the results file, or no git at all).
+    """
+    import pytest
+
+    reference = committed_end_to_end_best()
+    if reference is None:
+        pytest.skip("no committed BENCH_hotpath.json at HEAD")
+    current = bench_end_to_end()
+    best = current["wall_seconds_best"]
+    limit = reference * (1.0 + END_TO_END_REGRESSION_LIMIT_PCT / 100.0)
+    assert best <= limit, (
+        f"end-to-end study regressed: best {best}s > "
+        f"{END_TO_END_REGRESSION_LIMIT_PCT}% over committed best "
+        f"{reference}s (limit {limit:.3f}s; runs {current['wall_seconds_all']})"
+    )
+
+
 def test_obs_overhead_gate():
     """CI gate: disabled observability must cost within 3% of no obs.
 
@@ -278,10 +376,20 @@ def test_obs_overhead_gate():
     )
 
 
-def main() -> int:
-    results = collect()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke mode: 0.1s primitive windows, single end-to-end run, "
+            "single obs-overhead round (same schema, ~5x faster)"
+        ),
+    )
+    options = parser.parse_args(argv)
+    results = collect(quick=options.quick)
     write_results(results)
-    obs_results = bench_obs_overhead()
+    obs_results = bench_obs_overhead(runs=1 if options.quick else STUDY_RUNS)
     write_results(obs_results, OBS_OUTPUT_PATH)
     json.dump(
         {"hot_path": results, "obs_overhead": obs_results},

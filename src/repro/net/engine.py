@@ -1,0 +1,1254 @@
+"""Discrete-event packet delivery engine.
+
+This module replaces the recursive call-stack delivery path
+(``Host.send`` → ``Internet.deliver`` → ``Host.receive`` →
+``TunnelEndpoint.transmit`` → …) with a flat, plan-driven dispatch loop.
+The legacy path walks five to nine Python frames per packet and re-derives
+the same routing, firewall, interface, and topology decisions for every
+probe of a study; the engine compiles each *flow* — one (source host,
+src address, dst address, protocol, port) tuple — into a
+:class:`FlowPlan` once, then executes subsequent packets of that flow as
+a handful of arithmetic operations and list appends.
+
+Three structural pieces:
+
+``EventQueue``
+    A single time-ordered queue (``heapq`` keyed by ``(virtual_time,
+    sequence)``).  The sequence number is allocated monotonically at push
+    time, so events scheduled at equal virtual timestamps always dispatch
+    in insertion order — the determinism property that lets batched
+    dispatch (``Internet.ping`` enqueues a whole probe train at once)
+    produce bytes identical to the sequential loop it replaced.
+
+``PacketEvent``
+    A ``__slots__`` record (no dict, no dataclass machinery) carrying one
+    scheduled delivery.  The queue stores plain ``(time, seq, event)``
+    tuples so heap comparisons run entirely in C.
+
+``DeliveryEngine``
+    The flow-plan compiler/executor, owned by an :class:`Internet` (one
+    per world, never pickled).  ``send()`` either executes a compiled
+    plan and returns a ``DeliveryResult``, or returns ``None``, in which
+    case the caller falls through to the unmodified legacy path.  *Every*
+    deviation from the straight-line happy path — TTL expiry on a direct
+    leg, a firewall verdict other than the compiled one, a tunnel not in
+    CONNECTED state, a missing destination — falls back, so the legacy
+    code remains the single source of truth for rare fates.
+
+Byte-identity contract
+----------------------
+The engine must be observationally indistinguishable from the legacy
+path: same simulation-clock float *sequence* (four separate ``+= rtt/2``
+adds per tunnelled round trip, never a pre-summed total), same capture
+entries (same packet objects, same timestamps, same order), same obs
+events (``packet_event`` / ``tunnel_carried`` / counter increments) at
+the same clock values, same memoised derived objects (encapsulation,
+echo replies, NAT rewrites) so downstream ``id()``-keyed caches and the
+evidence side table keep hitting.  ``tests/test_determinism.py`` pins
+this with the golden archive fingerprint, obs off and on, engine on and
+off, across all executor backends.
+
+Plan invalidation is generation-based: routing tables, firewalls, and
+host service/interface configuration each carry a mutation counter, and
+a plan whose recorded stamp no longer matches is recompiled before use.
+Volatile booleans (interface up/down, capture enabled, tunnel state,
+path blackholes) are re-read on every send.
+
+Set ``REPRO_DELIVERY_ENGINE=off`` to disable the engine globally and run
+every packet down the legacy path (used by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.capture import CaptureEntry
+from repro.net.firewall import FirewallAction
+from repro.net.packet import (
+    DnsPayload,
+    IcmpPayload,
+    Packet,
+    TunnelPayload,
+    UdpDatagram,
+)
+
+if TYPE_CHECKING:
+    from repro.net.host import Host
+    from repro.net.internet import DeliveryResult, Internet
+
+ENGINE_ENV = "REPRO_DELIVERY_ENGINE"
+
+_ALLOW = FirewallAction.ALLOW
+
+
+def engine_enabled() -> bool:
+    """Whether new :class:`Internet` instances get a delivery engine."""
+    return os.environ.get(ENGINE_ENV, "").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+# ----------------------------------------------------------------------
+# Event queue
+# ----------------------------------------------------------------------
+class PacketEvent:
+    """One scheduled packet delivery: an array-backed (slots) record."""
+
+    __slots__ = ("time", "seq", "host", "packet", "result")
+
+    def __init__(self, time: float, seq: int, host: "Host", packet: Packet):
+        self.time = time
+        self.seq = seq
+        self.host = host
+        self.packet = packet
+        self.result: "Optional[DeliveryResult]" = None
+
+    def __repr__(self) -> str:  # debugging aid only
+        return f"PacketEvent(t={self.time}, seq={self.seq})"
+
+
+class EventQueue:
+    """A time-ordered event queue with deterministic tie-breaking.
+
+    Entries are ``(virtual_time, sequence, event)`` tuples on a binary
+    heap; ``sequence`` increases monotonically per push, so two events
+    scheduled for the same virtual time pop in insertion order.  That
+    FIFO-at-equal-times property is what makes batched dispatch
+    byte-identical to the sequential loop it replaces.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, PacketEvent]] = []
+        self._seq = 0
+
+    def push(self, time: float, host: "Host", packet: Packet) -> PacketEvent:
+        seq = self._seq
+        self._seq = seq + 1
+        event = PacketEvent(time, seq, host, packet)
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
+
+    def pop(self) -> PacketEvent:
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[float]:
+        heap = self._heap
+        return heap[0][0] if heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# ----------------------------------------------------------------------
+# Flow plans
+# ----------------------------------------------------------------------
+_SHAPE_FALLBACK = 0  # flow cannot be fast-pathed under the current config
+_SHAPE_DIRECT = 1    # one physical leg: src host -> dst host
+_SHAPE_TUNNEL = 2    # two legs through a VPN tunnel (incl. in-tunnel DNS)
+
+
+class FlowPlan:
+    """A compiled delivery chain for one flow.
+
+    One slots record serves all three shapes; unused fields stay None.
+    ``stamp`` is the tuple of mutation generations the compilation read —
+    a plan is valid only while a freshly gathered stamp compares equal.
+    """
+
+    __slots__ = (
+        "shape",
+        "stamp",
+        # common
+        "host", "src", "dst", "kind", "dst_port",
+        "iface", "iface_name", "capture", "firewall",
+        "src_loc", "route",
+        # direct leg / inner leg destination
+        "dst_host", "dst_iface", "dst_capture", "dst_loc", "hops",
+        # tunnel
+        "endpoint", "phys_iface", "phys_capture",
+        "server", "vp_host", "vp_capture", "vp_iface", "vp_loc",
+        "hops_outer", "inner_route", "inner_iface", "inner_capture",
+        "nat_address", "dns_in_tunnel",
+    )
+
+    def __init__(self, shape: int, stamp: tuple) -> None:
+        self.shape = shape
+        self.stamp = stamp
+        self.host = None
+        self.src = None
+        self.dst = None
+        self.kind = None
+        self.dst_port = None
+        self.iface = None
+        self.iface_name = None
+        self.capture = None
+        self.firewall = None
+        self.src_loc = None
+        self.route = None
+        self.dst_host = None
+        self.dst_iface = None
+        self.dst_capture = None
+        self.dst_loc = None
+        self.hops = None
+        self.endpoint = None
+        self.phys_iface = None
+        self.phys_capture = None
+        self.server = None
+        self.vp_host = None
+        self.vp_capture = None
+        self.vp_iface = None
+        self.vp_loc = None
+        self.hops_outer = None
+        self.inner_route = None
+        self.inner_iface = None
+        self.inner_capture = None
+        self.nat_address = None
+        self.dns_in_tunnel = None
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class DeliveryEngine:
+    """Flow-plan compiler and executor for one :class:`Internet`.
+
+    Created by the internet it serves and dropped from pickles (a
+    restored world builds a fresh, empty engine).  All caches are keyed
+    by object identity with the keyed objects pinned in the entries, and
+    :meth:`begin_unit` clears them at work-unit boundaries so id reuse
+    can never leak state across units.
+    """
+
+    def __init__(self, internet: "Internet") -> None:
+        from repro.net.internet import DeliveryResult
+
+        self.internet = internet
+        self.queue = EventQueue()
+        self._DeliveryResult = DeliveryResult
+        # (id(host), id(src), id(dst), kind, dst_port) -> FlowPlan
+        self._plans: dict[tuple, FlowPlan] = {}
+        # Pins for the objects whose ids appear in plan keys.
+        self._plan_pins: dict[int, object] = {}
+        # (id(firewall), generation, id(packet), direction, iface name)
+        # -> bool.  Packets and firewalls are pinned by _fw_pins.
+        self._fw_memo: dict[tuple, bool] = {}
+        self._fw_pins: dict[int, object] = {}
+        # Lazily resolved to avoid importing the vpn layer at module load
+        # (net must not depend on vpn at import time).
+        self._connected_state = None
+        self._egress_context_cls = None
+        self._dns_question_cls = None
+        # Instrumentation for benchmarks/tests (not fed into obs metrics:
+        # plan-cache hit counts depend on unit scheduling, and obs output
+        # must stay a pure function of each unit).
+        self.fast_sends = 0
+        self.fallback_sends = 0
+        self.plans_compiled = 0
+
+    # ------------------------------------------------------------------
+    def begin_unit(self) -> None:
+        """Reset per-unit caches (called by the harness per work unit).
+
+        Firewall verdicts are keyed by packet identity and pin their
+        keys; clearing them at unit boundaries bounds the pin set
+        (otherwise every packet a firewall ever judged would stay alive
+        for the lifetime of the world).  Flow plans survive unit
+        boundaries on purpose: they are pure derived state guarded by
+        generation stamps and live identity checks, and most flows (the
+        anchor set, the landmark mesh) recur in every unit — clearing
+        them forced ~10k recompilations per study.  The plan table is
+        size-capped in :meth:`_remember`, which bounds its pin set.
+        """
+        self._fw_memo.clear()
+        self._fw_pins.clear()
+
+    reset = begin_unit
+
+    # ------------------------------------------------------------------
+    # Firewall decision memo
+    # ------------------------------------------------------------------
+    def _fw_allows(
+        self, firewall, packet: Packet, direction: str, iface_name: str
+    ) -> bool:
+        key = (
+            id(firewall),
+            firewall._generation,
+            id(packet),
+            direction,
+            iface_name,
+        )
+        memo = self._fw_memo
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = (
+                firewall.evaluate(packet, direction, iface_name)
+                is FirewallAction.ALLOW
+            )
+            if len(memo) >= 16384:
+                memo.clear()
+                self._fw_pins.clear()
+            pins = self._fw_pins
+            pins[id(firewall)] = firewall
+            pins[id(packet)] = packet
+            memo[key] = verdict
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def send(self, host: "Host", packet: Packet) -> "Optional[DeliveryResult]":
+        """Fast-path one packet; ``None`` means "use the legacy path"."""
+        payload = packet.payload
+        kind = payload.kind
+        if kind == "icmp":
+            dst_port = 0
+        elif kind == "udp" or kind == "tcp":
+            dst_port = payload.dst_port
+        else:
+            self.fallback_sends += 1
+            return None
+        key = (id(host), id(packet.src), id(packet.dst), kind, dst_port)
+        plan = self._plans.get(key)
+        if plan is None or not self._plan_valid(plan):
+            plan = self._compile(host, packet, key, kind, dst_port)
+        shape = plan.shape
+        if shape == _SHAPE_TUNNEL:
+            result = self._run_tunnel(plan, host, packet)
+        elif shape == _SHAPE_DIRECT:
+            result = self._run_direct(plan, host, packet)
+        else:
+            result = None
+        if result is None:
+            self.fallback_sends += 1
+        else:
+            self.fast_sends += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Stamps: the mutation generations a plan depends on
+    # ------------------------------------------------------------------
+    def _plan_valid(self, plan: FlowPlan) -> bool:
+        """Whether a cached plan may run without recompilation.
+
+        Generation stamps cover the mutable tables the compilation read
+        (routing, firewalls, interface/service config).  Address-registry
+        churn is instead checked *live* by object identity: stamping the
+        global ``_topology_gen`` invalidated every plan in the world each
+        time any vantage point connected, which recompiled the whole
+        plan table thousands of times per study.  Two dict probes per
+        send buy back all of that.
+
+        A stale stamp does not yet mean a stale plan: tunnel churn bumps
+        the client's routing/interface generations on every connect and
+        disconnect, but flows that do not traverse the tunnel resolve to
+        exactly the same chain afterwards.  :meth:`_revalidate` re-checks
+        the handful of objects the plan actually depends on and, when
+        they all still match, refreshes the stamp in place — an identity
+        comparison per dependency instead of a full recompilation.
+        """
+        shape = plan.shape
+        if shape != _SHAPE_FALLBACK:
+            registry = self.internet._hosts_by_address
+            if shape == _SHAPE_TUNNEL:
+                if registry.get(plan.endpoint.server_address) is not plan.vp_host:
+                    return False
+                if (
+                    plan.dst_host is not None
+                    and registry.get(plan.dst) is not plan.dst_host
+                ):
+                    return False
+            elif registry.get(plan.dst) is not plan.dst_host:
+                return False
+        stamp = self._current_stamp(plan)
+        if plan.stamp == stamp:
+            return True
+        return self._revalidate(plan, stamp)
+
+    def _revalidate(self, plan: FlowPlan, stamp: tuple) -> bool:
+        """Re-check a stamp-stale plan's dependencies by identity.
+
+        Returns True (and refreshes the stamp) when every object the
+        compilation resolved — route, interfaces, destination host and
+        interface, tunnel server — is still the one the plan holds, so
+        the compiled chain is unchanged.  Two object swaps that VPN
+        reconnects perform on every cycle are revalidated by *value*
+        instead, because the replacement is behaviourally identical:
+
+        - the default route onto the tunnel device is a fresh but
+          value-equal frozen ``Route`` (compared with dataclass ``==``
+          and re-pinned);
+        - the ``utunN`` interface and its endpoint are rebuilt, but the
+          session parameters (server address, tunnel addresses,
+          protocol, physical interface) are constants of the vantage
+          point — :meth:`_session_equivalent` verifies them, then the
+          plan is rebound to the new interface and endpoint objects.
+
+        Any other mismatch forces a real recompile.
+        """
+        shape = plan.shape
+        if shape == _SHAPE_FALLBACK:
+            return False
+        host = plan.host
+        route = host.routing.lookup(plan.dst)
+        if route is not plan.route:
+            if route != plan.route:
+                return False
+            plan.route = route
+        new_iface = host.interfaces.get(plan.iface_name)
+        if new_iface is not plan.iface and shape == _SHAPE_DIRECT:
+            return False
+        dst_host = plan.dst_host
+        if shape == _SHAPE_DIRECT:
+            if (
+                dst_host.interface_for_address(plan.dst) is not plan.dst_iface
+                or self._firewall_active(dst_host.firewall)
+            ):
+                return False
+            plan.stamp = stamp
+            return True
+        # Tunnel shape.
+        endpoint = plan.endpoint
+        if new_iface is not plan.iface:
+            if new_iface is None or not new_iface.is_tunnel:
+                return False
+            rebound = new_iface.endpoint
+            if rebound is None or not self._session_equivalent(
+                endpoint, rebound
+            ):
+                return False
+            self._rebind_tunnel_plan(plan, new_iface, rebound)
+            endpoint = rebound
+        if plan.iface.endpoint is not endpoint:
+            return False
+        if host.interfaces.get(endpoint.physical_interface) is not plan.phys_iface:
+            return False
+        vp_host = plan.vp_host
+        handler = vp_host._services.get(("tunnel", 0))
+        if getattr(handler, "__self__", None) is not plan.server:
+            return False
+        if self._firewall_active(vp_host.firewall):
+            return False
+        if (
+            vp_host.interface_for_address(endpoint.server_address)
+            is not plan.vp_iface
+        ):
+            return False
+        if plan.dns_in_tunnel:
+            if plan.dst != plan.server.resolver_address:
+                return False
+            plan.stamp = stamp
+            return True
+        server = plan.server
+        nat = (
+            server.egress_address_v6
+            if plan.dst.version == 6
+            else server.egress_address
+        )
+        if nat is not plan.nat_address:
+            return False
+        if plan.nat_address is None:
+            plan.stamp = stamp
+            return True
+        inner_route = vp_host.routing.lookup(plan.dst)
+        if inner_route is not plan.inner_route:
+            if inner_route != plan.inner_route:
+                return False
+            plan.inner_route = inner_route
+        if vp_host.interfaces.get(plan.inner_route.interface) is not plan.inner_iface:
+            return False
+        if (
+            dst_host.interface_for_address(plan.dst) is not plan.dst_iface
+            or self._firewall_active(dst_host.firewall)
+        ):
+            return False
+        plan.stamp = stamp
+        return True
+
+    @staticmethod
+    def _session_equivalent(old, new) -> bool:
+        """True when a rebuilt tunnel endpoint reproduces the old session.
+
+        Every value a compiled tunnel plan bakes in — encapsulation
+        addresses, protocol name, physical egress — must be equal; the
+        endpoint objects themselves may be fresh, as they are on every
+        VPN reconnect.
+        """
+        return (
+            new.physical_interface == old.physical_interface
+            and new.server_address == old.server_address
+            and new.client_tunnel_address == old.client_tunnel_address
+            and new.client_tunnel_address_v6 == old.client_tunnel_address_v6
+            and new.protocol.name == old.protocol.name
+        )
+
+    @staticmethod
+    def _rebind_tunnel_plan(plan: FlowPlan, iface, endpoint) -> None:
+        """Point a tunnel plan at a session-equivalent rebuilt interface.
+
+        The new ``utunN`` interface carries a fresh capture object;
+        future sends must record onto the live one.
+        """
+        plan.iface = iface
+        plan.endpoint = endpoint
+        plan.capture = iface.capture
+
+    def _current_stamp(self, plan: FlowPlan) -> tuple:
+        host = plan.host
+        shape = plan.shape
+        if shape == _SHAPE_DIRECT:
+            dst_host = plan.dst_host
+            return (
+                host.routing._generation,
+                host.firewall._generation,
+                host._config_gen,
+                dst_host.firewall._generation,
+                dst_host._config_gen,
+            )
+        if shape == _SHAPE_TUNNEL:
+            vp_host = plan.vp_host
+            dst_host = plan.dst_host
+            return (
+                host.routing._generation,
+                host.firewall._generation,
+                host._config_gen,
+                vp_host.routing._generation,
+                vp_host.firewall._generation,
+                vp_host._config_gen,
+                dst_host.firewall._generation if dst_host is not None else -1,
+                dst_host._config_gen if dst_host is not None else -1,
+            )
+        # Fallback plans re-examine the flow when anything about the
+        # sending host (or global topology, which may have granted the
+        # flow a destination) changes.
+        return (
+            self.internet._topology_gen,
+            host.routing._generation,
+            host.firewall._generation,
+            host._config_gen,
+        )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _fallback(self, host: "Host", key: tuple) -> FlowPlan:
+        plan = FlowPlan(_SHAPE_FALLBACK, ())
+        plan.host = host
+        plan.stamp = self._current_stamp(plan)
+        self._remember(key, plan, host)
+        return plan
+
+    def _remember(self, key: tuple, plan: FlowPlan, host: "Host") -> None:
+        plans = self._plans
+        if len(plans) >= 4096:
+            plans.clear()
+            self._plan_pins.clear()
+        plans[key] = plan
+        pins = self._plan_pins
+        pins[key[0]] = host
+        pins[key[1]] = plan.src
+        pins[key[2]] = plan.dst
+
+    def _compile(
+        self,
+        host: "Host",
+        packet: Packet,
+        key: tuple,
+        kind: str,
+        dst_port: int,
+    ) -> FlowPlan:
+        self.plans_compiled += 1
+        internet = self.internet
+        dst = packet.dst
+        route = host.routing.lookup(dst)
+        if route is None:
+            plan = FlowPlan(_SHAPE_FALLBACK, ())
+            plan.host = host
+            plan.src = packet.src
+            plan.dst = dst
+            plan.stamp = self._current_stamp(plan)
+            self._remember(key, plan, host)
+            return plan
+        iface = host.interfaces.get(route.interface)
+        if iface is None:
+            plan = FlowPlan(_SHAPE_FALLBACK, ())
+            plan.host = host
+            plan.src = packet.src
+            plan.dst = dst
+            plan.stamp = self._current_stamp(plan)
+            self._remember(key, plan, host)
+            return plan
+        if iface.is_tunnel and iface.endpoint is not None:
+            plan = self._compile_tunnel(
+                host, packet, key, kind, dst_port, iface
+            )
+        else:
+            plan = self._compile_direct(
+                host, packet, key, kind, dst_port, iface
+            )
+        if plan.shape != _SHAPE_FALLBACK:
+            plan.route = route
+        return plan
+
+    def _firewall_active(self, firewall) -> bool:
+        return bool(
+            firewall._rules or firewall.default is not FirewallAction.ALLOW
+        )
+
+    def _compile_direct(
+        self,
+        host: "Host",
+        packet: Packet,
+        key: tuple,
+        kind: str,
+        dst_port: int,
+        iface,
+    ) -> FlowPlan:
+        internet = self.internet
+        dst = packet.dst
+        plan = FlowPlan(_SHAPE_DIRECT, ())
+        plan.host = host
+        plan.src = packet.src
+        plan.dst = dst
+        plan.kind = kind
+        plan.dst_port = dst_port
+        dst_host = internet._hosts_by_address.get(dst)
+        if dst_host is None or self._firewall_active(dst_host.firewall):
+            # Missing destinations and filtering receivers keep legacy
+            # semantics; the stamp re-examines the flow if topology or the
+            # receiver's firewall changes.
+            plan.shape = _SHAPE_FALLBACK
+            plan.stamp = self._current_stamp(plan)
+            self._remember(key, plan, host)
+            return plan
+        plan.dst_host = dst_host
+        plan.iface = iface
+        plan.iface_name = iface.name
+        plan.capture = iface.capture
+        plan.firewall = host.firewall
+        plan.src_loc = host.location
+        plan.dst_loc = dst_host.location
+        plan.hops = internet.latency._pair_stats(
+            plan.src_loc, plan.dst_loc
+        )[1]
+        dst_iface = dst_host.interface_for_address(dst)
+        plan.dst_iface = dst_iface
+        plan.dst_capture = dst_iface.capture if dst_iface is not None else None
+        plan.stamp = self._current_stamp(plan)
+        self._remember(key, plan, host)
+        return plan
+
+    def _compile_tunnel(
+        self,
+        host: "Host",
+        packet: Packet,
+        key: tuple,
+        kind: str,
+        dst_port: int,
+        iface,
+    ) -> FlowPlan:
+        internet = self.internet
+        dst = packet.dst
+
+        def bail() -> FlowPlan:
+            plan = FlowPlan(_SHAPE_FALLBACK, ())
+            plan.host = host
+            plan.src = packet.src
+            plan.dst = dst
+            plan.stamp = self._current_stamp(plan)
+            self._remember(key, plan, host)
+            return plan
+
+        endpoint = iface.endpoint
+        if self._connected_state is None:
+            from repro.dns.message import DnsQuestion
+            from repro.vpn.behaviors import EgressContext
+            from repro.vpn.tunnel import TunnelState
+
+            self._connected_state = TunnelState.CONNECTED
+            self._egress_context_cls = EgressContext
+            self._dns_question_cls = DnsQuestion
+        if (
+            getattr(endpoint, "host", None) is not host
+            or endpoint.state is not self._connected_state
+        ):
+            return bail()
+        phys_iface = host.interfaces.get(endpoint.physical_interface)
+        if phys_iface is None:
+            return bail()
+        vp_host = internet._hosts_by_address.get(endpoint.server_address)
+        if vp_host is None:
+            return bail()
+        handler = vp_host._services.get(("tunnel", 0))
+        server = getattr(handler, "__self__", None)
+        if (
+            server is None
+            or not getattr(server, "engine_tunnel_contract", False)
+            or server.host is not vp_host
+            or self._firewall_active(vp_host.firewall)
+            or vp_host.packet_tap is not None
+        ):
+            return bail()
+        vp_iface = vp_host.interface_for_address(endpoint.server_address)
+        if vp_iface is None:
+            return bail()
+
+        plan = FlowPlan(_SHAPE_TUNNEL, ())
+        plan.vp_iface = vp_iface
+        plan.host = host
+        plan.src = packet.src
+        plan.dst = dst
+        plan.kind = kind
+        plan.dst_port = dst_port
+        plan.iface = iface
+        plan.iface_name = iface.name
+        plan.capture = iface.capture
+        plan.firewall = host.firewall
+        plan.endpoint = endpoint
+        plan.phys_iface = phys_iface
+        plan.phys_capture = phys_iface.capture
+        plan.server = server
+        plan.vp_host = vp_host
+        plan.vp_capture = vp_iface.capture
+        plan.src_loc = host.location
+        plan.vp_loc = vp_host.location
+        plan.hops_outer = internet.latency._pair_stats(
+            plan.src_loc, plan.vp_loc
+        )[1]
+
+        if dst == server.resolver_address:
+            # In-tunnel DNS terminates at the vantage point itself.
+            plan.dns_in_tunnel = True
+            plan.dst_host = None
+            plan.stamp = self._current_stamp(plan)
+            self._remember(key, plan, host)
+            return plan
+        plan.dns_in_tunnel = False
+
+        # Inner (egress) leg: the vantage point forwards the NATed packet.
+        version = getattr(dst, "version", None)
+        if version is None:
+            return bail()
+        nat = (
+            server.egress_address_v6 if version == 6 else server.egress_address
+        )
+        if nat is None:
+            # v4-only vantage point with a v6 inner destination: legacy
+            # returns empty responses from _egress; model it inline.
+            plan.nat_address = None
+            plan.dst_host = None
+            plan.stamp = self._current_stamp(plan)
+            self._remember(key, plan, host)
+            return plan
+        plan.nat_address = nat
+        inner_route = vp_host.routing.lookup(dst)
+        if inner_route is None:
+            return bail()
+        plan.inner_route = inner_route
+        inner_iface = vp_host.interfaces.get(inner_route.interface)
+        if inner_iface is None or inner_iface.is_tunnel:
+            return bail()
+        dst_host = internet._hosts_by_address.get(dst)
+        if (
+            dst_host is None
+            or self._firewall_active(dst_host.firewall)
+        ):
+            return bail()
+        plan.inner_iface = inner_iface
+        plan.inner_capture = inner_iface.capture
+        plan.dst_host = dst_host
+        plan.dst_loc = dst_host.location
+        plan.hops = internet.latency._pair_stats(
+            plan.vp_loc, plan.dst_loc
+        )[1]
+        dst_iface = dst_host.interface_for_address(dst)
+        plan.dst_iface = dst_iface
+        plan.dst_capture = dst_iface.capture if dst_iface is not None else None
+        plan.stamp = self._current_stamp(plan)
+        self._remember(key, plan, host)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Shared receive-side dispatch (the destination host's half)
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        plan: FlowPlan,
+        dst_host: "Host",
+        delivered: Packet,
+        kind: str,
+        dst_port: int,
+    ) -> Optional[list[Packet]]:
+        """Inline of ``Host.receive`` minus the pre-validated guards.
+
+        The caller has already established: destination firewall inactive,
+        ``packet_tap`` unset, and the rx capture entry recorded.  Returns
+        the handler responses exactly as ``receive`` would (``None`` for
+        silently dropped packets).
+        """
+        dst_iface = plan.dst_iface
+        if kind == "icmp":
+            payload = delivered.payload
+            if payload.icmp_type != "echo_request":
+                return None
+            reply = delivered.__dict__.get("_echo_reply")
+            if reply is None:
+                reply = Packet(
+                    src=delivered.dst,
+                    dst=delivered.src,
+                    payload=IcmpPayload(
+                        icmp_type="echo_reply",
+                        identifier=payload.identifier,
+                        sequence=payload.sequence,
+                    ),
+                )
+                object.__setattr__(delivered, "_echo_reply", reply)
+            self._record_tx(dst_host, dst_iface, reply)
+            return [reply]
+        handler = dst_host._services.get((kind, dst_port))
+        if handler is None:
+            reply = Packet(
+                src=delivered.dst,
+                dst=delivered.src,
+                payload=IcmpPayload(icmp_type="port_unreachable"),
+            )
+            self._record_tx(dst_host, dst_iface, reply)
+            return [reply]
+        responses = handler(delivered, dst_host) or []
+        for response in responses:
+            src = response.src
+            self._record_tx(
+                dst_host,
+                dst_iface
+                if src is delivered.dst
+                else dst_host.interface_for_address(src),
+                response,
+            )
+        return responses
+
+    def _record_tx(self, host: "Host", interface, packet: Packet) -> None:
+        if interface is not None:
+            capture = interface.capture
+            if capture.enabled:
+                capture.entries.append(
+                    CaptureEntry(
+                        self.internet.clock_ms,
+                        "tx",
+                        capture.interface,
+                        packet,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Replay of recorded ICMP deliveries
+    # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Direct shape
+    # ------------------------------------------------------------------
+    def _run_direct(
+        self, plan: FlowPlan, host: "Host", packet: Packet
+    ) -> "Optional[DeliveryResult]":
+        internet = self.internet
+        iface = plan.iface
+        if not iface.up:
+            return None
+        dst_host = plan.dst_host
+        dst_firewall = dst_host.firewall
+        if (
+            dst_host.packet_tap is not None
+            or dst_firewall._rules
+            or dst_firewall.default is not _ALLOW
+        ):
+            return None
+        if packet.ttl <= plan.hops:
+            return None  # TTL expiry (traceroute) keeps the legacy path
+        blackholes = internet._blackholes
+        if blackholes and (host.name, packet.dst) in blackholes:
+            return None
+        firewall = plan.firewall
+        fw_active = (
+            bool(firewall._rules) or firewall.default is not _ALLOW
+        )
+        iface_name = plan.iface_name
+        if fw_active and not self._fw_allows(
+            firewall, packet, "out", iface_name
+        ):
+            return None
+
+        obs = internet.obs
+        capture = plan.capture
+        if capture.enabled:
+            capture.entries.append(
+                CaptureEntry(
+                    internet.clock_ms, "tx", capture.interface, packet
+                )
+            )
+        sample = packet.__dict__.get("_jitter_sample")
+        if sample is None:
+            sample = internet._jitter_sample(packet)
+        rtt = internet.latency.rtt_ms(plan.src_loc, plan.dst_loc, sample)
+        half = rtt / 2.0
+        internet.clock_ms += half
+        delivered = packet.__dict__.get("_dec")
+        if delivered is None:
+            delivered = packet.decrement_ttl()
+        rx_capture = plan.dst_capture
+        if rx_capture is not None and rx_capture.enabled:
+            rx_capture.entries.append(
+                CaptureEntry(
+                    internet.clock_ms, "rx", rx_capture.interface, delivered
+                )
+            )
+        responses = self._dispatch(
+            plan, dst_host, delivered, plan.kind, plan.dst_port
+        )
+        if responses is None:
+            responses = []
+        internet.clock_ms += half
+        if obs is not None:
+            obs.packet_event(host.name, packet, "delivered")
+        result = self._DeliveryResult(
+            packet=packet, status="delivered", rtt_ms=rtt, responses=responses
+        )
+        if responses:
+            clock_ms = internet.clock_ms
+            record_rx = capture.enabled
+            for response in responses:
+                if fw_active and not self._fw_allows(
+                    firewall, response, "in", iface_name
+                ):
+                    continue
+                if record_rx:
+                    capture.entries.append(
+                        CaptureEntry(
+                            clock_ms, "rx", capture.interface, response
+                        )
+                    )
+        return result
+
+    # ------------------------------------------------------------------
+    # Tunnel shape
+    # ------------------------------------------------------------------
+    def _run_tunnel(
+        self, plan: FlowPlan, host: "Host", packet: Packet
+    ) -> "Optional[DeliveryResult]":
+        internet = self.internet
+        endpoint = plan.endpoint
+        if endpoint.state is not self._connected_state:
+            return None
+        iface = plan.iface
+        phys = plan.phys_iface
+        if not iface.up or not phys.up:
+            return None
+        vp_host = plan.vp_host
+        vp_firewall = vp_host.firewall
+        if (
+            plan.vp_capture.enabled
+            or vp_host.packet_tap is not None
+            or vp_firewall._rules
+            or vp_firewall.default is not _ALLOW
+        ):
+            return None
+        dst_host = plan.dst_host
+        dns_in_tunnel = plan.dns_in_tunnel
+        if dst_host is not None:
+            dst_firewall = dst_host.firewall
+            if (
+                dst_host.packet_tap is not None
+                or dst_firewall._rules
+                or dst_firewall.default is not _ALLOW
+                or plan.inner_capture.enabled
+                or not plan.inner_iface.up
+            ):
+                return None
+
+        firewall = plan.firewall
+        fw_active = (
+            bool(firewall._rules) or firewall.default is not _ALLOW
+        )
+        blackholes = internet._blackholes
+        if blackholes:
+            # The encapsulated packet's destination is always the tunnel
+            # server address, so both legacy blackhole checks can run
+            # before encapsulation.
+            if (host.name, endpoint.server_address) in blackholes:
+                return None
+            if dst_host is not None and (vp_host.name, packet.dst) in blackholes:
+                return None
+
+        obs = internet.obs
+        server = plan.server
+        outer = endpoint._encapsulate(packet)
+        if fw_active:
+            # Both legacy checkpoints: the inner packet leaving the tunnel
+            # device, and the encapsulated packet leaving the physical one.
+            if not self._fw_allows(firewall, packet, "out", plan.iface_name):
+                return None
+            if not self._fw_allows(firewall, outer, "out", phys.name):
+                return None
+
+        capture = plan.capture
+        phys_capture = plan.phys_capture
+        clock_start = internet.clock_ms
+        if capture.enabled:
+            capture.entries.append(
+                CaptureEntry(clock_start, "tx", capture.interface, packet)
+            )
+        if phys_capture.enabled:
+            phys_capture.entries.append(
+                CaptureEntry(clock_start, "tx", phys_capture.interface, outer)
+            )
+
+        # ---- outer leg out: client -> vantage point ------------------
+        sample_o = outer.__dict__.get("_jitter_sample")
+        if sample_o is None:
+            sample_o = internet._jitter_sample(outer)
+        latency = internet.latency
+        rtt_o = latency.rtt_ms(plan.src_loc, plan.vp_loc, sample_o)
+        half_o = rtt_o / 2.0
+        internet.clock_ms += half_o
+        delivered_outer = outer.__dict__.get("_dec")
+        if delivered_outer is None:
+            delivered_outer = outer.decrement_ttl()
+        tunnel_payload = delivered_outer.payload
+        inner = tunnel_payload.inner
+        server.sessions_served += 1
+
+        # ---- vantage-point side --------------------------------------
+        if dns_in_tunnel:
+            outer_responses = self._answer_dns_inline(
+                server, delivered_outer, tunnel_payload, inner
+            )
+        elif plan.nat_address is None:
+            outer_responses = []  # v6 inner with a v4-only egress
+        else:
+            outer_responses = self._egress_inline(
+                plan, server, delivered_outer, tunnel_payload, inner, obs
+            )
+
+        # ---- outer leg back: vantage point -> client -----------------
+        internet.clock_ms += half_o
+        if obs is not None:
+            obs.packet_event(host.name, outer, "delivered")
+        endpoint.consecutive_failures = 0
+        endpoint.carried_packets += 1
+        if obs is not None:
+            obs.tunnel_carried()
+
+        inner_responses: list[Packet] = []
+        record_rx = phys_capture.enabled
+        clock_end = internet.clock_ms
+        for response in outer_responses:
+            if record_rx:
+                phys_capture.entries.append(
+                    CaptureEntry(
+                        clock_end, "rx", phys_capture.interface, response
+                    )
+                )
+            inner_responses.append(response.payload.inner)
+        result = self._DeliveryResult(
+            packet=packet,
+            status="delivered",
+            rtt_ms=rtt_o,
+            responses=inner_responses,
+        )
+        if inner_responses:
+            record = capture.enabled
+            iface_name = plan.iface_name
+            for response in inner_responses:
+                if fw_active and not self._fw_allows(
+                    firewall, response, "in", iface_name
+                ):
+                    continue
+                if record:
+                    capture.entries.append(
+                        CaptureEntry(
+                            clock_end, "rx", capture.interface, response
+                        )
+                    )
+        return result
+
+    def _answer_dns_inline(
+        self,
+        server,
+        delivered_outer: Packet,
+        tunnel_payload: TunnelPayload,
+        inner: Packet,
+    ) -> list[Packet]:
+        """Inline of ``VantagePointServer._answer_dns`` (+ re-encap)."""
+        datagram = inner.payload
+        if not isinstance(datagram, UdpDatagram) or datagram.dst_port != 53:
+            return []
+        dns = datagram.payload
+        if not isinstance(dns, DnsPayload) or dns.is_response:
+            return []
+        question = self._dns_question_cls(qname=dns.qname, qtype=dns.qtype)
+        response = server.resolver.answer(
+            question, source=str(server.egress_address)
+        )
+        reply_inner = Packet(
+            src=inner.dst,
+            dst=inner.src,
+            payload=UdpDatagram(
+                src_port=53,
+                dst_port=datagram.src_port,
+                payload=DnsPayload(
+                    qname=dns.qname,
+                    qtype=dns.qtype,
+                    is_response=True,
+                    rcode=response.rcode.value,
+                    answers=response.addresses,
+                    txid=dns.txid,
+                ),
+            ),
+        )
+        return [
+            Packet(
+                src=delivered_outer.dst,
+                dst=delivered_outer.src,
+                payload=TunnelPayload(
+                    protocol=tunnel_payload.protocol,
+                    inner=reply_inner,
+                    cipher=tunnel_payload.cipher,
+                ),
+            )
+        ]
+
+    def _egress_inline(
+        self,
+        plan: FlowPlan,
+        server,
+        delivered_outer: Packet,
+        tunnel_payload: TunnelPayload,
+        inner: Packet,
+        obs,
+    ) -> list[Packet]:
+        """Inline of ``VantagePointServer._egress`` + the inner delivery.
+
+        The inner leg re-implements ``vp_host.send`` → ``deliver`` →
+        ``dst_host.receive`` with the vantage point's (pre-validated)
+        inactive firewall and disabled captures elided.  TTL expiry on
+        the inner path is reproduced exactly, including the legacy
+        ``_egress`` quirk of discarding the time-exceeded responses
+        (``outcome.ok`` is false there).
+        """
+        internet = self.internet
+        client_tunnel_address = inner.src
+        outbound = inner.with_src(plan.nat_address)
+        behaviors = server.behaviors
+        context = None
+        if behaviors:
+            context = self._egress_context_cls(
+                provider_name=server.provider_name,
+                vantage_country=server.claimed_country,
+                outbound=outbound,
+            )
+            for behavior in behaviors:
+                behavior.on_request(context)
+                if context.synthetic_response is not None:
+                    synthetic = context.synthetic_response.with_dst(
+                        client_tunnel_address
+                    )
+                    return [
+                        self._encapsulate_back(
+                            delivered_outer, tunnel_payload, synthetic
+                        )
+                    ]
+            outbound = context.outbound
+
+        vp_host = plan.vp_host
+        latency = internet.latency
+        if outbound.ttl <= plan.hops:
+            # Inner-path TTL expiry (tunnelled traceroute): full RTT
+            # fraction on the clock, a ttl_exceeded event, and — exactly
+            # as the legacy `_egress` does — no responses returned.
+            hop_index = outbound.ttl
+            fraction = hop_index / max(1, plan.hops)
+            sample = outbound.__dict__.get("_jitter_sample")
+            if sample is None:
+                sample = internet._jitter_sample(outbound)
+            rtt = latency.rtt_ms(plan.vp_loc, plan.dst_loc, sample) * fraction
+            internet.clock_ms += rtt
+            if obs is not None:
+                router_addr = internet._router_at(
+                    vp_host, plan.dst_host, hop_index, plan.hops
+                )[0]
+                obs.packet_event(
+                    vp_host.name, outbound, "ttl_exceeded", str(router_addr)
+                )
+            return []
+
+        sample_i = outbound.__dict__.get("_jitter_sample")
+        if sample_i is None:
+            sample_i = internet._jitter_sample(outbound)
+        rtt_i = latency.rtt_ms(plan.vp_loc, plan.dst_loc, sample_i)
+        half_i = rtt_i / 2.0
+        internet.clock_ms += half_i
+        delivered_inner = outbound.__dict__.get("_dec")
+        if delivered_inner is None:
+            delivered_inner = outbound.decrement_ttl()
+        rx_capture = plan.dst_capture
+        if rx_capture is not None and rx_capture.enabled:
+            rx_capture.entries.append(
+                CaptureEntry(
+                    internet.clock_ms,
+                    "rx",
+                    rx_capture.interface,
+                    delivered_inner,
+                )
+            )
+        responses = self._dispatch(
+            plan, plan.dst_host, delivered_inner, plan.kind, plan.dst_port
+        )
+        internet.clock_ms += half_i
+        if obs is not None:
+            obs.packet_event(vp_host.name, outbound, "delivered")
+        if not responses:
+            return []
+        outer_responses = []
+        if behaviors:
+            for response in responses:
+                for behavior in behaviors:
+                    response = behavior.on_response(context, response)
+                outer_responses.append(
+                    self._encapsulate_back(
+                        delivered_outer,
+                        tunnel_payload,
+                        response.with_dst(client_tunnel_address),
+                    )
+                )
+        else:
+            for response in responses:
+                outer_responses.append(
+                    self._encapsulate_back(
+                        delivered_outer,
+                        tunnel_payload,
+                        response.with_dst(client_tunnel_address),
+                    )
+                )
+        return outer_responses
+
+    @staticmethod
+    def _encapsulate_back(
+        delivered_outer: Packet,
+        tunnel_payload: TunnelPayload,
+        inner_response: Packet,
+    ) -> Packet:
+        return Packet(
+            src=delivered_outer.dst,
+            dst=delivered_outer.src,
+            payload=TunnelPayload(
+                protocol=tunnel_payload.protocol,
+                inner=inner_response,
+                cipher=tunnel_payload.cipher,
+            ),
+        )

@@ -55,6 +55,12 @@ class Socket:
 class Host:
     """A simulated machine attached to the internet."""
 
+    # Configuration mutation counter (class attribute so hosts pickled
+    # before it existed restore cleanly).  Bumped when interfaces or
+    # service bindings change; the delivery engine stamps compiled flow
+    # plans with it.
+    _config_gen = 0
+
     def __init__(
         self,
         name: str,
@@ -87,6 +93,7 @@ class Host:
         if interface.name in self.interfaces:
             raise ValueError(f"duplicate interface {interface.name!r}")
         self.interfaces[interface.name] = interface
+        self._config_gen += 1
         return interface
 
     def remove_interface(self, name: str) -> None:
@@ -94,6 +101,7 @@ class Host:
         # Drop the whole memo: a detached interface may still carry the
         # address, so hit-validation alone would not notice the removal.
         self._iface_by_addr.clear()
+        self._config_gen += 1
         self.routing.remove_where(interface=name)
 
     def interface_for_address(self, address: Address) -> Optional[Interface]:
@@ -137,10 +145,12 @@ class Host:
             raise ValueError(f"{protocol}/{port} already bound on {self.name}")
         self._services[key] = handler
         self._ports_in_use.add(key)
+        self._config_gen += 1
 
     def unbind(self, protocol: str, port: int) -> None:
         self._services.pop((protocol, port), None)
         self._ports_in_use.discard((protocol, port))
+        self._config_gen += 1
 
     def open_socket(self, protocol: str) -> Socket:
         while True:
@@ -179,6 +189,17 @@ class Host:
 
         if self.internet is None:
             raise RuntimeError(f"host {self.name} is not attached to an internet")
+
+        # Compiled flow plan fast path: the engine executes the whole
+        # delivery chain (byte-identically) when it has a valid plan for
+        # this flow, and returns None to route everything else — first
+        # packets, rare fates, reconfigured hosts — through the legacy
+        # code below, which remains the source of truth.
+        engine = self.internet.engine
+        if engine is not None:
+            result = engine.send(self, packet)
+            if result is not None:
+                return result
 
         # Packets that die before reaching the wire are invisible to
         # `Internet.deliver`; record their fate here.

@@ -171,6 +171,43 @@ class TestWorldDeterminism:
         write_study_archive(report, root)
         assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
 
+    @pytest.mark.parametrize("obs_on", [False, True], ids=["obs-off", "obs-on"])
+    def test_study_archive_fingerprint_with_engine_disabled(
+        self, tmp_path, monkeypatch, obs_on
+    ):
+        """The delivery engine must be a pure optimisation.
+
+        ``REPRO_DELIVERY_ENGINE=off`` routes every packet down the legacy
+        recursive path; the archive must still match the golden
+        fingerprint byte for byte — with the full obs stack both off and
+        on — proving the engine (event queue, compiled flow plans,
+        batched dispatch) changes execution cost only, never a single
+        emitted byte.
+        """
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
+        from repro.net.engine import ENGINE_ENV
+        from repro.obs.config import ObsConfig
+        from repro.runtime.executor import StudyExecutor
+
+        monkeypatch.setenv(ENGINE_ENV, "off")
+        obs = (
+            ObsConfig(trace=True, metrics=True, flight_recorder=64)
+            if obs_on
+            else None
+        )
+        report = StudyExecutor(
+            seed=2018,
+            providers=GOLDEN_STUDY_PROVIDERS,
+            max_vantage_points=2,
+            obs=obs,
+        ).run()
+        root = tmp_path / "archive"
+        write_study_archive(report, root)
+        assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
+
     def test_ecosystem_seed_sensitivity(self):
         from repro.ecosystem.generate import generate_ecosystem
 

@@ -1,0 +1,252 @@
+"""Delivery-engine tests (repro.net.engine).
+
+Three contracts under test:
+
+- the :class:`~repro.net.engine.EventQueue` pops in virtual-time order
+  with FIFO tie-breaking at equal timestamps — the property that makes
+  batched dispatch byte-identical to the sequential loop it replaced —
+  and the property holds regardless of which executor backend's worker
+  (inline, thread pool, process pool) drives the queue;
+- flow plans invalidate correctly: configuration changes are honoured on
+  the very next send, while behaviourally identical object churn (VPN
+  reconnects rebuilding value-equal routes, interfaces and endpoints)
+  revalidates in place instead of recompiling;
+- the engine is a pure optimisation: disabling it via
+  ``REPRO_DELIVERY_ENGINE`` changes no observable result.
+"""
+
+import concurrent.futures
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.engine import ENGINE_ENV, EventQueue, engine_enabled
+
+
+def _drain_order(times):
+    """Push payloads 0..n-1 at the given times; return the pop order.
+
+    Module-level so the process-pool case can pickle it.  Hosts and
+    packets are opaque to the queue, so the payload index rides in the
+    packet slot.
+    """
+    queue = EventQueue()
+    for index, time in enumerate(times):
+        queue.push(time, None, index)
+    return [queue.pop().packet for _ in range(len(queue))]
+
+
+def _stable_order(times):
+    """The specified dispatch order: time-sorted, insertion-stable."""
+    return [i for _, i in sorted((t, i) for i, t in enumerate(times))]
+
+
+# A train of events with heavy timestamp collisions — the shape
+# Internet.ping produces when it enqueues a whole probe train at the
+# same virtual time.
+ADVERSARIAL_TIMES = [0.0] * 8 + [1.5, 0.5, 0.5, 1.5, 0.0, 2.0, 0.5] * 4
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        for time in (3.0, 1.0, 2.0, 0.5):
+            queue.push(time, None, time)
+        assert [queue.pop().time for _ in range(4)] == [0.5, 1.0, 2.0, 3.0]
+
+    def test_equal_times_pop_in_insertion_order(self):
+        queue = EventQueue()
+        for index in range(64):
+            queue.push(7.25, None, index)
+        assert [queue.pop().packet for _ in range(64)] == list(range(64))
+
+    def test_peek_len_and_truthiness(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        assert queue.peek_time() is None
+        queue.push(2.0, None, "a")
+        queue.push(1.0, None, "b")
+        assert queue and len(queue) == 2
+        assert queue.peek_time() == 1.0
+        assert queue.pop().packet == "b"
+        assert queue.peek_time() == 2.0
+
+    @given(
+        st.lists(
+            # A tiny time domain forces collisions in nearly every
+            # example, which is exactly the case under test.
+            st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+            max_size=64,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_stable_time_sort(self, times):
+        assert _drain_order(times) == _stable_order(times)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=64,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_arbitrary_floats(self, times):
+        assert _drain_order(times) == _stable_order(times)
+
+
+class TestEqualTimestampOrderAcrossBackends:
+    """The FIFO-at-equal-times property on every executor backend.
+
+    ``StudyExecutor`` drives workloads inline, on a thread pool, or on a
+    process pool; each worker owns its engine (and queue).  The dispatch
+    order must be a pure function of the pushed (time, insertion index)
+    sequence — never of which kind of worker drains the queue.
+    """
+
+    expected = _stable_order(ADVERSARIAL_TIMES)
+
+    def test_sequential(self):
+        assert _drain_order(ADVERSARIAL_TIMES) == self.expected
+
+    def test_thread_pool(self):
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            orders = list(pool.map(_drain_order, [ADVERSARIAL_TIMES] * 8))
+        assert all(order == self.expected for order in orders)
+
+    def test_process_pool(self):
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            orders = list(pool.map(_drain_order, [ADVERSARIAL_TIMES] * 4))
+        assert all(order == self.expected for order in orders)
+
+
+# ----------------------------------------------------------------------
+# Plan invalidation and revalidation on a live world
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def world():
+    from repro.world import World
+
+    return World.build(provider_names=["Mullvad"])
+
+
+def _rtt(world, target):
+    (result,) = world.internet.ping(world.client, target, count=1)
+    return result.rtt_ms
+
+
+class TestPlanLifecycle:
+    def test_repeat_ping_reuses_plan(self, world):
+        engine = world.internet.engine
+        assert engine is not None, "engine expected on by default"
+        anchor = world.anchors[0].address
+        first = _rtt(world, anchor)
+        compiled = engine.plans_compiled
+        second = _rtt(world, anchor)
+        assert first == second
+        assert engine.plans_compiled == compiled
+        assert engine.fast_sends > 0
+
+    def test_firewall_change_honoured_immediately(self, world):
+        anchor = world.anchors[0]
+        assert _rtt(world, anchor.address) is not None
+        world.client.firewall.drop(
+            dst=f"{anchor.address}/32", comment="engine-test-block"
+        )
+        assert _rtt(world, anchor.address) is None
+        world.client.firewall.remove_by_comment("engine-test-block")
+        assert _rtt(world, anchor.address) is not None
+
+    def test_route_change_honoured_immediately(self, world):
+        anchor = world.anchors[0]
+        assert _rtt(world, anchor.address) is not None
+        world.client.routing.add_prefix(
+            f"{anchor.address}/32", "nonexistent0", metric=0
+        )
+        assert _rtt(world, anchor.address) is None
+        world.client.routing.remove_where(interface="nonexistent0")
+        assert _rtt(world, anchor.address) is not None
+
+    def test_reconnect_same_vantage_point_revalidates_in_place(self, world):
+        """A VPN reconnect rebuilds utun/endpoint/default-route objects
+        with identical values; the cached tunnel plan must rebind to the
+        fresh objects (``_session_equivalent``) rather than recompile."""
+        from repro.vpn.client import ConnectionState, VpnClient
+
+        provider = world.provider("Mullvad")
+        vantage_point = provider.vantage_points[0]
+        client = VpnClient(world.client, provider)
+        engine = world.internet.engine
+        anchor = world.anchors[0].address
+
+        client.connect(vantage_point)
+        try:
+            tunnelled = _rtt(world, anchor)
+            assert tunnelled is not None
+            _rtt(world, anchor)  # plan is warm
+            client.disconnect()
+            client.connect(vantage_point)
+            compiled = engine.plans_compiled
+            again = _rtt(world, anchor)
+            assert again == tunnelled
+            assert engine.plans_compiled == compiled, (
+                "reconnect to the same vantage point must not recompile "
+                "the tunnel flow plan"
+            )
+        finally:
+            if client.state is ConnectionState.CONNECTED:
+                client.disconnect()
+
+    def test_session_equivalence_requires_equal_session_values(self):
+        from types import SimpleNamespace
+
+        from repro.net.engine import DeliveryEngine
+
+        def endpoint(**overrides):
+            values = dict(
+                physical_interface="en0",
+                server_address="185.65.135.1",
+                client_tunnel_address="10.8.0.2",
+                client_tunnel_address_v6=None,
+                protocol=SimpleNamespace(name="OpenVPN"),
+            )
+            values.update(overrides)
+            return SimpleNamespace(**values)
+
+        old = endpoint()
+        assert DeliveryEngine._session_equivalent(old, endpoint())
+        assert not DeliveryEngine._session_equivalent(
+            old, endpoint(server_address="185.65.135.2")
+        )
+        assert not DeliveryEngine._session_equivalent(
+            old, endpoint(physical_interface="en1")
+        )
+        assert not DeliveryEngine._session_equivalent(
+            old, endpoint(protocol=SimpleNamespace(name="WireGuard"))
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine is a pure optimisation
+# ----------------------------------------------------------------------
+class TestEngineToggle:
+    def test_env_var_disables_engine(self, monkeypatch):
+        from repro.world import World
+
+        monkeypatch.setenv(ENGINE_ENV, "off")
+        assert not engine_enabled()
+        legacy_world = World.build(provider_names=["Mullvad"])
+        assert legacy_world.internet.engine is None
+
+        monkeypatch.delenv(ENGINE_ENV)
+        assert engine_enabled()
+        engine_world = World.build(provider_names=["Mullvad"])
+        assert engine_world.internet.engine is not None
+
+        target = legacy_world.anchors[0].address
+        assert _rtt(legacy_world, target) == _rtt(engine_world, target)
