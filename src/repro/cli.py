@@ -18,7 +18,7 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro ecosystem                  # Section 4 statistics
     python -m repro experiments                # table/figure registry
     python -m repro serve [--port N] [--state-dir DIR]   # audit daemon
-    python -m repro client submit|status|fetch|cancel|list|trace
+    python -m repro client submit|status|watch|fetch|cancel|list|trace
     python -m repro checkpoint prune DIR       # drop crash-resume state
     python -m repro archive fingerprint DIR    # content hash of an archive
 
@@ -94,8 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--profile", action="store_true",
-        help="run under cProfile and print the top 25 functions by "
-             "cumulative time after the study completes",
+        help="attribute wall-clock to simulator phases (dns/browser/tls/"
+             "delivery/analysis) and print the breakdown after the study",
     )
     study.add_argument(
         "--trace", metavar="FILE",
@@ -255,6 +255,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status = client_sub.add_parser("status", help="one job's state")
     status.add_argument("job_id")
+    watch = client_sub.add_parser(
+        "watch",
+        help="follow a job's event stream live (replays missed events "
+             "first; exits when the job reaches a terminal state)",
+    )
+    watch.add_argument("job_id")
+    watch.add_argument(
+        "--since", type=int, default=0, metavar="N",
+        help="start cursor (default 0 = replay the full history)",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds (default: wait forever)",
+    )
     fetch = client_sub.add_parser(
         "fetch", help="print a stored result document as JSON"
     )
@@ -350,20 +364,7 @@ def cmd_audit(provider: str, max_vps: int, seed: int) -> int:
     return 0
 
 
-def cmd_study(config, archive: Optional[str], profile: bool = False) -> int:
-    if profile:
-        import cProfile
-        import pstats
-
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
-            return cmd_study(config, archive)
-        finally:
-            profiler.disable()
-            stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.sort_stats("cumulative").print_stats(25)
-
+def cmd_study(config, archive: Optional[str]) -> int:
     import signal
     import threading
 
@@ -439,12 +440,18 @@ def cmd_study(config, archive: Optional[str], profile: bool = False) -> int:
     print(study.summary())
     print(f"\ncompleted in {time.time() - started:.0f}s")
     if getattr(study, "obs_metrics", None):
-        from repro.obs.metrics import MetricsRegistry
+        if config.obs.profile:
+            from repro.obs.profile import render_phase_table
 
-        registry = MetricsRegistry()
-        registry.merge(study.obs_metrics)
-        print("\nexecution metrics:")
-        print(registry.render())
+            print("\nphase wall-clock attribution:")
+            print(render_phase_table(study.obs_metrics))
+        if config.obs.metrics or config.obs.metrics_path:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.merge(study.obs_metrics)
+            print("\nexecution metrics:")
+            print(registry.render())
     if config.obs.trace_path:
         print(f"trace written to {config.obs.trace_path}")
     if config.obs.metrics_path:
@@ -654,6 +661,29 @@ def cmd_client(args) -> int:
                 indent=2, sort_keys=True,
             ))
             return 0
+        if args.client_cmd == "watch":
+            from repro.runtime.events import (
+                TextProgressRenderer,
+                event_from_dict,
+            )
+
+            renderer = TextProgressRenderer(sys.stdout)
+
+            def _render(record: dict) -> None:
+                event = event_from_dict(record)
+                if event is not None:
+                    renderer(event)
+
+            final = client.watch(
+                args.job_id,
+                _render,
+                since=args.since,
+                timeout_s=args.timeout,
+            )
+            print(
+                f"{args.job_id}: {final.state.value}", file=sys.stderr
+            )
+            return 0 if final.state is JobState.COMPLETED else 1
         if args.client_cmd == "fetch":
             print(json.dumps(
                 client.result(args.job_id, args.name),
@@ -824,9 +854,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 metrics=args.metrics,
                 metrics_path=args.metrics_out,
                 flight_recorder=args.flight_recorder,
+                profile=args.profile,
             ),
         )
-        return cmd_study(config, args.archive, profile=args.profile)
+        return cmd_study(config, args.archive)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "report":

@@ -98,6 +98,7 @@ class StudyConfig:
                     "metrics": value.metrics,
                     "metrics_path": value.metrics_path,
                     "flight_recorder": value.flight_recorder,
+                    "profile": value.profile,
                 }
             elif spec.name == "providers" and value is not None:
                 value = list(value)

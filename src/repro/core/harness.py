@@ -803,7 +803,23 @@ class TestSuite:
         independent of the order in which units actually executed.  Units
         missing from *unit_results* (failed or timed out) are recorded in
         the provider's ``connect_failures``.
+
+        Profiled as the ``analysis`` phase (the executor publishes it as
+        one extra metrics delta after assembly, since it runs outside any
+        unit).
         """
+        obs = self.obs
+        profile = obs.profile if obs is not None else None
+        if profile is None:
+            return self._assemble_study(plan, unit_results)
+        with profile.phase("analysis"):
+            return self._assemble_study(plan, unit_results)
+
+    def _assemble_study(
+        self,
+        plan: "StudyPlan",
+        unit_results: dict[str, list[VantagePointResults]],
+    ) -> StudyReport:
         from repro.runtime.units import UnitKind
 
         study = StudyReport()

@@ -72,15 +72,21 @@ def resolve_via_server(
     qtype: str = "A",
 ) -> DnsResponse:
     """Send one DNS query from *host* to *server* and parse the reply."""
-    response = _resolve_via_server(host, server, qname, qtype)
     internet = host.internet
-    if internet is not None:
-        obs = internet.obs
-        if obs is not None:
-            obs.dns_query(
-                host.name, qname, qtype, response.resolver,
-                response.rcode.value,
-            )
+    obs = internet.obs if internet is not None else None
+    if obs is None:
+        return _resolve_via_server(host, server, qname, qtype)
+    profile = obs.profile
+    if profile is not None:
+        profile.enter("dns")
+    try:
+        response = _resolve_via_server(host, server, qname, qtype)
+    finally:
+        if profile is not None:
+            profile.leave()
+    obs.dns_query(
+        host.name, qname, qtype, response.resolver, response.rcode.value
+    )
     return response
 
 

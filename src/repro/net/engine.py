@@ -307,7 +307,24 @@ class DeliveryEngine:
     # Entry point
     # ------------------------------------------------------------------
     def send(self, host: "Host", packet: Packet) -> "Optional[DeliveryResult]":
-        """Fast-path one packet; ``None`` means "use the legacy path"."""
+        """Fast-path one packet; ``None`` means "use the legacy path".
+
+        Profiled as the ``delivery`` phase.  A ``None`` return re-enters
+        the legacy path in ``Host.send``, which opens its own delivery
+        frame — sequential frames of the same phase simply add up, so the
+        handoff is never double-counted.
+        """
+        obs = self.internet.obs
+        profile = obs.profile if obs is not None else None
+        if profile is None:
+            return self._send(host, packet)
+        profile.enter("delivery")
+        try:
+            return self._send(host, packet)
+        finally:
+            profile.leave()
+
+    def _send(self, host: "Host", packet: Packet) -> "Optional[DeliveryResult]":
         payload = packet.payload
         kind = payload.kind
         if kind == "icmp":

@@ -185,8 +185,6 @@ class Host:
         Returns the :class:`DeliveryResult`, which carries the fate of the
         packet, the RTT, and any response packets the remote service issued.
         """
-        from repro.net.internet import DeliveryResult  # circular at import time
-
         if self.internet is None:
             raise RuntimeError(f"host {self.name} is not attached to an internet")
 
@@ -201,9 +199,23 @@ class Host:
             if result is not None:
                 return result
 
+        obs = self.internet.obs
+        if obs is None:
+            return self._send_legacy(packet, None)
+        profile = obs.profile
+        if profile is None:
+            return self._send_legacy(packet, obs)
+        profile.enter("delivery")
+        try:
+            return self._send_legacy(packet, obs)
+        finally:
+            profile.leave()
+
+    def _send_legacy(self, packet: Packet, obs) -> "DeliveryResult":
+        from repro.net.internet import DeliveryResult  # circular at import time
+
         # Packets that die before reaching the wire are invisible to
         # `Internet.deliver`; record their fate here.
-        obs = self.internet.obs
         route = self.routing.lookup(packet.dst)
         if route is None:
             if obs is not None:

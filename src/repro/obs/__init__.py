@@ -36,6 +36,11 @@ _EXPORTS = {
     "Histogram": ("repro.obs.metrics", "Histogram"),
     "RouteLookupStats": ("repro.obs.metrics", "RouteLookupStats"),
     "FlightRecorder": ("repro.obs.flight", "FlightRecorder"),
+    "PhaseProfiler": ("repro.obs.profile", "PhaseProfiler"),
+    "phase_breakdown": ("repro.obs.profile", "phase_breakdown"),
+    "render_phase_table": ("repro.obs.profile", "render_phase_table"),
+    "render_prometheus": ("repro.obs.export", "render_prometheus"),
+    "parse_exposition": ("repro.obs.export", "parse_exposition"),
 }
 
 __all__ = list(_EXPORTS)
@@ -52,6 +57,12 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         render_flows,
     )
     from repro.obs.config import ObsConfig
+    from repro.obs.export import parse_exposition, render_prometheus
+    from repro.obs.profile import (
+        PhaseProfiler,
+        phase_breakdown,
+        render_phase_table,
+    )
     from repro.obs.evidence import (
         EvidenceChain,
         EvidenceCollector,

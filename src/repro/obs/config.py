@@ -36,6 +36,10 @@ class ObsConfig:
     writes the merged study snapshot as JSON and implies ``metrics``;
     ``flight_recorder`` keeps the last N packet events per host in a ring
     buffer that is dumped into the trace whenever a retry policy exhausts.
+    ``profile`` arms the :class:`~repro.obs.profile.PhaseProfiler` — the
+    per-unit dns/browser/tls/delivery/analysis wall-clock attribution —
+    and implies ``metrics``, since phase totals travel as ordinary
+    metrics (``phase.calls.*`` / ``phase.wall_ms.*``).
     """
 
     trace: bool = False
@@ -44,6 +48,7 @@ class ObsConfig:
     metrics: bool = False
     metrics_path: Optional[str] = None
     flight_recorder: int = 0
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.flight_recorder < 0:
@@ -56,7 +61,7 @@ class ObsConfig:
 
     @property
     def metrics_enabled(self) -> bool:
-        return self.metrics or self.metrics_path is not None
+        return self.metrics or self.metrics_path is not None or self.profile
 
     @property
     def enabled(self) -> bool:

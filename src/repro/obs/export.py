@@ -1,0 +1,142 @@
+"""Prometheus text exposition for metrics snapshots.
+
+The daemon's ``GET /metrics`` endpoint (and anything else that wants to
+be scraped) renders a :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+dict into the Prometheus text exposition format (version 0.0.4): one
+``# TYPE`` comment per family, counters as ``_total``-suffixed samples,
+gauges as plain samples, histograms as cumulative ``_bucket{le=...}``
+series over the registry's fixed :data:`~repro.obs.metrics.BUCKET_BOUNDS`
+plus ``_sum``/``_count``.
+
+Because PR 3's snapshots are plain commutative-mergeable dicts, the
+daemon can merge its own service registry with every running job's
+aggregated study metrics and render the union here — the scrape sees
+queue depth and packet counts through one pane of glass.
+
+Only the snapshot *shape* is consumed, so this module stays importable
+without a live registry (tests feed it literal dicts).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import BUCKET_BOUNDS
+
+_ALLOWED = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map a dotted registry name onto the Prometheus grammar.
+
+    Dots (the registry's namespace separator) and any other illegal
+    character become underscores; a leading digit is prefixed.  The
+    mapping is deterministic, so the same registry always exposes the
+    same family names.
+    """
+    cleaned = "".join(c if c in _ALLOWED else "_" for c in name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers bare, floats via repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return repr(round(bound, 9))
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    Families are emitted in sorted name order (scrapes diff cleanly);
+    histogram buckets are cumulative over the fixed shared bounds with a
+    terminal ``+Inf`` bucket equal to ``_count``, which is exactly what
+    makes them mergeable server-side by any Prometheus consumer.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        buckets = {
+            int(index): count
+            for index, count in (data.get("buckets") or {}).items()
+        }
+        cumulative = 0
+        for index, bound in enumerate(BUCKET_BOUNDS):
+            cumulative += buckets.get(index, 0)
+            lines.append(
+                f'{metric}_bucket{{le="{_format_bound(bound)}"}} '
+                f"{cumulative}"
+            )
+        count = int(data.get("count", 0))
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(data.get('total', 0.0))}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse exposition text back into ``{family: [(labels, value)]}``.
+
+    A deliberately strict reader of the subset :func:`render_prometheus`
+    emits — the CI smoke job and the stream tests use it to prove a
+    scraped ``/metrics`` body is well-formed, so it raises ``ValueError``
+    on any malformed line rather than skipping it.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: no sample value: {line!r}")
+        labels: dict[str, str] = {}
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ValueError(f"line {lineno}: unterminated labels")
+            name, _, label_text = name_part.partition("{")
+            for pair in label_text[:-1].split(","):
+                key, eq, raw = pair.partition("=")
+                if not eq or len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
+                    raise ValueError(f"line {lineno}: bad label {pair!r}")
+                labels[key] = raw[1:-1]
+        else:
+            name = name_part
+        if any(c not in _ALLOWED for c in name) or not name:
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad value {value_part!r}"
+            ) from None
+        samples.setdefault(name, []).append((labels, value))
+    return samples
+
+
+__all__ = [
+    "render_prometheus",
+    "parse_exposition",
+    "sanitize_metric_name",
+]

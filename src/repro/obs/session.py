@@ -27,12 +27,14 @@ from typing import TYPE_CHECKING, ContextManager, Iterator, Optional
 from repro.obs.config import ObsConfig
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry, RouteLookupStats
+from repro.obs.profile import PhaseProfiler, fold_phases
 from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:
     from repro.net.internet import Internet
     from repro.net.packet import Packet
     from repro.runtime.units import AuditUnit
+    from repro.web.tls import TrustStore
     from repro.world.factory import World
 
 
@@ -57,6 +59,13 @@ class Observability:
         self.route_stats: Optional[RouteLookupStats] = (
             RouteLookupStats() if config.metrics_enabled else None
         )
+        # Phase attribution: hot-path hook sites reach this through
+        # `internet.obs.profile`, so a metrics-only session costs those
+        # sites one extra None check and a profiling one a stack push/pop.
+        self.profile: Optional[PhaseProfiler] = (
+            PhaseProfiler() if config.profile else None
+        )
+        self._trust_store: "Optional[TrustStore]" = None
         self._dumps: list[dict] = []
         self._unit_open = False
         # Per-unit side table: id(packet) -> span ID of its packet_send
@@ -81,6 +90,12 @@ class Observability:
         if self.route_stats is not None:
             for host in internet.hosts():
                 host.routing.stats = self.route_stats
+        if self.profile is not None:
+            # The trust store has no path back to the internet, so the
+            # TLS-validation hook site is wired directly (and unwired in
+            # suspended()/detach, mirroring `internet.obs`).
+            self._trust_store = world.trust_store
+            self._trust_store.profile = self.profile
 
     def detach(self) -> None:
         internet = self._internet
@@ -89,6 +104,9 @@ class Observability:
         internet.obs = None
         for host in internet.hosts():
             host.routing.stats = None
+        if self._trust_store is not None:
+            self._trust_store.profile = None
+            self._trust_store = None
         self._internet = None
 
     # ------------------------------------------------------------------
@@ -241,12 +259,21 @@ class Observability:
         saved_clock = internet.clock_ms
         saved_txid = txid_state()
         internet.obs = None
+        trust_store = self._trust_store
+        if trust_store is not None:
+            # Phase hooks that route through `internet.obs` go dark with
+            # it; the directly wired TLS-validation hook must too, or
+            # ground-truth probes would bill scheduling-dependent "tls"
+            # calls to whichever unit triggered the collection.
+            trust_store.profile = None
         try:
             yield
         finally:
             internet.obs = self
             internet.clock_ms = saved_clock
             reset_txids(saved_txid)
+            if trust_store is not None:
+                trust_store.profile = self.profile
 
     def flight_dump(self, reason: str, **attrs: object) -> None:
         """Dump the ring buffers into the evidence trail, then clear them."""
@@ -274,6 +301,8 @@ class Observability:
             self.tracer.begin_unit(unit.unit_id, unit.seed)
         if self.flight is not None:
             self.flight.clear()
+        if self.profile is not None:
+            self.profile.reset()
         self._dumps = []
         self._packet_spans = {}
         self._test_span_id = None
@@ -293,6 +322,10 @@ class Observability:
                 self.metrics.inc("routing.memo_hits", hits)
             if misses:
                 self.metrics.inc("routing.memo_misses", misses)
+        if self.profile is not None:
+            # config.profile implies metrics, so the registry exists;
+            # phase totals ride the unit's ordinary metrics snapshot.
+            fold_phases(self.profile, self.metrics)
         if self.tracer is not None:
             payload["trace"] = self.tracer.drain()
         if self.metrics is not None:
@@ -301,3 +334,24 @@ class Observability:
             payload["flight_dumps"] = self._dumps
             self._dumps = []
         return payload or None
+
+    def drain_phases(self) -> Optional[dict]:
+        """Metrics snapshot of phases recorded *outside* any unit.
+
+        The coordinator's suite runs study assembly after every unit is
+        done; its ``analysis`` phase therefore never reaches
+        :meth:`drain_unit`.  The executor calls this afterwards and
+        publishes the result as one extra
+        :class:`~repro.runtime.events.UnitMetrics` delta.
+        """
+        profile = self.profile
+        if profile is None:
+            return None
+        phases = profile.drain()
+        if not phases:
+            return None
+        metrics = self.metrics
+        for name, (calls, wall_ms) in phases.items():
+            metrics.inc(f"phase.calls.{name}", calls)
+            metrics.observe(f"phase.wall_ms.{name}", wall_ms)
+        return metrics.drain()

@@ -17,6 +17,7 @@ two-hour study); the bus keeps the first error for inspection.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -128,6 +129,58 @@ Event = object
 Handler = Callable[[Event], None]
 
 
+# ----------------------------------------------------------------------
+# Wire serialization
+# ----------------------------------------------------------------------
+_EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        StudyStarted,
+        UnitStarted,
+        UnitFinished,
+        UnitRetried,
+        UnitFailed,
+        UnitSkipped,
+        UnitTimedOut,
+        StudyFinished,
+        StudyHalted,
+        UnitMetrics,
+        StudyMetrics,
+    )
+}
+
+
+def event_to_dict(event: Event) -> Optional[dict]:
+    """Serialize a bus event to a JSON-safe dict, or None if untyped.
+
+    The ``event`` key carries the dataclass name; everything else is the
+    dataclass's own fields.  Unknown (ad-hoc) events serialize to None so
+    stream consumers can skip them without guessing at their shape.
+    """
+    name = type(event).__name__
+    if name not in _EVENT_TYPES:
+        return None
+    data = dataclasses.asdict(event)
+    data["event"] = name
+    return data
+
+
+def event_from_dict(data: dict) -> Optional[Event]:
+    """Rebuild a typed event from :func:`event_to_dict` output.
+
+    Returns None for unknown event names, so newer daemons can stream
+    event types an older client does not know about.
+    """
+    payload = dict(data)
+    payload.pop("seq", None)
+    name = payload.pop("event", None)
+    cls = _EVENT_TYPES.get(name)
+    if cls is None:
+        return None
+    fields = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in payload.items() if k in fields})
+
+
 class EventBus:
     """Synchronous fan-out of events to subscribers (thread-safe).
 
@@ -143,16 +196,21 @@ class EventBus:
 
     def __init__(self) -> None:
         self._handlers: list[Handler] = []
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._history: deque[Event] = deque(maxlen=self.HISTORY_LIMIT)
         self.first_handler_error: Optional[BaseException] = None
 
     def subscribe(self, handler: Handler, replay: bool = True) -> Handler:
+        # Replay and registration are atomic with respect to publish: a
+        # concurrent publisher blocks until the replay finishes, so the
+        # handler sees history followed by live events with no gap,
+        # duplicate, or reordering.  The lock is reentrant so a handler
+        # may subscribe/publish from within its own replay.
         with self._lock:
-            missed = list(self._history) if replay else []
+            if replay:
+                for event in list(self._history):
+                    self._dispatch(handler, event)
             self._handlers.append(handler)
-        for event in missed:
-            self._dispatch(handler, event)
         return handler
 
     def unsubscribe(self, handler: Handler) -> None:

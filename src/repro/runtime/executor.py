@@ -315,6 +315,15 @@ class StudyExecutor:
                 self._run_pooled(plan, pending, unit_results, checkpoint)
 
         report = suite.assemble_study(plan, unit_results)
+        if suite.obs is not None:
+            # Assembly runs on the coordinator outside any unit; its
+            # profiled "analysis" phase joins the study aggregate as one
+            # extra delta at the same merge point as everything else.
+            snapshot = suite.obs.drain_phases()
+            if snapshot is not None:
+                self.bus.publish(
+                    ev.UnitMetrics(unit_id="__analysis__", snapshot=snapshot)
+                )
         self._finalize_obs(plan)
         wall_s = time.perf_counter() - started
         self.bus.publish(

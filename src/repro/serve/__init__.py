@@ -40,6 +40,8 @@ _EXPORTS = {
     "SubmitReply": ("repro.serve.protocol", "SubmitReply"),
     "JobStatusReply": ("repro.serve.protocol", "JobStatusReply"),
     "TraceQueryReply": ("repro.serve.protocol", "TraceQueryReply"),
+    "EventsReply": ("repro.serve.protocol", "EventsReply"),
+    "JobEventLog": ("repro.serve.stream", "JobEventLog"),
 }
 
 __all__ = sorted(_EXPORTS)

@@ -17,6 +17,7 @@ import urllib.request
 from typing import Optional
 
 from repro.serve.protocol import (
+    EventsReply,
     JobRequest,
     JobStatusReply,
     SubmitReply,
@@ -69,6 +70,58 @@ class ServeClient:
     def result(self, job_id: str, name: str) -> dict:
         return self._request("GET", f"/results/{job_id}/{name}")
 
+    def events(
+        self, job_id: str, since: int = 0, wait_s: float = 0.0
+    ) -> EventsReply:
+        """One page of the job's event stream from cursor *since*.
+
+        ``wait_s > 0`` long-polls: the daemon holds the request until
+        events past the cursor exist (or the wait expires).  The HTTP
+        timeout stretches to cover the wait.
+        """
+        query = urllib.parse.urlencode(
+            {"since": since, "wait": f"{wait_s:g}"}
+        )
+        payload = self._request(
+            "GET",
+            f"/jobs/{job_id}/events?{query}",
+            timeout_s=self.timeout_s + wait_s,
+        )
+        return EventsReply.from_dict(payload)
+
+    def watch(
+        self,
+        job_id: str,
+        handler,
+        since: int = 0,
+        poll_wait_s: float = 10.0,
+        timeout_s: Optional[float] = None,
+    ) -> EventsReply:
+        """Follow a job's event stream, feeding each event to *handler*.
+
+        *handler* receives wire-form event dicts in ``seq`` order,
+        starting at *since* — the full history when 0, so a watcher
+        attached mid-run replays what it missed first.  Returns the
+        final (terminal) reply; a terminal state guarantees the stream
+        was delivered completely, so the loop ends exactly then.
+        """
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        cursor = since
+        while True:
+            reply = self.events(job_id, since=cursor, wait_s=poll_wait_s)
+            for event in reply.events:
+                handler(event)
+            cursor = reply.next
+            if reply.terminal:
+                return reply
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {reply.state.value} "
+                    f"after {timeout_s:.0f}s"
+                )
+
     def trace_query(self, job_id: str, expression: str) -> TraceQueryReply:
         query = urllib.parse.urlencode({"job": job_id, "q": expression})
         return TraceQueryReply.from_dict(
@@ -94,9 +147,28 @@ class ServeClient:
                 )
             time.sleep(poll_interval_s)
 
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``GET /metrics``."""
+        request = urllib.request.Request(
+            self.endpoint + "/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServeError(exc.code, "http_error", str(exc)) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, "unreachable", str(exc.reason)) from None
+
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        timeout_s: Optional[float] = None,
     ) -> dict:
         data = (
             json.dumps(body, sort_keys=True).encode()
@@ -111,7 +183,8 @@ class ServeClient:
         )
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout_s
+                request,
+                timeout=timeout_s if timeout_s is not None else self.timeout_s,
             ) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:

@@ -26,12 +26,15 @@ from __future__ import annotations
 import signal
 import sys
 import threading
+import time
 from typing import Optional
 
 from repro.config import ServeConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.jobs import JobQueue
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
+    EventsReply,
     JobRecord,
     JobRequest,
     JobState,
@@ -52,16 +55,23 @@ class AuditDaemon:
         log=None,
     ) -> None:
         self.config = config or ServeConfig()
-        self.store = ResultStore(self.config.state_dir)
+        #: Daemon-wide registry: queue/store/scheduler counters live
+        #: here; running jobs' obs snapshots merge in at scrape time.
+        self.metrics = MetricsRegistry()
+        self.store = ResultStore(self.config.state_dir, metrics=self.metrics)
         self.queue = JobQueue(
             on_change=self.store.save_record,
             make_job_id=self.store.next_job_id,
+            metrics=self.metrics,
         )
-        self.scheduler = JobScheduler(self.queue, self.store, self.config)
+        self.scheduler = JobScheduler(
+            self.queue, self.store, self.config, metrics=self.metrics
+        )
         self._log = log
         self._server = None
         self._server_thread: Optional[threading.Thread] = None
         self._started = False
+        self._started_mono = time.monotonic()
         self._draining = threading.Event()
         self._signal = 0
 
@@ -119,6 +129,7 @@ class AuditDaemon:
         if install_signals:
             signal.signal(signal.SIGTERM, _on_signal)
             signal.signal(signal.SIGINT, _on_signal)
+        self._started_mono = time.monotonic()
         self.start()
         woken.wait()
         self.log(
@@ -173,6 +184,61 @@ class AuditDaemon:
         self.queue.get(job_id)
         return self.store.result(job_id, name)
 
+    def events(
+        self, job_id: str, since: int = 0, wait_s: float = 0.0
+    ) -> EventsReply:
+        """The job's event stream from cursor *since* (long-poll).
+
+        The record's state is read *before* the events: every event is
+        published before a job resolves, so a terminal state in the
+        reply guarantees the events returned alongside it complete the
+        stream — the client can stop polling after draining them.
+        """
+        record = self.queue.get(job_id)
+        log = self.scheduler.event_log(job_id)
+        if log is not None:
+            events, _ = log.read(
+                since, wait_s=0.0 if record.terminal else wait_s
+            )
+        else:
+            events = [
+                event
+                for event in self.store.load_events(job_id)
+                if event.get("seq", 0) >= since
+            ]
+        return EventsReply(
+            job_id=job_id,
+            state=record.state,
+            events=tuple(events),
+            next=since + len(events),
+        )
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A scrape-time merge of daemon counters + running jobs' obs.
+
+        Gauges are computed here (not maintained incrementally) so the
+        scrape always reflects the queue's current truth.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        for snapshot in self.scheduler.metrics_snapshots():
+            merged.merge(snapshot)
+        counts = self.queue.counts()
+        for state, count in counts.items():
+            merged.set_gauge(f"serve.jobs.state.{state}", count)
+        merged.set_gauge("serve.queue.depth", counts.get("queued", 0))
+        merged.set_gauge(
+            "serve.uptime_s", time.monotonic() - self._started_mono
+        )
+        merged.set_gauge("serve.workers", self.config.workers)
+        return merged
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition served at ``GET /metrics``."""
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self.metrics_registry().snapshot())
+
     def trace_query(self, job_id: str, expression: str) -> TraceQueryReply:
         from repro.obs.analyze import query_trace
         from repro.obs.trace import read_trace
@@ -191,11 +257,20 @@ class AuditDaemon:
         )
 
     def health(self) -> dict:
+        counts = self.queue.counts()
         return {
             "version": PROTOCOL_VERSION,
+            "protocol_version": PROTOCOL_VERSION,
             "status": "draining" if self.draining else "ok",
             "workers": self.config.workers,
-            "jobs": self.queue.counts(),
+            "jobs": counts,
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+            "queue_depth": counts.get("queued", 0),
+            "active_jobs": counts.get("running", 0),
+            "terminal_jobs": sum(
+                counts.get(state, 0)
+                for state in ("completed", "failed", "cancelled")
+            ),
         }
 
     # ------------------------------------------------------------------

@@ -8,10 +8,12 @@ beyond the standard library.
 
 Routes::
 
-    GET    /healthz                    liveness + job counts
+    GET    /healthz                    liveness + job counts + uptime
+    GET    /metrics                    Prometheus text exposition
     POST   /jobs                       submit a JobRequest -> SubmitReply
     GET    /jobs                       every job, newest first
     GET    /jobs/{id}                  JobStatusReply (state + progress)
+    GET    /jobs/{id}/events           EventsReply (long-poll stream)
     DELETE /jobs/{id}                  cancel (queued or running)
     GET    /results/{id}/report        stored StudyReport / series dict
     GET    /results/{id}/evidence      explain_document per provider
@@ -22,6 +24,11 @@ Routes::
 Errors are :class:`~repro.serve.protocol.ErrorReply` bodies with the
 matching status code (400 bad payload, 404 unknown job or result, 409
 uncancellable state, 503 draining).
+
+Every verb tolerates the client vanishing mid-reply: watch clients are
+long-pollers that get killed routinely (Ctrl-C on ``repro client
+watch``), and a ``BrokenPipeError`` must neither traceback nor wedge
+the handler thread — the connection just closes.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ if TYPE_CHECKING:
     from repro.serve.daemon import AuditDaemon
 
 _MAX_BODY = 1 << 20  # 1 MiB: a JobRequest is tiny; refuse anything huge.
+_MAX_EVENT_WAIT_S = 30.0  # long-poll ceiling; clients re-poll from a cursor
 
 
 def build_server(
@@ -67,12 +75,36 @@ class _ServeHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Verbs
     # ------------------------------------------------------------------
+    # A client that disconnects mid-reply (a killed watch, a timed-out
+    # scraper) raises BrokenPipeError/ConnectionResetError out of
+    # wfile.write; swallow it and close — anything else would spam the
+    # log and leave the ThreadingHTTPServer thread in a bad state.
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._do_get()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self._do_post()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            self._do_delete()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _do_get(self) -> None:
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["healthz"]:
                 self._reply(200, self.daemon_ref.health())
+            elif parts == ["metrics"]:
+                self._reply_text(200, self.daemon_ref.metrics_text())
             elif parts == ["jobs"]:
                 self._reply(
                     200,
@@ -86,6 +118,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 )
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._reply(200, self.daemon_ref.status(parts[1]).to_dict())
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "events"
+            ):
+                self._job_events(parts[1], parse_qs(url.query))
             elif len(parts) == 3 and parts[0] == "results":
                 self._get_result(parts[1], parts[2])
             elif parts == ["trace", "query"]:
@@ -95,7 +133,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except UnknownJobError as exc:
             self._error(404, "unknown_job", f"no job {exc.args[0]!r}")
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _do_post(self) -> None:
         parts = [p for p in urlsplit(self.path).path.split("/") if p]
         if parts != ["jobs"]:
             self._error(404, "not_found", f"no POST route for {self.path}")
@@ -119,7 +157,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
         reply = self.daemon_ref.submit(request)
         self._reply(202, reply.to_dict())
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _do_delete(self) -> None:
         parts = [p for p in urlsplit(self.path).path.split("/") if p]
         if len(parts) != 2 or parts[0] != "jobs":
             self._error(404, "not_found", f"no DELETE route for {self.path}")
@@ -157,6 +195,22 @@ class _ServeHandler(BaseHTTPRequestHandler):
             )
             return
         self._reply(200, document)
+
+    def _job_events(self, job_id: str, query: dict[str, list[str]]) -> None:
+        try:
+            since = int((query.get("since") or ["0"])[0])
+            wait_s = float((query.get("wait") or ["0"])[0])
+        except ValueError:
+            self._error(
+                400, "bad_query",
+                "events query takes ?since=<int>&wait=<seconds>",
+            )
+            return
+        # Cap the long-poll below common client/proxy timeouts; the
+        # client simply re-polls from its cursor.
+        wait_s = max(0.0, min(wait_s, _MAX_EVENT_WAIT_S))
+        reply = self.daemon_ref.events(job_id, since=since, wait_s=wait_s)
+        self._reply(200, reply.to_dict())
 
     def _trace_query(self, query: dict[str, list[str]]) -> None:
         job_id = (query.get("job") or [None])[0]
@@ -198,8 +252,18 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode() + b"\n"
+        self._send(status, "application/json", body)
+
+    def _reply_text(self, status: int, text: str) -> None:
+        self._send(
+            status,
+            "text/plain; version=0.0.4; charset=utf-8",
+            text.encode(),
+        )
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import Callable, Optional
 
 from repro.serve.protocol import (
@@ -46,6 +47,7 @@ class JobQueue:
         self,
         on_change: Optional[Callable[[JobRecord], None]] = None,
         make_job_id: Optional[Callable[[int, JobRequest], str]] = None,
+        metrics=None,
     ) -> None:
         self._lock = threading.Condition()
         self._records: dict[str, JobRecord] = {}
@@ -57,6 +59,10 @@ class JobQueue:
         self._make_job_id = make_job_id or (
             lambda seq, request: f"job-{seq:05d}-{request.fingerprint()[:8]}"
         )
+        #: Optional MetricsRegistry; ``serve.jobs.*`` counters and the
+        #: ``serve.queue.wait_s`` histogram land here when wired.
+        self.metrics = metrics
+        self._queued_at: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Submission
@@ -74,6 +80,7 @@ class JobQueue:
                 if record.terminal:
                     continue
                 if record.request.fingerprint() == fingerprint:
+                    self._inc("serve.jobs.dedup_hits")
                     return record, True
             sequence = next(self._sequence)
             record = JobRecord(
@@ -83,6 +90,8 @@ class JobQueue:
                 sequence=sequence,
             )
             self._store(record)
+            self._inc("serve.jobs.submitted")
+            self._queued_at[record.job_id] = time.monotonic()
             heapq.heappush(
                 self._heap, (-request.priority, sequence, record.job_id)
             )
@@ -106,6 +115,7 @@ class JobQueue:
             while record.sequence >= next(self._sequence):
                 pass
             if record.state is JobState.QUEUED:
+                self._queued_at[record.job_id] = time.monotonic()
                 heapq.heappush(
                     self._heap,
                     (
@@ -125,6 +135,13 @@ class JobQueue:
             while True:
                 record = self._pop_queued_locked()
                 if record is not None:
+                    queued_at = self._queued_at.pop(record.job_id, None)
+                    if queued_at is not None and self.metrics is not None:
+                        self.metrics.observe(
+                            "serve.queue.wait_s",
+                            time.monotonic() - queued_at,
+                        )
+                    self._inc("serve.jobs.dispatched")
                     record = record.advance(JobState.RUNNING)
                     self._store(record)
                     return record
@@ -156,7 +173,10 @@ class JobQueue:
                 state, error=error, progress=progress
             )
             self._store(record)
+            if record.terminal:
+                self._inc(f"serve.jobs.{state.value}")
             if state is JobState.QUEUED:
+                self._queued_at[record.job_id] = time.monotonic()
                 heapq.heappush(
                     self._heap,
                     (
@@ -180,6 +200,8 @@ class JobQueue:
                 return None
             record = record.advance(JobState.CANCELLED)
             self._store(record)
+            self._queued_at.pop(job_id, None)
+            self._inc("serve.jobs.cancelled")
             return record
 
     # ------------------------------------------------------------------
@@ -216,6 +238,10 @@ class JobQueue:
         self._records[record.job_id] = record
         if self._on_change is not None:
             self._on_change(record)
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
 
 
 __all__ = ["JobQueue", "UnknownJobError", "JobKind", "JobState"]

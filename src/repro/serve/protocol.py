@@ -292,6 +292,50 @@ class ErrorReply:
 
 
 @dataclass(frozen=True)
+class EventsReply:
+    """Answer to ``GET /jobs/{id}/events?since=N&wait=S``.
+
+    ``events`` are wire-form bus events (``event`` key names the type,
+    ``seq`` is the monotonic cursor); ``next`` is the cursor to pass as
+    ``since`` on the following poll.  A terminal ``state`` means the log
+    is complete — once the client has drained past it, the stream is
+    over and no further polls are needed.
+    """
+
+    job_id: str
+    state: JobState
+    events: tuple[dict, ...] = ()
+    next: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.state, JobState):
+            object.__setattr__(self, "state", JobState(self.state))
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "events": list(self.events),
+            "next": self.next,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventsReply":
+        _check_version(data, "events reply")
+        return cls(
+            job_id=data["job_id"],
+            state=JobState(data["state"]),
+            events=tuple(data.get("events") or ()),
+            next=int(data.get("next", 0)),
+        )
+
+
+@dataclass(frozen=True)
 class TraceQueryReply:
     """Answer to ``GET /trace/query``."""
 

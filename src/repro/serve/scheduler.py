@@ -30,6 +30,7 @@ lands in ``cancelled``.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
@@ -40,6 +41,7 @@ from repro.runtime.executor import StudyExecutor, StudyInterrupted
 from repro.serve.jobs import JobQueue
 from repro.serve.protocol import JobKind, JobRecord, JobState
 from repro.serve.store import ResultStore
+from repro.serve.stream import JobEventLog
 
 
 class JobScheduler:
@@ -50,10 +52,13 @@ class JobScheduler:
         queue: JobQueue,
         store: ResultStore,
         config: ServeConfig,
+        metrics=None,
     ) -> None:
         self.queue = queue
         self.store = store
         self.config = config
+        #: Optional daemon-wide MetricsRegistry (job wall-time lands here).
+        self.metrics = metrics
         self.pool = ThreadPoolExecutor(
             max_workers=config.workers, thread_name_prefix="repro-serve"
         )
@@ -61,6 +66,8 @@ class JobScheduler:
         self._runners: dict[str, threading.Thread] = {}
         self._stop_events: dict[str, threading.Event] = {}
         self._stats: dict[str, ev.StatsCollector] = {}
+        self._event_logs: dict[str, JobEventLog] = {}
+        self._aggregators: dict[str, ev.MetricsAggregator] = {}
         self._cancelled: set[str] = set()
         self._active = threading.Semaphore(config.max_active_jobs)
         self._shutdown = threading.Event()
@@ -129,6 +136,23 @@ class JobScheduler:
             return {}
         return _progress_dict(collector.stats)
 
+    def event_log(self, job_id: str) -> Optional[JobEventLog]:
+        """The live event log of a running job, or None once resolved."""
+        with self._lock:
+            return self._event_logs.get(job_id)
+
+    def metrics_snapshots(self) -> list[dict]:
+        """Per-job obs metrics snapshots of every running job.
+
+        Each running job's :class:`~repro.runtime.events.MetricsAggregator`
+        folds the unit deltas flowing over its bus; snapshot merging is
+        commutative, so ``GET /metrics`` can merge these into the daemon
+        registry at scrape time without perturbing the jobs.
+        """
+        with self._lock:
+            aggregators = list(self._aggregators.values())
+        return [agg.registry.snapshot() for agg in aggregators]
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -160,9 +184,18 @@ class JobScheduler:
         bus = ev.EventBus()
         collector = ev.StatsCollector()
         bus.subscribe(collector, replay=False)
+        # Subscribed before the executor starts, so the log holds the
+        # complete stream and /jobs/{id}/events never joins blind.
+        event_log = JobEventLog()
+        bus.subscribe(event_log, replay=False)
+        aggregator = ev.MetricsAggregator()
+        bus.subscribe(aggregator, replay=False)
+        started = time.monotonic()
         with self._lock:
             self._stop_events[record.job_id] = stop_event
             self._stats[record.job_id] = collector
+            self._event_logs[record.job_id] = event_log
+            self._aggregators[record.job_id] = aggregator
         if self._shutdown.is_set():
             stop_event.set()
         try:
@@ -191,9 +224,21 @@ class JobScheduler:
                 record.job_id, JobState.FAILED, error=repr(exc)
             )
         finally:
+            # Close wakes blocked /events readers; persist before
+            # dropping the live log so the stream replays from disk with
+            # no gap (the record went terminal before this point, and
+            # every event was published before the record resolved).
+            event_log.close()
+            self.store.save_events(record.job_id, event_log.records())
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "serve.job.wall_s", time.monotonic() - started
+                )
             with self._lock:
                 self._stop_events.pop(record.job_id, None)
                 self._runners.pop(record.job_id, None)
+                self._event_logs.pop(record.job_id, None)
+                self._aggregators.pop(record.job_id, None)
                 self._cancelled.discard(record.job_id)
             self._active.release()
 

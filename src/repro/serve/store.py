@@ -47,6 +47,7 @@ _JOBS = "jobs"
 _JOB = "job.json"
 _CHECKPOINT = "checkpoint"
 _ARCHIVE = "archive"
+_EVENTS = "events.jsonl"
 
 #: Fetchable result documents: name -> filename.
 RESULT_FILES = {
@@ -60,10 +61,13 @@ RESULT_FILES = {
 class ResultStore:
     """Filesystem-backed job registry and result index."""
 
-    def __init__(self, root: str | pathlib.Path) -> None:
+    def __init__(self, root: str | pathlib.Path, metrics=None) -> None:
         self.root = pathlib.Path(root)
         self.jobs_root = self.root / _JOBS
         self.jobs_root.mkdir(parents=True, exist_ok=True)
+        #: Optional MetricsRegistry; the daemon wires its own in so
+        #: ``serve.store.*`` counters show up on ``GET /metrics``.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Job identity
@@ -100,9 +104,7 @@ class ResultStore:
     def save_record(self, record: JobRecord) -> None:
         directory = self.job_dir(record.job_id)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / _JOB).write_text(
-            json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n"
-        )
+        self._write_json(directory / _JOB, record.to_dict())
 
     def load_records(self) -> list[JobRecord]:
         """Every persisted job, oldest first; unreadable ones skipped."""
@@ -199,6 +201,38 @@ class ResultStore:
         return path if path.exists() else None
 
     # ------------------------------------------------------------------
+    # Event logs (the durable side of GET /jobs/{id}/events)
+    # ------------------------------------------------------------------
+    def save_events(self, job_id: str, records: list[dict]) -> None:
+        """Persist a job's full event log as ``events.jsonl``.
+
+        Written at job resolution so a terminal job's stream replays
+        byte-identically from disk after the daemon restarts.
+        """
+        directory = self.job_dir(job_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        body = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        (directory / _EVENTS).write_text(body)
+        self._account(len(body.encode()))
+
+    def load_events(self, job_id: str) -> list[dict]:
+        """The persisted event log, in order; [] when none was stored."""
+        path = self.job_dir(job_id) / _EVENTS
+        if not path.exists():
+            return []
+        records = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # truncated tail from a mid-write kill
+        return records
+
+    # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
     def prune_checkpoints(
@@ -224,11 +258,15 @@ class ResultStore:
         return pruned
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _write_json(path: pathlib.Path, payload: dict) -> None:
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
+    def _write_json(self, path: pathlib.Path, payload: dict) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        path.write_text(body)
+        self._account(len(body.encode()))
+
+    def _account(self, size: int) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("serve.store.writes")
+            self.metrics.inc("serve.store.bytes_written", size)
 
 
 __all__ = ["ResultStore", "RESULT_FILES", "JobState"]

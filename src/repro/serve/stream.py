@@ -1,0 +1,75 @@
+"""Per-job event logs behind the ``GET /jobs/{id}/events`` stream.
+
+A :class:`JobEventLog` subscribes to one job's private
+:class:`~repro.runtime.events.EventBus` and keeps every event in wire
+form (:func:`~repro.runtime.events.event_to_dict` plus a monotonic
+``seq``).  Clients long-poll with a cursor — ``read(since, wait_s)``
+blocks until events past ``since`` exist or the log closes — so a watch
+that disconnects mid-run reattaches at its last cursor and sees the
+remainder with no gap, duplicate or reordering.  The scheduler closes
+and persists the log at job resolution, *after* the final events have
+been published, which gives the protocol its key invariant: a terminal
+job's event log is complete.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime import events as ev
+
+
+class JobEventLog:
+    """An append-only, seekable record of one job's event stream."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self._events: list[dict] = []
+        self._closed = False
+
+    # -- bus side ------------------------------------------------------
+    def __call__(self, event: ev.Event) -> None:
+        record = ev.event_to_dict(event)
+        if record is None:
+            return
+        with self._lock:
+            record["seq"] = len(self._events)
+            self._events.append(record)
+            self._lock.notify_all()
+
+    def close(self) -> None:
+        """No more events will arrive; wake every blocked reader."""
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()
+
+    # -- reader side ---------------------------------------------------
+    def read(
+        self, since: int = 0, wait_s: float = 0.0
+    ) -> tuple[list[dict], bool]:
+        """Events with ``seq >= since`` and whether the log is closed.
+
+        Blocks up to *wait_s* seconds while no such events exist and the
+        log is still open (the long-poll).  An empty result with
+        ``closed=True`` tells the client the stream is over.
+        """
+        deadline = time.monotonic() + wait_s
+        with self._lock:
+            while len(self._events) <= since and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._lock.wait(timeout=remaining):
+                    break
+            return list(self._events[since:]), self._closed
+
+    def records(self) -> list[dict]:
+        """Every event so far (the persistence snapshot)."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+__all__ = ["JobEventLog"]

@@ -114,6 +114,12 @@ class Browser:
         self.chain_registry = chain_registry
         self.resolver = StubResolver(host)
 
+    def _profiler(self):
+        """The active phase profiler, or None (the zero-overhead path)."""
+        internet = self.host.internet
+        obs = internet.obs if internet is not None else None
+        return obs.profile if obs is not None else None
+
     # ------------------------------------------------------------------
     # Resolution and raw fetching
     # ------------------------------------------------------------------
@@ -132,7 +138,27 @@ class Browser:
         headers: HeaderSet | None = None,
         method: str = "GET",
     ) -> FetchResult:
-        """One HTTP(S) exchange without following redirects."""
+        """One HTTP(S) exchange without following redirects.
+
+        Profiled as the ``browser`` phase; the DNS resolution and packet
+        delivery underneath bill to their own phases (exclusive
+        accounting), so this phase is the HTTP/emulation work itself.
+        """
+        profile = self._profiler()
+        if profile is None:
+            return self._fetch(url, headers, method)
+        profile.enter("browser")
+        try:
+            return self._fetch(url, headers, method)
+        finally:
+            profile.leave()
+
+    def _fetch(
+        self,
+        url: str | Url,
+        headers: HeaderSet | None = None,
+        method: str = "GET",
+    ) -> FetchResult:
         parsed = Url.parse(url) if isinstance(url, str) else url
         header_set = headers.copy() if headers else default_request_headers(parsed.host)
         header_set.set("Host", parsed.host)
@@ -190,6 +216,16 @@ class Browser:
     # Page loading with redirects (the DOM-collection primitive)
     # ------------------------------------------------------------------
     def load_page(self, url: str) -> PageLoad:
+        profile = self._profiler()
+        if profile is None:
+            return self._load_page(url)
+        profile.enter("browser")
+        try:
+            return self._load_page(url)
+        finally:
+            profile.leave()
+
+    def _load_page(self, url: str) -> PageLoad:
         load = PageLoad(requested_url=url)
         current = url
         for _hop in range(MAX_REDIRECTS):
@@ -231,6 +267,16 @@ class Browser:
     # Direct TLS negotiation (the TLS-interception primitive)
     # ------------------------------------------------------------------
     def tls_probe(self, hostname: str) -> TlsProbe:
+        profile = self._profiler()
+        if profile is None:
+            return self._tls_probe(hostname)
+        profile.enter("tls")
+        try:
+            return self._tls_probe(hostname)
+        finally:
+            profile.leave()
+
+    def _tls_probe(self, hostname: str) -> TlsProbe:
         address = self._resolve(hostname)
         if address is None:
             return TlsProbe(

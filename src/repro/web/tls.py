@@ -93,6 +93,10 @@ class CertificateAuthority:
 class TrustStore:
     """The client's set of trusted root certificates."""
 
+    # Phase-profiler hook, wired by Observability.attach (the store has no
+    # path back to the internet's `obs` slot); None costs one check.
+    profile = None
+
     def __init__(self, roots: list[Certificate] | None = None) -> None:
         self._roots: dict[str, Certificate] = {}
         for root in roots or []:
@@ -110,6 +114,18 @@ class TrustStore:
         self, chain: CertificateChain, hostname: str
     ) -> "ValidationResult":
         """Validate chain structure, trust anchor, and hostname."""
+        profile = self.profile
+        if profile is None:
+            return self._validate(chain, hostname)
+        profile.enter("tls")
+        try:
+            return self._validate(chain, hostname)
+        finally:
+            profile.leave()
+
+    def _validate(
+        self, chain: CertificateChain, hostname: str
+    ) -> "ValidationResult":
         if len(chain) == 0:
             return ValidationResult(valid=False, reason="empty chain")
         for cert, issuer in zip(chain.certificates, chain.certificates[1:]):

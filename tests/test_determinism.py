@@ -171,6 +171,55 @@ class TestWorldDeterminism:
         write_study_archive(report, root)
         assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
 
+    @pytest.mark.parametrize(
+        "workers,backend",
+        [(1, "thread"), (4, "thread"), (4, "process")],
+        ids=["sequential", "thread-pool", "process-pool"],
+    )
+    def test_study_archive_fingerprint_unchanged_by_profiler(
+        self, tmp_path, workers, backend
+    ):
+        """The phase profiler must be read-only on every backend.
+
+        Profiling wraps the browser/DNS/TLS/delivery/analysis entry
+        points with wall-clock accounting; the golden fingerprint proves
+        those wrappers change no behaviour, and the phase *call* counts
+        (wall-clock aside) are themselves deterministic across backends.
+        """
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
+        from repro.obs.config import ObsConfig
+        from repro.runtime.executor import StudyExecutor
+
+        executor = StudyExecutor(
+            seed=2018,
+            providers=GOLDEN_STUDY_PROVIDERS,
+            max_vantage_points=2,
+            workers=workers,
+            backend=backend,
+            obs=ObsConfig(profile=True, trace=True, flight_recorder=64),
+        )
+        report = executor.run()
+        root = tmp_path / "archive"
+        write_study_archive(report, root)
+        assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
+
+        snapshot = executor.metrics.snapshot()
+        calls = {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("phase.calls.")
+        }
+        assert calls == {
+            "phase.calls.analysis": 1,
+            "phase.calls.browser": 4208,
+            "phase.calls.delivery": 13782,
+            "phase.calls.dns": 4001,
+            "phase.calls.tls": 2568,
+        }
+
     @pytest.mark.parametrize("obs_on", [False, True], ids=["obs-off", "obs-on"])
     def test_study_archive_fingerprint_with_engine_disabled(
         self, tmp_path, monkeypatch, obs_on

@@ -423,3 +423,173 @@ class TestEventBusReplay:
         ]
         assert len(study_metrics) == 1
         assert study_metrics[0].snapshot == executor.metrics.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Phase profiler
+# ----------------------------------------------------------------------
+class TestPhaseProfiler:
+    def test_exclusive_accounting_subtracts_children(self):
+        import time
+
+        from repro.obs.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        profiler.enter("browser")
+        time.sleep(0.01)
+        profiler.enter("dns")
+        time.sleep(0.02)
+        profiler.leave()
+        time.sleep(0.01)
+        profiler.leave()
+        drained = profiler.drain()
+        assert set(drained) == {"browser", "dns"}
+        browser_calls, browser_ms = drained["browser"]
+        dns_calls, dns_ms = drained["dns"]
+        assert browser_calls == 1 and dns_calls == 1
+        # The dns slice is excluded from browser's own time.
+        assert dns_ms >= 18
+        assert browser_ms < dns_ms + 18
+
+    def test_recursive_same_phase_not_double_counted(self):
+        import time
+
+        from repro.obs.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        profiler.enter("delivery")          # e.g. Host.send
+        profiler.enter("delivery")          # tunnel re-entry
+        time.sleep(0.01)
+        profiler.leave()
+        profiler.leave()
+        calls, wall_ms = profiler.drain()["delivery"]
+        assert calls == 2
+        # Total is the real elapsed span, not 2x the inner sleep.
+        assert wall_ms < 25
+
+    def test_drain_resets_and_discards_open_frames(self):
+        from repro.obs.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        with profiler.phase("tls"):
+            pass
+        profiler.enter("dns")  # left open (aborted unit)
+        drained = profiler.drain()
+        assert set(drained) == {"tls"}
+        assert profiler.drain() == {}
+
+    def test_fold_phases_counters_and_histograms(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.profile import PhaseProfiler, fold_phases
+
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("dns"):
+                pass
+        fold_phases(profiler, registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["phase.calls.dns"] == 3
+        # One histogram observation per phase per fold (the unit total).
+        assert snapshot["histograms"]["phase.wall_ms.dns"]["count"] == 1
+
+    def test_breakdown_shares_sum_to_one_and_table_renders(self):
+        from repro.obs.profile import phase_breakdown, render_phase_table
+
+        snapshot = {
+            "counters": {
+                "phase.calls.dns": 10,
+                "phase.calls.browser": 5,
+                "other.counter": 99,
+            },
+            "histograms": {
+                "phase.wall_ms.dns": {
+                    "count": 2, "total": 30.0, "min": 10.0, "max": 20.0,
+                    "buckets": {}, "p50": 10.0, "p95": 20.0, "p99": 20.0,
+                },
+                "phase.wall_ms.browser": {
+                    "count": 2, "total": 70.0, "min": 30.0, "max": 40.0,
+                    "buckets": {}, "p50": 30.0, "p95": 40.0, "p99": 40.0,
+                },
+            },
+        }
+        rows = phase_breakdown(snapshot)
+        assert [row["phase"] for row in rows] == ["browser", "dns"]
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+        table = render_phase_table(snapshot)
+        assert "browser" in table and "70.0" in table
+
+    def test_profile_config_implies_metrics(self):
+        from repro.obs.config import ObsConfig
+
+        config = ObsConfig(profile=True)
+        assert config.metrics_enabled
+        assert config.enabled
+
+    def test_phase_counts_deterministic_across_backends(self):
+        runs = {
+            label: _run_study(workers, backend, profile=True)
+            for label, (workers, backend) in {
+                "sequential": (1, "thread"),
+                "threads": (4, "thread"),
+            }.items()
+        }
+        counts = {
+            label: {
+                name: value
+                for name, value in ex.metrics.snapshot()["counters"].items()
+                if name.startswith("phase.calls.")
+            }
+            for label, ex in runs.items()
+        }
+        assert counts["sequential"] == counts["threads"]
+        assert counts["sequential"]["phase.calls.analysis"] == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_render_and_parse_round_trip(self):
+        from repro.obs.export import parse_exposition, render_prometheus
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("net.packets_sent", 42)
+        registry.set_gauge("serve.queue.depth", 3)
+        registry.observe("unit.wall_ms", 12.5)
+        registry.observe("unit.wall_ms", 250.0)
+        text = render_prometheus(registry.snapshot())
+        families = parse_exposition(text)
+        assert families["repro_net_packets_sent_total"][0][1] == 42
+        assert families["repro_serve_queue_depth"][0][1] == 3
+        assert families["repro_unit_wall_ms_count"][0][1] == 2
+        assert families["repro_unit_wall_ms_sum"][0][1] == 262.5
+        buckets = families["repro_unit_wall_ms_bucket"]
+        assert [labels["le"] for labels, _ in buckets][-1] == "+Inf"
+        values = [value for _, value in buckets]
+        assert values == sorted(values) and values[-1] == 2
+
+    def test_name_sanitization(self):
+        from repro.obs.export import sanitize_metric_name
+
+        assert sanitize_metric_name("a.b-c d") == "a_b_c_d"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("x", "repro") == "repro_x"
+
+    def test_parser_rejects_malformed_lines(self):
+        from repro.obs.export import parse_exposition
+
+        for bad in [
+            "metric_no_value",
+            'metric{le="0.1" 3',
+            "bad-name 1",
+            "metric not_a_number",
+        ]:
+            with pytest.raises(ValueError):
+                parse_exposition(bad)
+
+    def test_empty_snapshot_renders_empty_exposition(self):
+        from repro.obs.export import parse_exposition, render_prometheus
+
+        assert parse_exposition(render_prometheus({})) == {}

@@ -357,6 +357,26 @@ class TestDaemonHttp:
         assert health["status"] == "ok"
         client.wait(record.job_id, timeout_s=300)
 
+    def test_healthz_reports_uptime_and_queue_shape(self, daemon):
+        from repro.serve.client import ServeClient
+        from repro.serve.protocol import PROTOCOL_VERSION
+
+        client = ServeClient(daemon.endpoint)
+        job = client.submit(_request()).job_id
+        health = client.health()
+        assert health["protocol_version"] == PROTOCOL_VERSION
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+        # The submitted job is either still queued or already running.
+        assert health["queue_depth"] + health["active_jobs"] >= 1
+        assert health["queue_depth"] == health["jobs"]["queued"]
+        assert health["active_jobs"] == health["jobs"]["running"]
+
+        client.wait(job, timeout_s=300)
+        health = client.health()
+        assert health["terminal_jobs"] == 1
+        assert health["active_jobs"] == 0
+
     def test_cancel_queued_job(self, tmp_path):
         """With max_active_jobs=1 the second submission stays queued and
         can be cancelled before it ever runs."""
