@@ -1,0 +1,289 @@
+"""Ecosystem-scale benchmark: memory and wall-clock vs provider count.
+
+Not a paper experiment — this is the regression harness for the scale-out
+path (parametric provider generation, sharded world construction,
+streaming archives).  Each measurement runs in a fresh subprocess so its
+``ru_maxrss`` is the configuration's own peak, and covers three modes:
+
+- **in-memory**  — the classic path: one monolithic world, every unit
+  result held until assembly (``StudyExecutor.run()``);
+- **streamed**   — sharded worlds plus the append-only archive writer
+  (``run_streamed``): peak memory is one provider slice, flat in study
+  size;
+- **sharded-process** — the acceptance shape: process backend, per-shard
+  archives, merged with :func:`repro.core.archive.merge_archives`.
+
+The streamed and merged archives must fingerprint byte-identically to
+each other at every scale point — the same identity
+``tests/test_scale.py`` pins at small scale, re-proven here where it is
+expensive enough to matter.
+
+Results are written to ``BENCH_scale.json`` at the repository root, both
+standalone (``python benchmarks/bench_scale.py [--quick]``) and under
+pytest.  CI runs the quick gate: streamed peak RSS must stay flat (within
+``FLAT_MEMORY_LIMIT_RATIO``) as the provider count triples, and the
+byte-identity must hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_scale.json"
+
+#: Generator parameters: 3 vantage points per provider, 2 audited fully —
+#: small enough to scale to thousands, big enough to exercise every test.
+GENERATOR_SEED = 7
+VANTAGE_POINTS = 3
+MAX_VPS = 2
+
+#: Providers per shard on the streamed path; shard count grows with the
+#: study so the per-shard world (the thing held in memory) stays constant.
+#: Workers keep a 2-suite LRU, so peak world residency is ~2 shards
+#: regardless of study size.
+SHARD_SIZE = 25
+
+#: CI gate: streamed peak RSS at the largest scale point may exceed the
+#: smallest point's by at most this factor.  The interpreter baseline
+#: (~60 MB) dominates both sides, so a flat archive path keeps the ratio
+#: near 1.0; holding results (or the whole world) in memory does not.
+FLAT_MEMORY_LIMIT_RATIO = 1.5
+
+#: Scale points (provider counts): full vs CI-quick.
+FULL_POINTS = (100, 300)
+QUICK_POINTS = (30, 90)
+ACCEPTANCE_COUNT = 1000
+
+
+def git_head() -> str:
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=10, check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=10, check=True,
+        ).stdout.strip()
+        return f"{head}-dirty" if dirty else head
+    except Exception:
+        return "unknown"
+
+
+# ----------------------------------------------------------------------
+# Child side: one measured configuration per process
+# ----------------------------------------------------------------------
+def _child(mode: str, count: int, shards: int, workdir: str) -> dict:
+    """Run one configuration and report wall/RSS/fingerprint as JSON."""
+    import resource
+
+    from repro.core.archive import (
+        archive_fingerprint,
+        merge_archives,
+        write_study_archive,
+    )
+    from repro.runtime.executor import StudyExecutor
+    from repro.source import StudySource
+
+    source = StudySource.generated(
+        count, generator_seed=GENERATOR_SEED, vantage_points=VANTAGE_POINTS
+    )
+    root = Path(workdir)
+    started = time.perf_counter()
+    if mode == "in-memory":
+        report = StudyExecutor(
+            source=source, max_vantage_points=MAX_VPS
+        ).run()
+        wall = time.perf_counter() - started
+        write_study_archive(report, root / "archive")
+        fingerprint = archive_fingerprint(root / "archive")
+    elif mode == "streamed":
+        streamed = StudyExecutor(
+            source=source, max_vantage_points=MAX_VPS, shards=shards
+        ).run_streamed(root / "archive")
+        wall = time.perf_counter() - started
+        fingerprint = streamed.fingerprint()
+    elif mode == "sharded-process":
+        streamed = StudyExecutor(
+            source=source,
+            max_vantage_points=MAX_VPS,
+            shards=shards,
+            workers=2,
+            backend="process",
+        ).run_streamed(root / "shards", per_shard=True)
+        wall = time.perf_counter() - started
+        merge_archives(
+            [Path(d) for d in streamed.shard_dirs], root / "merged"
+        )
+        fingerprint = archive_fingerprint(root / "merged")
+    else:  # pragma: no cover - guarded by the parser
+        raise SystemExit(f"unknown mode {mode!r}")
+    # Peak RSS of this process and (for the process backend) the largest
+    # pool worker it waited on — the real high-water mark of the run.
+    max_rss_kb = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    return {
+        "mode": mode,
+        "providers": count,
+        "shards": shards,
+        "wall_seconds": round(wall, 2),
+        "max_rss_kb": max_rss_kb,
+        "fingerprint": fingerprint,
+    }
+
+
+def measure(mode: str, count: int, shards: int) -> dict:
+    """Run a configuration in a subprocess; its ru_maxrss is its own."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-scale-") as workdir:
+        proc = subprocess.run(
+            [
+                sys.executable, str(Path(__file__).resolve()),
+                "--child", mode, str(count), str(shards), workdir,
+            ],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale child {mode}/{count} failed:\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def shard_count(providers: int) -> int:
+    return max(1, (providers + SHARD_SIZE - 1) // SHARD_SIZE)
+
+
+def collect(
+    points: tuple[int, ...], acceptance: bool = False
+) -> dict[str, object]:
+    """The scale table (plus, optionally, the 1,000-provider acceptance)."""
+    table = []
+    for count in points:
+        shards = shard_count(count)
+        in_memory = measure("in-memory", count, 1)
+        streamed = measure("streamed", count, shards)
+        sharded = measure("sharded-process", count, shards)
+        if streamed["fingerprint"] != sharded["fingerprint"]:
+            raise AssertionError(
+                f"{count} providers: merged per-shard fingerprint "
+                f"{sharded['fingerprint']} != streamed "
+                f"{streamed['fingerprint']}"
+            )
+        if in_memory["fingerprint"] != streamed["fingerprint"]:
+            raise AssertionError(
+                f"{count} providers: streamed fingerprint diverged from "
+                f"the in-memory archive"
+            )
+        table.append(
+            {"providers": count, "shards": shards,
+             "runs": [in_memory, streamed, sharded]}
+        )
+    results: dict[str, object] = {
+        "generated_by": "benchmarks/bench_scale.py",
+        "commit": git_head(),
+        "generator_seed": GENERATOR_SEED,
+        "vantage_points": VANTAGE_POINTS,
+        "max_vantage_points": MAX_VPS,
+        "shard_size": SHARD_SIZE,
+        "flat_memory_limit_ratio": FLAT_MEMORY_LIMIT_RATIO,
+        "scale_table": table,
+    }
+    small, big = table[0], table[-1]
+
+    def rss(point: dict, mode: str) -> int:
+        return next(
+            run["max_rss_kb"] for run in point["runs"]
+            if run["mode"] == mode
+        )
+
+    results["streamed_rss_ratio"] = round(
+        rss(big, "streamed") / rss(small, "streamed"), 3
+    )
+    results["in_memory_rss_ratio"] = round(
+        rss(big, "in-memory") / rss(small, "in-memory"), 3
+    )
+    if acceptance:
+        count = ACCEPTANCE_COUNT
+        shards = shard_count(count)
+        mono = measure("streamed", count, shards)
+        sharded = measure("sharded-process", count, shards)
+        results["acceptance"] = {
+            "providers": count,
+            "shards": shards,
+            "unsharded_streamed": mono,
+            "sharded_process_merged": sharded,
+            "byte_identical": mono["fingerprint"] == sharded["fingerprint"],
+        }
+        if not results["acceptance"]["byte_identical"]:
+            raise AssertionError(
+                f"{count}-provider acceptance: merged fingerprint "
+                f"{sharded['fingerprint']} != unsharded "
+                f"{mono['fingerprint']}"
+            )
+    return results
+
+
+def write_results(results: dict[str, object], path: Path = OUTPUT_PATH) -> None:
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry point — the CI gate (quick points, no acceptance run)
+# ----------------------------------------------------------------------
+def test_scale_memory_gate():
+    """CI gate: streamed RSS stays flat while the study triples in size,
+    and every mode produces byte-identical archives."""
+    results = collect(QUICK_POINTS)
+    write_results(results)
+    ratio = results["streamed_rss_ratio"]
+    assert ratio <= FLAT_MEMORY_LIMIT_RATIO, (
+        f"streamed peak RSS grew {ratio}x from {QUICK_POINTS[0]} to "
+        f"{QUICK_POINTS[-1]} providers (limit "
+        f"{FLAT_MEMORY_LIMIT_RATIO}x) — the streaming path is no longer "
+        f"flat in study size"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: smaller scale points, no 1,000-provider acceptance",
+    )
+    parser.add_argument(
+        "--child", nargs=4, metavar=("MODE", "COUNT", "SHARDS", "DIR"),
+        help=argparse.SUPPRESS,  # internal: one measured configuration
+    )
+    options = parser.parse_args(argv)
+    if options.child:
+        mode, count, shards, workdir = options.child
+        print(json.dumps(_child(mode, int(count), int(shards), workdir)))
+        return 0
+    results = collect(
+        QUICK_POINTS if options.quick else FULL_POINTS,
+        acceptance=not options.quick,
+    )
+    write_results(results)
+    json.dump(results, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

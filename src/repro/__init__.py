@@ -35,7 +35,7 @@ each name pulls in its implementing module only on first attribute access.
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: name -> (module, attribute) for lazy resolution.
 _EXPORTS = {
@@ -49,6 +49,15 @@ _EXPORTS = {
     "TestSuite": ("repro.core.harness", "TestSuite"),
     "StudyExecutor": ("repro.runtime.executor", "StudyExecutor"),
     "StudyInterrupted": ("repro.runtime.executor", "StudyInterrupted"),
+    "StreamedStudy": ("repro.runtime.executor", "StreamedStudy"),
+    "StudySource": ("repro.source", "StudySource"),
+    "ProviderSource": ("repro.ecosystem.generate", "ProviderSource"),
+    "CatalogProviderSource": (
+        "repro.ecosystem.generate", "CatalogProviderSource"
+    ),
+    "GeneratedProviderSource": (
+        "repro.ecosystem.generate", "GeneratedProviderSource"
+    ),
     "ServeConfig": ("repro.config", "ServeConfig"),
     "AuditDaemon": ("repro.serve.daemon", "AuditDaemon"),
     "ServeClient": ("repro.serve.client", "ServeClient"),
@@ -74,17 +83,24 @@ if TYPE_CHECKING:  # static importers see the real names
         StudyReport,
         TestSuite,
     )
+    from repro.ecosystem.generate import (  # noqa: F401
+        CatalogProviderSource,
+        GeneratedProviderSource,
+        ProviderSource,
+    )
     from repro.obs.config import ObsConfig  # noqa: F401
     from repro.obs.flight import FlightRecorder  # noqa: F401
     from repro.obs.metrics import MetricsRegistry  # noqa: F401
     from repro.obs.session import Observability  # noqa: F401
     from repro.obs.trace import Tracer  # noqa: F401
     from repro.runtime.executor import (  # noqa: F401
+        StreamedStudy,
         StudyExecutor,
         StudyInterrupted,
     )
     from repro.serve.client import ServeClient  # noqa: F401
     from repro.serve.daemon import AuditDaemon  # noqa: F401
+    from repro.source import StudySource  # noqa: F401
 
 
 def __getattr__(name: str):

@@ -32,20 +32,27 @@ _DEPRECATION_WARNED: set[str] = set()
 
 
 def _legacy_config(func_name: str, passed: dict) -> "StudyConfig":
-    """Fold legacy keyword arguments into a StudyConfig, warning once."""
+    """Fold legacy keyword arguments into a StudyConfig, warning once.
+
+    The warning renders the exact ``config=`` call that replaces the
+    legacy spelling, so migrating is a copy-paste.
+    """
     from repro.config import StudyConfig
 
+    config = StudyConfig(**passed)
     if func_name not in _DEPRECATION_WARNED:
         _DEPRECATION_WARNED.add(func_name)
-        names = ", ".join(sorted(passed))
+        rendered = ", ".join(
+            f"{name}={passed[name]!r}" for name in sorted(passed)
+        )
         warnings.warn(
             f"passing keyword arguments to {func_name}() is deprecated; "
-            f"build a repro.StudyConfig and pass it as config= "
-            f"(got: {names})",
+            f"replace the call with "
+            f"{func_name}(config=repro.StudyConfig({rendered}))",
             DeprecationWarning,
             stacklevel=3,
         )
-    return StudyConfig(**passed)
+    return config
 
 
 def _resolve_config(
@@ -143,9 +150,18 @@ def run_full_study(
     checkpoint, and raises :class:`repro.runtime.StudyInterrupted` — this
     is what the CLI's SIGTERM handler and the serve daemon use.
 
+    ``config.source`` generalises ``config.providers``: a
+    :class:`repro.StudySource` naming the catalogue, an explicit provider
+    list, or a generated ecosystem; ``config.shards`` splits world
+    construction so workers only hold a provider slice.
+
     Returns a :class:`repro.core.harness.StudyReport`.  With obs enabled
     the report gains ``obs_metrics`` (merged snapshot dict or ``None``) and
-    ``trace_records`` (the assembled span list or ``None``).
+    ``trace_records`` (the assembled span list or ``None``).  With
+    ``config.stream=True`` the archive is written incrementally to
+    ``config.archive_dir`` and a
+    :class:`repro.runtime.executor.StreamedStudy` is returned instead —
+    verdicts and manifest in memory, results on disk only.
     """
     import sys
 
@@ -172,6 +188,10 @@ def run_full_study(
     executor = StudyExecutor.from_config(
         config, bus=bus, stop_event=stop_event
     )
+    if config.stream:
+        # One combined archive regardless of shard count; per-shard
+        # archives are the executor-level run_streamed(per_shard=True).
+        return executor.run_streamed(config.archive_dir)
     report = executor.run()
     metrics = executor.metrics
     report.obs_metrics = metrics.snapshot() if metrics is not None else None

@@ -6,6 +6,7 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro list                       # the 62-provider catalogue
     python -m repro audit Seed4.me             # full audit of one provider
     python -m repro study [--max-vps N] [--providers NAME ...]
+                          [--source SPEC] [--shards N] [--stream]
                           [--archive DIR] [--workers N] [--resume DIR]
                           [--snapshots N] [--progress] [--profile]
                           [--trace FILE] [--metrics] [--metrics-out FILE]
@@ -16,6 +17,7 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro trace diff a.jsonl b.jsonl # span-exact run comparison
     python -m repro report explain Seed4.me [--json]  # verdicts + evidence
     python -m repro ecosystem                  # Section 4 statistics
+    python -m repro ecosystem generate --providers 1000 --out spec.json
     python -m repro experiments                # table/figure registry
     python -m repro serve [--port N] [--state-dir DIR]   # audit daemon
     python -m repro client submit|status|watch|fetch|cancel|list|trace
@@ -65,6 +67,22 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--providers", nargs="+", metavar="NAME",
         help="restrict the study to these providers (default: all 62)",
+    )
+    study.add_argument(
+        "--source", metavar="SPEC",
+        help="what to measure: 'catalog', 'generated:COUNT[:SEED[:VPS]]', "
+             "a spec file written by 'repro ecosystem generate', or a "
+             "comma-separated provider list (exclusive with --providers)",
+    )
+    study.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split world construction into N provider slices so workers "
+             "hold one slice each instead of the whole world (default 1)",
+    )
+    study.add_argument(
+        "--stream", action="store_true",
+        help="write the archive incrementally as units finish (flat "
+             "memory; requires --archive, excludes --snapshots > 1)",
     )
     study.add_argument(
         "--archive", metavar="DIR",
@@ -176,7 +194,39 @@ def build_parser() -> argparse.ArgumentParser:
              "serialization the service's GET /results/{id}/evidence uses)",
     )
 
-    sub.add_parser("ecosystem", help="print the Section 4 ecosystem stats")
+    ecosystem = sub.add_parser(
+        "ecosystem",
+        help="Section 4 ecosystem stats, or generate a parametric one",
+    )
+    # Optional subcommand: bare 'repro ecosystem' keeps its historical
+    # meaning (the stats table).
+    ecosystem_sub = ecosystem.add_subparsers(dest="ecosystem_cmd")
+    ecosystem_sub.add_parser(
+        "stats", help="print the Section 4 ecosystem stats (the default)"
+    )
+    generate = ecosystem_sub.add_parser(
+        "generate",
+        help="write a study-source spec for a generated ecosystem of "
+             "fully auditable providers",
+    )
+    generate.add_argument(
+        "--providers", type=int, required=True, metavar="N",
+        help="how many providers to generate",
+    )
+    generate.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="generator seed (default: follow the study seed)",
+    )
+    generate.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="where to write the spec: a .json file, or a directory "
+             "that gets ecosystem-spec.json",
+    )
+    generate.add_argument(
+        "--vantage-points", type=int, default=4, metavar="K",
+        help="vantage points per generated provider (default 4)",
+    )
+
     sub.add_parser("experiments", help="list the table/figure registry")
 
     serve = sub.add_parser(
@@ -229,6 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--providers", nargs="+", metavar="NAME",
         help="restrict to these providers (recheck: exactly one)",
+    )
+    submit.add_argument(
+        "--source", metavar="SPEC",
+        help="study source spec, same syntax as 'repro study --source' "
+             "(exclusive with --providers)",
+    )
+    submit.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard world construction on the daemon (default 1)",
     )
     submit.add_argument("--seed", type=int, default=2018)
     submit.add_argument("--max-vps", type=int, default=5)
@@ -439,6 +498,12 @@ def cmd_study(config, archive: Optional[str]) -> int:
             signal.signal(signum, handler)
     print(study.summary())
     print(f"\ncompleted in {time.time() - started:.0f}s")
+    if config.stream:
+        # run_full_study returned a StreamedStudy: results are already on
+        # disk, so there is nothing further to archive or aggregate here.
+        print(f"streamed archive at {study.archive_dir}")
+        print(f"fingerprint {study.fingerprint()}")
+        return 0
     if getattr(study, "obs_metrics", None):
         if config.obs.profile:
             from repro.obs.profile import render_phase_table
@@ -608,11 +673,22 @@ def cmd_serve(args) -> int:
 def _submit_request(args):
     from repro.config import StudyConfig
     from repro.obs.config import ObsConfig
-    from repro.serve.protocol import JobKind, JobRequest
+    from repro.serve.protocol import JobKind, JobRequest, ProtocolError
+    from repro.source import StudySource
 
+    if args.source and args.providers:
+        raise ProtocolError("pass --source or --providers, not both")
+    source = None
+    if args.source:
+        try:
+            source = StudySource.parse(args.source)
+        except ValueError as exc:
+            raise ProtocolError(f"bad --source: {exc}") from exc
     config = StudyConfig(
         seed=args.seed,
         providers=tuple(args.providers) if args.providers else None,
+        source=source,
+        shards=args.shards,
         max_vantage_points=args.max_vps,
         snapshots=args.snapshots,
         obs=ObsConfig(trace=args.trace),
@@ -786,6 +862,35 @@ def cmd_ecosystem() -> int:
     return 0
 
 
+def cmd_ecosystem_generate(args) -> int:
+    import pathlib
+
+    from repro.source import StudySource
+
+    try:
+        source = StudySource.generated(
+            args.providers,
+            generator_seed=args.seed,
+            vantage_points=args.vantage_points,
+        )
+    except ValueError as exc:
+        print(f"bad generated ecosystem: {exc}", file=sys.stderr)
+        return 2
+    out = pathlib.Path(args.out)
+    if out.is_dir() or not out.suffix:
+        out = out / "ecosystem-spec.json"
+    path = source.write_spec(out)
+    names = source.provider_names(study_seed=2018)
+    print(f"spec written to {path}")
+    print(
+        f"{len(names)} providers "
+        f"({names[0]} .. {names[-1]}), "
+        f"{args.vantage_points} vantage points each"
+    )
+    print(f"run it with: repro study --source {path}")
+    return 0
+
+
 def cmd_experiments() -> int:
     from repro.reporting.experiments import EXPERIMENTS
     from repro.reporting.tables import render_table
@@ -836,18 +941,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "study":
         from repro.config import StudyConfig
         from repro.obs.config import ObsConfig
+        from repro.source import StudySource
 
+        if args.source and args.providers:
+            print("pass --source or --providers, not both", file=sys.stderr)
+            return 2
+        if args.stream and not args.archive:
+            print("--stream requires --archive", file=sys.stderr)
+            return 2
+        if args.stream and args.snapshots > 1:
+            print("--stream does not apply to --snapshots series",
+                  file=sys.stderr)
+            return 2
+        source = None
+        if args.source:
+            try:
+                source = StudySource.parse(args.source)
+            except ValueError as exc:
+                print(f"bad --source: {exc}", file=sys.stderr)
+                return 2
         config = StudyConfig(
             seed=args.seed,
             providers=(
                 tuple(args.providers) if args.providers else None
             ),
+            source=source,
+            shards=args.shards,
+            stream=args.stream,
             max_vantage_points=args.max_vps,
             workers=args.workers,
             backend=args.backend,
             checkpoint_dir=args.resume,
             snapshots=args.snapshots,
             progress=args.progress,
+            archive_dir=args.archive if args.stream else None,
             obs=ObsConfig(
                 trace=bool(args.trace),
                 trace_path=args.trace,
@@ -874,6 +1001,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "archive":
         return cmd_archive_fingerprint(args.path)
     if args.command == "ecosystem":
+        if getattr(args, "ecosystem_cmd", None) == "generate":
+            return cmd_ecosystem_generate(args)
         return cmd_ecosystem()
     if args.command == "experiments":
         return cmd_experiments()

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Sequence
 
 from repro.obs.config import ObsConfig
+from repro.source import StudySource
 
 _BACKENDS = ("thread", "process")
 
@@ -29,10 +30,14 @@ class StudyConfig:
     """Everything that determines a study run.
 
     Measurement identity (what the archive fingerprint is a function of):
-    ``seed``, ``providers`` (None = the full catalogue), and
-    ``max_vantage_points`` (None = test every vantage point).
+    ``seed``, ``source`` (what to measure: catalogue, an explicit provider
+    list, or a generated ecosystem — ``providers`` survives as the legacy
+    spelling of an explicit list), and ``max_vantage_points`` (None = test
+    every vantage point).
 
     Scheduling (must never change results): ``workers``, ``backend``,
+    ``shards`` (worlds built per-provider-slice instead of monolithically),
+    ``stream`` (archive-as-you-go, flat memory; requires ``archive_dir``),
     ``checkpoint_dir`` (resume a killed study), ``snapshots`` +
     ``reseed`` (longitudinal re-runs), ``archive_dir``, ``progress``.
 
@@ -50,6 +55,9 @@ class StudyConfig:
     archive_dir: Optional[str] = None
     progress: bool = False
     obs: ObsConfig = field(default_factory=ObsConfig)
+    source: Optional[StudySource] = None
+    shards: int = 1
+    stream: bool = False
 
     def __post_init__(self) -> None:
         # Normalise providers to a tuple so the config stays hashable and
@@ -58,6 +66,16 @@ class StudyConfig:
             self.providers, tuple
         ):
             object.__setattr__(self, "providers", tuple(self.providers))
+        if self.providers is not None and self.source is not None:
+            raise ValueError("pass providers= or source=, not both")
+        if self.source is not None and not isinstance(
+            self.source, StudySource
+        ):
+            raise TypeError("source must be a StudySource")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.stream and not self.archive_dir:
+            raise ValueError("stream=True requires archive_dir")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.backend not in _BACKENDS:
@@ -81,7 +99,19 @@ class StudyConfig:
     @property
     def provider_list(self) -> Optional[list[str]]:
         """Providers as the list the lower layers expect (or None)."""
-        return list(self.providers) if self.providers is not None else None
+        if self.providers is not None:
+            return list(self.providers)
+        if self.source is not None and self.source.kind == "explicit":
+            return list(self.source.providers or ())
+        return None
+
+    def resolved_source(self) -> StudySource:
+        """The study's :class:`StudySource`, whichever way it was given."""
+        if self.source is not None:
+            return self.source
+        if self.providers is not None:
+            return StudySource.explicit(self.providers)
+        return StudySource.catalog()
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -102,6 +132,8 @@ class StudyConfig:
                 }
             elif spec.name == "providers" and value is not None:
                 value = list(value)
+            elif spec.name == "source" and value is not None:
+                value = value.to_dict()
             out[spec.name] = value
         return out
 
@@ -115,6 +147,9 @@ class StudyConfig:
         providers = kwargs.get("providers")
         if providers is not None:
             kwargs["providers"] = tuple(providers)
+        source = kwargs.get("source")
+        if isinstance(source, dict):
+            kwargs["source"] = StudySource.from_dict(source)
         return cls(**kwargs)
 
     # ------------------------------------------------------------------

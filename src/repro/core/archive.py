@@ -13,7 +13,7 @@ import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.core.harness import ProviderReport, StudyReport
@@ -22,10 +22,83 @@ if TYPE_CHECKING:
 _MANIFEST = "manifest.json"
 _VERDICTS = "verdicts.json"
 
+#: Manifest keys in the exact order :func:`write_study_archive` emits them.
+#: Merging preserves this order so a merged manifest is byte-identical to
+#: one written monolithically.
+_MANIFEST_KEYS = (
+    "providers",
+    "intercepting",
+    "failing_open",
+    "misrepresenting",
+    "geoip",
+    "redirects",
+)
+
 
 def _slug(name: str) -> str:
     return "".join(
         ch if ch.isalnum() or ch in "-_" else "_" for ch in name.lower()
+    )
+
+
+def geoip_row_dicts(study: "StudyReport") -> list[dict]:
+    """The manifest's ``geoip`` table (summable across archive shards)."""
+    return [
+        {
+            "database": row.database,
+            "compared": row.compared,
+            "estimates": row.estimates,
+            "agreements": row.agreements,
+        }
+        for row in study.geoip.rows()
+    ]
+
+
+def redirect_row_dicts(study: "StudyReport") -> list[dict]:
+    """The manifest's ``redirects`` table (unionable across shards)."""
+    return [
+        {
+            "destination": row.destination,
+            "providers": sorted(row.providers),
+            "countries": sorted(row.countries),
+        }
+        for row in study.redirects.table()
+    ]
+
+
+def build_manifest(
+    providers: Iterable[str],
+    intercepting: Iterable[str],
+    failing_open: Iterable[str],
+    misrepresenting: Iterable[str],
+    geoip_rows: Sequence[dict],
+    redirect_rows: Sequence[dict],
+) -> dict:
+    """The study manifest dict, keys in canonical order.
+
+    All archive writers — monolithic, streaming, per-shard — and the
+    merge path build manifests through here, which is what makes a merge
+    of shard manifests byte-identical to the monolithic manifest.
+    """
+    return {
+        "providers": sorted(providers),
+        "intercepting": sorted(intercepting),
+        "failing_open": sorted(failing_open),
+        "misrepresenting": sorted(misrepresenting),
+        "geoip": list(geoip_rows),
+        "redirects": list(redirect_rows),
+    }
+
+
+def study_manifest(study: "StudyReport") -> dict:
+    """The manifest of a fully materialised :class:`StudyReport`."""
+    return build_manifest(
+        providers=study.providers,
+        intercepting=study.providers_intercepting_or_manipulating,
+        failing_open=study.providers_failing_open,
+        misrepresenting=study.providers_misrepresenting_locations,
+        geoip_rows=geoip_row_dicts(study),
+        redirect_rows=redirect_row_dicts(study),
     )
 
 
@@ -35,41 +108,17 @@ def write_study_archive(
     """Persist a study to *root*; returns the archive directory."""
     root = pathlib.Path(root)
     root.mkdir(parents=True, exist_ok=True)
-    manifest = {
-        "providers": sorted(study.providers),
-        "intercepting": sorted(study.providers_intercepting_or_manipulating),
-        "failing_open": sorted(study.providers_failing_open),
-        "misrepresenting": sorted(study.providers_misrepresenting_locations),
-        "geoip": [
-            {
-                "database": row.database,
-                "compared": row.compared,
-                "estimates": row.estimates,
-                "agreements": row.agreements,
-            }
-            for row in study.geoip.rows()
-        ],
-        "redirects": [
-            {
-                "destination": row.destination,
-                "providers": sorted(row.providers),
-                "countries": sorted(row.countries),
-            }
-            for row in study.redirects.table()
-        ],
-    }
-    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    (root / _MANIFEST).write_text(
+        json.dumps(study_manifest(study), indent=2)
+    )
     for name, report in study.providers.items():
         write_provider_archive(report, root / _slug(name))
     return root
 
 
-def write_provider_archive(
-    report: "ProviderReport", directory: str | pathlib.Path
-) -> pathlib.Path:
-    directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    verdicts = {
+def provider_verdicts(report: "ProviderReport") -> dict:
+    """The per-provider ``verdicts.json`` payload, keys in archive order."""
+    return {
         "provider": report.provider,
         "subscription": report.subscription,
         "client_type": report.client_type,
@@ -84,7 +133,24 @@ def write_provider_archive(
         "full_vantage_points": [r.hostname for r in report.full_results],
         "swept_vantage_points": [r.hostname for r in report.sweep_results],
     }
+
+
+def write_provider_verdicts(
+    report: "ProviderReport", directory: str | pathlib.Path
+) -> dict:
+    """Write one provider's ``verdicts.json``; returns the payload dict."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    verdicts = provider_verdicts(report)
     (directory / _VERDICTS).write_text(json.dumps(verdicts, indent=2))
+    return verdicts
+
+
+def write_provider_archive(
+    report: "ProviderReport", directory: str | pathlib.Path
+) -> pathlib.Path:
+    directory = pathlib.Path(directory)
+    write_provider_verdicts(report, directory)
     for results in report.full_results + report.sweep_results:
         _write_results_file(results, directory)
     return directory
@@ -142,32 +208,185 @@ def read_vantage_point_results(
     return VantagePointResults.from_json(pathlib.Path(path).read_text())
 
 
+class StreamingArchiveWriter:
+    """Append-only study archive writer.
+
+    A monolithic :func:`write_study_archive` needs the whole
+    :class:`StudyReport` in memory; this writer instead accepts one
+    vantage point's results at a time (``append_result``, as each unit
+    finishes), one provider's verdicts at a time (``write_verdicts``, as
+    each provider is assembled and dropped), and the manifest last
+    (``finalize``).  Every file goes through the same byte-exact writers
+    the monolithic path uses, so a finalized streamed archive is
+    indistinguishable — same :func:`archive_fingerprint` — from one
+    written all at once.
+
+    Crash behaviour: files are written whole, results before the unit is
+    checkpointed, so an interrupted study leaves a readable prefix that a
+    resume (``repro.runtime.checkpoint``) completes rather than restarts.
+    """
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.finalized = False
+
+    def append_result(
+        self, results: "VantagePointResults"
+    ) -> pathlib.Path:
+        """Persist one vantage point's results as they complete."""
+        return write_unit_result(results, self.root)
+
+    def write_verdicts(self, report: "ProviderReport") -> dict:
+        """Persist one assembled provider's verdict summary."""
+        return write_provider_verdicts(
+            report, self.root / _slug(report.provider)
+        )
+
+    def finalize(self, manifest: dict) -> pathlib.Path:
+        """Write the study manifest, completing the archive."""
+        path = self.root / _MANIFEST
+        path.write_text(json.dumps(manifest, indent=2))
+        self.finalized = True
+        return path
+
+
+def iter_archive_results(
+    root: str | pathlib.Path,
+    provider: Optional[str] = None,
+    strict: bool = False,
+) -> Iterator["VantagePointResults"]:
+    """Iterate archived vantage-point results without loading them all.
+
+    Walks ``<root>/<provider slug>/*.json`` in sorted path order, skipping
+    manifests and verdict summaries.  Truncated or corrupt files (e.g. the
+    in-flight unit of a crashed streaming run) are skipped unless
+    *strict*, so the readable prefix of a partial archive is always
+    recoverable.
+    """
+    root = pathlib.Path(root)
+    directories = (
+        [root / _slug(provider)] if provider is not None
+        else sorted(p for p in root.iterdir() if p.is_dir())
+    )
+    for directory in directories:
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("*.json")):
+            if path.name == _VERDICTS:
+                continue
+            try:
+                yield read_vantage_point_results(path)
+            except (ValueError, KeyError, TypeError):
+                if strict:
+                    raise
+
+
+def _merge_manifests(manifests: list[dict]) -> dict:
+    """Structurally merge study manifests, in canonical key order.
+
+    Provider-name sets union; the ``geoip`` table sums per database; the
+    ``redirects`` table unions providers/countries per destination and
+    re-sorts by the monolithic path's ``(-provider count, destination)``
+    rule.  Because every aggregate is re-derived from its parts rather
+    than last-source-wins, the merge is order-independent and — when the
+    sources partition one study — byte-identical to the manifest the
+    unsharded run writes.  Non-canonical keys are carried over last-wins,
+    after the canonical ones.
+    """
+    merged: dict = {}
+    name_sets: dict[str, set] = {
+        key: set()
+        for key in (
+            "providers", "intercepting", "failing_open", "misrepresenting"
+        )
+    }
+    geoip: dict[str, dict] = {}
+    redirects: dict[str, dict] = {}
+    extras: dict = {}
+    for manifest in manifests:
+        for key, bucket in name_sets.items():
+            bucket.update(manifest.get(key, ()))
+        for row in manifest.get("geoip", ()):
+            agg = geoip.setdefault(
+                row["database"],
+                {
+                    "database": row["database"],
+                    "compared": 0,
+                    "estimates": 0,
+                    "agreements": 0,
+                },
+            )
+            for counter in ("compared", "estimates", "agreements"):
+                agg[counter] += row[counter]
+        for row in manifest.get("redirects", ()):
+            agg = redirects.setdefault(
+                row["destination"],
+                {
+                    "destination": row["destination"],
+                    "providers": set(),
+                    "countries": set(),
+                },
+            )
+            agg["providers"].update(row.get("providers", ()))
+            agg["countries"].update(row.get("countries", ()))
+        for key, value in manifest.items():
+            if key not in _MANIFEST_KEYS:
+                extras[key] = value
+    present = set()
+    for manifest in manifests:
+        present.update(manifest)
+    for key in _MANIFEST_KEYS:
+        if key not in present:
+            continue
+        if key in name_sets:
+            merged[key] = sorted(name_sets[key])
+        elif key == "geoip":
+            merged[key] = sorted(
+                geoip.values(), key=lambda row: row["database"]
+            )
+        else:
+            merged[key] = [
+                {
+                    "destination": row["destination"],
+                    "providers": sorted(row["providers"]),
+                    "countries": sorted(row["countries"]),
+                }
+                for row in sorted(
+                    redirects.values(),
+                    key=lambda row: (
+                        -len(row["providers"]), row["destination"]
+                    ),
+                )
+            ]
+    merged.update(extras)
+    return merged
+
+
 def merge_archives(
     sources: list[str | pathlib.Path], dest: str | pathlib.Path
 ) -> pathlib.Path:
     """Merge study/checkpoint archive directories into *dest*.
 
-    File-level merge: per-vantage-point results and per-provider verdicts
-    are copied (later sources win on conflicts — results are deterministic,
-    so conflicting files are normally identical anyway); the study
-    manifests' provider lists are unioned, other manifest keys taken from
-    the last source that has them.  Lets partial archives — two snapshot
-    shards, or a checkpoint plus a finishing run — be combined into one
+    Per-vantage-point results and per-provider verdicts are copied (later
+    sources win on conflicts — results are deterministic, so conflicting
+    files are normally identical anyway); manifests merge *structurally*
+    via :func:`_merge_manifests`, so merging the per-shard archives of a
+    sharded run reproduces the monolithic manifest byte for byte, in any
+    shard order.  Lets partial archives — shard outputs, two snapshot
+    halves, or a checkpoint plus a finishing run — combine into one
     readable archive.
     """
     dest = pathlib.Path(dest)
     dest.mkdir(parents=True, exist_ok=True)
-    manifest: dict = {}
-    providers: set[str] = set()
+    manifests: list[dict] = []
     for source in sources:
         source = pathlib.Path(source)
         if not source.is_dir():
             raise FileNotFoundError(f"archive directory not found: {source}")
         source_manifest = source / _MANIFEST
         if source_manifest.exists():
-            loaded = json.loads(source_manifest.read_text())
-            providers.update(loaded.get("providers", ()))
-            manifest.update(loaded)
+            manifests.append(json.loads(source_manifest.read_text()))
         for path in sorted(source.rglob("*.json")):
             if path == source_manifest:
                 continue
@@ -175,9 +394,10 @@ def merge_archives(
             target = dest / relative
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_bytes(path.read_bytes())
-    if manifest or providers:
-        manifest["providers"] = sorted(providers)
-        (dest / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    if manifests:
+        (dest / _MANIFEST).write_text(
+            json.dumps(_merge_manifests(manifests), indent=2)
+        )
     return dest
 
 

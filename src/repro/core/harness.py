@@ -815,53 +815,75 @@ class TestSuite:
         with profile.phase("analysis"):
             return self._assemble_study(plan, unit_results)
 
+    def assemble_provider_from_plan(
+        self,
+        plan: "StudyPlan",
+        name: str,
+        unit_results: dict[str, list[VantagePointResults]],
+    ) -> ProviderReport:
+        """One provider's report from its unit results, in plan order.
+
+        Units missing from *unit_results* (failed or timed out) become the
+        provider's ``connect_failures``.  The provider must exist in this
+        suite's world — under sharded execution that means calling this on
+        the suite of the provider's shard.
+        """
+        from repro.runtime.units import UnitKind
+
+        full_results: list[VantagePointResults] = []
+        sweep_results: list[VantagePointResults] = []
+        for unit in plan.units:
+            if unit.provider != name:
+                continue
+            results = unit_results.get(unit.unit_id)
+            if results is None:
+                continue
+            if unit.kind is UnitKind.FULL:
+                full_results.extend(results)
+            else:
+                sweep_results.extend(results)
+        report = self.assemble_provider(name, full_results, sweep_results)
+        measured = {r.hostname for r in full_results + sweep_results}
+        report.connect_failures.extend(
+            hostname
+            for unit in plan.units
+            if unit.provider == name
+            for hostname in unit.hostnames
+            if hostname not in measured
+        )
+        return report
+
+    def ingest_provider_aggregates(
+        self, study: StudyReport, name: str, report: ProviderReport
+    ) -> None:
+        """Fold one provider's results into the study-wide analyses."""
+        provider = self.world.provider(name)
+        for results in report.full_results:
+            if results.dom_collection is not None:
+                study.redirects.ingest(
+                    name, results.claimed_country, results.dom_collection
+                )
+        for results in report.full_results + report.sweep_results:
+            if results.geolocation is not None:
+                study.geoip.ingest(name, results.geolocation)
+        for vantage_point in provider.vantage_points:
+            study.shared_infra.ingest(
+                provider=name,
+                address=str(vantage_point.address),
+                block=str(vantage_point.block),
+                asn=vantage_point.spec.asn,
+            )
+
     def _assemble_study(
         self,
         plan: "StudyPlan",
         unit_results: dict[str, list[VantagePointResults]],
     ) -> StudyReport:
-        from repro.runtime.units import UnitKind
-
         study = StudyReport()
         for name in plan.providers:
-            provider = self.world.provider(name)
-            full_results: list[VantagePointResults] = []
-            sweep_results: list[VantagePointResults] = []
-            for unit in plan.units:
-                if unit.provider != name:
-                    continue
-                results = unit_results.get(unit.unit_id)
-                if results is None:
-                    continue
-                if unit.kind is UnitKind.FULL:
-                    full_results.extend(results)
-                else:
-                    sweep_results.extend(results)
-            report = self.assemble_provider(name, full_results, sweep_results)
-            measured = {r.hostname for r in full_results + sweep_results}
-            report.connect_failures.extend(
-                hostname
-                for unit in plan.units
-                if unit.provider == name
-                for hostname in unit.hostnames
-                if hostname not in measured
-            )
+            report = self.assemble_provider_from_plan(plan, name, unit_results)
             study.providers[name] = report
-            for results in report.full_results:
-                if results.dom_collection is not None:
-                    study.redirects.ingest(
-                        name, results.claimed_country, results.dom_collection
-                    )
-            for results in report.full_results + report.sweep_results:
-                if results.geolocation is not None:
-                    study.geoip.ingest(name, results.geolocation)
-            for vantage_point in provider.vantage_points:
-                study.shared_infra.ingest(
-                    provider=name,
-                    address=str(vantage_point.address),
-                    block=str(vantage_point.block),
-                    asn=vantage_point.spec.asn,
-                )
+            self.ingest_provider_aggregates(study, name, report)
         return study
 
     # ------------------------------------------------------------------

@@ -520,3 +520,310 @@ def _assign_marketing(
         provider.review_languages = (
             rng.randrange(2, 7) if index in multilang else 1
         )
+
+
+# ---------------------------------------------------------------------------
+# Parametric *auditable* providers (ecosystem scale-out).
+#
+# Everything above synthesises catalogue *metadata* (Section 4's marginal
+# statistics).  The functions below go further: they generate full
+# ground-truth :class:`~repro.vpn.provider.ProviderProfile` objects — seeded
+# catalogue entries, behaviour assignments and vantage-point topologies —
+# that :class:`repro.world.World` can realise into live, auditable
+# endpoints.  Behaviour rates are calibrated to the paper's observed
+# fractions over the 62 tested services (proxying ~8%, injection ~2%,
+# IPv6 leaks ~19%, DNS leaks ~3%, virtual locations ~10% of providers).
+#
+# Address space: generated providers draw from 11.0.0.0/8, untouched by the
+# simulation's baseline internet (the catalogue uses real-world hosting
+# ranges; transit routers sit in 100.64.0.0/10).  Provider slot ``b`` owns
+# ``11.(b>>8).(b&255).0/24``; a deterministic ~20% of adjacent provider
+# pairs share one /24 (with disjoint last octets) so the
+# shared-infrastructure analysis has structure to find at any scale.
+# ---------------------------------------------------------------------------
+
+from typing import Iterable, Optional, Sequence  # noqa: E402
+
+from repro.net.geo import country_centroid  # noqa: E402
+from repro.vpn.catalog import (  # noqa: E402
+    AMERICAS,
+    APAC,
+    EU_CORE,
+    MEA,
+    _asn_for_block,
+    _city_for_country,
+    _stable_hash,
+    catalog_names,
+)
+from repro.vpn.provider import (  # noqa: E402
+    BehaviorFlags,
+    ClientType,
+    FailureMode,
+    LeakFlags,
+    ProviderProfile,
+    VantagePointSpec,
+)
+
+#: Countries generated vantage points may claim, in rotation order.
+_GEN_COUNTRY_POOL: tuple[str, ...] = tuple(
+    AMERICAS + EU_CORE + APAC + MEA
+)
+
+#: Physical hub cities virtual endpoints actually live in (cf. the
+#: catalogue's HideMyAss layout: a handful of data centres serving
+#: hundreds of claimed locations).
+_GEN_HUBS = ("Prague", "London", "Seattle", "Berlin")
+
+#: Censoring countries and the block page physically-hosted endpoints
+#: there sit behind (Table 4 destinations).
+_GEN_CENSORSHIP = {
+    "TR": "tr-telecom",
+    "KR": "kr-warning",
+    "TH": "th-ip",
+    "RU": "ru-ttk",
+    "NL": "nl-ip",
+}
+
+_GEN_PROTOCOL_SETS = (
+    ("OpenVPN",),
+    ("OpenVPN", "PPTP"),
+    ("OpenVPN", "PPTP", "L2TP/IPsec"),
+    ("OpenVPN", "PPTP", "L2TP/IPsec", "IPsec/IKEv2"),
+    ("OpenVPN", "IPsec/IKEv2"),
+)
+
+
+def generated_provider_name(index: int, seed: int = 2018) -> str:
+    """The name of generated provider *index* (unique per index)."""
+    stem = _SYNTH_NAME_STEMS[
+        _stable_hash("gen-stem", seed, index) % len(_SYNTH_NAME_STEMS)
+    ]
+    suffix = _SYNTH_NAME_SUFFIXES[
+        _stable_hash("gen-suffix", seed, index) % len(_SYNTH_NAME_SUFFIXES)
+    ]
+    return f"{stem}{suffix}-{index:04d}"
+
+
+def _generated_block(index: int, seed: int) -> tuple[str, int]:
+    """The /24 for provider *index* and its last-octet parity offset.
+
+    Odd-indexed providers join their even neighbour's /24 for ~20% of
+    pairs; sharers interleave last octets so addresses never collide.
+    """
+    shared = (
+        index % 2 == 1
+        and _stable_hash("gen-share", seed, index // 2) % 100 < 20
+    )
+    base = index - 1 if shared else index
+    block = f"11.{(base >> 8) & 255}.{base & 255}.0/24"
+    return block, (1 if shared else 0)
+
+
+def generate_provider_profile(
+    index: int, seed: int = 2018, vantage_points: int = 4
+) -> ProviderProfile:
+    """Ground truth for one generated provider, pure in its arguments."""
+    name = generated_provider_name(index, seed)
+    slug = name.lower()
+
+    def h(*parts: object) -> int:
+        return _stable_hash("gen", seed, index, *parts)
+
+    block, parity = _generated_block(index, seed)
+    asn = _asn_for_block(block)
+    prefix = block.rsplit(".", 1)[0]  # "11.x.y"
+
+    pool = _GEN_COUNTRY_POOL
+    start = h("pool") % len(pool)
+    country_count = min(vantage_points, 2 + h("countries") % 6)
+    countries = [
+        pool[(start + i) % len(pool)] for i in range(country_count)
+    ]
+
+    # ~10% of providers run virtual endpoints (6/62 in the paper).
+    virtual_provider = h("virtual") % 100 < 10
+    hub = _GEN_HUBS[h("hub") % len(_GEN_HUBS)]
+
+    specs: list[VantagePointSpec] = []
+    for j in range(vantage_points):
+        country = countries[j % country_count]
+        city = (
+            _city_for_country(country, h("city", j))
+            or country_centroid(country).city
+            or f"{country}-pop"
+        )
+        virtual = virtual_provider and h("vp-virtual", j) % 3 == 0
+        physical = city
+        if virtual:
+            physical = hub if hub != city else _GEN_HUBS[
+                (h("hub") + 1) % len(_GEN_HUBS)
+            ]
+        censorship = None
+        if not virtual and country in _GEN_CENSORSHIP:
+            if h("censor", j) % 3 == 0:
+                censorship = _GEN_CENSORSHIP[country]
+        address = f"{prefix}.{8 + 2 * j + parity}"
+        specs.append(
+            VantagePointSpec(
+                hostname=f"{country.lower()}{j:02d}.{slug}.net",
+                claimed_country=country,
+                claimed_city=city,
+                physical_city=physical,
+                censorship=censorship,
+                address=address,
+                block=block,
+                asn=asn,
+            )
+        )
+
+    r_sub = h("subscription") % 100
+    subscription = (
+        SubscriptionType.PAID if r_sub < 70
+        else SubscriptionType.FREE if r_sub < 85
+        else SubscriptionType.TRIAL
+    )
+    r_fail = h("failure") % 100
+    failure = (
+        FailureMode.FAIL_CLOSED if r_fail < 40
+        else FailureMode.FAIL_OPEN if r_fail < 70
+        else FailureMode.KILL_SWITCH_DEFAULT_OFF if r_fail < 90
+        else FailureMode.KILL_SWITCH_APP_ONLY
+    )
+    return ProviderProfile(
+        name=name,
+        subscription=subscription,
+        client_type=(
+            ClientType.CUSTOM if h("client") % 100 < 60
+            else ClientType.OPENVPN_CONFIG
+        ),
+        protocols=_GEN_PROTOCOL_SETS[
+            h("protocols") % len(_GEN_PROTOCOL_SETS)
+        ],
+        website_domain=f"{slug}.com",
+        business_country=_GEN_COUNTRY_POOL[
+            h("business") % len(_GEN_COUNTRY_POOL)
+        ],
+        founded=2005 + h("founded") % 14,
+        vantage_points=tuple(specs),
+        behaviors=BehaviorFlags(
+            transparent_proxy=h("proxy") % 100 < 8,
+            ad_injection=h("inject") % 100 < 2,
+            tls_interception=h("tls-mitm") % 100 < 2,
+            tls_stripping=h("tls-strip") % 100 < 1,
+        ),
+        leaks=LeakFlags(
+            dns_leak=h("dns-leak") % 100 < 3,
+            ipv6_leak=h("ipv6-leak") % 100 < 19,
+            failure_mode=failure,
+        ),
+        address_blocks=(block,),
+        claimed_server_count=50 + h("servers") % 3000,
+        claimed_country_count=len(set(countries)),
+    )
+
+
+def generate_provider_profiles(
+    count: int, seed: int = 2018, vantage_points: int = 4
+) -> list[ProviderProfile]:
+    """All *count* generated profiles at once (eager; prefer a source)."""
+    return [
+        generate_provider_profile(i, seed, vantage_points)
+        for i in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Provider sources: lazy, shardable provider iteration.
+# ---------------------------------------------------------------------------
+class ProviderSource:
+    """Yields a study's providers lazily, shard by shard.
+
+    ``names()`` is cheap — it never builds a profile — so planning a
+    10,000-provider study touches no topology; ``profiles(names)``
+    realises exactly one shard's worth of ground truth on demand
+    (:class:`repro.world_factory.ShardedWorldFactory` calls it per shard).
+    """
+
+    def names(self) -> tuple[str, ...]:
+        """All provider names, in study order."""
+        raise NotImplementedError
+
+    def profiles(self, names: Sequence[str]) -> list[ProviderProfile]:
+        """Ground-truth profiles for a subset of ``names()``, in order."""
+        raise NotImplementedError
+
+    def shard_names(self, shards: int) -> list[tuple[str, ...]]:
+        """Contiguous split of ``names()`` into *shards* balanced parts."""
+        names = self.names()
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        size, extra = divmod(len(names), shards)
+        out: list[tuple[str, ...]] = []
+        start = 0
+        for i in range(shards):
+            end = start + size + (1 if i < extra else 0)
+            out.append(names[start:end])
+            start = end
+        return out
+
+
+class CatalogProviderSource(ProviderSource):
+    """The paper's 62-provider catalogue (optionally a named subset)."""
+
+    def __init__(self, only: Optional[Iterable[str]] = None) -> None:
+        self.only = tuple(only) if only is not None else None
+
+    def names(self) -> tuple[str, ...]:
+        all_names = catalog_names()
+        if self.only is None:
+            return tuple(all_names)
+        wanted = set(self.only)
+        missing = wanted - set(all_names)
+        if missing:
+            raise KeyError(f"unknown providers: {sorted(missing)}")
+        # Catalogue order, as World._build_providers has always used.
+        return tuple(n for n in all_names if n in wanted)
+
+    def profiles(self, names: Sequence[str]) -> list[ProviderProfile]:
+        from repro.vpn.catalog import build_catalog
+
+        catalog = build_catalog()
+        return [catalog[name] for name in names]
+
+
+class GeneratedProviderSource(ProviderSource):
+    """``count`` parametric providers derived from a generator seed."""
+
+    def __init__(
+        self, count: int, seed: int = 2018, vantage_points: int = 4
+    ) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = count
+        self.seed = seed
+        self.vantage_points = vantage_points
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(
+            generated_provider_name(i, self.seed) for i in range(self.count)
+        )
+
+    def profiles(self, names: Sequence[str]) -> list[ProviderProfile]:
+        out: list[ProviderProfile] = []
+        for name in names:
+            # Names carry their index ("AuroraNet-0042"), so a shard
+            # realises its providers without enumerating all names.
+            try:
+                index = int(name.rsplit("-", 1)[1])
+            except (IndexError, ValueError):
+                raise KeyError(f"not a generated provider name: {name!r}")
+            if not (0 <= index < self.count) or (
+                generated_provider_name(index, self.seed) != name
+            ):
+                raise KeyError(f"unknown generated provider: {name!r}")
+            out.append(
+                generate_provider_profile(
+                    index, self.seed, self.vantage_points
+                )
+            )
+        return out

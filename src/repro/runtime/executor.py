@@ -34,8 +34,11 @@ results that did complete.
 from __future__ import annotations
 
 import concurrent.futures
+import pathlib
 import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.harness import TestSuite
@@ -43,16 +46,23 @@ from repro.runtime import events as ev
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.retry import RetryPolicy
 from repro.runtime.units import AuditUnit, StudyPlan
-from repro.world_factory import WorldFactory
+from repro.source import StudySource
+from repro.world_factory import ShardedWorldFactory, WorldFactory
 
 if TYPE_CHECKING:
     from repro.config import StudyConfig
+    from repro.core.archive import StreamingArchiveWriter
     from repro.core.harness import StudyReport
     from repro.core.results import VantagePointResults
     from repro.obs.config import ObsConfig
     from repro.obs.metrics import MetricsRegistry
 
 _BACKENDS = ("thread", "process")
+
+# Per-worker cap on live shard suites: units arrive roughly in shard
+# order, so two is enough to ride out stragglers without a worker ever
+# holding every shard's world at once.
+_WORKER_SUITE_CACHE = 2
 
 # One attempt at a unit: (results, connect retries spent, wall
 # milliseconds, drained observability payload or None).
@@ -93,6 +103,40 @@ def _build_suite(
     return TestSuite(world, **suite_kwargs)
 
 
+def _build_shard_suite(
+    seed: int,
+    source: StudySource,
+    shard: int,
+    shards: int,
+    suite_kwargs: dict,
+) -> TestSuite:
+    """A suite over one shard's world (the whole world when shards=1)."""
+    world = ShardedWorldFactory.clone(
+        seed=seed, source=source, shard=shard, shards=shards
+    )
+    return TestSuite(world, **suite_kwargs)
+
+
+def _shard_suite_cached(
+    cache: "OrderedDict[int, TestSuite]",
+    seed: int,
+    source: StudySource,
+    shard: int,
+    shards: int,
+    suite_kwargs: dict,
+) -> TestSuite:
+    """Fetch/build a shard suite through a small per-worker LRU."""
+    suite = cache.get(shard)
+    if suite is None:
+        suite = _build_shard_suite(seed, source, shard, shards, suite_kwargs)
+        cache[shard] = suite
+        while len(cache) > _WORKER_SUITE_CACHE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(shard)
+    return suite
+
+
 def _timed_run_unit(suite: TestSuite, unit: AuditUnit) -> UnitOutcome:
     retries_before = suite.connect_retries
     started = time.perf_counter()
@@ -114,19 +158,77 @@ def _timed_run_unit(suite: TestSuite, unit: AuditUnit) -> UnitOutcome:
 
 
 # ----------------------------------------------------------------------
-# Process-backend worker side: one world per worker process, built once.
+# Process-backend worker side: a small LRU of shard suites per worker
+# process (one world per worker when the study is unsharded).
 # ----------------------------------------------------------------------
-_PROCESS_SUITE: dict = {}
+_PROCESS_STATE: dict = {}
 
 
 def _process_worker_init(
-    seed: int, providers: Optional[list[str]], suite_kwargs: dict
+    seed: int, source: StudySource, shards: int, suite_kwargs: dict
 ) -> None:
-    _PROCESS_SUITE["suite"] = _build_suite(seed, providers, suite_kwargs)
+    _PROCESS_STATE.update(
+        seed=seed,
+        source=source,
+        shards=shards,
+        suite_kwargs=suite_kwargs,
+        suites=OrderedDict(),
+    )
 
 
 def _process_run_unit(unit: AuditUnit) -> UnitOutcome:
-    return _timed_run_unit(_PROCESS_SUITE["suite"], unit)
+    suite = _shard_suite_cached(
+        _PROCESS_STATE["suites"],
+        _PROCESS_STATE["seed"],
+        _PROCESS_STATE["source"],
+        unit.shard,
+        _PROCESS_STATE["shards"],
+        _PROCESS_STATE["suite_kwargs"],
+    )
+    return _timed_run_unit(suite, unit)
+
+
+@dataclass
+class StreamedStudy:
+    """What a streamed run returns instead of a :class:`StudyReport`.
+
+    The full per-provider reports were written straight to disk and
+    dropped; what remains in memory is the archive location(s), the
+    manifest (merged across shards when the run was per-shard), and the
+    per-provider verdict summaries — everything the CLI and serve layers
+    report, at O(providers) not O(results) memory.
+    """
+
+    archive_dir: pathlib.Path
+    shard_dirs: list[pathlib.Path] = field(default_factory=list)
+    providers: list[str] = field(default_factory=list)
+    manifest: dict = field(default_factory=dict)
+    verdicts: dict[str, dict] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Byte fingerprint of the archive tree that was written."""
+        from repro.core.archive import archive_fingerprint
+
+        return archive_fingerprint(self.archive_dir)
+
+    def summary(self) -> str:
+        lines = [
+            f"Streamed study over {len(self.providers)} providers "
+            f"-> {self.archive_dir}",
+        ]
+        if self.shard_dirs:
+            lines.append(
+                f"  shard archives               : {len(self.shard_dirs)}"
+            )
+        lines += [
+            f"  intercept/manipulate traffic : "
+            f"{len(self.manifest.get('intercepting', []))}",
+            f"  fail open on tunnel failure  : "
+            f"{len(self.manifest.get('failing_open', []))}",
+            f"  misrepresent locations       : "
+            f"{len(self.manifest.get('misrepresenting', []))}",
+        ]
+        return "\n".join(lines)
 
 
 class StudyExecutor:
@@ -153,6 +255,8 @@ class StudyExecutor:
         obs: Optional["ObsConfig"] = None,
         stop_event: Optional[threading.Event] = None,
         pool: Optional[concurrent.futures.Executor] = None,
+        source: Optional[StudySource] = None,
+        shards: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -162,8 +266,23 @@ class StudyExecutor:
             # A shared pool cannot re-run per-job process initializers, so
             # only the thread backend may borrow one.
             raise ValueError("an external pool requires the thread backend")
+        if providers is not None and source is not None:
+            raise ValueError("pass providers= or source=, not both")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.seed = seed
-        self.providers = list(providers) if providers is not None else None
+        if source is None:
+            source = (
+                StudySource.explicit(providers)
+                if providers is not None
+                else StudySource.catalog()
+            )
+        self.source = source
+        # Kept for callers that still read it; None means "whole catalogue".
+        self.providers = (
+            list(source.providers) if source.kind == "explicit" else None
+        )
+        self.shards = shards
         self.max_vantage_points = max_vantage_points
         self.workers = workers
         self.backend = backend
@@ -192,6 +311,11 @@ class StudyExecutor:
         self._obs_payloads: dict[str, dict] = {}
         self.trace_records: Optional[list[dict]] = None
         self.plan: Optional[StudyPlan] = None
+        # Coordinator-side shard suites (planning, inline runs, assembly).
+        self._suites: "OrderedDict[int, TestSuite]" = OrderedDict()
+        # Set for the duration of run_streamed(): unit.shard -> writer.
+        self._stream_writers: Optional[dict[int, "StreamingArchiveWriter"]]
+        self._stream_writers = None
 
     @classmethod
     def from_config(
@@ -203,14 +327,18 @@ class StudyExecutor:
         """Build an executor from a :class:`repro.config.StudyConfig`."""
         kwargs = dict(
             seed=config.seed,
-            providers=config.provider_list,
             max_vantage_points=config.max_vantage_points,
             workers=config.workers,
             backend=config.backend,
             checkpoint_dir=config.checkpoint_dir,
             obs=config.obs,
             bus=bus,
+            shards=config.shards,
         )
+        if config.source is not None:
+            kwargs["source"] = config.source
+        else:
+            kwargs["providers"] = config.provider_list
         kwargs.update(overrides)
         return cls(**kwargs)
 
@@ -254,6 +382,40 @@ class StudyExecutor:
             "obs_config": self.obs_config,
         }
 
+    def _shard_suite(self, shard: int) -> TestSuite:
+        """The coordinator's suite for one shard (small LRU)."""
+        return _shard_suite_cached(
+            self._suites,
+            self.seed,
+            self.source,
+            shard,
+            self.shards,
+            self._suite_kwargs(),
+        )
+
+    def _plan(self, suite: TestSuite) -> StudyPlan:
+        """The study plan: shard decompositions concatenated in order.
+
+        Shard order equals source order equals the monolithic provider
+        order, so the sharded plan lists the same providers and units, in
+        the same sequence, as the unsharded one — only the ``shard`` tags
+        differ.
+        """
+        if self.shards == 1:
+            plan = suite.plan_study()
+        else:
+            from repro.runtime.units import decompose_study
+
+            plan = StudyPlan(
+                seed=self.seed, max_vantage_points=self.max_vantage_points
+            )
+            for shard in range(self.shards):
+                sub = decompose_study(self._shard_suite(shard), shard=shard)
+                plan.providers.extend(sub.providers)
+                plan.units.extend(sub.units)
+        plan.source_key = self.source.plan_key()
+        return plan
+
     # ------------------------------------------------------------------
     def run(self, limit_units: Optional[int] = None) -> "StudyReport":
         """Execute the study; returns the assembled report.
@@ -264,8 +426,8 @@ class StudyExecutor:
         killed mid-run without actually killing a process.
         """
         started = time.perf_counter()
-        suite = _build_suite(self.seed, self.providers, self._suite_kwargs())
-        plan = suite.plan_study()
+        suite = self._shard_suite(0)
+        plan = self._plan(suite)
         self.plan = plan
 
         checkpoint = (
@@ -314,7 +476,10 @@ class StudyExecutor:
             else:
                 self._run_pooled(plan, pending, unit_results, checkpoint)
 
-        report = suite.assemble_study(plan, unit_results)
+        if self.shards == 1:
+            report = suite.assemble_study(plan, unit_results)
+        else:
+            report = self._assemble_sharded(suite, plan, unit_results)
         if suite.obs is not None:
             # Assembly runs on the coordinator outside any unit; its
             # profiled "analysis" phase joins the study aggregate as one
@@ -336,6 +501,308 @@ class StudyExecutor:
             )
         )
         return report
+
+    # ------------------------------------------------------------------
+    # Sharded assembly (shards>1, in-memory)
+    # ------------------------------------------------------------------
+    def _assemble_sharded(
+        self,
+        suite: TestSuite,
+        plan: StudyPlan,
+        unit_results: dict[str, list["VantagePointResults"]],
+    ) -> "StudyReport":
+        """Assemble a sharded run into one report, in plan order.
+
+        Each provider is assembled on its own shard's suite (only that
+        world contains it); the study-wide aggregates fold in per
+        provider exactly as the monolithic ``_assemble_study`` does, so
+        the report is identical to an unsharded run's.
+        """
+        from repro.core.harness import StudyReport
+
+        shard_of: dict[str, int] = {}
+        for unit in plan.units:
+            shard_of.setdefault(unit.provider, unit.shard)
+
+        def assemble() -> "StudyReport":
+            study = StudyReport()
+            for name in plan.providers:
+                shard_suite = self._shard_suite(shard_of.get(name, 0))
+                report = shard_suite.assemble_provider_from_plan(
+                    plan, name, unit_results
+                )
+                study.providers[name] = report
+                shard_suite.ingest_provider_aggregates(study, name, report)
+            return study
+
+        profile = suite.obs.profile if suite.obs is not None else None
+        if profile is None:
+            return assemble()
+        with profile.phase("analysis"):
+            return assemble()
+
+    # ------------------------------------------------------------------
+    # Streaming execution: archive-as-you-go, flat memory
+    # ------------------------------------------------------------------
+    def run_streamed(
+        self,
+        archive_dir: str | pathlib.Path,
+        per_shard: bool = False,
+        limit_units: Optional[int] = None,
+    ) -> StreamedStudy:
+        """Execute the study, writing the archive as units complete.
+
+        Unlike :meth:`run`, unit results never accumulate in memory: each
+        completed unit's files are appended to the archive immediately
+        (via :class:`~repro.core.archive.StreamingArchiveWriter`) and the
+        per-provider reports are assembled one at a time from those files,
+        then dropped once their verdicts are written.  Peak memory is
+        O(one provider), flat in study size.
+
+        ``per_shard=True`` writes one self-contained archive per shard
+        (``<archive_dir>/shard-NNNN/``), each with its own manifest;
+        :func:`repro.core.archive.merge_archives` combines them into an
+        archive byte-identical to an unsharded, unstreamed run's.  With
+        ``per_shard=False`` the single streamed archive itself is
+        byte-identical to ``write_study_archive`` of :meth:`run`'s report.
+
+        ``limit_units`` mirrors :meth:`run`: stop after that many executed
+        units, leaving a readable archive prefix for resume tests.
+        """
+        from repro.core.archive import StreamingArchiveWriter
+
+        started = time.perf_counter()
+        suite = self._shard_suite(0)
+        plan = self._plan(suite)
+        self.plan = plan
+
+        archive_dir = pathlib.Path(archive_dir)
+        if per_shard:
+            writers = {
+                shard: StreamingArchiveWriter(
+                    archive_dir / f"shard-{shard:04d}"
+                )
+                for shard in range(self.shards)
+            }
+        else:
+            writer = StreamingArchiveWriter(archive_dir)
+            writers = {shard: writer for shard in range(self.shards)}
+        self._stream_writers = writers
+
+        checkpoint = (
+            CheckpointStore(self.checkpoint_dir)
+            if self.checkpoint_dir
+            else None
+        )
+        journal = checkpoint.open(plan) if checkpoint else {}
+
+        unit_results: dict[str, object] = {}
+        skipped: list[AuditUnit] = []
+        pending: list[AuditUnit] = []
+        try:
+            for unit in plan.units:
+                entry = journal.get(unit.unit_id)
+                loaded = (
+                    checkpoint.load_unit_results(entry)
+                    if checkpoint and entry is not None
+                    else None
+                )
+                if loaded is not None:
+                    # Replay the checkpointed bytes into the archive, then
+                    # let them go — a resumed streamed run re-persists, it
+                    # never re-holds.
+                    for vp_results in loaded:
+                        writers[unit.shard].append_result(vp_results)
+                    unit_results[unit.unit_id] = True
+                    skipped.append(unit)
+                else:
+                    pending.append(unit)
+            if limit_units is not None:
+                pending = pending[:limit_units]
+
+            self.bus.publish(
+                ev.StudyStarted(
+                    total_units=len(plan.units),
+                    providers=len(plan.providers),
+                    vantage_points=plan.total_vantage_points,
+                    workers=self.workers,
+                    resumed_units=len(skipped),
+                )
+            )
+            for unit in skipped:
+                entry = journal[unit.unit_id]
+                self.bus.publish(
+                    ev.UnitSkipped(
+                        unit_id=unit.unit_id, wall_ms=entry.wall_ms
+                    )
+                )
+
+            if pending:
+                if self.workers == 1 and self.pool is None:
+                    self._run_inline(
+                        suite, plan, pending, unit_results, checkpoint
+                    )
+                else:
+                    self._run_pooled(
+                        plan, pending, unit_results, checkpoint
+                    )
+
+            streamed = self._assemble_streamed(
+                suite, plan, unit_results, writers, per_shard, archive_dir
+            )
+        finally:
+            self._stream_writers = None
+        if suite.obs is not None:
+            snapshot = suite.obs.drain_phases()
+            if snapshot is not None:
+                self.bus.publish(
+                    ev.UnitMetrics(unit_id="__analysis__", snapshot=snapshot)
+                )
+        self._finalize_obs(plan)
+        wall_s = time.perf_counter() - started
+        self.bus.publish(
+            ev.StudyFinished(
+                wall_s=wall_s,
+                completed=self.stats.completed_units,
+                skipped=len(skipped),
+                failed=self.stats.failed_units,
+                retried=self.stats.retried_units,
+            )
+        )
+        return streamed
+
+    def _assemble_streamed(
+        self,
+        suite: TestSuite,
+        plan: StudyPlan,
+        unit_results: dict[str, object],
+        writers: dict[int, "StreamingArchiveWriter"],
+        per_shard: bool,
+        archive_dir: pathlib.Path,
+    ) -> StreamedStudy:
+        """Assemble providers one at a time from the archived bytes.
+
+        Per provider: read its unit files back, build the report on its
+        shard's suite, write its verdicts, fold it into the per-archive
+        aggregates, drop it.  Finally each archive's manifest is built
+        from those aggregates — through the same
+        :func:`~repro.core.archive.build_manifest` as the monolithic
+        writer, so the bytes agree.
+        """
+        from repro.core.archive import (
+            _merge_manifests,
+            _slug,
+            build_manifest,
+            geoip_row_dicts,
+            read_vantage_point_results,
+            redirect_row_dicts,
+        )
+        from repro.core.harness import StudyReport
+
+        shard_of: dict[str, int] = {}
+        for unit in plan.units:
+            shard_of.setdefault(unit.provider, unit.shard)
+
+        # One aggregate bundle per distinct archive directory.
+        accs: dict[pathlib.Path, dict] = {}
+
+        def acc_for(writer: "StreamingArchiveWriter") -> dict:
+            acc = accs.get(writer.root)
+            if acc is None:
+                acc = {
+                    "study": StudyReport(),
+                    "providers": [],
+                    "intercepting": set(),
+                    "failing_open": set(),
+                    "misrepresenting": set(),
+                }
+                accs[writer.root] = acc
+            return acc
+
+        verdicts: dict[str, dict] = {}
+
+        def assemble() -> None:
+            for name in plan.providers:
+                shard = shard_of.get(name, 0)
+                writer = writers[shard]
+                shard_suite = self._shard_suite(shard)
+                per_unit: dict[str, list] = {}
+                for unit in plan.units:
+                    if unit.provider != name:
+                        continue
+                    if not unit_results.get(unit.unit_id):
+                        continue
+                    directory = writer.root / _slug(name)
+                    loaded = []
+                    complete = True
+                    for hostname in unit.hostnames:
+                        path = directory / (_slug(hostname) + ".json")
+                        try:
+                            loaded.append(read_vantage_point_results(path))
+                        except (OSError, ValueError, KeyError, TypeError):
+                            complete = False
+                            break
+                    if complete:
+                        per_unit[unit.unit_id] = loaded
+                report = shard_suite.assemble_provider_from_plan(
+                    plan, name, per_unit
+                )
+                acc = acc_for(writer)
+                acc["providers"].append(name)
+                shard_suite.ingest_provider_aggregates(
+                    acc["study"], name, report
+                )
+                if (
+                    report.injection_detected
+                    or report.proxy_detected
+                    or report.tls_interception_detected
+                ):
+                    acc["intercepting"].add(name)
+                if report.fails_open:
+                    acc["failing_open"].add(name)
+                if report.misrepresents_locations:
+                    acc["misrepresenting"].add(name)
+                verdicts[name] = writer.write_verdicts(report)
+
+        profile = suite.obs.profile if suite.obs is not None else None
+        if profile is None:
+            assemble()
+        else:
+            with profile.phase("analysis"):
+                assemble()
+
+        manifests: list[dict] = []
+        shard_dirs: list[pathlib.Path] = []
+        finalized: set[pathlib.Path] = set()
+        for shard in sorted(writers):
+            writer = writers[shard]
+            if writer.root in finalized:
+                continue
+            finalized.add(writer.root)
+            acc = acc_for(writer)
+            manifest = build_manifest(
+                providers=acc["providers"],
+                intercepting=acc["intercepting"],
+                failing_open=acc["failing_open"],
+                misrepresenting=acc["misrepresenting"],
+                geoip_rows=geoip_row_dicts(acc["study"]),
+                redirect_rows=redirect_row_dicts(acc["study"]),
+            )
+            writer.finalize(manifest)
+            manifests.append(manifest)
+            if per_shard:
+                shard_dirs.append(writer.root)
+        merged = (
+            manifests[0] if len(manifests) == 1
+            else _merge_manifests(manifests)
+        )
+        return StreamedStudy(
+            archive_dir=archive_dir,
+            shard_dirs=shard_dirs,
+            providers=list(plan.providers),
+            manifest=merged,
+            verdicts=verdicts,
+        )
 
     # ------------------------------------------------------------------
     # Inline (workers=1): the sequential reference path
@@ -361,8 +828,11 @@ class StudyExecutor:
                     total=len(plan.units),
                 )
             )
+            unit_suite = (
+                suite if self.shards == 1 else self._shard_suite(unit.shard)
+            )
             outcome = self._attempt_with_retry(
-                unit, lambda: _timed_run_unit(suite, unit)
+                unit, lambda: _timed_run_unit(unit_suite, unit)
             )
             if outcome is None:
                 continue
@@ -405,7 +875,8 @@ class StudyExecutor:
                     initializer=_process_worker_init,
                     initargs=(
                         self.seed,
-                        self.providers,
+                        self.source,
+                        self.shards,
                         self._suite_kwargs(),
                     ),
                 )
@@ -419,12 +890,18 @@ class StudyExecutor:
             thread_state = threading.local()
 
             def run_unit(unit: AuditUnit) -> UnitOutcome:
-                suite = getattr(thread_state, "suite", None)
-                if suite is None:
-                    suite = _build_suite(
-                        self.seed, self.providers, self._suite_kwargs()
-                    )
-                    thread_state.suite = suite
+                suites = getattr(thread_state, "suites", None)
+                if suites is None:
+                    suites = OrderedDict()
+                    thread_state.suites = suites
+                suite = _shard_suite_cached(
+                    suites,
+                    self.seed,
+                    self.source,
+                    unit.shard,
+                    self.shards,
+                    self._suite_kwargs(),
+                )
                 return _timed_run_unit(suite, unit)
 
         index_of = {u.unit_id: i + 1 for i, u in enumerate(plan.units)}
@@ -601,7 +1078,16 @@ class StudyExecutor:
         queue_depth: int,
     ) -> None:
         results, connect_retries, wall_ms, obs_payload = outcome
-        unit_results[unit.unit_id] = results
+        if self._stream_writers is not None:
+            # Streaming mode: results go straight to the archive (before
+            # the checkpoint commit, so a journalled unit always has its
+            # bytes on disk) and only a completion marker stays in memory.
+            writer = self._stream_writers[unit.shard]
+            for vp_results in results:
+                writer.append_result(vp_results)
+            unit_results[unit.unit_id] = True
+        else:
+            unit_results[unit.unit_id] = results
         if checkpoint is not None:
             checkpoint.record(unit, results, wall_ms, connect_retries)
         if obs_payload is not None:

@@ -49,12 +49,20 @@ def _slug(name: str) -> str:
 
 @dataclass(frozen=True)
 class AuditUnit:
-    """One independently executable slice of the study."""
+    """One independently executable slice of the study.
+
+    ``shard`` names the world shard the unit's provider lives in
+    (always 0 for unsharded studies); workers use it to pick the right
+    world template.  It is routing metadata, not identity — two plans
+    that differ only in shard assignment have identical unit ids and
+    can resume each other's checkpoints.
+    """
 
     provider: str
     kind: UnitKind
     hostnames: tuple[str, ...]
     seed: int
+    shard: int = 0
 
     @property
     def unit_id(self) -> str:
@@ -87,6 +95,10 @@ class StudyPlan:
     max_vantage_points: int | None
     providers: list[str] = field(default_factory=list)
     units: list[AuditUnit] = field(default_factory=list)
+    #: Extra compatibility marker for non-catalogue studies (a generated
+    #: source's parameters); None for catalogue/explicit studies so their
+    #: fingerprints — and existing checkpoints — stay unchanged.
+    source_key: str | None = None
 
     @property
     def total_vantage_points(self) -> int:
@@ -105,12 +117,14 @@ class StudyPlan:
                 "seed": self.seed,
                 "max_vantage_points": self.max_vantage_points,
                 "providers": self.providers,
+                "source_key": self.source_key,
                 "units": [
                     {
                         "provider": u.provider,
                         "kind": u.kind.value,
                         "hostnames": list(u.hostnames),
                         "seed": u.seed,
+                        "shard": u.shard,
                     }
                     for u in self.units
                 ],
@@ -125,6 +139,7 @@ class StudyPlan:
             seed=raw["seed"],
             max_vantage_points=raw["max_vantage_points"],
             providers=list(raw["providers"]),
+            source_key=raw.get("source_key"),
         )
         for entry in raw["units"]:
             plan.units.append(
@@ -133,25 +148,37 @@ class StudyPlan:
                     kind=UnitKind(entry["kind"]),
                     hostnames=tuple(entry["hostnames"]),
                     seed=entry["seed"],
+                    shard=entry.get("shard", 0),
                 )
             )
         return plan
 
     def fingerprint(self) -> str:
-        """Compatibility key for checkpoint validation."""
-        return (
+        """Compatibility key for checkpoint validation.
+
+        Shard assignment is deliberately excluded: units are identical at
+        any shard count, so a 4-shard run may resume a 1-shard checkpoint
+        (and vice versa).  A generated source's parameters are included —
+        the same names with different topology knobs plan different units.
+        """
+        base = (
             f"seed={self.seed}"
             f"|max_vps={self.max_vantage_points}"
             f"|providers={','.join(self.providers)}"
         )
+        if self.source_key:
+            base += f"|source={self.source_key}"
+        return base
 
 
-def decompose_study(suite: "TestSuite") -> StudyPlan:
+def decompose_study(suite: "TestSuite", shard: int = 0) -> StudyPlan:
     """Decompose *suite*'s world into the study's unit graph.
 
     Mirrors ``TestSuite.run_study``: providers in catalogue order; per
     provider, the selected endpoints (full battery) in selection order,
-    then a single sweep unit over every remaining endpoint.
+    then a single sweep unit over every remaining endpoint.  ``shard``
+    tags every unit with the world shard it belongs to; a sharded plan is
+    the concatenation of per-shard decompositions in shard order.
     """
     world = suite.world
     plan = StudyPlan(
@@ -170,6 +197,7 @@ def decompose_study(suite: "TestSuite") -> StudyPlan:
                     seed=derive_unit_seed(
                         world.seed, name, vantage_point.hostname
                     ),
+                    shard=shard,
                 )
             )
         remaining = tuple(
@@ -184,6 +212,7 @@ def decompose_study(suite: "TestSuite") -> StudyPlan:
                     kind=UnitKind.SWEEP,
                     hostnames=remaining,
                     seed=derive_unit_seed(world.seed, name, "*sweep*"),
+                    shard=shard,
                 )
             )
     return plan

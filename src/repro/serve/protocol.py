@@ -32,11 +32,16 @@ from typing import Optional
 from repro.config import StudyConfig
 from repro.runtime.retry import stable_hash
 
-#: Bumped whenever a payload shape changes incompatibly.  ``from_dict``
-#: accepts payloads without a version (assumed current) but rejects a
-#: mismatched one — a v1 client talking to a v2 daemon should fail at
-#: parse time, not at interpretation time.
-PROTOCOL_VERSION = 1
+#: Bumped whenever a payload shape changes.  ``from_dict`` accepts
+#: payloads without a version (assumed current) and any version in
+#: ``SUPPORTED_VERSIONS`` — v2 added the optional ``source``/``shards``
+#: config fields, which a v1 payload simply omits, so v1 submissions
+#: still parse — but rejects anything newer or unknown, so a client from
+#: the future fails at parse time, not at interpretation time.
+PROTOCOL_VERSION = 2
+
+#: Versions this daemon parses.  v1 payloads are a strict subset of v2.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 class ProtocolError(ValueError):
@@ -45,7 +50,7 @@ class ProtocolError(ValueError):
 
 def _check_version(data: dict, payload: str) -> None:
     version = data.get("version", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"{payload} has protocol version {version!r}, "
             f"this daemon speaks {PROTOCOL_VERSION}"
@@ -89,12 +94,20 @@ class JobRequest:
             object.__setattr__(self, "kind", JobKind(self.kind))
         if not isinstance(self.config, StudyConfig):
             raise TypeError("config must be a StudyConfig")
-        if self.kind is JobKind.RECHECK and (
-            self.config.providers is None or len(self.config.providers) != 1
-        ):
+        if self.config.stream:
+            # Streamed runs return a StreamedStudy (archive on the shared
+            # filesystem), which the daemon's result store cannot serve
+            # over HTTP yet; keep the failure at the protocol edge.
             raise ProtocolError(
-                "a recheck job must name exactly one provider"
+                "streamed studies (config.stream) are not servable jobs; "
+                "run them via the CLI or api"
             )
+        if self.kind is JobKind.RECHECK:
+            provider_list = self.config.provider_list
+            if provider_list is None or len(provider_list) != 1:
+                raise ProtocolError(
+                    "a recheck job must name exactly one provider"
+                )
         if self.kind is JobKind.SNAPSHOTS and self.config.snapshots < 2:
             raise ProtocolError(
                 "a snapshots job needs config.snapshots >= 2"

@@ -830,6 +830,17 @@ def provider_profiles() -> list[ProviderProfile]:
     return profiles
 
 
+def catalog_names() -> list[str]:
+    """All 62 provider names in catalogue order, without building profiles.
+
+    The cheap companion to :func:`provider_profiles`: study planning and
+    shard splitting need the ordered name list only, and building all 62
+    profiles (address allocation included) just to read their names would
+    dominate a sharded study's planning cost.
+    """
+    return [entry.name for entry in _TABLE]
+
+
 def build_catalog() -> dict[str, ProviderProfile]:
     """Profiles keyed by provider name."""
     return {profile.name: profile for profile in provider_profiles()}

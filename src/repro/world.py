@@ -157,8 +157,23 @@ class World:
     # ------------------------------------------------------------------
     @classmethod
     def build(
-        cls, seed: int = 2018, provider_names: Optional[list[str]] = None
+        cls,
+        seed: int = 2018,
+        provider_names: Optional[list[str]] = None,
+        profiles: Optional[list[ProviderProfile]] = None,
     ) -> "World":
+        """Build a world hosting either catalogue or caller-supplied providers.
+
+        ``provider_names`` selects a catalogue subset (None = all 62);
+        ``profiles`` instead realises the given ground-truth profiles
+        verbatim — the path generated ecosystems
+        (:mod:`repro.ecosystem.generate`) use, so a shard's world carries
+        only that shard's providers.
+        """
+        if provider_names is not None and profiles is not None:
+            raise ValueError(
+                "pass provider_names or profiles, not both"
+            )
         world = cls(seed=seed)
         world._build_whois_baseline()
         world._build_sites()
@@ -166,7 +181,11 @@ class World:
         world._build_anchors()
         world._build_block_pages()
         world._build_measurement_hosts()
-        world._build_providers(provider_names)
+        if profiles is not None:
+            for profile in profiles:
+                world.add_provider(profile)
+        else:
+            world._build_providers(provider_names)
         return world
 
     def _build_whois_baseline(self) -> None:

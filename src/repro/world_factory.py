@@ -24,9 +24,12 @@ from __future__ import annotations
 import pickle
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.world import World
+
+if TYPE_CHECKING:
+    from repro.source import StudySource
 
 # Templates are a few hundred KB each; a study touches one or two keys.
 _MAX_TEMPLATES = 8
@@ -111,6 +114,121 @@ class WorldFactory:
     @classmethod
     def clear(cls) -> None:
         """Drop all cached templates (tests; memory pressure)."""
+        with cls._lock:
+            cls._templates.clear()
+            cls._unpicklable.clear()
+
+
+class ShardedWorldFactory:
+    """Per-shard world templates for a :class:`~repro.source.StudySource`.
+
+    A shard is a contiguous slice of the source's provider list.  Each
+    shard's world contains *only* that slice's providers — a unit's result
+    bytes are independent of which other providers exist in the world (the
+    byte-identity the determinism suite pins), so auditing shard by shard
+    reproduces the monolithic study exactly while a worker only ever
+    restores ``1/shards`` of the provider set.
+
+    Catalogue-backed sources delegate to :class:`WorldFactory` (same cache,
+    same keys, so the unsharded catalogue path is bit-for-bit untouched);
+    generated sources get their own template cache here because their
+    worlds are built from realised profiles, not catalogue names.
+    """
+
+    _lock = threading.Lock()
+    # (seed, source.cache_key(), shard, shards) -> pickled World
+    _templates: "OrderedDict[tuple, bytes]" = OrderedDict()
+    _unpicklable: set = set()
+
+    @staticmethod
+    def shard_names(
+        source: "StudySource", seed: int, shard: int, shards: int
+    ) -> list[str]:
+        """Provider names of one shard, in study order."""
+        return source.provider_source(seed).shard_names(shards)[shard]
+
+    @classmethod
+    def _generated_blob(
+        cls, seed: int, source: "StudySource", shard: int, shards: int
+    ) -> Optional[bytes]:
+        key = (seed, source.cache_key(), shard, shards)
+        with cls._lock:
+            if key in cls._unpicklable:
+                return None
+            blob = cls._templates.get(key)
+            if blob is not None:
+                cls._templates.move_to_end(key)
+                return blob
+        names = cls.shard_names(source, seed, shard, shards)
+        world = World.build(
+            seed=seed, profiles=source.profiles_for(names, seed)
+        )
+        try:
+            blob = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            with cls._lock:
+                cls._unpicklable.add(key)
+            return None
+        with cls._lock:
+            cls._templates[key] = blob
+            cls._templates.move_to_end(key)
+            while len(cls._templates) > _MAX_TEMPLATES:
+                cls._templates.popitem(last=False)
+        return blob
+
+    @classmethod
+    def clone(
+        cls,
+        seed: int,
+        source: "StudySource",
+        shard: int = 0,
+        shards: int = 1,
+    ) -> World:
+        """A fresh world holding exactly shard ``shard`` of ``shards``."""
+        if not (0 <= shard < shards):
+            raise ValueError(f"shard {shard} outside [0, {shards})")
+        if not source.is_generated:
+            if shards == 1:
+                # Preserve the exact legacy cache key: `catalog` maps to
+                # provider_names=None, `explicit` to its name list.
+                names = (
+                    None if source.kind == "catalog"
+                    else list(source.providers or ())
+                )
+            else:
+                names = cls.shard_names(source, seed, shard, shards)
+            return WorldFactory.clone(seed=seed, provider_names=names)
+        blob = cls._generated_blob(seed, source, shard, shards)
+        if blob is None:
+            names = cls.shard_names(source, seed, shard, shards)
+            return World.build(
+                seed=seed, profiles=source.profiles_for(names, seed)
+            )
+        return pickle.loads(blob)
+
+    @classmethod
+    def warm(
+        cls,
+        seed: int,
+        source: "StudySource",
+        shard: int = 0,
+        shards: int = 1,
+    ) -> bool:
+        """Ensure the shard's template exists; True if clones will use it."""
+        if not source.is_generated:
+            if shards == 1:
+                names = (
+                    None if source.kind == "catalog"
+                    else list(source.providers or ())
+                )
+            else:
+                names = cls.shard_names(source, seed, shard, shards)
+            return WorldFactory.warm(seed, names)
+        return cls._generated_blob(seed, source, shard, shards) is not None
+
+    @classmethod
+    def clear(cls) -> None:
+        """Drop all cached shard templates (tests; memory pressure)."""
         with cls._lock:
             cls._templates.clear()
             cls._unpicklable.clear()

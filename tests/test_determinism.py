@@ -257,6 +257,67 @@ class TestWorldDeterminism:
         write_study_archive(report, root)
         assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
 
+    @pytest.mark.parametrize(
+        "workers,backend,shards",
+        [(1, "thread", 3), (4, "thread", 2), (4, "process", 3)],
+        ids=["sequential-3shard", "thread-2shard", "process-3shard"],
+    )
+    def test_sharded_study_matches_golden_fingerprint(
+        self, tmp_path, workers, backend, shards
+    ):
+        """Sharded world construction must reproduce the committed archive.
+
+        Each shard builds a world containing only its provider slice, so
+        this pins that audit results are independent of which *other*
+        providers exist in the world — the property that makes
+        ecosystem-scale sharding sound.
+        """
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
+        from repro.runtime.executor import StudyExecutor
+
+        report = StudyExecutor(
+            seed=2018,
+            providers=GOLDEN_STUDY_PROVIDERS,
+            max_vantage_points=2,
+            workers=workers,
+            backend=backend,
+            shards=shards,
+        ).run()
+        root = tmp_path / "archive"
+        write_study_archive(report, root)
+        assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
+
+    def test_generated_study_sharded_equals_unsharded(self, tmp_path):
+        """A generated-source study must not depend on shard count.
+
+        Runs the same 8-provider generated ecosystem monolithically and
+        split across 3 shards; the archives must be byte-identical.
+        """
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
+        from repro.runtime.executor import StudyExecutor
+        from repro.source import StudySource
+
+        source = StudySource.generated(8, generator_seed=7)
+
+        def fingerprint(shards: int, label: str) -> str:
+            report = StudyExecutor(
+                seed=2018,
+                source=source,
+                max_vantage_points=2,
+                shards=shards,
+            ).run()
+            root = tmp_path / label
+            write_study_archive(report, root)
+            return archive_fingerprint(root)
+
+        assert fingerprint(1, "mono") == fingerprint(3, "sharded")
+
     def test_ecosystem_seed_sensitivity(self):
         from repro.ecosystem.generate import generate_ecosystem
 
