@@ -123,6 +123,9 @@ def run_full_study(
     config: Optional["StudyConfig"] = None,
     *,
     stop_event=None,
+    bus=None,
+    ledger_path=None,
+    sample_interval_s=None,
     seed=_UNSET,
     max_vantage_points=_UNSET,
     providers=_UNSET,
@@ -149,6 +152,14 @@ def run_full_study(
     when set, the executor finishes in-flight units, flushes the
     checkpoint, and raises :class:`repro.runtime.StudyInterrupted` — this
     is what the CLI's SIGTERM handler and the serve daemon use.
+
+    ``bus`` supplies the :class:`repro.runtime.EventBus` the run publishes
+    on (pass one to attach subscribers — a dashboard, a renderer — before
+    the study starts); ``ledger_path`` persists the runtime telemetry
+    stream as JSONL (``repro ledger show`` reads it back) and
+    ``sample_interval_s`` sets the background resource sampler's cadence
+    — either turns the sampler on.  Telemetry is a side channel: results
+    and archive bytes are identical with or without it.
 
     ``config.source`` generalises ``config.providers``: a
     :class:`repro.StudySource` naming the catalogue, an explicit provider
@@ -182,11 +193,16 @@ def run_full_study(
             "obs": obs,
         },
     )
-    bus = EventBus()
+    if bus is None:
+        bus = EventBus()
     if config.progress:
         bus.subscribe(TextProgressRenderer(sys.stderr))
     executor = StudyExecutor.from_config(
-        config, bus=bus, stop_event=stop_event
+        config,
+        bus=bus,
+        stop_event=stop_event,
+        ledger_path=ledger_path,
+        sample_interval_s=sample_interval_s,
     )
     if config.stream:
         # One combined archive regardless of shard count; per-shard

@@ -9,8 +9,10 @@ VPN services; this CLI is the reproduction's equivalent front door:
                           [--source SPEC] [--shards N] [--stream]
                           [--archive DIR] [--workers N] [--resume DIR]
                           [--snapshots N] [--progress] [--profile]
+                          [--profile-stages] [--dashboard] [--ledger [PATH]]
                           [--trace FILE] [--metrics] [--metrics-out FILE]
                           [--flight-recorder N]
+    python -m repro ledger show ledger.jsonl   # run-ledger telemetry summary
     python -m repro trace summarize out.jsonl  # span-tree / packet summary
     python -m repro trace flows out.jsonl      # per-packet causal hop chains
     python -m repro trace query 'kind=packet_send status=delivered' out.jsonl
@@ -20,7 +22,7 @@ VPN services; this CLI is the reproduction's equivalent front door:
     python -m repro ecosystem generate --providers 1000 --out spec.json
     python -m repro experiments                # table/figure registry
     python -m repro serve [--port N] [--state-dir DIR]   # audit daemon
-    python -m repro client submit|status|watch|fetch|cancel|list|trace
+    python -m repro client submit|status|watch|top|fetch|cancel|list|trace
     python -m repro checkpoint prune DIR       # drop crash-resume state
     python -m repro archive fingerprint DIR    # content hash of an archive
 
@@ -116,6 +118,28 @@ def build_parser() -> argparse.ArgumentParser:
              "delivery/analysis) and print the breakdown after the study",
     )
     study.add_argument(
+        "--profile-stages", action="store_true", dest="profile_stages",
+        help="attribute per-packet delivery cost to stages (route/firewall/"
+             "capture/latency/dispatch/encap) and print the table after "
+             "the study; sampled, deterministic, <=5%% overhead",
+    )
+    study.add_argument(
+        "--stage-sample", type=int, default=8, metavar="N",
+        help="time 1 in N top-level sends under --profile-stages "
+             "(counts stay exact; default 8, 1 = time everything)",
+    )
+    study.add_argument(
+        "--dashboard", action="store_true",
+        help="render a live in-terminal dashboard (per-shard progress, "
+             "units/sec, ETA, worker RSS, hottest stages) on stderr",
+    )
+    study.add_argument(
+        "--ledger", nargs="?", const="auto", metavar="PATH",
+        help="persist runtime telemetry (resource samples, unit "
+             "completions) as JSONL; bare --ledger writes ledger.jsonl "
+             "next to --archive (or the working directory)",
+    )
+    study.add_argument(
         "--trace", metavar="FILE",
         help="write a deterministic JSONL span trace of the study to FILE "
              "(one span/event per line; see 'repro trace summarize')",
@@ -171,6 +195,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_diff.add_argument("file_a", help="baseline JSONL trace")
     trace_diff.add_argument("file_b", help="candidate JSONL trace")
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect a run ledger written by 'study --ledger'"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_cmd", required=True)
+    ledger_show = ledger_sub.add_parser(
+        "show", help="summarize one ledger: peak RSS, queue depth, "
+                     "shard residency, world-suite LRU hit rate",
+    )
+    ledger_show.add_argument("file", help="path to the ledger JSONL file")
+    ledger_show.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the summary as machine-readable JSON",
+    )
 
     report = sub.add_parser(
         "report", help="explainable views over audit verdicts"
@@ -328,6 +366,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="give up after this many seconds (default: wait forever)",
     )
+    watch.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one machine-readable event per line (the same frames "
+             "the dashboard consumes) instead of rendered text",
+    )
+    top = client_sub.add_parser(
+        "top",
+        help="one job's dashboard numbers (progress, worker RSS, hottest "
+             "stages) — the remote view of 'repro study --dashboard'",
+    )
+    top.add_argument("job_id")
+    top.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw top document as JSON",
+    )
     fetch = client_sub.add_parser(
         "fetch", help="print a stored result document as JSON"
     )
@@ -423,7 +476,12 @@ def cmd_audit(provider: str, max_vps: int, seed: int) -> int:
     return 0
 
 
-def cmd_study(config, archive: Optional[str]) -> int:
+def cmd_study(
+    config,
+    archive: Optional[str],
+    dashboard: bool = False,
+    ledger_path: Optional[str] = None,
+) -> int:
     import signal
     import threading
 
@@ -489,15 +547,37 @@ def cmd_study(config, archive: Optional[str]) -> int:
 
         from repro.api import run_full_study
 
+        # Telemetry riders: the dashboard subscribes to the run's bus
+        # before the study starts; either the ledger or the dashboard
+        # turns the background resource sampler on.
+        bus = None
+        panel = None
+        if dashboard:
+            from repro.runtime.dashboard import Dashboard
+            from repro.runtime.events import EventBus
+
+            bus = EventBus()
+            panel = Dashboard(bus, stream=sys.stderr).start()
         try:
-            study = run_full_study(config=config, stop_event=stop_event)
+            study = run_full_study(
+                config=config,
+                stop_event=stop_event,
+                bus=bus,
+                ledger_path=ledger_path,
+                sample_interval_s=0.5 if dashboard or ledger_path else None,
+            )
         except StudyInterrupted as exc:
             return _interrupted(exc)
+        finally:
+            if panel is not None:
+                panel.stop()
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     print(study.summary())
     print(f"\ncompleted in {time.time() - started:.0f}s")
+    if ledger_path:
+        print(f"ledger written to {ledger_path}")
     if config.stream:
         # run_full_study returned a StreamedStudy: results are already on
         # disk, so there is nothing further to archive or aggregate here.
@@ -510,6 +590,11 @@ def cmd_study(config, archive: Optional[str]) -> int:
 
             print("\nphase wall-clock attribution:")
             print(render_phase_table(study.obs_metrics))
+        if config.obs.stage_profile:
+            from repro.obs.stages import render_stage_table
+
+            print()
+            print(render_stage_table(study.obs_metrics))
         if config.obs.metrics or config.obs.metrics_path:
             from repro.obs.metrics import MetricsRegistry
 
@@ -743,12 +828,21 @@ def cmd_client(args) -> int:
                 event_from_dict,
             )
 
-            renderer = TextProgressRenderer(sys.stdout)
+            if args.as_json:
+                # One wire-form event dict per line — exactly the frames
+                # the dashboard consumes, for scripting against long jobs.
+                def _render(record: dict) -> None:
+                    print(json.dumps(
+                        record, sort_keys=True, separators=(",", ":")
+                    ))
+                    sys.stdout.flush()
+            else:
+                renderer = TextProgressRenderer(sys.stdout)
 
-            def _render(record: dict) -> None:
-                event = event_from_dict(record)
-                if event is not None:
-                    renderer(event)
+                def _render(record: dict) -> None:
+                    event = event_from_dict(record)
+                    if event is not None:
+                        renderer(event)
 
             final = client.watch(
                 args.job_id,
@@ -760,6 +854,16 @@ def cmd_client(args) -> int:
                 f"{args.job_id}: {final.state.value}", file=sys.stderr
             )
             return 0 if final.state is JobState.COMPLETED else 1
+        if args.client_cmd == "top":
+            top = client.top(args.job_id)
+            if args.as_json:
+                print(json.dumps(top, indent=2, sort_keys=True))
+            else:
+                from repro.runtime.dashboard import render_top
+
+                print(f"job      : {top.get('job_id', args.job_id)}")
+                print(render_top(top))
+            return 0
         if args.client_cmd == "fetch":
             print(json.dumps(
                 client.result(args.job_id, args.name),
@@ -798,6 +902,26 @@ def cmd_client(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     return 2  # pragma: no cover
+
+
+def cmd_ledger_show(file: str, as_json: bool = False) -> int:
+    import json
+
+    from repro.obs.sample import ledger_summary, read_ledger, render_ledger
+
+    try:
+        entries = read_ledger(file)
+    except OSError as exc:
+        print(f"cannot read ledger {file!r}: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no ledger records parsed from {file!r}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(ledger_summary(entries), indent=2, sort_keys=True))
+    else:
+        print(render_ledger(entries))
+    return 0
 
 
 def cmd_checkpoint_prune(path: str) -> int:
@@ -953,6 +1077,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("--stream does not apply to --snapshots series",
                   file=sys.stderr)
             return 2
+        if args.snapshots > 1 and (args.dashboard or args.ledger):
+            print("--dashboard/--ledger do not apply to --snapshots series",
+                  file=sys.stderr)
+            return 2
+        ledger_path = args.ledger
+        if ledger_path == "auto":
+            # "Alongside the archive": .jsonl, so the archive fingerprint
+            # (which hashes *.json) never sees it.
+            import pathlib
+
+            base = pathlib.Path(args.archive) if args.archive else (
+                pathlib.Path(".")
+            )
+            ledger_path = str(base / "ledger.jsonl")
         source = None
         if args.source:
             try:
@@ -982,11 +1120,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 metrics_path=args.metrics_out,
                 flight_recorder=args.flight_recorder,
                 profile=args.profile,
+                stage_profile=args.profile_stages,
+                stage_sample=args.stage_sample,
             ),
         )
-        return cmd_study(config, args.archive)
+        return cmd_study(
+            config,
+            args.archive,
+            dashboard=args.dashboard,
+            ledger_path=ledger_path,
+        )
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "ledger":
+        return cmd_ledger_show(args.file, as_json=args.as_json)
     if args.command == "report":
         return cmd_report_explain(
             args.provider, args.max_vps, args.seed, args.show_all,

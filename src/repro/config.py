@@ -129,6 +129,8 @@ class StudyConfig:
                     "metrics_path": value.metrics_path,
                     "flight_recorder": value.flight_recorder,
                     "profile": value.profile,
+                    "stage_profile": value.stage_profile,
+                    "stage_sample": value.stage_sample,
                 }
             elif spec.name == "providers" and value is not None:
                 value = list(value)
@@ -182,10 +184,15 @@ class ServeConfig:
     max_active_jobs: int = 2
     poll_interval_s: float = 0.05
     keep_checkpoints: bool = False
+    #: Cadence of each job's runtime resource sampler (RSS, queue depth,
+    #: shard residency); feeds ``GET /jobs/{id}/top``.  None disables it.
+    sample_interval_s: Optional[float] = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.sample_interval_s is not None and self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be > 0 or None")
         if self.max_active_jobs < 1:
             raise ValueError("max_active_jobs must be >= 1")
         if self.poll_interval_s <= 0:

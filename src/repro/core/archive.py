@@ -255,6 +255,7 @@ def iter_archive_results(
     root: str | pathlib.Path,
     provider: Optional[str] = None,
     strict: bool = False,
+    metrics=None,
 ) -> Iterator["VantagePointResults"]:
     """Iterate archived vantage-point results without loading them all.
 
@@ -262,7 +263,10 @@ def iter_archive_results(
     manifests and verdict summaries.  Truncated or corrupt files (e.g. the
     in-flight unit of a crashed streaming run) are skipped unless
     *strict*, so the readable prefix of a partial archive is always
-    recoverable.
+    recoverable.  *metrics* (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) counts each skipped file
+    as ``archive.torn_results`` — torn tails become a visible counter at
+    ``/metrics`` instead of silent absence.
     """
     root = pathlib.Path(root)
     directories = (
@@ -280,6 +284,8 @@ def iter_archive_results(
             except (ValueError, KeyError, TypeError):
                 if strict:
                     raise
+                if metrics is not None:
+                    metrics.inc("archive.torn_results")
 
 
 def _merge_manifests(manifests: list[dict]) -> dict:

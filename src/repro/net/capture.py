@@ -5,6 +5,10 @@ records the packets it transmits and receives, timestamped on the simulation
 clock.  The leakage tests (paper Section 5.3.3) and the P2P analysis (Section
 6.6) work purely by scanning these captures, just as the real suite scanned
 tcpdump output on the hardware interface.
+
+When the stage profiler is on (``ObsConfig(stage_profile=True)``), time
+spent appending capture entries on the delivery hot paths is attributed to
+the ``capture`` stage (see ``repro.obs.stages``).
 """
 
 from __future__ import annotations

@@ -315,16 +315,27 @@ class DeliveryEngine:
         handoff is never double-counted.
         """
         obs = self.internet.obs
-        profile = obs.profile if obs is not None else None
-        if profile is None:
-            return self._send(host, packet)
-        profile.enter("delivery")
+        if obs is None:
+            return self._send(host, packet, None)
+        profile = obs.profile
+        stages = obs.stages
+        if profile is None and stages is None:
+            return self._send(host, packet, None)
+        if profile is not None:
+            profile.enter("delivery")
+        if stages is not None:
+            stages.begin_send()
         try:
-            return self._send(host, packet)
+            return self._send(host, packet, stages)
         finally:
-            profile.leave()
+            if stages is not None:
+                stages.end_send()
+            if profile is not None:
+                profile.leave()
 
-    def _send(self, host: "Host", packet: Packet) -> "Optional[DeliveryResult]":
+    def _send(
+        self, host: "Host", packet: Packet, stages
+    ) -> "Optional[DeliveryResult]":
         payload = packet.payload
         kind = payload.kind
         if kind == "icmp":
@@ -335,14 +346,22 @@ class DeliveryEngine:
             self.fallback_sends += 1
             return None
         key = (id(host), id(packet.src), id(packet.dst), kind, dst_port)
+        # The whole plan fetch/validate/compile region is one `route`
+        # frame per send: billing compilation separately would make the
+        # stage *count* depend on plan-cache warmth, which is
+        # scheduling-dependent and must never reach the metrics.
+        if stages is not None:
+            stages.enter("route")
         plan = self._plans.get(key)
         if plan is None or not self._plan_valid(plan):
             plan = self._compile(host, packet, key, kind, dst_port)
+        if stages is not None:
+            stages.leave()
         shape = plan.shape
         if shape == _SHAPE_TUNNEL:
-            result = self._run_tunnel(plan, host, packet)
+            result = self._run_tunnel(plan, host, packet, stages)
         elif shape == _SHAPE_DIRECT:
-            result = self._run_direct(plan, host, packet)
+            result = self._run_direct(plan, host, packet, stages)
         else:
             result = None
         if result is None:
@@ -804,6 +823,7 @@ class DeliveryEngine:
         delivered: Packet,
         kind: str,
         dst_port: int,
+        stages=None,
     ) -> Optional[list[Packet]]:
         """Inline of ``Host.receive`` minus the pre-validated guards.
 
@@ -829,7 +849,7 @@ class DeliveryEngine:
                     ),
                 )
                 object.__setattr__(delivered, "_echo_reply", reply)
-            self._record_tx(dst_host, dst_iface, reply)
+            self._record_tx(dst_host, dst_iface, reply, stages)
             return [reply]
         handler = dst_host._services.get((kind, dst_port))
         if handler is None:
@@ -838,7 +858,7 @@ class DeliveryEngine:
                 dst=delivered.src,
                 payload=IcmpPayload(icmp_type="port_unreachable"),
             )
-            self._record_tx(dst_host, dst_iface, reply)
+            self._record_tx(dst_host, dst_iface, reply, stages)
             return [reply]
         responses = handler(delivered, dst_host) or []
         for response in responses:
@@ -849,13 +869,18 @@ class DeliveryEngine:
                 if src is delivered.dst
                 else dst_host.interface_for_address(src),
                 response,
+                stages,
             )
         return responses
 
-    def _record_tx(self, host: "Host", interface, packet: Packet) -> None:
+    def _record_tx(
+        self, host: "Host", interface, packet: Packet, stages=None
+    ) -> None:
         if interface is not None:
             capture = interface.capture
             if capture.enabled:
+                if stages is not None:
+                    stages.enter("capture")
                 capture.entries.append(
                     CaptureEntry(
                         self.internet.clock_ms,
@@ -864,6 +889,8 @@ class DeliveryEngine:
                         packet,
                     )
                 )
+                if stages is not None:
+                    stages.leave()
 
     # ------------------------------------------------------------------
     # Replay of recorded ICMP deliveries
@@ -872,7 +899,7 @@ class DeliveryEngine:
     # Direct shape
     # ------------------------------------------------------------------
     def _run_direct(
-        self, plan: FlowPlan, host: "Host", packet: Packet
+        self, plan: FlowPlan, host: "Host", packet: Packet, stages=None
     ) -> "Optional[DeliveryResult]":
         internet = self.internet
         iface = plan.iface
@@ -896,19 +923,29 @@ class DeliveryEngine:
             bool(firewall._rules) or firewall.default is not _ALLOW
         )
         iface_name = plan.iface_name
-        if fw_active and not self._fw_allows(
-            firewall, packet, "out", iface_name
-        ):
-            return None
+        if fw_active:
+            if stages is not None:
+                stages.enter("firewall")
+            permitted = self._fw_allows(firewall, packet, "out", iface_name)
+            if stages is not None:
+                stages.leave()
+            if not permitted:
+                return None
 
         obs = internet.obs
         capture = plan.capture
         if capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             capture.entries.append(
                 CaptureEntry(
                     internet.clock_ms, "tx", capture.interface, packet
                 )
             )
+            if stages is not None:
+                stages.leave()
+        if stages is not None:
+            stages.enter("latency")
         sample = packet.__dict__.get("_jitter_sample")
         if sample is None:
             sample = internet._jitter_sample(packet)
@@ -918,16 +955,26 @@ class DeliveryEngine:
         delivered = packet.__dict__.get("_dec")
         if delivered is None:
             delivered = packet.decrement_ttl()
+        if stages is not None:
+            stages.leave()
         rx_capture = plan.dst_capture
         if rx_capture is not None and rx_capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             rx_capture.entries.append(
                 CaptureEntry(
                     internet.clock_ms, "rx", rx_capture.interface, delivered
                 )
             )
+            if stages is not None:
+                stages.leave()
+        if stages is not None:
+            stages.enter("dispatch")
         responses = self._dispatch(
-            plan, dst_host, delivered, plan.kind, plan.dst_port
+            plan, dst_host, delivered, plan.kind, plan.dst_port, stages
         )
+        if stages is not None:
+            stages.leave()
         if responses is None:
             responses = []
         internet.clock_ms += half
@@ -940,23 +987,33 @@ class DeliveryEngine:
             clock_ms = internet.clock_ms
             record_rx = capture.enabled
             for response in responses:
-                if fw_active and not self._fw_allows(
-                    firewall, response, "in", iface_name
-                ):
-                    continue
+                if fw_active:
+                    if stages is not None:
+                        stages.enter("firewall")
+                    permitted = self._fw_allows(
+                        firewall, response, "in", iface_name
+                    )
+                    if stages is not None:
+                        stages.leave()
+                    if not permitted:
+                        continue
                 if record_rx:
+                    if stages is not None:
+                        stages.enter("capture")
                     capture.entries.append(
                         CaptureEntry(
                             clock_ms, "rx", capture.interface, response
                         )
                     )
+                    if stages is not None:
+                        stages.leave()
         return result
 
     # ------------------------------------------------------------------
     # Tunnel shape
     # ------------------------------------------------------------------
     def _run_tunnel(
-        self, plan: FlowPlan, host: "Host", packet: Packet
+        self, plan: FlowPlan, host: "Host", packet: Packet, stages=None
     ) -> "Optional[DeliveryResult]":
         internet = self.internet
         endpoint = plan.endpoint
@@ -1004,28 +1061,47 @@ class DeliveryEngine:
 
         obs = internet.obs
         server = plan.server
+        if stages is not None:
+            stages.enter("encap")
         outer = endpoint._encapsulate(packet)
+        if stages is not None:
+            stages.leave()
         if fw_active:
             # Both legacy checkpoints: the inner packet leaving the tunnel
             # device, and the encapsulated packet leaving the physical one.
-            if not self._fw_allows(firewall, packet, "out", plan.iface_name):
-                return None
-            if not self._fw_allows(firewall, outer, "out", phys.name):
+            if stages is not None:
+                stages.enter("firewall")
+            permitted = self._fw_allows(
+                firewall, packet, "out", plan.iface_name
+            ) and self._fw_allows(firewall, outer, "out", phys.name)
+            if stages is not None:
+                stages.leave()
+            if not permitted:
                 return None
 
         capture = plan.capture
         phys_capture = plan.phys_capture
         clock_start = internet.clock_ms
         if capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             capture.entries.append(
                 CaptureEntry(clock_start, "tx", capture.interface, packet)
             )
+            if stages is not None:
+                stages.leave()
         if phys_capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             phys_capture.entries.append(
                 CaptureEntry(clock_start, "tx", phys_capture.interface, outer)
             )
+            if stages is not None:
+                stages.leave()
 
         # ---- outer leg out: client -> vantage point ------------------
+        if stages is not None:
+            stages.enter("latency")
         sample_o = outer.__dict__.get("_jitter_sample")
         if sample_o is None:
             sample_o = internet._jitter_sample(outer)
@@ -1036,11 +1112,15 @@ class DeliveryEngine:
         delivered_outer = outer.__dict__.get("_dec")
         if delivered_outer is None:
             delivered_outer = outer.decrement_ttl()
+        if stages is not None:
+            stages.leave()
         tunnel_payload = delivered_outer.payload
         inner = tunnel_payload.inner
         server.sessions_served += 1
 
         # ---- vantage-point side --------------------------------------
+        if stages is not None:
+            stages.enter("dispatch")
         if dns_in_tunnel:
             outer_responses = self._answer_dns_inline(
                 server, delivered_outer, tunnel_payload, inner
@@ -1049,8 +1129,11 @@ class DeliveryEngine:
             outer_responses = []  # v6 inner with a v4-only egress
         else:
             outer_responses = self._egress_inline(
-                plan, server, delivered_outer, tunnel_payload, inner, obs
+                plan, server, delivered_outer, tunnel_payload, inner, obs,
+                stages,
             )
+        if stages is not None:
+            stages.leave()
 
         # ---- outer leg back: vantage point -> client -----------------
         internet.clock_ms += half_o
@@ -1066,11 +1149,15 @@ class DeliveryEngine:
         clock_end = internet.clock_ms
         for response in outer_responses:
             if record_rx:
+                if stages is not None:
+                    stages.enter("capture")
                 phys_capture.entries.append(
                     CaptureEntry(
                         clock_end, "rx", phys_capture.interface, response
                     )
                 )
+                if stages is not None:
+                    stages.leave()
             inner_responses.append(response.payload.inner)
         result = self._DeliveryResult(
             packet=packet,
@@ -1082,16 +1169,26 @@ class DeliveryEngine:
             record = capture.enabled
             iface_name = plan.iface_name
             for response in inner_responses:
-                if fw_active and not self._fw_allows(
-                    firewall, response, "in", iface_name
-                ):
-                    continue
+                if fw_active:
+                    if stages is not None:
+                        stages.enter("firewall")
+                    permitted = self._fw_allows(
+                        firewall, response, "in", iface_name
+                    )
+                    if stages is not None:
+                        stages.leave()
+                    if not permitted:
+                        continue
                 if record:
+                    if stages is not None:
+                        stages.enter("capture")
                     capture.entries.append(
                         CaptureEntry(
                             clock_end, "rx", capture.interface, response
                         )
                     )
+                    if stages is not None:
+                        stages.leave()
         return result
 
     def _answer_dns_inline(
@@ -1148,6 +1245,7 @@ class DeliveryEngine:
         tunnel_payload: TunnelPayload,
         inner: Packet,
         obs,
+        stages=None,
     ) -> list[Packet]:
         """Inline of ``VantagePointServer._egress`` + the inner delivery.
 
@@ -1189,12 +1287,16 @@ class DeliveryEngine:
             # fraction on the clock, a ttl_exceeded event, and — exactly
             # as the legacy `_egress` does — no responses returned.
             hop_index = outbound.ttl
+            if stages is not None:
+                stages.enter("latency")
             fraction = hop_index / max(1, plan.hops)
             sample = outbound.__dict__.get("_jitter_sample")
             if sample is None:
                 sample = internet._jitter_sample(outbound)
             rtt = latency.rtt_ms(plan.vp_loc, plan.dst_loc, sample) * fraction
             internet.clock_ms += rtt
+            if stages is not None:
+                stages.leave()
             if obs is not None:
                 router_addr = internet._router_at(
                     vp_host, plan.dst_host, hop_index, plan.hops
@@ -1204,6 +1306,8 @@ class DeliveryEngine:
                 )
             return []
 
+        if stages is not None:
+            stages.enter("latency")
         sample_i = outbound.__dict__.get("_jitter_sample")
         if sample_i is None:
             sample_i = internet._jitter_sample(outbound)
@@ -1213,8 +1317,12 @@ class DeliveryEngine:
         delivered_inner = outbound.__dict__.get("_dec")
         if delivered_inner is None:
             delivered_inner = outbound.decrement_ttl()
+        if stages is not None:
+            stages.leave()
         rx_capture = plan.dst_capture
         if rx_capture is not None and rx_capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             rx_capture.entries.append(
                 CaptureEntry(
                     internet.clock_ms,
@@ -1223,15 +1331,24 @@ class DeliveryEngine:
                     delivered_inner,
                 )
             )
+            if stages is not None:
+                stages.leave()
+        if stages is not None:
+            stages.enter("dispatch")
         responses = self._dispatch(
-            plan, plan.dst_host, delivered_inner, plan.kind, plan.dst_port
+            plan, plan.dst_host, delivered_inner, plan.kind, plan.dst_port,
+            stages,
         )
+        if stages is not None:
+            stages.leave()
         internet.clock_ms += half_i
         if obs is not None:
             obs.packet_event(vp_host.name, outbound, "delivered")
         if not responses:
             return []
         outer_responses = []
+        if stages is not None:
+            stages.enter("encap")
         if behaviors:
             for response in responses:
                 for behavior in behaviors:
@@ -1252,6 +1369,8 @@ class DeliveryEngine:
                         response.with_dst(client_tunnel_address),
                     )
                 )
+        if stages is not None:
+            stages.leave()
         return outer_responses
 
     @staticmethod

@@ -203,20 +203,36 @@ class Host:
         if obs is None:
             return self._send_legacy(packet, None)
         profile = obs.profile
-        if profile is None:
+        stages = obs.stages
+        if profile is None and stages is None:
             return self._send_legacy(packet, obs)
-        profile.enter("delivery")
+        if profile is not None:
+            profile.enter("delivery")
+        if stages is not None:
+            # Top-level send boundary: the stage profiler decides here
+            # whether this (whole, nested) send tree is wall-clock
+            # sampled; the `send` frame itself soaks up orchestration
+            # residue so stage totals sum to the delivery phase.
+            stages.begin_send()
         try:
             return self._send_legacy(packet, obs)
         finally:
-            profile.leave()
+            if stages is not None:
+                stages.end_send()
+            if profile is not None:
+                profile.leave()
 
     def _send_legacy(self, packet: Packet, obs) -> "DeliveryResult":
         from repro.net.internet import DeliveryResult  # circular at import time
 
+        stages = obs.stages if obs is not None else None
         # Packets that die before reaching the wire are invisible to
         # `Internet.deliver`; record their fate here.
+        if stages is not None:
+            stages.enter("route")
         route = self.routing.lookup(packet.dst)
+        if stages is not None:
+            stages.leave()
         if route is None:
             if obs is not None:
                 obs.packet_event(self.name, packet, "no_route")
@@ -235,21 +251,29 @@ class Host:
         firewall_active = (
             firewall._rules or firewall.default is not FirewallAction.ALLOW
         )
-        if firewall_active and not firewall.permits(
-            packet, "out", interface.name
-        ):
-            if obs is not None:
-                obs.packet_event(
-                    self.name, packet, "filtered", "egress firewall"
-                )
-            return DeliveryResult.filtered(packet, "egress firewall")
+        if firewall_active:
+            if stages is not None:
+                stages.enter("firewall")
+            permitted = firewall.permits(packet, "out", interface.name)
+            if stages is not None:
+                stages.leave()
+            if not permitted:
+                if obs is not None:
+                    obs.packet_event(
+                        self.name, packet, "filtered", "egress firewall"
+                    )
+                return DeliveryResult.filtered(packet, "egress firewall")
 
         internet = self.internet
         capture = interface.capture
         if capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             capture.entries.append(
                 CaptureEntry(internet.clock_ms, "tx", capture.interface, packet)
             )
+            if stages is not None:
+                stages.leave()
         if interface.is_tunnel and interface.endpoint is not None:
             # VPN tunnel: the endpoint encapsulates and re-sends via the
             # physical interface (and may fail open/closed on tunnel loss).
@@ -261,16 +285,26 @@ class Host:
             clock_ms = internet.clock_ms
             record_rx = capture.enabled
             for response in responses:
-                if firewall_active and not firewall.permits(
-                    response, "in", interface.name
-                ):
-                    continue
+                if firewall_active:
+                    if stages is not None:
+                        stages.enter("firewall")
+                    permitted = firewall.permits(
+                        response, "in", interface.name
+                    )
+                    if stages is not None:
+                        stages.leave()
+                    if not permitted:
+                        continue
                 if record_rx:
+                    if stages is not None:
+                        stages.enter("capture")
                     capture.entries.append(
                         CaptureEntry(
                             clock_ms, "rx", capture.interface, response
                         )
                     )
+                    if stages is not None:
+                        stages.leave()
         return result
 
     # ------------------------------------------------------------------
@@ -279,19 +313,30 @@ class Host:
     def receive(self, packet: Packet) -> Optional[list[Packet]]:
         """Handle a delivered packet; returns response packets if any."""
         interface = self.interface_for_address(packet.dst)
+        obs = self.internet.obs if self.internet is not None else None
+        stages = obs.stages if obs is not None else None
         firewall = self.firewall
         if firewall._rules or firewall.default is not FirewallAction.ALLOW:
             iface_name = interface.name if interface else "?"
-            if not firewall.permits(packet, "in", iface_name):
+            if stages is not None:
+                stages.enter("firewall")
+            permitted = firewall.permits(packet, "in", iface_name)
+            if stages is not None:
+                stages.leave()
+            if not permitted:
                 return None
         if interface is not None:
             capture = interface.capture
             if capture.enabled:
+                if stages is not None:
+                    stages.enter("capture")
                 capture.entries.append(
                     CaptureEntry(
                         self.internet.clock_ms, "rx", capture.interface, packet
                     )
                 )
+                if stages is not None:
+                    stages.leave()
         if self.packet_tap is not None:
             self.packet_tap(packet)
 
@@ -313,7 +358,7 @@ class Host:
                         ),
                     )
                     object.__setattr__(packet, "_echo_reply", reply)
-                self._record_tx(interface, reply)
+                self._record_tx(interface, reply, stages)
                 return [reply]
             return None
 
@@ -327,7 +372,7 @@ class Host:
                     dst=packet.src,
                     payload=IcmpPayload(icmp_type="port_unreachable"),
                 )
-                self._record_tx(interface, reply)
+                self._record_tx(interface, reply, stages)
                 return [reply]
             responses = handler(packet, self) or []
             for response in responses:
@@ -339,6 +384,7 @@ class Host:
                     if src is packet.dst
                     else self.interface_for_address(src),
                     response,
+                    stages,
                 )
             return responses
 
@@ -354,20 +400,30 @@ class Host:
                     if src is packet.dst
                     else self.interface_for_address(src),
                     response,
+                    stages,
                 )
             return responses
 
         return None
 
-    def _record_tx(self, interface: Optional[Interface], packet: Packet) -> None:
+    def _record_tx(
+        self,
+        interface: Optional[Interface],
+        packet: Packet,
+        stages=None,
+    ) -> None:
         if interface is not None and self.internet is not None:
             capture = interface.capture
             if capture.enabled:
+                if stages is not None:
+                    stages.enter("capture")
                 capture.entries.append(
                     CaptureEntry(
                         self.internet.clock_ms, "tx", capture.interface, packet
                     )
                 )
+                if stages is not None:
+                    stages.leave()
 
     # ------------------------------------------------------------------
     # Configuration snapshots (metadata test, Section 5.3.4)

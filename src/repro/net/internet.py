@@ -239,6 +239,7 @@ class Internet:
         """Deliver a packet from *source* to the owner of ``packet.dst``."""
         dst = packet.dst
         obs = self.obs
+        stages = obs.stages if obs is not None else None
         if self._blackholes and (source.name, dst) in self._blackholes:
             self.clock_ms += 2.0
             if obs is not None:
@@ -276,11 +277,15 @@ class Internet:
                 source, destination, hop_index, hops
             )
             fraction = hop_index / max(1, hops)
+            if stages is not None:
+                stages.enter("latency")
             rtt = (
                 latency.rtt_ms(src_loc, dst_loc, self._jitter_sample(packet))
                 * fraction
             )
             self.clock_ms += rtt
+            if stages is not None:
+                stages.leave()
             reply = Packet(
                 src=router_addr,
                 dst=packet.src,
@@ -300,6 +305,11 @@ class Internet:
                 detail=str(router_addr),
             )
 
+        # Stage attribution: jitter/RTT derivation and both clock
+        # half-advances bill to `latency`; the receive side nests inside
+        # as `dispatch` and is subtracted by exclusive accounting.
+        if stages is not None:
+            stages.enter("latency")
         sample = packet.__dict__.get("_jitter_sample")
         if sample is None:
             sample = self._jitter_sample(packet)
@@ -309,8 +319,14 @@ class Internet:
         delivered = packet.__dict__.get("_dec")
         if delivered is None:
             delivered = packet.decrement_ttl()
+        if stages is not None:
+            stages.enter("dispatch")
         responses = destination.receive(delivered) or []
+        if stages is not None:
+            stages.leave()
         self.clock_ms += rtt / 2.0
+        if stages is not None:
+            stages.leave()
         if obs is not None:
             obs.packet_event(source.name, packet, "delivered")
         return DeliveryResult(

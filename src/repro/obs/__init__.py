@@ -39,6 +39,13 @@ _EXPORTS = {
     "PhaseProfiler": ("repro.obs.profile", "PhaseProfiler"),
     "phase_breakdown": ("repro.obs.profile", "phase_breakdown"),
     "render_phase_table": ("repro.obs.profile", "render_phase_table"),
+    "StageProfiler": ("repro.obs.stages", "StageProfiler"),
+    "stage_breakdown": ("repro.obs.stages", "stage_breakdown"),
+    "render_stage_table": ("repro.obs.stages", "render_stage_table"),
+    "ResourceSampler": ("repro.obs.sample", "ResourceSampler"),
+    "RunLedger": ("repro.obs.sample", "RunLedger"),
+    "read_ledger": ("repro.obs.sample", "read_ledger"),
+    "render_ledger": ("repro.obs.sample", "render_ledger"),
     "render_prometheus": ("repro.obs.export", "render_prometheus"),
     "parse_exposition": ("repro.obs.export", "parse_exposition"),
 }
@@ -62,6 +69,17 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         PhaseProfiler,
         phase_breakdown,
         render_phase_table,
+    )
+    from repro.obs.sample import (
+        ResourceSampler,
+        RunLedger,
+        read_ledger,
+        render_ledger,
+    )
+    from repro.obs.stages import (
+        StageProfiler,
+        render_stage_table,
+        stage_breakdown,
     )
     from repro.obs.evidence import (
         EvidenceChain,

@@ -39,7 +39,11 @@ class ObsConfig:
     ``profile`` arms the :class:`~repro.obs.profile.PhaseProfiler` — the
     per-unit dns/browser/tls/delivery/analysis wall-clock attribution —
     and implies ``metrics``, since phase totals travel as ordinary
-    metrics (``phase.calls.*`` / ``phase.wall_ms.*``).
+    metrics (``phase.calls.*`` / ``phase.wall_ms.*``).  ``stage_profile``
+    arms the finer :class:`~repro.obs.stages.StageProfiler` — per-packet
+    stage attribution *inside* delivery — and likewise implies
+    ``metrics``; ``stage_sample`` is its deterministic 1-in-N top-level
+    send sampling period (1 = time every send).
     """
 
     trace: bool = False
@@ -49,10 +53,14 @@ class ObsConfig:
     metrics_path: Optional[str] = None
     flight_recorder: int = 0
     profile: bool = False
+    stage_profile: bool = False
+    stage_sample: int = 8
 
     def __post_init__(self) -> None:
         if self.flight_recorder < 0:
             raise ValueError("flight_recorder must be >= 0")
+        if self.stage_sample < 1:
+            raise ValueError("stage_sample must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -61,7 +69,12 @@ class ObsConfig:
 
     @property
     def metrics_enabled(self) -> bool:
-        return self.metrics or self.metrics_path is not None or self.profile
+        return (
+            self.metrics
+            or self.metrics_path is not None
+            or self.profile
+            or self.stage_profile
+        )
 
     @property
     def enabled(self) -> bool:

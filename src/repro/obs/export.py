@@ -57,6 +57,63 @@ def _format_bound(bound: float) -> str:
     return repr(round(bound, 9))
 
 
+#: Histogram-name prefixes that additionally render as one labelled
+#: summary family each: every ``phase.wall_ms.<phase>`` histogram becomes
+#: a ``<prefix>_phase_wall_ms{phase="<phase>",quantile=...}`` sample (and
+#: likewise for the per-packet ``stage.wall_ms.*`` series), so a single
+#: PromQL selector graphs all phases/stages side by side instead of one
+#: query per flattened family name.
+_SUMMARY_FAMILIES: tuple[tuple[str, str], ...] = (
+    ("phase.wall_ms.", "phase"),
+    ("stage.wall_ms.", "stage"),
+)
+
+_QUANTILES: tuple[tuple[str, str], ...] = (
+    ("0.5", "p50"),
+    ("0.95", "p95"),
+    ("0.99", "p99"),
+)
+
+
+def _summary_lines(histograms: dict, prefix: str) -> list[str]:
+    """Labelled quantile summaries for the wall-clock histogram families.
+
+    Quantiles come straight from the snapshot's precomputed p50/p95/p99
+    (recomputed after every merge, so they are the merged estimates);
+    members with no observations — quantile ``None`` — emit only their
+    ``_sum``/``_count`` samples.
+    """
+    lines: list[str] = []
+    for head, label in _SUMMARY_FAMILIES:
+        members = [
+            (name[len(head):], data)
+            for name, data in sorted(histograms.items())
+            if name.startswith(head) and len(name) > len(head)
+        ]
+        if not members:
+            continue
+        metric = sanitize_metric_name(head.rstrip("."), prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for member, data in members:
+            for quantile, key in _QUANTILES:
+                value = data.get(key)
+                if value is None:
+                    continue
+                lines.append(
+                    f'{metric}{{{label}="{member}",quantile="{quantile}"}} '
+                    f"{_format_value(value)}"
+                )
+            lines.append(
+                f'{metric}_sum{{{label}="{member}"}} '
+                f"{_format_value(data.get('total', 0.0))}"
+            )
+            lines.append(
+                f'{metric}_count{{{label}="{member}"}} '
+                f"{int(data.get('count', 0))}"
+            )
+    return lines
+
+
 def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     """Render a metrics snapshot as Prometheus text exposition.
 
@@ -64,6 +121,10 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     histogram buckets are cumulative over the fixed shared bounds with a
     terminal ``+Inf`` bucket equal to ``_count``, which is exactly what
     makes them mergeable server-side by any Prometheus consumer.
+
+    Wall-clock histogram families (``phase.wall_ms.*`` and
+    ``stage.wall_ms.*``) are *also* rendered as labelled summary series —
+    see :data:`_SUMMARY_FAMILIES`.
     """
     lines: list[str] = []
     for name, value in sorted(snapshot.get("counters", {}).items()):
@@ -92,6 +153,9 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
         lines.append(f"{metric}_sum {_format_value(data.get('total', 0.0))}")
         lines.append(f"{metric}_count {count}")
+    lines.extend(
+        _summary_lines(snapshot.get("histograms", {}), prefix)
+    )
     return "\n".join(lines) + "\n"
 
 
@@ -135,8 +199,39 @@ def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
     return samples
 
 
+def summary_quantiles(
+    samples: dict[str, list[tuple[dict, float]]],
+    family: str,
+    label: str,
+) -> dict[str, dict[str, float]]:
+    """Reassemble a parsed labelled summary family into per-member dicts.
+
+    The inverse of :func:`_summary_lines` over :func:`parse_exposition`
+    output: ``summary_quantiles(parse_exposition(text),
+    "repro_phase_wall_ms", "phase")`` returns ``{"delivery": {"0.5": ...,
+    "0.95": ..., "0.99": ..., "sum": ..., "count": ...}, ...}`` — which is
+    what the CI smoke asserts against to prove the quantile series
+    survived the scrape.
+    """
+    members: dict[str, dict[str, float]] = {}
+    for labels, value in samples.get(family, []):
+        member = labels.get(label)
+        quantile = labels.get("quantile")
+        if member is None or quantile is None:
+            continue
+        members.setdefault(member, {})[quantile] = value
+    for suffix in ("sum", "count"):
+        for labels, value in samples.get(f"{family}_{suffix}", []):
+            member = labels.get(label)
+            if member is None:
+                continue
+            members.setdefault(member, {})[suffix] = value
+    return members
+
+
 __all__ = [
     "render_prometheus",
     "parse_exposition",
+    "summary_quantiles",
     "sanitize_metric_name",
 ]

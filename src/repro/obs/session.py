@@ -28,6 +28,7 @@ from repro.obs.config import ObsConfig
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry, RouteLookupStats
 from repro.obs.profile import PhaseProfiler, fold_phases
+from repro.obs.stages import StageProfiler, fold_stages
 from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:
@@ -64,6 +65,15 @@ class Observability:
         # sites one extra None check and a profiling one a stack push/pop.
         self.profile: Optional[PhaseProfiler] = (
             PhaseProfiler() if config.profile else None
+        )
+        # Per-packet stage attribution inside delivery; reached through
+        # `internet.obs.stages` exactly like `profile`, so it goes dark
+        # automatically under suspended() and costs disabled sessions
+        # one None check at the send boundary.
+        self.stages: Optional[StageProfiler] = (
+            StageProfiler(seed=seed, sample_every=config.stage_sample)
+            if config.stage_profile
+            else None
         )
         self._trust_store: "Optional[TrustStore]" = None
         self._dumps: list[dict] = []
@@ -303,6 +313,8 @@ class Observability:
             self.flight.clear()
         if self.profile is not None:
             self.profile.reset()
+        if self.stages is not None:
+            self.stages.reset()
         self._dumps = []
         self._packet_spans = {}
         self._test_span_id = None
@@ -326,6 +338,10 @@ class Observability:
             # config.profile implies metrics, so the registry exists;
             # phase totals ride the unit's ordinary metrics snapshot.
             fold_phases(self.profile, self.metrics)
+        if self.stages is not None:
+            # stage_profile implies metrics too; stage totals ride the
+            # same snapshot and merge commutatively.
+            fold_stages(self.stages, self.metrics)
         if self.tracer is not None:
             payload["trace"] = self.tracer.drain()
         if self.metrics is not None:
@@ -354,4 +370,8 @@ class Observability:
         for name, (calls, wall_ms) in phases.items():
             metrics.inc(f"phase.calls.{name}", calls)
             metrics.observe(f"phase.wall_ms.{name}", wall_ms)
+        if self.stages is not None:
+            # Any delivery the analysis phase performed brackets stages
+            # outside a unit; fold them into the same final delta.
+            fold_stages(self.stages, metrics)
         return metrics.drain()

@@ -132,7 +132,9 @@ def write_trace(
         sink.close()
 
 
-def read_trace(path: str | pathlib.Path) -> list[TraceRecord]:
+def read_trace(
+    path: str | pathlib.Path, metrics=None
+) -> list[TraceRecord]:
     """Load a JSONL trace back into records.
 
     Streams line-by-line (a multi-gigabyte trace never has to fit in one
@@ -140,6 +142,10 @@ def read_trace(path: str | pathlib.Path) -> list[TraceRecord]:
     corrupt or truncated lines — e.g. the tail of a run killed mid-write —
     are skipped with a stderr warning carrying the line number, so one bad
     byte does not make the rest of a trace unreadable.
+
+    *metrics* (a :class:`~repro.obs.metrics.MetricsRegistry`) counts each
+    skip as ``trace.corrupt_lines`` so silent data loss shows up at
+    ``/metrics`` instead of only scrolling past on stderr.
     """
     import sys
 
@@ -157,6 +163,8 @@ def read_trace(path: str | pathlib.Path) -> list[TraceRecord]:
                     f"line ({exc.msg})",
                     file=sys.stderr,
                 )
+                if metrics is not None:
+                    metrics.inc("trace.corrupt_lines")
                 continue
             if not isinstance(record, dict):
                 print(
@@ -164,6 +172,8 @@ def read_trace(path: str | pathlib.Path) -> list[TraceRecord]:
                     f"line",
                     file=sys.stderr,
                 )
+                if metrics is not None:
+                    metrics.inc("trace.corrupt_lines")
                 continue
             records.append(record)
     return records

@@ -43,6 +43,7 @@ class UnitStarted:
     kind: str
     index: int          # 1-based position in the plan
     total: int
+    shard: int = 0      # which shard's world serves this unit
 
 
 @dataclass(frozen=True)
@@ -125,6 +126,44 @@ class StudyMetrics:
     snapshot: dict
 
 
+@dataclass(frozen=True)
+class ResourceSample:
+    """A coordinator-side resource reading from the background sampler.
+
+    Published every tick by :class:`repro.obs.sample.ResourceSampler`
+    while a ledgered/dashboarded study runs.  All fields are read from
+    the OS and the executor's own live bookkeeping — never from world
+    state — so the sample stream cannot perturb results.
+    """
+
+    elapsed_s: float
+    rss_kb: int
+    queue_depth: int = 0        # submitted units no worker has picked up
+    in_flight: int = 0          # units currently executing
+    shards_resident: int = 0    # shard worlds live in this process
+    suite_hits: int = 0         # world-suite LRU hits (cumulative)
+    suite_misses: int = 0       # world-suite LRU misses (cumulative)
+    worker: str = "coordinator"
+
+
+@dataclass(frozen=True)
+class WorkerSample:
+    """A worker's resource reading, carried home with a finished unit.
+
+    Pool workers cannot publish onto the coordinator's bus directly
+    (process workers live in another address space), so each completed
+    unit piggybacks one sample; the executor publishes it at the unit's
+    commit point.
+    """
+
+    unit_id: str
+    worker: str
+    rss_kb: int
+    shards_resident: int = 0
+    suite_hits: int = 0
+    suite_misses: int = 0
+
+
 Event = object
 Handler = Callable[[Event], None]
 
@@ -146,6 +185,8 @@ _EVENT_TYPES = {
         StudyHalted,
         UnitMetrics,
         StudyMetrics,
+        ResourceSample,
+        WorkerSample,
     )
 }
 
@@ -322,6 +363,33 @@ class MetricsAggregator:
     def __call__(self, event: Event) -> None:
         if isinstance(event, UnitMetrics):
             self.registry.merge(event.snapshot)
+        elif isinstance(event, ResourceSample):
+            # Resource series are wall-clock-like: nondeterministic by
+            # nature, so they live under runtime.* gauges only and never
+            # mix with the deterministic counter/histogram families.
+            registry = self.registry
+            registry.set_gauge("runtime.rss_kb", event.rss_kb)
+            self._track_peak("runtime.rss_peak_kb", event.rss_kb)
+            registry.set_gauge("runtime.queue_depth", event.queue_depth)
+            registry.set_gauge("runtime.in_flight", event.in_flight)
+            registry.set_gauge(
+                "runtime.shards_resident", event.shards_resident
+            )
+            self._track_peak(
+                "runtime.shards_resident_peak", event.shards_resident
+            )
+            registry.set_gauge("runtime.suite_hits", event.suite_hits)
+            registry.set_gauge("runtime.suite_misses", event.suite_misses)
+        elif isinstance(event, WorkerSample):
+            self._track_peak("runtime.worker_rss_peak_kb", event.rss_kb)
+            self._track_peak(
+                "runtime.shards_resident_peak", event.shards_resident
+            )
+
+    def _track_peak(self, name: str, value: float) -> None:
+        gauge = self.registry.gauge(name)
+        if value > gauge.value:
+            gauge.set(value)
 
 
 class TextProgressRenderer:

@@ -65,8 +65,25 @@ _BACKENDS = ("thread", "process")
 _WORKER_SUITE_CACHE = 2
 
 # One attempt at a unit: (results, connect retries spent, wall
-# milliseconds, drained observability payload or None).
-UnitOutcome = tuple[list["VantagePointResults"], int, float, Optional[dict]]
+# milliseconds, drained observability payload or None, worker resource
+# payload).  The resource payload travels with the results rather than
+# inside the obs snapshot so the deterministic metric series stay free
+# of machine-dependent values.
+UnitOutcome = tuple[
+    list["VantagePointResults"], int, float, Optional[dict], dict
+]
+
+
+class SuiteCache(OrderedDict):
+    """Per-worker LRU of shard suites, with hit/miss counters.
+
+    Plain class-attribute defaults keep lookups allocation-free until the
+    first bump; the counters are cumulative for the worker's lifetime and
+    ride home with each unit as part of its resource payload.
+    """
+
+    hits: int = 0
+    misses: int = 0
 
 
 class StudyInterrupted(RuntimeError):
@@ -128,16 +145,41 @@ def _shard_suite_cached(
     """Fetch/build a shard suite through a small per-worker LRU."""
     suite = cache.get(shard)
     if suite is None:
+        cache.misses = getattr(cache, "misses", 0) + 1
         suite = _build_shard_suite(seed, source, shard, shards, suite_kwargs)
         cache[shard] = suite
         while len(cache) > _WORKER_SUITE_CACHE:
             cache.popitem(last=False)
     else:
+        cache.hits = getattr(cache, "hits", 0) + 1
         cache.move_to_end(shard)
     return suite
 
 
-def _timed_run_unit(suite: TestSuite, unit: AuditUnit) -> UnitOutcome:
+def _worker_resources(cache: Optional[OrderedDict]) -> dict:
+    """One worker resource reading, taken at a unit boundary.
+
+    A couple of microseconds per unit (one /proc read), cheap enough to
+    collect unconditionally; the executor decides whether anyone is
+    listening.  The worker name combines thread name and pid so it is
+    unique across both pool backends.
+    """
+    import os
+
+    from repro.obs.sample import rss_kb
+
+    return {
+        "worker": f"{threading.current_thread().name}@{os.getpid()}",
+        "rss_kb": rss_kb(),
+        "shards_resident": len(cache) if cache is not None else 1,
+        "suite_hits": getattr(cache, "hits", 0),
+        "suite_misses": getattr(cache, "misses", 0),
+    }
+
+
+def _timed_run_unit(
+    suite: TestSuite, unit: AuditUnit, cache: Optional[OrderedDict] = None
+) -> UnitOutcome:
     retries_before = suite.connect_retries
     started = time.perf_counter()
     try:
@@ -154,7 +196,13 @@ def _timed_run_unit(suite: TestSuite, unit: AuditUnit) -> UnitOutcome:
         raise
     wall_ms = (time.perf_counter() - started) * 1000.0
     obs_payload = suite.obs.drain_unit() if suite.obs is not None else None
-    return results, suite.connect_retries - retries_before, wall_ms, obs_payload
+    return (
+        results,
+        suite.connect_retries - retries_before,
+        wall_ms,
+        obs_payload,
+        _worker_resources(cache),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -172,20 +220,21 @@ def _process_worker_init(
         source=source,
         shards=shards,
         suite_kwargs=suite_kwargs,
-        suites=OrderedDict(),
+        suites=SuiteCache(),
     )
 
 
 def _process_run_unit(unit: AuditUnit) -> UnitOutcome:
+    suites = _PROCESS_STATE["suites"]
     suite = _shard_suite_cached(
-        _PROCESS_STATE["suites"],
+        suites,
         _PROCESS_STATE["seed"],
         _PROCESS_STATE["source"],
         unit.shard,
         _PROCESS_STATE["shards"],
         _PROCESS_STATE["suite_kwargs"],
     )
-    return _timed_run_unit(suite, unit)
+    return _timed_run_unit(suite, unit, suites)
 
 
 @dataclass
@@ -257,6 +306,8 @@ class StudyExecutor:
         pool: Optional[concurrent.futures.Executor] = None,
         source: Optional[StudySource] = None,
         shards: int = 1,
+        ledger_path: Optional[str | pathlib.Path] = None,
+        sample_interval_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -311,8 +362,18 @@ class StudyExecutor:
         self._obs_payloads: dict[str, dict] = {}
         self.trace_records: Optional[list[dict]] = None
         self.plan: Optional[StudyPlan] = None
+        # Runtime telemetry: a background ResourceSampler ticks while
+        # either is set, and a RunLedger persists the stream as JSONL.
+        self.ledger_path = ledger_path
+        self.sample_interval_s = sample_interval_s
+        self._telemetry_on = (
+            ledger_path is not None or sample_interval_s is not None
+        )
+        # Live dispatch-state counters the sampler probe reads; plain int
+        # stores under the GIL, no lock needed for a telemetry read.
+        self._live = {"queue_depth": 0, "in_flight": 0}
         # Coordinator-side shard suites (planning, inline runs, assembly).
-        self._suites: "OrderedDict[int, TestSuite]" = OrderedDict()
+        self._suites: SuiteCache = SuiteCache()
         # Set for the duration of run_streamed(): unit.shard -> writer.
         self._stream_writers: Optional[dict[int, "StreamingArchiveWriter"]]
         self._stream_writers = None
@@ -382,6 +443,72 @@ class StudyExecutor:
             "obs_config": self.obs_config,
         }
 
+    # ------------------------------------------------------------------
+    # Runtime telemetry: sampler + ledger lifecycle
+    # ------------------------------------------------------------------
+    def _resource_probe(self, elapsed_s: float) -> ev.ResourceSample:
+        """One coordinator resource reading (called from the sampler)."""
+        from repro.obs.sample import rss_kb
+
+        cache = self._suites
+        return ev.ResourceSample(
+            elapsed_s=round(elapsed_s, 3),
+            rss_kb=rss_kb(),
+            queue_depth=self._live["queue_depth"],
+            in_flight=self._live["in_flight"],
+            shards_resident=len(cache),
+            suite_hits=getattr(cache, "hits", 0),
+            suite_misses=getattr(cache, "misses", 0),
+        )
+
+    def _start_telemetry(self):
+        """Start the resource sampler (and ledger) when requested.
+
+        Returns an opaque handle for :meth:`_stop_telemetry`; None when
+        telemetry is off — the zero-overhead default.
+        """
+        if not self._telemetry_on:
+            return None
+        from repro.obs.sample import ResourceSampler, RunLedger
+
+        ledger = (
+            RunLedger(self.ledger_path, bus=self.bus)
+            if self.ledger_path is not None
+            else None
+        )
+        sampler = ResourceSampler(
+            bus=self.bus,
+            probe=self._resource_probe,
+            interval_s=self.sample_interval_s or 0.5,
+        )
+        sampler.start()
+        handle = [sampler, ledger]
+        self._telemetry_handle = handle
+        return handle
+
+    def _stop_sampler(self) -> None:
+        """Stop the ticker ahead of the terminal bus event.
+
+        Stop emits one final sample so even sub-interval runs ledger at
+        least one reading; calling this *before* StudyFinished/StudyHalted
+        publishes keeps the terminal event last on the bus — consumers
+        (the serve event stream, watch) rely on that ordering.
+        """
+        handle = getattr(self, "_telemetry_handle", None)
+        if not handle or handle[0] is None:
+            return
+        handle[0].stop()
+        handle[0] = None
+
+    def _stop_telemetry(self, handle) -> None:
+        if handle is None:
+            return
+        self._stop_sampler()
+        # The ledger closes after the terminal event so it records wall_s.
+        if handle[1] is not None:
+            handle[1].close()
+        self._telemetry_handle = None
+
     def _shard_suite(self, shard: int) -> TestSuite:
         """The coordinator's suite for one shard (small LRU)."""
         return _shard_suite_cached(
@@ -425,6 +552,13 @@ class StudyExecutor:
         the hook the resume tests and benchmarks use to simulate a study
         killed mid-run without actually killing a process.
         """
+        telemetry = self._start_telemetry()
+        try:
+            return self._run(limit_units)
+        finally:
+            self._stop_telemetry(telemetry)
+
+    def _run(self, limit_units: Optional[int] = None) -> "StudyReport":
         started = time.perf_counter()
         suite = self._shard_suite(0)
         plan = self._plan(suite)
@@ -490,6 +624,7 @@ class StudyExecutor:
                     ev.UnitMetrics(unit_id="__analysis__", snapshot=snapshot)
                 )
         self._finalize_obs(plan)
+        self._stop_sampler()
         wall_s = time.perf_counter() - started
         self.bus.publish(
             ev.StudyFinished(
@@ -569,6 +704,18 @@ class StudyExecutor:
         ``limit_units`` mirrors :meth:`run`: stop after that many executed
         units, leaving a readable archive prefix for resume tests.
         """
+        telemetry = self._start_telemetry()
+        try:
+            return self._run_streamed(archive_dir, per_shard, limit_units)
+        finally:
+            self._stop_telemetry(telemetry)
+
+    def _run_streamed(
+        self,
+        archive_dir: str | pathlib.Path,
+        per_shard: bool,
+        limit_units: Optional[int],
+    ) -> StreamedStudy:
         from repro.core.archive import StreamingArchiveWriter
 
         started = time.perf_counter()
@@ -659,6 +806,7 @@ class StudyExecutor:
                     ev.UnitMetrics(unit_id="__analysis__", snapshot=snapshot)
                 )
         self._finalize_obs(plan)
+        self._stop_sampler()
         wall_s = time.perf_counter() - started
         self.bus.publish(
             ev.StudyFinished(
@@ -819,6 +967,8 @@ class StudyExecutor:
         for position, unit in enumerate(pending):
             if self._stopped():
                 self._halt(remaining=len(pending) - position)
+            self._live["queue_depth"] = len(pending) - position - 1
+            self._live["in_flight"] = 1
             self.bus.publish(
                 ev.UnitStarted(
                     unit_id=unit.unit_id,
@@ -826,13 +976,15 @@ class StudyExecutor:
                     kind=unit.kind.value,
                     index=index_of[unit.unit_id],
                     total=len(plan.units),
+                    shard=unit.shard,
                 )
             )
             unit_suite = (
                 suite if self.shards == 1 else self._shard_suite(unit.shard)
             )
             outcome = self._attempt_with_retry(
-                unit, lambda: _timed_run_unit(unit_suite, unit)
+                unit,
+                lambda: _timed_run_unit(unit_suite, unit, self._suites),
             )
             if outcome is None:
                 continue
@@ -843,6 +995,8 @@ class StudyExecutor:
                 checkpoint,
                 queue_depth=len(pending) - position - 1,
             )
+        self._live["queue_depth"] = 0
+        self._live["in_flight"] = 0
 
     # ------------------------------------------------------------------
     # Cooperative stop
@@ -853,6 +1007,7 @@ class StudyExecutor:
     def _halt(self, remaining: int) -> None:
         """Publish the halt and raise; every committed unit is durable."""
         completed = self.stats.completed_units
+        self._stop_sampler()
         self.bus.publish(
             ev.StudyHalted(completed=completed, remaining=remaining)
         )
@@ -892,7 +1047,7 @@ class StudyExecutor:
             def run_unit(unit: AuditUnit) -> UnitOutcome:
                 suites = getattr(thread_state, "suites", None)
                 if suites is None:
-                    suites = OrderedDict()
+                    suites = SuiteCache()
                     thread_state.suites = suites
                 suite = _shard_suite_cached(
                     suites,
@@ -902,7 +1057,7 @@ class StudyExecutor:
                     self.shards,
                     self._suite_kwargs(),
                 )
-                return _timed_run_unit(suite, unit)
+                return _timed_run_unit(suite, unit, suites)
 
         index_of = {u.unit_id: i + 1 for i, u in enumerate(plan.units)}
         # future -> (unit, attempt number, dispatch timestamp)
@@ -920,6 +1075,7 @@ class StudyExecutor:
                         kind=unit.kind.value,
                         index=index_of[unit.unit_id],
                         total=len(plan.units),
+                        shard=unit.shard,
                     )
                 )
                 active[pool.submit(run_unit, unit)] = (
@@ -928,6 +1084,12 @@ class StudyExecutor:
                     time.perf_counter(),
                 )
             while active:
+                # Every submitted-but-unfinished unit is in `active`; at
+                # most `workers` of them actually hold a worker.
+                self._live["in_flight"] = min(len(active), self.workers)
+                self._live["queue_depth"] = max(
+                    0, len(active) - self.workers
+                )
                 if self._stopped() and not stop_seen:
                     # Drain: revoke everything still queued; the loop then
                     # runs on to commit the units workers already hold.
@@ -986,6 +1148,8 @@ class StudyExecutor:
                         queue_depth=len(active),
                     )
         finally:
+            self._live["queue_depth"] = 0
+            self._live["in_flight"] = 0
             if pool is not self.pool:
                 pool.shutdown(wait=True)
         if stop_seen:
@@ -1077,7 +1241,7 @@ class StudyExecutor:
         checkpoint: Optional[CheckpointStore],
         queue_depth: int,
     ) -> None:
-        results, connect_retries, wall_ms, obs_payload = outcome
+        results, connect_retries, wall_ms, obs_payload, resources = outcome
         if self._stream_writers is not None:
             # Streaming mode: results go straight to the archive (before
             # the checkpoint commit, so a journalled unit always has its
@@ -1100,6 +1264,10 @@ class StudyExecutor:
                 self.bus.publish(
                     ev.UnitMetrics(unit_id=unit.unit_id, snapshot=snapshot)
                 )
+        if resources and self._telemetry_on:
+            self.bus.publish(
+                ev.WorkerSample(unit_id=unit.unit_id, **resources)
+            )
         self.bus.publish(
             ev.UnitFinished(
                 unit_id=unit.unit_id,

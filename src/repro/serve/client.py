@@ -122,6 +122,15 @@ class ServeClient:
                     f"after {timeout_s:.0f}s"
                 )
 
+    def top(self, job_id: str) -> dict:
+        """The job's dashboard numbers from ``GET /jobs/{id}/top``.
+
+        The dict is :meth:`repro.runtime.dashboard.DashboardState.top`
+        output — render it with
+        :func:`repro.runtime.dashboard.render_top`.
+        """
+        return self._request("GET", f"/jobs/{job_id}/top")
+
     def trace_query(self, job_id: str, expression: str) -> TraceQueryReply:
         query = urllib.parse.urlencode({"job": job_id, "q": expression})
         return TraceQueryReply.from_dict(

@@ -213,6 +213,27 @@ class AuditDaemon:
             next=since + len(events),
         )
 
+    def top(self, job_id: str) -> dict:
+        """The job's dashboard numbers (``GET /jobs/{id}/top``).
+
+        Rebuilt by replaying the job's event log — the live in-memory
+        log while it runs, the persisted ``events.jsonl`` afterwards —
+        through the same :class:`~repro.runtime.dashboard.DashboardState`
+        a local ``--dashboard`` uses, so the remote view and the local
+        panel derive identical numbers from identical frames.
+        """
+        from repro.runtime.dashboard import state_from_events
+
+        self.queue.get(job_id)  # raises UnknownJobError first
+        log = self.scheduler.event_log(job_id)
+        events = (
+            log.records() if log is not None
+            else self.store.load_events(job_id)
+        )
+        payload = state_from_events(events).top()
+        payload["job_id"] = job_id
+        return payload
+
     def metrics_registry(self) -> MetricsRegistry:
         """A scrape-time merge of daemon counters + running jobs' obs.
 
@@ -247,7 +268,9 @@ class AuditDaemon:
         path = self.store.trace_path(job_id)
         if path is None:
             raise FileNotFoundError(job_id)
-        records = read_trace(path)
+        # Counted skips (trace.corrupt_lines) land in the daemon registry
+        # and therefore in the /metrics exposition.
+        records = read_trace(path, metrics=self.metrics)
         matches = query_trace(records, expression)
         return TraceQueryReply(
             job_id=job_id,

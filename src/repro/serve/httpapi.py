@@ -14,6 +14,7 @@ Routes::
     GET    /jobs                       every job, newest first
     GET    /jobs/{id}                  JobStatusReply (state + progress)
     GET    /jobs/{id}/events           EventsReply (long-poll stream)
+    GET    /jobs/{id}/top              dashboard numbers (progress/rss/stages)
     DELETE /jobs/{id}                  cancel (queued or running)
     GET    /results/{id}/report        stored StudyReport / series dict
     GET    /results/{id}/evidence      explain_document per provider
@@ -124,6 +125,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 and parts[2] == "events"
             ):
                 self._job_events(parts[1], parse_qs(url.query))
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "top"
+            ):
+                self._reply(200, self.daemon_ref.top(parts[1]))
             elif len(parts) == 3 and parts[0] == "results":
                 self._get_result(parts[1], parts[2])
             elif parts == ["trace", "query"]:

@@ -261,6 +261,10 @@ class JobScheduler:
             checkpoint_dir=str(self.store.checkpoint_dir(record.job_id)),
             stop_event=stop_event,
             pool=self.pool,
+            # Resource telemetry rides the job bus (and thus the event
+            # log), which is what /jobs/{id}/top reads its RSS/queue
+            # numbers from.  A side channel: results stay byte-identical.
+            sample_interval_s=self.config.sample_interval_s,
         )
         report = executor.run()
         metrics = executor.metrics

@@ -71,26 +71,40 @@ class TunnelEndpoint:
         if self.state is TunnelState.FAILED_OPEN:
             return self._leak(inner)
 
-        outer = self._encapsulate(inner)
         host = self.host
+        internet = host.internet
+        obs = internet.obs if internet is not None else None
+        stages = obs.stages if obs is not None else None
+        if stages is not None:
+            stages.enter("encap")
+        outer = self._encapsulate(inner)
+        if stages is not None:
+            stages.leave()
         physical = host.interfaces.get(self.physical_interface)
         if physical is None or not physical.up:
             return DeliveryResult(packet=inner, status="interface_down",
                                   detail=self.physical_interface)
 
         firewall = host.firewall
-        if (
-            firewall._rules or firewall.default is not FirewallAction.ALLOW
-        ) and not firewall.permits(outer, "out", physical.name):
-            return self._handle_outer_failure(inner, "egress firewall")
+        if firewall._rules or firewall.default is not FirewallAction.ALLOW:
+            if stages is not None:
+                stages.enter("firewall")
+            permitted = firewall.permits(outer, "out", physical.name)
+            if stages is not None:
+                stages.leave()
+            if not permitted:
+                return self._handle_outer_failure(inner, "egress firewall")
 
-        internet = host.internet
         assert internet is not None
         capture = physical.capture
         if capture.enabled:
+            if stages is not None:
+                stages.enter("capture")
             capture.entries.append(
                 CaptureEntry(internet.clock_ms, "tx", capture.interface, outer)
             )
+            if stages is not None:
+                stages.leave()
         outcome = internet.deliver(outer, host)
         if not outcome.ok:
             return self._handle_outer_failure(inner, outcome.status)
@@ -109,9 +123,13 @@ class TunnelEndpoint:
         clock_ms = internet.clock_ms
         for response in outcome.responses:
             if record_rx:
+                if stages is not None:
+                    stages.enter("capture")
                 capture.entries.append(
                     CaptureEntry(clock_ms, "rx", capture.interface, response)
                 )
+                if stages is not None:
+                    stages.leave()
             payload = response.payload
             if isinstance(payload, TunnelPayload):
                 inner_responses.append(payload.inner)

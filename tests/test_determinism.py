@@ -220,6 +220,58 @@ class TestWorldDeterminism:
             "phase.calls.tls": 2568,
         }
 
+    def test_stage_profiler_golden_and_counts_across_backends(
+        self, tmp_path
+    ):
+        """Stage profiling must be read-only and count-deterministic.
+
+        Runs the golden study with the per-packet stage profiler on
+        across all three backends: every archive must still match the
+        golden fingerprint (the stage brackets change no behaviour), and
+        the exact stage call counts *and* the deterministically sampled
+        frame counts must be byte-identical no matter how units were
+        scheduled — the stage-level analogue of the pinned
+        ``phase.calls.*`` counters.
+        """
+        from repro.core.archive import (
+            archive_fingerprint,
+            write_study_archive,
+        )
+        from repro.obs.config import ObsConfig
+        from repro.obs.stages import STANDARD_STAGES
+        from repro.runtime.executor import StudyExecutor
+
+        def stage_counters(workers, backend, label):
+            executor = StudyExecutor(
+                seed=2018,
+                providers=GOLDEN_STUDY_PROVIDERS,
+                max_vantage_points=2,
+                workers=workers,
+                backend=backend,
+                obs=ObsConfig(stage_profile=True),
+            )
+            report = executor.run()
+            root = tmp_path / label
+            write_study_archive(report, root)
+            assert archive_fingerprint(root) == GOLDEN_STUDY_FINGERPRINT
+            counters = executor.metrics.snapshot()["counters"]
+            return {
+                name: value
+                for name, value in counters.items()
+                if name.startswith(("stage.calls.", "stage.sampled."))
+            }
+
+        sequential = stage_counters(1, "thread", "sequential")
+        threaded = stage_counters(4, "thread", "threaded")
+        processed = stage_counters(4, "process", "processed")
+        assert sequential == threaded == processed
+        stages = {
+            name[len("stage.calls."):]
+            for name in sequential
+            if name.startswith("stage.calls.")
+        }
+        assert stages and stages <= set(STANDARD_STAGES)
+
     @pytest.mark.parametrize("obs_on", [False, True], ids=["obs-off", "obs-on"])
     def test_study_archive_fingerprint_with_engine_disabled(
         self, tmp_path, monkeypatch, obs_on

@@ -249,9 +249,17 @@ class TestEventStream:
                     out.append(
                         (type(r).__name__, getattr(r, "unit_id", None))
                     )
+            # Metric snapshots and resource telemetry are wall-clock
+            # cadenced (the daemon's per-job sampler ticks on real time),
+            # so only the deterministic work skeleton is comparable.
             return sorted(
                 (kind, unit) for kind, unit in out
-                if kind not in ("UnitMetrics", "StudyMetrics")
+                if kind not in (
+                    "UnitMetrics",
+                    "StudyMetrics",
+                    "ResourceSample",
+                    "WorkerSample",
+                )
             )
 
         assert skeleton(streamed) == skeleton(direct)

@@ -1,0 +1,232 @@
+"""The per-packet stage profiler: counting, sampling, folding, rendering.
+
+Unit tests drive :class:`repro.obs.stages.StageProfiler` directly (with a
+fake clock where exact exclusive times matter); the integration test runs
+a small real study and checks the acceptance property — the stage table's
+self-times account for at least 90% of the delivery phase's wall-clock.
+"""
+
+import pytest
+
+from repro.obs.stages import (
+    STANDARD_STAGES,
+    StageProfiler,
+    fold_stages,
+    render_stage_table,
+    stage_breakdown,
+    stage_total_ms,
+)
+
+
+class FakeClock:
+    """A perf_counter stand-in advancing a fixed step per call."""
+
+    def __init__(self, step_s: float = 0.001) -> None:
+        self.now = 0.0
+        self.step_s = step_s
+
+    def __call__(self) -> float:
+        self.now += self.step_s
+        return self.now
+
+
+class TestStageProfiler:
+    def test_counts_are_exact_even_when_unsampled(self):
+        profiler = StageProfiler(seed=0, sample_every=1000)
+        for _ in range(7):
+            profiler.begin_send()
+            profiler.enter("route")
+            profiler.leave()
+            profiler.end_send()
+        drained = profiler.drain()
+        assert drained["send"][0] == 7
+        assert drained["route"][0] == 7
+        # seed=0 → send ordinal 0 is sampled; the other six are not.
+        assert drained["send"][1] == 1
+
+    def test_sampling_decision_is_seeded_and_periodic(self):
+        profiler = StageProfiler(seed=2018, sample_every=4)
+        # offset = 2018 % 4 = 2 → ordinals 2, 6 of 8 sends are timed.
+        for _ in range(8):
+            profiler.begin_send()
+            profiler.end_send()
+        drained = profiler.drain()
+        assert drained["send"] [0] == 8
+        assert drained["send"][1] == 2
+
+    def test_two_profilers_fed_identically_drain_identically(self):
+        def run():
+            profiler = StageProfiler(seed=7, sample_every=3)
+            for index in range(9):
+                profiler.begin_send()
+                profiler.enter("route")
+                profiler.leave()
+                if index % 2:
+                    profiler.enter("capture")
+                    profiler.leave()
+                profiler.end_send()
+            return {
+                name: (calls, sampled)
+                for name, (calls, sampled, _) in profiler.drain().items()
+            }
+
+        assert run() == run()
+
+    def test_nested_sends_stay_inside_parent_sample(self):
+        profiler = StageProfiler(seed=0, sample_every=2)
+        # One top-level send (ordinal 0, sampled) re-entering send twice:
+        # only the *top-level* ordinal advances, so the nested frames are
+        # timed with the parent and the next top-level send is unsampled.
+        profiler.begin_send()
+        profiler.begin_send()
+        profiler.end_send()
+        profiler.begin_send()
+        profiler.end_send()
+        profiler.end_send()
+        profiler.begin_send()
+        profiler.end_send()
+        drained = profiler.drain()
+        assert drained["send"][0] == 4
+        assert drained["send"][1] == 3  # the sampled tree, not the 4th
+
+    def test_exclusive_attribution_with_fake_clock(self, monkeypatch):
+        clock = FakeClock(step_s=0.001)
+        monkeypatch.setattr("repro.obs.stages.perf_counter", clock)
+        profiler = StageProfiler(seed=0, sample_every=1)
+        profiler.begin_send()
+        profiler.enter("route")
+        profiler.leave()
+        profiler.end_send()
+        drained = profiler.drain()
+        # Every perf_counter call advances 1ms: route's frame spans one
+        # tick (1ms exclusive); send's frame spans three ticks with
+        # route's 1ms subtracted as child time — 2ms exclusive.
+        assert drained["route"][2] == pytest.approx(1.0)
+        assert drained["send"][2] == pytest.approx(2.0)
+
+    def test_reset_restarts_the_sampling_pattern(self):
+        profiler = StageProfiler(seed=0, sample_every=4)
+        for _ in range(3):
+            profiler.begin_send()
+            profiler.end_send()
+        first = profiler.drain()
+        for _ in range(3):
+            profiler.begin_send()
+            profiler.end_send()
+        second = profiler.drain()
+        assert first["send"][:2] == second["send"][:2] == (3, 1)
+
+    def test_abandoned_frames_discarded_on_drain(self):
+        profiler = StageProfiler(seed=0, sample_every=1)
+        profiler.begin_send()
+        profiler.enter("route")  # unit aborts here
+        drained = profiler.drain()
+        assert drained["route"][0] == 1
+        assert profiler.drain() == {}
+
+
+class TestFoldAndBreakdown:
+    def _snapshot(self, profiler):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        fold_stages(profiler, registry)
+        return registry.snapshot()
+
+    def test_fold_lands_counters_and_histograms(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.stages.perf_counter", FakeClock())
+        profiler = StageProfiler(seed=0, sample_every=1)
+        profiler.begin_send()
+        profiler.enter("route")
+        profiler.leave()
+        profiler.end_send()
+        snapshot = self._snapshot(profiler)
+        assert snapshot["counters"]["stage.calls.route"] == 1
+        assert snapshot["counters"]["stage.sampled.route"] == 1
+        assert snapshot["histograms"]["stage.wall_ms.route"]["count"] == 1
+
+    def test_fold_skips_wall_series_for_unsampled_stages(self):
+        profiler = StageProfiler(seed=1, sample_every=2)
+        profiler.begin_send()  # ordinal 0, offset 1 → unsampled
+        profiler.enter("route")
+        profiler.leave()
+        profiler.end_send()
+        snapshot = self._snapshot(profiler)
+        assert snapshot["counters"]["stage.calls.route"] == 1
+        assert "stage.sampled.route" not in snapshot["counters"]
+        assert "stage.wall_ms.route" not in snapshot["histograms"]
+
+    def test_breakdown_scales_sampled_time_to_population(self):
+        snapshot = {
+            "counters": {
+                "stage.calls.route": 100,
+                "stage.sampled.route": 10,
+                "stage.calls.capture": 100,
+                "stage.sampled.capture": 10,
+            },
+            "histograms": {
+                "stage.wall_ms.route": {"total": 5.0},
+                "stage.wall_ms.capture": {"total": 15.0},
+            },
+        }
+        rows = {row["stage"]: row for row in stage_breakdown(snapshot)}
+        assert rows["route"]["est_ms"] == pytest.approx(50.0)
+        assert rows["capture"]["est_ms"] == pytest.approx(150.0)
+        assert rows["capture"]["share"] == pytest.approx(0.75)
+        assert [r["stage"] for r in stage_breakdown(snapshot)] == [
+            "capture", "route",
+        ]
+        assert stage_total_ms(snapshot) == pytest.approx(200.0)
+
+    def test_render_handles_empty_and_reports_coverage(self):
+        assert "no stages recorded" in render_stage_table({})
+        snapshot = {
+            "counters": {
+                "stage.calls.send": 10,
+                "stage.sampled.send": 10,
+            },
+            "histograms": {
+                "stage.wall_ms.send": {"total": 90.0},
+                "phase.wall_ms.delivery": {"total": 100.0},
+            },
+        }
+        table = render_stage_table(snapshot)
+        assert "delivery stage attribution" in table
+        assert "stages cover 90.0% of the delivery phase" in table
+
+
+class TestStageProfilerIntegration:
+    def test_stages_cover_delivery_phase(self):
+        """Acceptance: stage self-times sum to ≥90% of the delivery phase.
+
+        ``stage_sample=1`` times every send, so the estimate carries no
+        scaling noise — coverage is then structural (the ``send`` residue
+        frame opens at the top of every delivery) rather than statistical.
+        """
+        from repro.api import run_full_study
+        from repro.config import StudyConfig
+        from repro.obs.config import ObsConfig
+
+        study = run_full_study(
+            config=StudyConfig(
+                providers=("Seed4.me", "PureVPN"),
+                max_vantage_points=2,
+                obs=ObsConfig(
+                    profile=True, stage_profile=True, stage_sample=1
+                ),
+            )
+        )
+        snapshot = study.obs_metrics
+        stages = {
+            name[len("stage.calls."):]
+            for name in snapshot["counters"]
+            if name.startswith("stage.calls.")
+        }
+        assert stages and stages <= set(STANDARD_STAGES)
+        delivery_ms = snapshot["histograms"]["phase.wall_ms.delivery"][
+            "total"
+        ]
+        assert delivery_ms > 0
+        assert stage_total_ms(snapshot) >= 0.9 * delivery_ms
+        table = render_stage_table(snapshot)
+        assert "stages cover" in table
